@@ -1,0 +1,136 @@
+//! Bloom / counting-Bloom operation costs, including the ablations
+//! DESIGN.md calls out: probe cost vs hash count k, and counting-filter
+//! maintenance vs the plain filter.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_bloom::{BloomFilter, CountingBloomFilter, FilterConfig};
+
+fn url(i: u32) -> Vec<u8> {
+    format!("http://server-{}.trace.invalid/doc/{}", i / 12, i).into_bytes()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let cfg = FilterConfig::with_load_factor(100_000, 8, 4);
+
+    c.bench_function("bloom/insert", |b| {
+        let mut f = BloomFilter::new(cfg);
+        let mut i = 0u32;
+        b.iter(|| {
+            f.insert(black_box(&url(i)));
+            i = i.wrapping_add(1);
+        })
+    });
+
+    c.bench_function("bloom/query-hit", |b| {
+        let mut f = BloomFilter::new(cfg);
+        for i in 0..100_000 {
+            f.insert(&url(i));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let hit = f.contains(black_box(&url(i % 100_000)));
+            i = i.wrapping_add(1);
+            hit
+        })
+    });
+
+    c.bench_function("bloom/query-miss", |b| {
+        let mut f = BloomFilter::new(cfg);
+        for i in 0..100_000 {
+            f.insert(&url(i));
+        }
+        let mut i = 1_000_000u32;
+        b.iter(|| {
+            let hit = f.contains(black_box(&url(i)));
+            i = i.wrapping_add(1);
+            hit
+        })
+    });
+
+    c.bench_function("counting/insert+remove", |b| {
+        let mut f = CountingBloomFilter::new(cfg);
+        let mut i = 0u32;
+        b.iter(|| {
+            let u = url(i);
+            f.insert(black_box(&u));
+            f.remove(black_box(&u));
+            i = i.wrapping_add(1);
+        })
+    });
+}
+
+/// Ablation: probe cost as a function of k at a fixed load factor.
+fn bench_k_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom/probe-vs-k");
+    for k in [2u16, 4, 6, 8, 12] {
+        let cfg = FilterConfig {
+            bits: 1 << 20,
+            hashes: k,
+            function_bits: 32,
+        };
+        let mut f = BloomFilter::new(cfg);
+        for i in 0..50_000 {
+            f.insert(&url(i));
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(k), &f, |b, f| {
+            let mut i = 0u32;
+            b.iter(|| {
+                let hit = f.contains(black_box(&url(i)));
+                i = i.wrapping_add(1);
+                hit
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Delta-update encoding: diffing a published baseline against the live
+/// bits — the per-publish cost of the protocol.
+fn bench_delta(c: &mut Criterion) {
+    let cfg = FilterConfig::with_load_factor(100_000, 8, 4);
+    c.bench_function("bloom/delta-diff-1%churn", |b| {
+        let mut f = CountingBloomFilter::new(cfg);
+        for i in 0..100_000 {
+            f.insert(&url(i));
+        }
+        let baseline = f.bits().clone();
+        // 1% churn.
+        for i in 0..1_000 {
+            f.remove(&url(i));
+            f.insert(&url(200_000 + i));
+        }
+        b.iter(|| baseline.diff_indices(black_box(f.bits())))
+    });
+}
+
+/// MD5 vs Rabin hash family (the paper's Section V-D alternative) and
+/// the Golomb-coded bitmap transmission.
+fn bench_alternatives(c: &mut Criterion) {
+    let key = b"http://server-123.trace.invalid/doc/456789";
+
+    let mut g = c.benchmark_group("hash-family/4-indices");
+    let md5_spec = sc_bloom::HashSpec::paper_default(4, 1 << 20).unwrap();
+    g.bench_function("md5", |b| b.iter(|| md5_spec.indices(black_box(key))));
+    let rabin = sc_bloom::rabin::RabinFamily::new(4, 1 << 20);
+    g.bench_function("rabin", |b| b.iter(|| rabin.indices(black_box(key))));
+    g.finish();
+
+    // Compression of a realistic published bitmap (fill ~0.22, the k=4
+    // load-factor-16 operating point).
+    let mut f = BloomFilter::new(FilterConfig::with_load_factor(50_000, 16, 4));
+    for i in 0..50_000 {
+        f.insert(&url(i));
+    }
+    let mut g = c.benchmark_group("bitmap-transmission");
+    g.bench_function("golomb-compress", |b| {
+        b.iter(|| sc_bloom::compress(black_box(f.bits())))
+    });
+    let coded = sc_bloom::compress(f.bits());
+    g.bench_function("golomb-decompress", |b| {
+        b.iter(|| sc_bloom::decompress(black_box(&coded)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_k_sweep, bench_delta, bench_alternatives);
+criterion_main!(benches);

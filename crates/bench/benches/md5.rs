@@ -1,0 +1,26 @@
+//! MD5 throughput — the paper argues "the computational overhead of MD5
+//! is negligible compared with the user and system CPU overhead
+//! incurred by caching documents" (Section V-E); this bench quantifies
+//! the per-URL hashing cost that claim rests on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_md5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md5");
+    for len in [16usize, 50, 200, 1024, 64 * 1024] {
+        let data = vec![0xabu8; len];
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::new("digest", len), &data, |b, d| {
+            b.iter(|| sc_md5::md5(black_box(d)))
+        });
+    }
+    g.finish();
+
+    c.bench_function("md5/typical-url", |b| {
+        let url = b"http://server-123.trace.invalid/doc/456789";
+        b.iter(|| sc_md5::md5(black_box(url)))
+    });
+}
+
+criterion_group!(benches, bench_md5);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Per-representation summary costs: the probe a proxy runs against
+//! every peer summary on every local miss, and the publish that turns
+//! pending changes into an update message.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use summary_cache_core::{ProxySummary, SummaryKind};
+
+fn keys(i: u32) -> (Vec<u8>, Vec<u8>) {
+    (
+        format!("http://server-{}.trace.invalid/doc/{}", i / 12, i).into_bytes(),
+        format!("server-{}.trace.invalid", i / 12).into_bytes(),
+    )
+}
+
+fn kinds() -> Vec<SummaryKind> {
+    vec![
+        SummaryKind::ExactDirectory,
+        SummaryKind::ServerName,
+        SummaryKind::Bloom { load_factor: 8, hashes: 4 },
+        SummaryKind::Bloom { load_factor: 16, hashes: 4 },
+    ]
+}
+
+fn loaded(kind: SummaryKind, docs: u32) -> ProxySummary {
+    let mut s = ProxySummary::with_expected_docs(kind, docs as u64);
+    for i in 0..docs {
+        let (u, srv) = keys(i);
+        s.insert(&u, &srv);
+    }
+    s.publish();
+    s
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("summary/probe");
+    for kind in kinds() {
+        let s = loaded(kind, 20_000);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &s, |b, s| {
+            let mut i = 0u32;
+            b.iter(|| {
+                let (u, srv) = keys(i % 40_000);
+                i = i.wrapping_add(1);
+                s.probe_published(black_box(&u), black_box(&srv))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("summary/insert+remove");
+    for kind in kinds() {
+        g.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let mut s = loaded(kind, 20_000);
+            let mut i = 100_000u32;
+            b.iter(|| {
+                let (u, srv) = keys(i);
+                s.insert(&u, &srv);
+                s.remove(&u, &srv);
+                i = i.wrapping_add(1);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut g = c.benchmark_group("summary/publish-1%churn");
+    for kind in kinds() {
+        g.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            let mut s = loaded(kind, 20_000);
+            let mut i = 500_000u32;
+            b.iter(|| {
+                for _ in 0..200 {
+                    let (u, srv) = keys(i);
+                    s.insert(&u, &srv);
+                    i = i.wrapping_add(1);
+                }
+                black_box(s.publish())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe, bench_maintenance, bench_publish);
+criterion_main!(benches);

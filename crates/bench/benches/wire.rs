@@ -1,0 +1,70 @@
+//! Codec costs: ICP query/reply and DIRUPDATE encode/decode, and the
+//! HTTP head parser — the per-message CPU the protocol adds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sc_bloom::Flip;
+use sc_wire::http;
+use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
+
+fn bench_icp(c: &mut Criterion) {
+    let query = IcpMessage::Query {
+        request_number: 42,
+        requester: 7,
+        url: "http://server-123.trace.invalid/doc/456789".into(),
+    };
+    let query_bytes = query.encode(1).unwrap();
+
+    c.bench_function("icp/encode-query", |b| {
+        b.iter(|| black_box(&query).encode(1).unwrap())
+    });
+    c.bench_function("icp/decode-query", |b| {
+        b.iter(|| IcpMessage::decode(black_box(&query_bytes)).unwrap())
+    });
+
+    let update = IcpMessage::DirUpdate {
+        request_number: 1,
+        sender: 2,
+        update: DirUpdate {
+            function_num: 4,
+            function_bits: 32,
+            bit_array_size: 1 << 20,
+            content: DirContent::Flips((0..320).map(Flip::set).collect()),
+        },
+    };
+    let update_bytes = update.encode(1).unwrap();
+    let mut g = c.benchmark_group("icp/dirupdate");
+    g.throughput(Throughput::Bytes(update_bytes.len() as u64));
+    g.bench_function("encode-320-flips", |b| {
+        b.iter(|| black_box(&update).encode(1).unwrap())
+    });
+    g.bench_function("decode-320-flips", |b| {
+        b.iter(|| IcpMessage::decode(black_box(&update_bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_http(c: &mut Criterion) {
+    let req = http::build_request(
+        "http://server-123.trace.invalid/doc/456789",
+        &[
+            ("Host", "server-123.trace.invalid"),
+            ("X-Doc-Size", "8192"),
+            ("X-Doc-LM", "123456"),
+        ],
+    );
+    c.bench_function("http/parse-request", |b| {
+        b.iter(|| http::parse_request(black_box(req.as_bytes())).unwrap())
+    });
+    c.bench_function("http/build-response", |b| {
+        b.iter(|| {
+            http::build_response(
+                200,
+                "OK",
+                &[("Content-Length", "8192"), ("X-Doc-LM", "123456")],
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_icp, bench_http);
+criterion_main!(benches);

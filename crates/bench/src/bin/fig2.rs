@@ -1,0 +1,128 @@
+//! Fig. 2 — impact of summary update delays on total cache hit ratios.
+//!
+//! Exact-directory summaries (so the only error source is staleness),
+//! cache = 10 % of the infinite cache size, update thresholds 0 (the
+//! no-delay reference), 0.1 %, 1 %, 2 %, 5 % and 10 %. Reported per
+//! threshold: total hit ratio, remote-stale-hit ratio, false-hit ratio.
+//!
+//! The paper's findings: degradation grows roughly linearly with the
+//! threshold and stays small (0.1–1.7 % relative at the 1 % threshold);
+//! remote stale hits are insensitive to delay; false hits are tiny but
+//! grow with the threshold. NLANR is the outlier — duplicate
+//! simultaneous requests make the hit ratio collapse even at small
+//! delays, which the paper pins down with a delay of 2 and 10 requests;
+//! the same sub-experiment runs here.
+
+use sc_bench::{all_profiles, load_trace, pct, rule, write_results};
+use sc_sim::{simulate_summary_cache, SummaryCacheConfig};
+use sc_trace::TraceStats;
+use serde::Serialize;
+use summary_cache_core::{SummaryKind, UpdatePolicy};
+
+#[derive(Serialize, Clone)]
+struct Row {
+    trace: String,
+    policy: String,
+    total_hit_ratio: f64,
+    remote_stale_hit_ratio: f64,
+    false_hit_ratio: f64,
+    false_miss_ratio: f64,
+}
+
+fn run(
+    trace: &sc_trace::Trace,
+    budget: u64,
+    policy: UpdatePolicy,
+    label: &str,
+    rows: &mut Vec<Row>,
+) -> Row {
+    let cfg = SummaryCacheConfig {
+        kind: SummaryKind::ExactDirectory,
+        policy,
+        multicast_updates: false,
+    };
+    let r = simulate_summary_cache(trace, &cfg, budget);
+    let rates = r.metrics.rates();
+    let row = Row {
+        trace: trace.name.clone(),
+        policy: label.to_string(),
+        total_hit_ratio: rates.total_hit_ratio,
+        remote_stale_hit_ratio: rates.remote_stale_hit_ratio,
+        false_hit_ratio: rates.false_hit_ratio,
+        false_miss_ratio: rates.false_miss_ratio,
+    };
+    rows.push(row.clone());
+    row
+}
+
+fn main() {
+    println!("Fig. 2: impact of summary update delays (exact-directory, cache = 10% infinite)");
+    let mut rows: Vec<Row> = Vec::new();
+    for p in all_profiles() {
+        let trace = load_trace(&p);
+        let budget = TraceStats::compute(&trace).infinite_cache_bytes / 10;
+        println!("\n[{}]", p.name);
+        let header = format!(
+            "{:>12} {:>10} {:>12} {:>10} {:>11}",
+            "threshold", "hit ratio", "stale hits", "false hit", "false miss"
+        );
+        println!("{header}");
+        rule(&header);
+        let mut reference = None;
+        for (label, policy) in [
+            ("no delay", UpdatePolicy::Threshold(0.0)),
+            ("0.1%", UpdatePolicy::Threshold(0.001)),
+            ("1%", UpdatePolicy::Threshold(0.01)),
+            ("2%", UpdatePolicy::Threshold(0.02)),
+            ("5%", UpdatePolicy::Threshold(0.05)),
+            ("10%", UpdatePolicy::Threshold(0.10)),
+        ] {
+            let row = run(&trace, budget, policy, label, &mut rows);
+            if reference.is_none() {
+                reference = Some(row.total_hit_ratio);
+            }
+            println!(
+                "{:>12} {:>10} {:>12} {:>10} {:>11}",
+                label,
+                pct(row.total_hit_ratio),
+                pct(row.remote_stale_hit_ratio),
+                pct(row.false_hit_ratio),
+                pct(row.false_miss_ratio),
+            );
+        }
+        // The NLANR anomaly sub-experiment: delays of 2 and 10 requests.
+        if p.name == "NLANR" {
+            println!("  -- anomaly sub-experiment (delay in user requests) --");
+            for (label, policy) in [
+                ("2 requests", UpdatePolicy::EveryRequests(2)),
+                ("10 requests", UpdatePolicy::EveryRequests(10)),
+            ] {
+                let row = run(&trace, budget, policy, label, &mut rows);
+                println!(
+                    "{:>12} {:>10} {:>12} {:>10} {:>11}",
+                    label,
+                    pct(row.total_hit_ratio),
+                    pct(row.remote_stale_hit_ratio),
+                    pct(row.false_hit_ratio),
+                    pct(row.false_miss_ratio),
+                );
+            }
+        }
+        if let Some(r0) = reference {
+            let r1 = rows
+                .iter()
+                .rev()
+                .find(|r| r.trace == p.name && r.policy == "1%")
+                .map(|r| r.total_hit_ratio)
+                .unwrap_or(r0);
+            println!(
+                "  degradation at 1% threshold: {:.2} points (paper: 0.02%..1.7% relative)",
+                (r0 - r1) * 100.0
+            );
+        }
+    }
+    println!();
+    println!("paper: hit-ratio loss grows ~linearly with threshold; stale hits flat;");
+    println!("paper: NLANR collapses sharply with delay (duplicate-request anomaly).");
+    write_results("fig2", &rows);
+}

@@ -1,0 +1,185 @@
+//! The paper's Bloom-filter mathematics (Section V-C, Fig. 4).
+//!
+//! Everything here is closed-form; the `fig4` experiment harness prints
+//! these curves and the unit tests pin the worked examples from the text
+//! (load factor 10 ⇒ 1.2 % false positives at k = 4, 0.9 % at the optimal
+//! k = 5; 4-bit counters overflow with probability ≤ 1.37 × 10⁻¹⁵ · m).
+
+use std::f64::consts::{E, LN_2};
+
+/// Probability that a membership query for a key *not* in the set answers
+/// "present": `(1 - (1 - 1/m)^{kn})^k` for a filter of `m` bits holding
+/// `n` keys under `k` hash functions.
+pub fn false_positive_probability(m: u64, n: u64, k: u32) -> f64 {
+    assert!(m > 0 && k > 0, "degenerate filter");
+    if n == 0 {
+        return 0.0;
+    }
+    let exact_zero = (1.0 - 1.0 / m as f64).powf(k as f64 * n as f64);
+    (1.0 - exact_zero).powi(k as i32)
+}
+
+/// The asymptotic form `(1 - e^{-kn/m})^k` used throughout the paper.
+pub fn false_positive_probability_asymptotic(bits_per_entry: f64, k: u32) -> f64 {
+    assert!(bits_per_entry > 0.0 && k > 0);
+    (1.0 - (-(k as f64) / bits_per_entry).exp()).powi(k as i32)
+}
+
+/// The real-valued minimizer `k = ln 2 · m/n` of the false-positive
+/// probability.
+pub fn optimal_k_real(bits_per_entry: f64) -> f64 {
+    LN_2 * bits_per_entry
+}
+
+/// The best *integer* number of hash functions for a given load factor:
+/// whichever neighbour of `ln 2 · m/n` yields the lower false-positive
+/// probability (at least 1).
+pub fn optimal_k(bits_per_entry: f64) -> u32 {
+    let real = optimal_k_real(bits_per_entry);
+    let lo = (real.floor() as u32).max(1);
+    let hi = lo + 1;
+    let p_lo = false_positive_probability_asymptotic(bits_per_entry, lo);
+    let p_hi = false_positive_probability_asymptotic(bits_per_entry, hi);
+    if p_lo <= p_hi {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// The floor of the minimum achievable false-positive probability,
+/// `0.6185^{m/n}` (the paper's `(1/2)^{k}` at the optimal real `k`).
+pub fn min_false_positive(bits_per_entry: f64) -> f64 {
+    0.5f64.powf(optimal_k_real(bits_per_entry))
+}
+
+/// Upper bound on the probability that *any* of the `m` counters reaches
+/// `threshold` after inserting `n` keys with the (near-)optimal
+/// `k ≤ ln 2 · m/n` hash functions:
+/// `Pr(max count ≥ j) ≤ m · (e ln 2 / j)^j` (paper Section V-C, citing
+/// the balls-in-bins bound).
+pub fn counter_overflow_probability(m: u64, threshold: u32) -> f64 {
+    assert!(threshold > 0);
+    let per_counter = (E * LN_2 / threshold as f64).powi(threshold as i32);
+    (m as f64 * per_counter).min(1.0)
+}
+
+/// One point of the Fig. 4 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4Point {
+    /// Bits allocated per entry, `m/n`.
+    pub bits_per_entry: f64,
+    /// False-positive probability with the paper's fixed `k = 4`.
+    pub p_four_hashes: f64,
+    /// The best integer `k` at this load factor.
+    pub k_optimal: u32,
+    /// False-positive probability at that optimal `k`.
+    pub p_optimal: f64,
+}
+
+/// The two Fig. 4 series over an inclusive range of integer load factors.
+pub fn fig4_series(from: u32, to: u32) -> Vec<Fig4Point> {
+    assert!(from >= 1 && from <= to);
+    (from..=to)
+        .map(|lf| {
+            let bpe = lf as f64;
+            let k_opt = optimal_k(bpe);
+            Fig4Point {
+                bits_per_entry: bpe,
+                p_four_hashes: false_positive_probability_asymptotic(bpe, 4),
+                k_optimal: k_opt,
+                p_optimal: false_positive_probability_asymptotic(bpe, k_opt),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper: "for a bit array 10 times larger than the number of entries,
+    /// the probability of a false positive is 1.2 % for four hash
+    /// functions, and 0.9 % for the optimum case of five hash functions."
+    ///
+    /// (The text's "five" is loose: the true integer optimum at m/n = 10
+    /// is k = 7 with p ≈ 0.82 % — ln 2 · 10 ≈ 6.93 — and the paper's own
+    /// formula k = ln 2 · m/n says so. We pin both numbers.)
+    #[test]
+    fn paper_worked_example_load_factor_ten() {
+        let p4 = false_positive_probability_asymptotic(10.0, 4);
+        assert!((p4 - 0.0118).abs() < 0.0005, "k=4: {p4}");
+        let p5 = false_positive_probability_asymptotic(10.0, 5);
+        assert!((p5 - 0.0094).abs() < 0.0005, "k=5: {p5}");
+        assert_eq!(optimal_k(10.0), 7);
+        let p7 = false_positive_probability_asymptotic(10.0, 7);
+        assert!((p7 - 0.0082).abs() < 0.0005, "k=7: {p7}");
+    }
+
+    /// Paper: with 16 as the clamp threshold the overflow probability is
+    /// ≤ 1.37 × 10⁻¹⁵ × m.
+    #[test]
+    fn paper_counter_overflow_bound() {
+        let per = counter_overflow_probability(1, 16);
+        assert!((1.3e-15..1.5e-15).contains(&per), "per-m bound {per}");
+        // Even a gigabit filter stays minuscule.
+        assert!(counter_overflow_probability(1 << 30, 16) < 2e-6);
+    }
+
+    #[test]
+    fn exact_converges_to_asymptotic() {
+        let exact = false_positive_probability(80_000, 10_000, 4);
+        let asym = false_positive_probability_asymptotic(8.0, 4);
+        assert!((exact - asym).abs() < 1e-4, "{exact} vs {asym}");
+    }
+
+    #[test]
+    fn optimal_k_matches_ln2_rule() {
+        assert_eq!(optimal_k(8.0), 6); // ln2*8 = 5.545 → 6 beats 5
+        assert_eq!(optimal_k(16.0), 11); // ln2*16 = 11.09
+        assert_eq!(optimal_k(1.0), 1);
+    }
+
+    #[test]
+    fn optimal_never_worse_than_neighbours() {
+        for lf in 1..=64u32 {
+            let bpe = lf as f64;
+            let k = optimal_k(bpe);
+            let p = false_positive_probability_asymptotic(bpe, k);
+            for other in [k.saturating_sub(1).max(1), k + 1] {
+                assert!(
+                    p <= false_positive_probability_asymptotic(bpe, other) + 1e-15,
+                    "lf={lf} k={k} beaten by {other}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_false_positive_is_lower_envelope() {
+        for lf in [4.0, 8.0, 10.0, 16.0, 32.0] {
+            let floor = min_false_positive(lf);
+            let at_opt = false_positive_probability_asymptotic(lf, optimal_k(lf));
+            assert!(floor <= at_opt + 1e-12, "lf {lf}: floor {floor} > {at_opt}");
+            assert!(at_opt < floor * 1.3, "integer k should be near the floor");
+        }
+    }
+
+    #[test]
+    fn fig4_series_monotone_decreasing() {
+        let series = fig4_series(2, 64);
+        for pair in series.windows(2) {
+            assert!(pair[1].p_optimal < pair[0].p_optimal);
+            assert!(pair[1].p_four_hashes < pair[0].p_four_hashes);
+        }
+        // Optimal k is never worse than fixed k=4.
+        for p in &series {
+            assert!(p.p_optimal <= p.p_four_hashes + 1e-15);
+        }
+    }
+
+    #[test]
+    fn no_keys_no_false_positives() {
+        assert_eq!(false_positive_probability(1024, 0, 4), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Bit-flip journals for incremental summary updates (Sections V-D, VI-A).
+//!
+//! Between directory updates a proxy remembers which filter bits changed.
+//! Each change is an *absolute* assignment — "bit 17 is now 1" — encoded
+//! on the wire as a 32-bit word whose most significant bit is the new
+//! value and whose low 31 bits are the index. Absolute (rather than
+//! toggle) semantics is the paper's defence against lost update messages:
+//! a later record simply overwrites the effect of a lost earlier one, so
+//! updates may travel over unreliable transport.
+
+use crate::bits::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// Largest representable bit index: the wire word keeps 31 bits for the
+/// index ("the design limits the hash table size to be less than
+/// 2 billion, which for the time being is large enough").
+pub const MAX_FLIP_INDEX: u32 = (1 << 31) - 1;
+
+/// One absolute bit assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Flip(u32);
+
+impl Flip {
+    /// "Set bit `index` to 1."
+    ///
+    /// # Panics
+    /// If `index` exceeds [`MAX_FLIP_INDEX`].
+    pub fn set(index: u32) -> Self {
+        assert!(index <= MAX_FLIP_INDEX, "flip index {index} needs 32 bits");
+        Flip(index | 1 << 31)
+    }
+
+    /// "Set bit `index` to 0."
+    pub fn clear(index: u32) -> Self {
+        assert!(index <= MAX_FLIP_INDEX, "flip index {index} needs 32 bits");
+        Flip(index)
+    }
+
+    /// The addressed bit.
+    pub fn index(self) -> u32 {
+        self.0 & MAX_FLIP_INDEX
+    }
+
+    /// The new bit value.
+    pub fn set_bit(self) -> bool {
+        self.0 >> 31 == 1
+    }
+
+    /// The 32-bit wire word (MSB = value, low 31 bits = index).
+    pub fn to_wire(self) -> u32 {
+        self.0
+    }
+
+    /// Decode a wire word.
+    pub fn from_wire(word: u32) -> Self {
+        Flip(word)
+    }
+}
+
+/// An append-only journal of flips since the last summary update.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaLog {
+    flips: Vec<Flip>,
+}
+
+impl DeltaLog {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append flips produced by a cache insert/evict.
+    pub fn record(&mut self, flips: &[Flip]) {
+        self.flips.extend_from_slice(flips);
+    }
+
+    /// Number of journal entries (before compaction).
+    pub fn len(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// True if nothing changed since the last update.
+    pub fn is_empty(&self) -> bool {
+        self.flips.is_empty()
+    }
+
+    /// The raw entries, oldest first.
+    pub fn entries(&self) -> &[Flip] {
+        &self.flips
+    }
+
+    /// Collapse the journal to at most one record per bit (the last one
+    /// wins, since records are absolute), dropping records that cancel out
+    /// against `current`: if the bit's final value in the journal equals
+    /// what peers already believe, nothing needs to be sent.
+    ///
+    /// `baseline` is the bit array as of the *last shipped update*.
+    pub fn compact(&self, baseline: &BitVec, current: &BitVec) -> Vec<Flip> {
+        assert_eq!(baseline.len(), current.len());
+        // The journal's final state per bit is exactly current; the delta
+        // worth sending is baseline XOR current.
+        baseline
+            .diff_indices(current)
+            .into_iter()
+            .map(|i| {
+                if current.get(i) {
+                    Flip::set(i as u32)
+                } else {
+                    Flip::clear(i as u32)
+                }
+            })
+            .collect()
+    }
+
+    /// Drop all entries (after shipping an update).
+    pub fn reset(&mut self) {
+        self.flips.clear();
+    }
+
+    /// Wire size in bytes of shipping `n` flips as a delta update:
+    /// 4 bytes per record (the paper's Section V-D cost model charges
+    /// "4 bytes per bit-flip").
+    pub fn delta_bytes(n: usize) -> usize {
+        n * 4
+    }
+}
+
+/// Apply flips to a bit array (receiver side). Out-of-range indices are
+/// reported as errors rather than panicking: they indicate a peer sent an
+/// update for a differently-sized filter, which the receiver must resolve
+/// by requesting a full bitmap.
+pub fn apply_flips(bits: &mut BitVec, flips: &[Flip]) -> Result<usize, FlipError> {
+    let mut changed = 0;
+    for f in flips {
+        let i = f.index() as usize;
+        if i >= bits.len() {
+            return Err(FlipError::OutOfRange {
+                index: f.index(),
+                len: bits.len(),
+            });
+        }
+        if bits.set(i, f.set_bit()) {
+            changed += 1;
+        }
+    }
+    Ok(changed)
+}
+
+/// Errors applying a received delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlipError {
+    /// A flip addressed a bit past the local filter's size.
+    OutOfRange {
+        /// The offending bit index.
+        index: u32,
+        /// The local filter's size in bits.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FlipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlipError::OutOfRange { index, len } => {
+                write!(f, "flip index {index} out of range for {len}-bit filter")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        for f in [Flip::set(0), Flip::clear(0), Flip::set(MAX_FLIP_INDEX), Flip::clear(12345)] {
+            let w = f.to_wire();
+            assert_eq!(Flip::from_wire(w), f);
+            assert_eq!(Flip::from_wire(w).index(), f.index());
+            assert_eq!(Flip::from_wire(w).set_bit(), f.set_bit());
+        }
+    }
+
+    #[test]
+    fn msb_encodes_value() {
+        assert_eq!(Flip::set(5).to_wire(), 0x8000_0005);
+        assert_eq!(Flip::clear(5).to_wire(), 0x0000_0005);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs 32 bits")]
+    fn rejects_oversized_index() {
+        Flip::set(1 << 31);
+    }
+
+    #[test]
+    fn apply_reports_out_of_range() {
+        let mut bits = BitVec::new(8);
+        let err = apply_flips(&mut bits, &[Flip::set(8)]).unwrap_err();
+        assert_eq!(err, FlipError::OutOfRange { index: 8, len: 8 });
+    }
+
+    #[test]
+    fn redundant_flips_are_idempotent() {
+        let mut bits = BitVec::new(8);
+        let changed = apply_flips(&mut bits, &[Flip::set(3), Flip::set(3), Flip::clear(5)]).unwrap();
+        assert_eq!(changed, 1);
+        assert!(bits.get(3));
+    }
+
+    #[test]
+    fn compact_emits_only_net_changes() {
+        let baseline = {
+            let mut b = BitVec::new(16);
+            b.set(1, true);
+            b.set(2, true);
+            b
+        };
+        let current = {
+            let mut b = BitVec::new(16);
+            b.set(2, true);
+            b.set(9, true);
+            b
+        };
+        let mut log = DeltaLog::new();
+        // Journal with churn: bit 9 set, bit 1 cleared, bit 4 set then cleared.
+        log.record(&[Flip::set(9), Flip::clear(1), Flip::set(4), Flip::clear(4)]);
+        let compacted = log.compact(&baseline, &current);
+        let mut patched = baseline.clone();
+        apply_flips(&mut patched, &compacted).unwrap();
+        assert_eq!(patched, current);
+        assert_eq!(compacted.len(), 2, "bit 4's churn cancels out");
+    }
+
+    #[test]
+    fn delta_bytes_cost_model() {
+        assert_eq!(DeltaLog::delta_bytes(0), 0);
+        assert_eq!(DeltaLog::delta_bytes(10), 40);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_compact_replay_reaches_current(
+            base in proptest::collection::btree_set(0usize..128, 0..40),
+            cur in proptest::collection::btree_set(0usize..128, 0..40),
+        ) {
+            let mut baseline = BitVec::new(128);
+            let mut current = BitVec::new(128);
+            for &i in &base { baseline.set(i, true); }
+            for &i in &cur { current.set(i, true); }
+            let log = DeltaLog::new();
+            let delta = log.compact(&baseline, &current);
+            let mut patched = baseline.clone();
+            apply_flips(&mut patched, &delta).unwrap();
+            prop_assert_eq!(patched, current);
+        }
+
+        #[test]
+        fn prop_flip_wire_roundtrip(word in any::<u32>()) {
+            let f = Flip::from_wire(word);
+            prop_assert_eq!(f.to_wire(), word);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! The paper's MD5-based hash-function family (Sections V-D, V-E, VI-A).
+//!
+//! A summary's hash functions are fully described by two small integers
+//! that travel in every `ICP_OP_DIRUPDATE` message so receivers can verify
+//! and probe the filter:
+//!
+//! * `Function_Num` — the number of hash functions `k`;
+//! * `Function_Bits` — the width `w` of the digest bit-group each function
+//!   consumes.
+//!
+//! Function `i` takes bits `i*w .. (i+1)*w` out of the MD5 signature of
+//! the key and reduces them modulo the bit-array size. When the 128 bits
+//! of one digest are exhausted, further bits come from the MD5 signature
+//! of the key concatenated with itself (then three copies, and so on), as
+//! Section V-E prescribes.
+
+use sc_md5::{md5_repeated, Digest};
+use serde::{Deserialize, Serialize};
+
+/// Maximum bit-group width: indices are reduced mod a `u32` table size, so
+/// wider groups add no entropy to a single probe.
+pub const MAX_FUNCTION_BITS: u16 = 32;
+
+/// A self-describing hash-function family: `k` functions of `w` digest
+/// bits each, over a table of `m` bits.
+///
+/// `HashSpec` is the in-memory form of the `ICP_OP_DIRUPDATE` header
+/// fields `Function_Num`, `Function_Bits` and `BitArray_Size_InBits`.
+///
+/// ```
+/// use sc_bloom::HashSpec;
+/// // Paper Section V-D: four functions from four 32-bit digest words.
+/// let spec = HashSpec::new(4, 32, 1 << 20).unwrap();
+/// let idx = spec.indices(b"http://example.com/");
+/// assert_eq!(idx.len(), 4);
+/// assert!(idx.iter().all(|&i| i < (1 << 20)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashSpec {
+    function_num: u16,
+    function_bits: u16,
+    table_bits: u32,
+}
+
+/// Errors constructing a [`HashSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashSpecError {
+    /// `k` must be at least 1.
+    ZeroFunctions,
+    /// `w` must be in `1..=32`.
+    BadFunctionBits(u16),
+    /// The table must have at least one bit.
+    EmptyTable,
+}
+
+impl std::fmt::Display for HashSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HashSpecError::ZeroFunctions => write!(f, "hash family needs at least one function"),
+            HashSpecError::BadFunctionBits(w) => {
+                write!(f, "function bit width {w} outside 1..=32")
+            }
+            HashSpecError::EmptyTable => write!(f, "bit array must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for HashSpecError {}
+
+impl HashSpec {
+    /// Build a spec with `k` functions of `w` bits over `m` table bits.
+    pub fn new(k: u16, w: u16, m: u32) -> Result<Self, HashSpecError> {
+        if k == 0 {
+            return Err(HashSpecError::ZeroFunctions);
+        }
+        if w == 0 || w > MAX_FUNCTION_BITS {
+            return Err(HashSpecError::BadFunctionBits(w));
+        }
+        if m == 0 {
+            return Err(HashSpecError::EmptyTable);
+        }
+        Ok(HashSpec {
+            function_num: k,
+            function_bits: w,
+            table_bits: m,
+        })
+    }
+
+    /// The paper's default family: `k` functions of 32 bits each.
+    pub fn paper_default(k: u16, m: u32) -> Result<Self, HashSpecError> {
+        Self::new(k, 32, m)
+    }
+
+    /// Number of hash functions (`Function_Num`).
+    pub fn k(&self) -> u16 {
+        self.function_num
+    }
+
+    /// Digest bits consumed per function (`Function_Bits`).
+    pub fn function_bits(&self) -> u16 {
+        self.function_bits
+    }
+
+    /// Bit-array size (`BitArray_Size_InBits`).
+    pub fn table_bits(&self) -> u32 {
+        self.table_bits
+    }
+
+    /// The `k` bit positions addressed by `key`.
+    ///
+    /// Positions are not deduplicated: as in the paper, two functions may
+    /// land on the same bit, and the counting filter then counts it twice.
+    pub fn indices(&self, key: &[u8]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.function_num as usize);
+        let mut stream = DigestBitStream::new(key);
+        for _ in 0..self.function_num {
+            let raw = stream.take(self.function_bits as u32);
+            out.push((raw % self.table_bits as u64) as u32);
+        }
+        out
+    }
+}
+
+/// Pulls successive bit groups out of MD5(key), MD5(key‖key), … treating
+/// the digests as one continuous big-endian bit stream.
+struct DigestBitStream<'k> {
+    key: &'k [u8],
+    digest: Digest,
+    /// How many key copies produced the current digest.
+    copies: usize,
+    /// Next unread bit within the current digest (0..128).
+    cursor: u32,
+}
+
+impl<'k> DigestBitStream<'k> {
+    fn new(key: &'k [u8]) -> Self {
+        DigestBitStream {
+            key,
+            digest: md5_repeated(key, 1),
+            copies: 1,
+            cursor: 0,
+        }
+    }
+
+    /// Read the next `n` bits (`1..=32`) as a big-endian integer.
+    fn take(&mut self, n: u32) -> u64 {
+        debug_assert!((1..=32).contains(&n));
+        let mut v: u64 = 0;
+        for _ in 0..n {
+            if self.cursor == 128 {
+                self.copies += 1;
+                self.digest = md5_repeated(self.key, self.copies);
+                self.cursor = 0;
+            }
+            let byte = self.digest[(self.cursor / 8) as usize];
+            let bit = (byte >> (7 - self.cursor % 8)) & 1;
+            v = (v << 1) | bit as u64;
+            self.cursor += 1;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_md5::md5;
+
+    #[test]
+    fn rejects_degenerate_specs() {
+        assert_eq!(HashSpec::new(0, 32, 8).unwrap_err(), HashSpecError::ZeroFunctions);
+        assert_eq!(
+            HashSpec::new(4, 0, 8).unwrap_err(),
+            HashSpecError::BadFunctionBits(0)
+        );
+        assert_eq!(
+            HashSpec::new(4, 33, 8).unwrap_err(),
+            HashSpecError::BadFunctionBits(33)
+        );
+        assert_eq!(HashSpec::new(4, 32, 0).unwrap_err(), HashSpecError::EmptyTable);
+    }
+
+    /// With w=32 the four indices must equal the four big-endian digest
+    /// words mod m — the exact construction in paper Section V-D.
+    #[test]
+    fn four_32bit_groups_match_digest_words() {
+        let key = b"http://www.cs.wisc.edu/";
+        let m = 999_983u32; // prime, not a power of two
+        let spec = HashSpec::paper_default(4, m).unwrap();
+        let d = md5(key);
+        let expect: Vec<u32> = (0..4)
+            .map(|i| {
+                let w = u32::from_be_bytes(d[i * 4..i * 4 + 4].try_into().unwrap());
+                w % m
+            })
+            .collect();
+        assert_eq!(spec.indices(key), expect);
+    }
+
+    /// More than 128 bits of demand rolls over into MD5(key‖key).
+    #[test]
+    fn overflow_uses_repeated_key_digest() {
+        let key = b"http://example.org/overflow";
+        let m = 1 << 24;
+        let spec = HashSpec::new(5, 32, m).unwrap();
+        let idx = spec.indices(key);
+        let doubled: Vec<u8> = key.iter().chain(key.iter()).copied().collect();
+        let d2 = md5(&doubled);
+        let w = u32::from_be_bytes(d2[0..4].try_into().unwrap());
+        assert_eq!(idx[4], w % m);
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let spec = HashSpec::new(10, 13, 4093).unwrap();
+        let a = spec.indices(b"some/url");
+        let b = spec.indices(b"some/url");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|&i| i < 4093));
+    }
+
+    #[test]
+    fn narrow_groups_consume_stream_in_order() {
+        // 16 functions × 8 bits = exactly one digest; each index must be
+        // the corresponding digest byte mod m.
+        let key = b"k";
+        let m = 251u32;
+        let spec = HashSpec::new(16, 8, m).unwrap();
+        let d = md5(key);
+        let expect: Vec<u32> = d.iter().map(|&b| b as u32 % m).collect();
+        assert_eq!(spec.indices(key), expect);
+    }
+
+    #[test]
+    fn different_keys_rarely_collide_fully() {
+        let spec = HashSpec::paper_default(4, 1 << 16).unwrap();
+        let a = spec.indices(b"http://a.example/");
+        let b = spec.indices(b"http://b.example/");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Proxy cache substrate for the summary-cache reproduction.
+//!
+//! The paper's simulations (Section II) use byte-capacity LRU caches with
+//! two policy rules taken from real proxies of the era:
+//!
+//! * documents larger than 250 KB are not cached;
+//! * cache consistency is modelled as perfect — a request that hits a
+//!   document whose last-modified time or size has changed counts as a
+//!   miss (the cached copy is *stale*).
+//!
+//! [`LruCache`] is the generic byte-budget LRU; [`WebCache`] layers the
+//! paper's web-document policy on top and is what the simulator and the
+//! live proxy share.
+
+pub mod lru;
+pub mod policy;
+pub mod web;
+
+pub use lru::{Evicted, InsertOutcome, LruCache};
+pub use policy::{Policy, PolicyCache};
+pub use web::{DocMeta, Lookup, WebCache, MAX_CACHEABLE_BYTES};

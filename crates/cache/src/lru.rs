@@ -1,0 +1,468 @@
+//! A byte-budget LRU cache with O(1) operations.
+//!
+//! Entries live in a slab of doubly-linked nodes; a `HashMap` indexes keys
+//! to slab slots. Eviction pops from the tail (least recently used) until
+//! the byte budget is met, returning the victims so callers can keep
+//! derived structures (Bloom summaries, directories) in sync.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    size: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// What happened to an [`LruCache::insert`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum InsertOutcome<K, V> {
+    /// Entry stored; zero or more victims were evicted to make room.
+    Stored {
+        /// Victims evicted to make room.
+        evicted: Vec<Evicted<K, V>>,
+    },
+    /// Entry replaced an existing one under the same key (old value
+    /// returned); victims may still have been evicted if it grew.
+    Replaced {
+        /// The value previously stored under this key.
+        old: V,
+        /// Victims evicted because the entry grew.
+        evicted: Vec<Evicted<K, V>>,
+    },
+    /// Entry was larger than the whole cache and was not stored.
+    TooLarge,
+}
+
+/// An evicted entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evicted<K, V> {
+    /// The evicted key.
+    pub key: K,
+    /// Its stored value.
+    pub value: V,
+    /// Its recorded size in bytes.
+    pub size: u64,
+}
+
+/// Byte-capacity LRU cache.
+///
+/// ```
+/// let mut c = sc_cache::LruCache::new(100);
+/// c.insert("a", (), 60);
+/// c.insert("b", (), 60); // evicts "a"
+/// assert!(c.get(&"a").is_none());
+/// assert!(c.get(&"b").is_some());
+/// ```
+pub struct LruCache<K, V> {
+    capacity: u64,
+    bytes: u64,
+    map: HashMap<K, usize>,
+    slab: Vec<Option<Node<K, V>>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        LruCache {
+            capacity,
+            bytes: 0,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Total byte budget.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently stored.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let n = self.slab[idx].as_ref().unwrap();
+            (n.prev, n.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].as_mut().unwrap().next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].as_mut().unwrap().prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        {
+            let n = self.slab[idx].as_mut().unwrap();
+            n.prev = NIL;
+            n.next = self.head;
+        }
+        if self.head != NIL {
+            self.slab[self.head].as_mut().unwrap().prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn alloc(&mut self, node: Node<K, V>) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.slab[idx] = Some(node);
+            idx
+        } else {
+            self.slab.push(Some(node));
+            self.slab.len() - 1
+        }
+    }
+
+    fn release(&mut self, idx: usize) -> Node<K, V> {
+        let node = self.slab[idx].take().unwrap();
+        self.free.push(idx);
+        node
+    }
+
+    /// Look up `key`, promoting it to most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(&self.slab[idx].as_ref().unwrap().value)
+    }
+
+    /// Look up `key` without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        Some(&self.slab[idx].as_ref().unwrap().value)
+    }
+
+    /// Stored size of `key`'s entry, without touching recency.
+    pub fn size_of(&self, key: &K) -> Option<u64> {
+        let idx = *self.map.get(key)?;
+        Some(self.slab[idx].as_ref().unwrap().size)
+    }
+
+    /// True if `key` is cached; does not touch recency.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Promote `key` to most-recently-used without reading it. Returns
+    /// whether the key was present. (Single-copy sharing marks a remotely
+    /// hit document most-recently-accessed this way, Section III.)
+    pub fn touch(&mut self, key: &K) -> bool {
+        if let Some(&idx) = self.map.get(key) {
+            self.unlink(idx);
+            self.push_front(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert `key` with `size` bytes of `value`, evicting from the LRU
+    /// tail as needed.
+    pub fn insert(&mut self, key: K, value: V, size: u64) -> InsertOutcome<K, V> {
+        if size > self.capacity {
+            return InsertOutcome::TooLarge;
+        }
+        let old = self.remove(&key);
+        let mut evicted = Vec::new();
+        while self.bytes + size > self.capacity {
+            let tail = self.tail;
+            debug_assert_ne!(tail, NIL, "budget check above guarantees progress");
+            self.unlink(tail);
+            let node = self.release(tail);
+            self.map.remove(&node.key);
+            self.bytes -= node.size;
+            evicted.push(Evicted {
+                key: node.key,
+                value: node.value,
+                size: node.size,
+            });
+        }
+        let idx = self.alloc(Node {
+            key: key.clone(),
+            value,
+            size,
+            prev: NIL,
+            next: NIL,
+        });
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        self.bytes += size;
+        match old {
+            Some(old) => InsertOutcome::Replaced { old, evicted },
+            None => InsertOutcome::Stored { evicted },
+        }
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        let node = self.release(idx);
+        self.bytes -= node.size;
+        Some(node.value)
+    }
+
+    /// Keys from most- to least-recently used.
+    pub fn iter_mru(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let n = self.slab[cur].as_ref().unwrap();
+            cur = n.next;
+            Some((&n.key, &n.value))
+        })
+    }
+
+    /// The least-recently-used key, if any.
+    pub fn lru_key(&self) -> Option<&K> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(&self.slab[self.tail].as_ref().unwrap().key)
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        let mut seen = 0usize;
+        let mut bytes = 0u64;
+        let mut cur = self.head;
+        let mut prev = NIL;
+        while cur != NIL {
+            let n = self.slab[cur].as_ref().unwrap();
+            assert_eq!(n.prev, prev);
+            assert_eq!(self.map[&n.key], cur);
+            seen += 1;
+            bytes += n.size;
+            prev = cur;
+            cur = n.next;
+        }
+        assert_eq!(prev, self.tail);
+        assert_eq!(seen, self.map.len());
+        assert_eq!(bytes, self.bytes);
+        assert!(self.bytes <= self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(30);
+        c.insert(1, 'a', 10);
+        c.insert(2, 'b', 10);
+        c.insert(3, 'c', 10);
+        c.get(&1); // 1 is now MRU, 2 is LRU
+        match c.insert(4, 'd', 10) {
+            InsertOutcome::Stored { evicted } => {
+                assert_eq!(evicted.len(), 1);
+                assert_eq!(evicted[0].key, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(c.contains(&1) && c.contains(&3) && c.contains(&4));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let mut c: LruCache<u32, ()> = LruCache::new(10);
+        assert_eq!(c.insert(1, (), 11), InsertOutcome::TooLarge);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn replace_same_key_adjusts_bytes() {
+        let mut c = LruCache::new(100);
+        c.insert("k", 1, 40);
+        match c.insert("k", 2, 70) {
+            InsertOutcome::Replaced { old, evicted } => {
+                assert_eq!(old, 1);
+                assert!(evicted.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.bytes(), 70);
+        assert_eq!(c.len(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn replace_grow_can_evict_others() {
+        let mut c = LruCache::new(100);
+        c.insert(1, (), 50);
+        c.insert(2, (), 40);
+        // Growing key 2 to 90 must evict key 1.
+        match c.insert(2, (), 90) {
+            InsertOutcome::Replaced { evicted, .. } => {
+                assert_eq!(evicted.len(), 1);
+                assert_eq!(evicted[0].key, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn multi_eviction_for_one_big_insert() {
+        let mut c = LruCache::new(100);
+        for i in 0..10 {
+            c.insert(i, (), 10);
+        }
+        match c.insert(99, (), 95) {
+            InsertOutcome::Stored { evicted } => {
+                assert_eq!(evicted.len(), 10, "evicts everything but itself... ");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.len(), 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn touch_promotes_without_reading() {
+        let mut c = LruCache::new(20);
+        c.insert(1, (), 10);
+        c.insert(2, (), 10);
+        assert!(c.touch(&1));
+        assert!(!c.touch(&999));
+        let evicted = match c.insert(3, (), 10) {
+            InsertOutcome::Stored { evicted } => evicted,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(evicted[0].key, 2, "touched key 1 survived");
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c = LruCache::new(20);
+        c.insert(1, (), 10);
+        c.insert(2, (), 10);
+        assert_eq!(c.peek(&1), Some(&()));
+        let evicted = match c.insert(3, (), 10) {
+            InsertOutcome::Stored { evicted } => evicted,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(evicted[0].key, 1, "peek left key 1 at the tail");
+    }
+
+    #[test]
+    fn iter_mru_order() {
+        let mut c = LruCache::new(100);
+        for i in 0..5 {
+            c.insert(i, (), 10);
+        }
+        c.get(&0);
+        let keys: Vec<i32> = c.iter_mru().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![0, 4, 3, 2, 1]);
+        assert_eq!(c.lru_key(), Some(&1));
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut c = LruCache::new(100);
+        for i in 0..10 {
+            c.insert(i, i * 2, 10);
+        }
+        for i in (0..10).step_by(2) {
+            assert_eq!(c.remove(&i), Some(i * 2));
+        }
+        for i in 10..15 {
+            c.insert(i, i * 2, 10);
+        }
+        assert_eq!(c.len(), 10);
+        c.check_invariants();
+    }
+
+    proptest! {
+        /// Random op sequences keep every structural invariant and agree
+        /// with a naive model on membership.
+        #[test]
+        fn prop_matches_naive_model(ops in proptest::collection::vec((0u8..4, 0u32..30, 1u64..40), 1..300)) {
+            let capacity = 200u64;
+            let mut c: LruCache<u32, u32> = LruCache::new(capacity);
+            // Naive model: Vec in MRU order.
+            let mut model: Vec<(u32, u64)> = Vec::new();
+            for (op, key, size) in ops {
+                match op {
+                    0 => { // insert
+                        if size <= capacity {
+                            model.retain(|&(k, _)| k != key);
+                            let mut used: u64 = model.iter().map(|&(_, s)| s).sum();
+                            while used + size > capacity {
+                                let (_, s) = model.pop().unwrap();
+                                used -= s;
+                            }
+                            model.insert(0, (key, size));
+                        }
+                        c.insert(key, key, size);
+                    }
+                    1 => { // get
+                        let hit = c.get(&key).is_some();
+                        let model_hit = model.iter().any(|&(k, _)| k == key);
+                        prop_assert_eq!(hit, model_hit);
+                        if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
+                            let e = model.remove(pos);
+                            model.insert(0, e);
+                        }
+                    }
+                    2 => { // remove
+                        let had = c.remove(&key).is_some();
+                        let model_had = model.iter().any(|&(k, _)| k == key);
+                        prop_assert_eq!(had, model_had);
+                        model.retain(|&(k, _)| k != key);
+                    }
+                    _ => { // touch
+                        c.touch(&key);
+                        if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
+                            let e = model.remove(pos);
+                            model.insert(0, e);
+                        }
+                    }
+                }
+                c.check_invariants();
+                prop_assert_eq!(c.len(), model.len());
+                let mru: Vec<u32> = c.iter_mru().map(|(k, _)| *k).collect();
+                let model_mru: Vec<u32> = model.iter().map(|&(k, _)| k).collect();
+                prop_assert_eq!(mru, model_mru);
+            }
+        }
+    }
+}

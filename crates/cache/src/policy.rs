@@ -1,0 +1,362 @@
+//! Alternative cache replacement policies.
+//!
+//! Section III caveats the Fig. 1 results: "the results are obtained
+//! under the LRU replacement algorithm … Different replacement
+//! algorithms may give different results", citing Cao & Irani's
+//! GreedyDual-Size. This module provides the classic web-caching
+//! policies so that sensitivity can actually be measured
+//! (`cargo run -p sc-bench --bin replacement`):
+//!
+//! * **LRU** — evict the least recently used (the baseline);
+//! * **LFU** — evict the least frequently used (recency tiebreak);
+//! * **Size** — evict the largest document first;
+//! * **GreedyDual-Size** — evict the lowest `H = L + cost/size`,
+//!   inflating `L` to the evicted `H` (uniform cost = 1, the
+//!   hit-ratio-optimizing variant).
+//!
+//! [`PolicyCache`] keeps a priority index over the entries; all four
+//! policies reduce to "evict the minimum priority", differing only in
+//! how priorities are computed and refreshed on access.
+
+use crate::web::{DocMeta, Lookup, MAX_CACHEABLE_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Which replacement policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Evict the least recently used (the baseline).
+    Lru,
+    /// Evict the least frequently used (recency tiebreak).
+    Lfu,
+    /// Evict the largest document first.
+    Size,
+    /// GreedyDual-Size with uniform cost.
+    GreedyDualSize,
+}
+
+impl Policy {
+    /// All policies, for sweeps.
+    pub fn all() -> [Policy; 4] {
+        [Policy::Lru, Policy::Lfu, Policy::Size, Policy::GreedyDualSize]
+    }
+
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Lru => "LRU",
+            Policy::Lfu => "LFU",
+            Policy::Size => "SIZE",
+            Policy::GreedyDualSize => "GD-Size",
+        }
+    }
+}
+
+/// A totally ordered f64 for use as a BTreeMap key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Pri(f64);
+
+impl Eq for Pri {}
+impl PartialOrd for Pri {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pri {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+struct Entry {
+    meta: DocMeta,
+    /// Current key in the priority index.
+    pri: (Pri, u64),
+    /// Access count (LFU).
+    freq: u64,
+}
+
+/// A byte-budget web cache under a configurable replacement policy,
+/// with the same 250 KB / staleness semantics as [`crate::WebCache`].
+pub struct PolicyCache<K> {
+    policy: Policy,
+    capacity: u64,
+    max_object: u64,
+    bytes: u64,
+    entries: HashMap<K, Entry>,
+    /// Min-priority index; the first element is the victim.
+    index: BTreeMap<(Pri, u64), K>,
+    /// Monotonic sequence for tiebreaks and LRU ordering.
+    seq: u64,
+    /// GreedyDual-Size inflation value.
+    inflation: f64,
+}
+
+impl<K: Eq + Hash + Clone> PolicyCache<K> {
+    /// A cache of `capacity` bytes under `policy`.
+    pub fn new(policy: Policy, capacity: u64) -> Self {
+        PolicyCache {
+            policy,
+            capacity,
+            max_object: MAX_CACHEABLE_BYTES,
+            bytes: 0,
+            entries: HashMap::new(),
+            index: BTreeMap::new(),
+            seq: 0,
+            inflation: 0.0,
+        }
+    }
+
+    /// Entries cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes cached.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// The priority a (re)accessed entry gets under the active policy.
+    fn priority(&mut self, freq: u64, size: u64) -> (Pri, u64) {
+        let seq = self.next_seq();
+        let p = match self.policy {
+            Policy::Lru => seq as f64,
+            Policy::Lfu => freq as f64,
+            // Largest evicted first = smallest priority for big docs.
+            Policy::Size => -(size as f64),
+            Policy::GreedyDualSize => self.inflation + 1.0 / size.max(1) as f64,
+        };
+        (Pri(p), seq)
+    }
+
+    /// Look up `key` against a requested version (promotes on hit,
+    /// purges on stale, exactly like [`crate::WebCache::lookup`]).
+    pub fn lookup(&mut self, key: &K, requested: DocMeta) -> Lookup {
+        let Some(entry) = self.entries.get(key) else {
+            return Lookup::Miss;
+        };
+        if entry.meta != requested {
+            self.remove(key);
+            return Lookup::StaleHit;
+        }
+        let freq = entry.freq + 1;
+        let size = entry.meta.size;
+        let old = entry.pri;
+        let new = self.priority(freq, size);
+        let e = self.entries.get_mut(key).expect("checked above");
+        e.freq = freq;
+        e.pri = new;
+        self.index.remove(&old);
+        self.index.insert(new, key.clone());
+        Lookup::Hit
+    }
+
+    /// Does the cache hold any version of `key`?
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Cached metadata without promotion.
+    pub fn peek(&self, key: &K) -> Option<DocMeta> {
+        self.entries.get(key).map(|e| e.meta)
+    }
+
+    /// Store a document, evicting minimum-priority victims as needed.
+    /// Returns the evicted keys, or `None` if the document is
+    /// uncacheable.
+    pub fn store(&mut self, key: K, meta: DocMeta) -> Option<Vec<K>> {
+        if meta.size > self.max_object || meta.size > self.capacity {
+            return None;
+        }
+        self.remove(&key);
+        let mut evicted = Vec::new();
+        while self.bytes + meta.size > self.capacity {
+            let (&pri, victim) = self.index.iter().next().expect("bytes>0 implies entries");
+            let victim = victim.clone();
+            if self.policy == Policy::GreedyDualSize {
+                // Inflate L to the evicted H — the GreedyDual aging step.
+                self.inflation = pri.0 .0;
+            }
+            self.remove(&victim);
+            evicted.push(victim);
+        }
+        let pri = self.priority(1, meta.size);
+        self.index.insert(pri, key.clone());
+        self.entries.insert(key, Entry { meta, pri, freq: 1 });
+        self.bytes += meta.size;
+        Some(evicted)
+    }
+
+    /// Remove `key` outright.
+    pub fn remove(&mut self, key: &K) -> bool {
+        if let Some(e) = self.entries.remove(key) {
+            self.index.remove(&e.pri);
+            self.bytes -= e.meta.size;
+            true
+        } else {
+            false
+        }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        assert_eq!(self.entries.len(), self.index.len());
+        let bytes: u64 = self.entries.values().map(|e| e.meta.size).sum();
+        assert_eq!(bytes, self.bytes);
+        assert!(self.bytes <= self.capacity);
+        for (pri, key) in &self.index {
+            assert_eq!(self.entries[key].pri, *pri);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn meta(size: u64) -> DocMeta {
+        DocMeta {
+            size,
+            last_modified: 0,
+        }
+    }
+
+    #[test]
+    fn lru_policy_matches_lru_cache() {
+        // Same op sequence through PolicyCache(LRU) and WebCache must
+        // agree on membership.
+        let mut a: PolicyCache<u64> = PolicyCache::new(Policy::Lru, 1000);
+        let mut b: crate::WebCache<u64> = crate::WebCache::new(1000);
+        let ops: Vec<(u64, u64)> = vec![
+            (1, 400),
+            (2, 400),
+            (1, 400), // touch 1
+            (3, 400), // evicts 2
+            (4, 200), // evicts ... depends
+        ];
+        for (key, size) in ops {
+            let la = a.lookup(&key, meta(size));
+            let lb = b.lookup(&key, meta(size));
+            assert_eq!(la, lb, "lookup({key})");
+            if la == Lookup::Miss {
+                let ea = a.store(key, meta(size)).unwrap();
+                let eb = b.store(key, meta(size)).unwrap();
+                assert_eq!(ea, eb, "evictions for {key}");
+            }
+            a.check_invariants();
+        }
+    }
+
+    #[test]
+    fn size_policy_evicts_largest() {
+        let mut c: PolicyCache<u32> = PolicyCache::new(Policy::Size, 1000);
+        c.store(1, meta(500)).unwrap();
+        c.store(2, meta(300)).unwrap();
+        c.store(3, meta(100)).unwrap();
+        let evicted = c.store(4, meta(400)).unwrap();
+        assert_eq!(evicted, vec![1], "largest doc goes first");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn lfu_protects_frequent_documents() {
+        let mut c: PolicyCache<u32> = PolicyCache::new(Policy::Lfu, 900);
+        c.store(1, meta(300)).unwrap();
+        c.store(2, meta(300)).unwrap();
+        c.store(3, meta(300)).unwrap();
+        for _ in 0..5 {
+            assert_eq!(c.lookup(&1, meta(300)), Lookup::Hit);
+        }
+        assert_eq!(c.lookup(&3, meta(300)), Lookup::Hit);
+        // 2 has freq 1, must be the victim.
+        let evicted = c.store(4, meta(300)).unwrap();
+        assert_eq!(evicted, vec![2]);
+    }
+
+    #[test]
+    fn gds_prefers_evicting_big_cold_documents() {
+        let mut c: PolicyCache<u32> = PolicyCache::new(Policy::GreedyDualSize, 1000);
+        c.store(1, meta(600)).unwrap(); // H = 1/600
+        c.store(2, meta(10)).unwrap(); // H = 1/10
+        let evicted = c.store(3, meta(500)).unwrap();
+        assert_eq!(evicted, vec![1], "big doc has the lower H");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn gds_inflation_lets_new_docs_beat_stale_ones() {
+        let mut c: PolicyCache<u32> = PolicyCache::new(Policy::GreedyDualSize, 150);
+        c.store(1, meta(50)).unwrap(); // H = 0.02
+        c.store(2, meta(50)).unwrap(); // H = 0.02
+        // Evicting 1 (seq tiebreak) sets L = 0.02; doc 3 gets
+        // H = 0.02 + 1/60 ≈ 0.037.
+        let e = c.store(3, meta(60)).unwrap();
+        assert_eq!(e, vec![1]);
+        // Now 3 outranks 2 (2 was priced pre-inflation): storing 4
+        // evicts 2, not 3.
+        let e = c.store(4, meta(50)).unwrap();
+        assert_eq!(e, vec![2]);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn staleness_and_limits_behave_like_webcache() {
+        let mut c: PolicyCache<u32> = PolicyCache::new(Policy::GreedyDualSize, 1 << 20);
+        assert!(c.store(1, meta(MAX_CACHEABLE_BYTES + 1)).is_none());
+        c.store(2, meta(100)).unwrap();
+        assert_eq!(
+            c.lookup(
+                &2,
+                DocMeta {
+                    size: 100,
+                    last_modified: 9
+                }
+            ),
+            Lookup::StaleHit
+        );
+        assert!(!c.contains(&2), "stale copy purged");
+    }
+
+    proptest! {
+        /// Structural invariants hold for every policy under random ops.
+        #[test]
+        fn prop_invariants_all_policies(
+            policy_idx in 0usize..4,
+            ops in proptest::collection::vec((0u32..20, 50u64..400, any::<bool>()), 1..200),
+        ) {
+            let policy = Policy::all()[policy_idx];
+            let mut c: PolicyCache<u32> = PolicyCache::new(policy, 2_000);
+            for (key, size, is_store) in ops {
+                if is_store {
+                    c.store(key, meta(size));
+                } else {
+                    c.lookup(&key, meta(size));
+                }
+                c.check_invariants();
+            }
+        }
+
+        /// Whatever the policy, a just-stored document is present and a
+        /// hit immediately afterwards.
+        #[test]
+        fn prop_store_then_hit(policy_idx in 0usize..4, size in 1u64..1000) {
+            let policy = Policy::all()[policy_idx];
+            let mut c: PolicyCache<u32> = PolicyCache::new(policy, 10_000);
+            c.store(7, meta(size)).unwrap();
+            prop_assert_eq!(c.lookup(&7, meta(size)), Lookup::Hit);
+        }
+    }
+}

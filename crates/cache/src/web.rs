@@ -1,0 +1,214 @@
+//! The paper's web-document caching policy layered on [`LruCache`].
+
+use crate::lru::{InsertOutcome, LruCache};
+use serde::{Deserialize, Serialize};
+use std::hash::Hash;
+
+/// "Documents larger than 250 KB are not cached" (Section II).
+pub const MAX_CACHEABLE_BYTES: u64 = 250 * 1024;
+
+/// Cached metadata of a web document: enough to implement the paper's
+/// perfect-consistency model (a hit whose size or last-modified time
+/// changed is a stale hit, counted as a miss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DocMeta {
+    /// Body size in bytes.
+    pub size: u64,
+    /// Last-modified timestamp (opaque ticks; 0 = unknown).
+    pub last_modified: u64,
+}
+
+/// Outcome of a cache lookup against a requested document version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Fresh copy cached.
+    Hit,
+    /// A copy is cached but its size/last-modified differ from the
+    /// requested version — served as a miss, copy invalidated.
+    StaleHit,
+    /// Not cached.
+    Miss,
+}
+
+/// A proxy's document cache: byte-budget LRU + the 250 KB rule +
+/// staleness checking.
+pub struct WebCache<K> {
+    lru: LruCache<K, DocMeta>,
+    max_object: u64,
+}
+
+impl<K: Eq + Hash + Clone> WebCache<K> {
+    /// A cache of `capacity` bytes with the paper's 250 KB object limit.
+    pub fn new(capacity: u64) -> Self {
+        Self::with_max_object(capacity, MAX_CACHEABLE_BYTES)
+    }
+
+    /// Override the object-size limit (for sensitivity experiments).
+    pub fn with_max_object(capacity: u64, max_object: u64) -> Self {
+        WebCache {
+            lru: LruCache::new(capacity),
+            max_object,
+        }
+    }
+
+    /// Byte budget.
+    pub fn capacity(&self) -> u64 {
+        self.lru.capacity()
+    }
+
+    /// Bytes stored.
+    pub fn bytes(&self) -> u64 {
+        self.lru.bytes()
+    }
+
+    /// Cached document count.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+
+    /// Look up `key` for a request expecting version `requested`.
+    ///
+    /// A [`Lookup::Hit`] promotes the entry. A [`Lookup::StaleHit`]
+    /// removes the outdated copy (the caller will re-fetch and
+    /// [`WebCache::store`] the new version) and reports the key so
+    /// summaries can be updated.
+    pub fn lookup(&mut self, key: &K, requested: DocMeta) -> Lookup {
+        match self.lru.peek(key).copied() {
+            None => Lookup::Miss,
+            Some(meta) if meta == requested => {
+                self.lru.touch(key);
+                Lookup::Hit
+            }
+            Some(_) => {
+                self.lru.remove(key);
+                Lookup::StaleHit
+            }
+        }
+    }
+
+    /// Does the cache hold *any* version of `key`? (Peer queries don't
+    /// know the requester's version expectations; a version mismatch at
+    /// the peer is the paper's *remote stale hit*.) Does not promote.
+    pub fn contains(&self, key: &K) -> bool {
+        self.lru.contains(key)
+    }
+
+    /// Cached metadata without promotion.
+    pub fn peek(&self, key: &K) -> Option<DocMeta> {
+        self.lru.peek(key).copied()
+    }
+
+    /// Promote `key` (single-copy sharing's remote-hit treatment).
+    pub fn touch(&mut self, key: &K) -> bool {
+        self.lru.touch(key)
+    }
+
+    /// Store a fetched document. Returns the evicted keys (for summary
+    /// maintenance); an uncacheable (too large) document returns `None`.
+    pub fn store(&mut self, key: K, meta: DocMeta) -> Option<Vec<K>> {
+        if meta.size > self.max_object {
+            return None;
+        }
+        match self.lru.insert(key, meta, meta.size) {
+            InsertOutcome::TooLarge => None,
+            InsertOutcome::Stored { evicted } | InsertOutcome::Replaced { evicted, .. } => {
+                Some(evicted.into_iter().map(|e| e.key).collect())
+            }
+        }
+    }
+
+    /// Remove a document (e.g. after a stale hit).
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.lru.remove(key).is_some()
+    }
+
+    /// Keys from most- to least-recently used — the cache directory a
+    /// summary is built from.
+    pub fn directory(&self) -> impl Iterator<Item = &K> {
+        self.lru.iter_mru().map(|(k, _)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(size: u64, lm: u64) -> DocMeta {
+        DocMeta {
+            size,
+            last_modified: lm,
+        }
+    }
+
+    #[test]
+    fn hit_stale_miss_triage() {
+        let mut c: WebCache<u64> = WebCache::new(1 << 20);
+        assert_eq!(c.lookup(&1, meta(100, 5)), Lookup::Miss);
+        c.store(1, meta(100, 5));
+        assert_eq!(c.lookup(&1, meta(100, 5)), Lookup::Hit);
+        // Document modified on the server: same URL, new last-modified.
+        assert_eq!(c.lookup(&1, meta(100, 6)), Lookup::StaleHit);
+        // The stale copy was purged; a retry is a clean miss.
+        assert_eq!(c.lookup(&1, meta(100, 6)), Lookup::Miss);
+    }
+
+    #[test]
+    fn size_change_is_stale() {
+        let mut c: WebCache<u64> = WebCache::new(1 << 20);
+        c.store(7, meta(100, 1));
+        assert_eq!(c.lookup(&7, meta(120, 1)), Lookup::StaleHit);
+    }
+
+    #[test]
+    fn oversized_documents_bypass_cache() {
+        let mut c: WebCache<u64> = WebCache::new(1 << 30);
+        assert_eq!(c.store(1, meta(MAX_CACHEABLE_BYTES + 1, 0)), None);
+        assert!(!c.contains(&1));
+        assert_eq!(c.store(2, meta(MAX_CACHEABLE_BYTES, 0)), Some(vec![]));
+        assert!(c.contains(&2));
+    }
+
+    #[test]
+    fn store_reports_evictions() {
+        let mut c: WebCache<u64> = WebCache::new(250);
+        c.store(1, meta(100, 0));
+        c.store(2, meta(100, 0));
+        let evicted = c.store(3, meta(100, 0)).unwrap();
+        assert_eq!(evicted, vec![1]);
+    }
+
+    #[test]
+    fn hit_promotes_against_eviction() {
+        let mut c: WebCache<u64> = WebCache::new(250);
+        c.store(1, meta(100, 0));
+        c.store(2, meta(100, 0));
+        assert_eq!(c.lookup(&1, meta(100, 0)), Lookup::Hit);
+        let evicted = c.store(3, meta(100, 0)).unwrap();
+        assert_eq!(evicted, vec![2], "hit on 1 made 2 the LRU victim");
+    }
+
+    #[test]
+    fn directory_lists_all_keys() {
+        let mut c: WebCache<u64> = WebCache::new(1 << 20);
+        for i in 0..10 {
+            c.store(i, meta(10, 0));
+        }
+        let mut dir: Vec<u64> = c.directory().copied().collect();
+        dir.sort_unstable();
+        assert_eq!(dir, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contains_ignores_version() {
+        let mut c: WebCache<u64> = WebCache::new(1 << 20);
+        c.store(1, meta(100, 1));
+        // A peer probing for any version sees it, even though the
+        // requester's expected version differs (remote stale hit).
+        assert!(c.contains(&1));
+    }
+}

@@ -1,0 +1,175 @@
+//! The Section V-F back-of-the-envelope scalability calculator.
+//!
+//! The paper extrapolates from 4–16 simulated proxies to 100: memory per
+//! proxy, update-message rate, false-hit rate, and total protocol
+//! overhead per request. This module reproduces that arithmetic so the
+//! `scalability` harness can print the same worked example (100 proxies
+//! × 8 GB, load factor 16, 1 % threshold ⇒ ≈ 2 MB per summary, ≈ 200 MB
+//! total, < 0.06 extra messages per request).
+
+use crate::{expected_docs, wire_cost};
+use sc_bloom::analysis;
+use serde::{Deserialize, Serialize};
+
+/// Deployment parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Number of cooperating proxies.
+    pub proxies: u32,
+    /// Cache size per proxy, bytes.
+    pub cache_bytes: u64,
+    /// Bloom load factor (bits per cached document).
+    pub load_factor: u32,
+    /// Hash functions.
+    pub hashes: u32,
+    /// Update threshold (fraction of new documents).
+    pub threshold: f64,
+}
+
+impl Deployment {
+    /// The Section V-F worked example.
+    pub fn paper_example() -> Self {
+        Deployment {
+            proxies: 100,
+            cache_bytes: 8 << 30,
+            load_factor: 16,
+            hashes: 10,
+            threshold: 0.01,
+        }
+    }
+}
+
+/// What the deployment costs, per the paper's arithmetic.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Estimate {
+    /// Cached documents per proxy (cache / 8 KB).
+    pub docs_per_proxy: u64,
+    /// Bloom filter size per summary, bits.
+    pub filter_bits: u64,
+    /// One peer summary, bytes.
+    pub summary_bytes: u64,
+    /// All peer summaries held by one proxy, bytes.
+    pub peer_memory_bytes: u64,
+    /// The proxy's own 4-bit counter array, bytes.
+    pub counter_bytes: u64,
+    /// User requests between updates (threshold × documents, the paper's
+    /// approximation of "new documents ≈ requests").
+    pub requests_between_updates: u64,
+    /// Update messages sent per user request (one per peer per update).
+    pub update_messages_per_request: f64,
+    /// False-positive probability of one summary probe.
+    pub false_positive_per_summary: f64,
+    /// Probability some peer summary yields a false hit on a miss.
+    pub false_hit_per_request: f64,
+    /// Protocol messages per request: updates + false-hit queries
+    /// (remote hits and stale hits excluded, as in the paper).
+    pub overhead_messages_per_request: f64,
+    /// Approximate size of one update message, bytes.
+    pub update_message_bytes: u64,
+}
+
+/// Run the Section V-F arithmetic for a deployment.
+pub fn estimate(d: Deployment) -> Estimate {
+    assert!(d.proxies >= 2, "cache sharing needs at least two proxies");
+    assert!((0.0..=1.0).contains(&d.threshold) && d.threshold > 0.0);
+    let docs = expected_docs(d.cache_bytes);
+    let filter_bits = docs * d.load_factor as u64;
+    let summary_bytes = filter_bits.div_ceil(8);
+    let peers = (d.proxies - 1) as u64;
+    let requests_between_updates = ((d.threshold * docs as f64) as u64).max(1);
+    let update_messages_per_request = peers as f64 / requests_between_updates as f64;
+    let fp =
+        analysis::false_positive_probability_asymptotic(d.load_factor as f64, d.hashes);
+    // Probability at least one of the (n-1) summaries false-hits.
+    let false_hit = 1.0 - (1.0 - fp).powi(peers as i32);
+    // Each new doc sets ≤ k bits and (at steady state) an eviction clears
+    // ≤ k bits: ~2k flips per new document, 4 bytes each, capped by the
+    // full-bitmap alternative.
+    let flips = 2 * requests_between_updates * d.hashes as u64;
+    let update_message_bytes = wire_cost::bloom_update_bytes(flips as usize, filter_bits as usize) as u64;
+    Estimate {
+        docs_per_proxy: docs,
+        filter_bits,
+        summary_bytes,
+        peer_memory_bytes: peers * summary_bytes,
+        counter_bytes: filter_bits / 2,
+        requests_between_updates,
+        update_messages_per_request,
+        false_positive_per_summary: fp,
+        false_hit_per_request: false_hit,
+        overhead_messages_per_request: update_messages_per_request + false_hit,
+        update_message_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pin the Section V-F worked example: 100 proxies, 8 GB caches,
+    /// load factor 16, 10 hash functions, 1 % threshold.
+    #[test]
+    fn paper_worked_example() {
+        let e = estimate(Deployment::paper_example());
+        assert_eq!(e.docs_per_proxy, 1 << 20, "about 1M web pages");
+        assert_eq!(e.summary_bytes, 2 << 20, "2 MB at load factor 16");
+        // "about 200 MB to represent all the summaries"
+        assert_eq!(e.peer_memory_bytes, 99 * (2 << 20));
+        assert!(e.peer_memory_bytes > 190 << 20 && e.peer_memory_bytes < 210 << 20);
+        // "another 8 MB to represent its own counters"
+        assert_eq!(e.counter_bytes, 8 << 20);
+        // "the threshold of 1% corresponds to 10 K requests between
+        // updates … the number of update messages per request is less
+        // than 0.01"
+        assert!((10_000..=10_600).contains(&e.requests_between_updates));
+        assert!(e.update_messages_per_request < 0.01);
+        // "the false hit ratios are around 4.7% for the load factor of 16
+        // with 10 hash functions"
+        assert!(
+            (0.035..0.06).contains(&e.false_hit_per_request),
+            "false hit {:.4}",
+            e.false_hit_per_request
+        );
+        assert!(e.false_positive_per_summary < 0.0005, "per summary < 0.05%");
+        // "the overhead introduced by the protocol is under 0.06 messages
+        // per request"
+        assert!(e.overhead_messages_per_request < 0.06);
+        // "only the update message is large, on the order of several
+        // hundreds KB"
+        assert!(
+            (100 << 10..1 << 20).contains(&(e.update_message_bytes as usize)),
+            "update msg {} bytes",
+            e.update_message_bytes
+        );
+    }
+
+    #[test]
+    fn overhead_grows_sublinearly_with_proxies() {
+        let base = Deployment::paper_example();
+        let e10 = estimate(Deployment { proxies: 10, ..base });
+        let e100 = estimate(Deployment { proxies: 100, ..base });
+        // 10x the proxies costs well under 20x the per-request overhead.
+        assert!(
+            e100.overhead_messages_per_request < 20.0 * e10.overhead_messages_per_request
+        );
+        // Memory, by contrast, is linear — the paper's stated limit.
+        assert!(e100.peer_memory_bytes == 11 * e10.peer_memory_bytes);
+    }
+
+    #[test]
+    fn tighter_threshold_means_more_update_traffic() {
+        let base = Deployment::paper_example();
+        let tight = estimate(Deployment { threshold: 0.001, ..base });
+        let loose = estimate(Deployment { threshold: 0.1, ..base });
+        assert!(tight.update_messages_per_request > loose.update_messages_per_request * 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two proxies")]
+    fn rejects_single_proxy() {
+        estimate(Deployment {
+            proxies: 1,
+            ..Deployment::paper_example()
+        });
+    }
+}

@@ -1,0 +1,123 @@
+//! When to publish a summary update (Section V-A / V-E).
+//!
+//! The paper's primary trigger is a *threshold*: publish when the
+//! fraction of cached documents not yet reflected in peers' summaries
+//! reaches 1–10 %. A time-based trigger is equivalent once converted via
+//! the request rate and miss ratio; and the Section V-A NLANR
+//! sub-experiment uses a raw request-count trigger. All three are here.
+
+use serde::{Deserialize, Serialize};
+
+/// The update trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UpdatePolicy {
+    /// Publish when `fresh_docs / cached_docs` reaches this fraction.
+    /// The paper recommends 0.01–0.10.
+    Threshold(f64),
+    /// Publish every `n` user requests (the Section V-A "delay being 2
+    /// and 10 user requests" sub-experiment).
+    EveryRequests(u64),
+    /// Publish when `elapsed_ms` since the last publish reaches this.
+    EveryMillis(u64),
+    /// Publish when at least `n` documents have been cached since the
+    /// last publish — the Section VI-B prototype's behaviour of sending
+    /// an update "whenever there are enough changes to fill an IP
+    /// packet" (≈45 new documents ≈ 360 bit flips ≈ one 1.4 KB packet
+    /// at 4 hash functions).
+    EveryFreshDocs(u64),
+}
+
+impl UpdatePolicy {
+    /// The paper's recommended default: a 1 % threshold.
+    pub fn recommended() -> Self {
+        UpdatePolicy::Threshold(0.01)
+    }
+
+    /// The Section VI-B prototype's trigger: enough pending changes to
+    /// fill one IP packet.
+    pub fn packet_fill() -> Self {
+        UpdatePolicy::EveryFreshDocs(45)
+    }
+
+    /// Should the proxy publish now?
+    ///
+    /// * `fresh_docs` — documents cached since the last publish;
+    /// * `cached_docs` — documents currently cached;
+    /// * `requests_since` — user requests handled since the last publish;
+    /// * `elapsed_ms` — wall-clock (or trace-clock) time since it.
+    pub fn should_publish(
+        &self,
+        fresh_docs: u64,
+        cached_docs: u64,
+        requests_since: u64,
+        elapsed_ms: u64,
+    ) -> bool {
+        match *self {
+            UpdatePolicy::Threshold(t) => {
+                fresh_docs > 0 && fresh_docs as f64 >= t * cached_docs.max(1) as f64
+            }
+            UpdatePolicy::EveryRequests(n) => requests_since >= n,
+            UpdatePolicy::EveryMillis(ms) => elapsed_ms >= ms,
+            UpdatePolicy::EveryFreshDocs(n) => fresh_docs >= n,
+        }
+    }
+
+    /// Convert a time interval to the equivalent threshold, as Section
+    /// V-A prescribes: "based on request rate and typical cache miss
+    /// ratio, one can calculate how many new documents enter the cache
+    /// during each time interval and their percentage".
+    pub fn threshold_for_interval(
+        interval_ms: u64,
+        requests_per_sec: f64,
+        miss_ratio: f64,
+        cached_docs: u64,
+    ) -> f64 {
+        assert!(requests_per_sec >= 0.0 && (0.0..=1.0).contains(&miss_ratio));
+        let new_docs = requests_per_sec * miss_ratio * (interval_ms as f64 / 1000.0);
+        new_docs / cached_docs.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_fires_at_fraction() {
+        let p = UpdatePolicy::Threshold(0.01);
+        assert!(!p.should_publish(0, 10_000, 500, 0), "nothing new, never fire");
+        assert!(!p.should_publish(99, 10_000, 0, 0));
+        assert!(p.should_publish(100, 10_000, 0, 0));
+        // Empty cache: any fresh doc fires (cached_docs floored at 1).
+        assert!(p.should_publish(1, 0, 0, 0));
+    }
+
+    #[test]
+    fn request_count_trigger() {
+        let p = UpdatePolicy::EveryRequests(10);
+        assert!(!p.should_publish(100, 100, 9, 0));
+        assert!(p.should_publish(0, 100, 10, 0));
+    }
+
+    #[test]
+    fn fresh_docs_trigger() {
+        let p = UpdatePolicy::packet_fill();
+        assert!(!p.should_publish(44, 10_000, 500, 500));
+        assert!(p.should_publish(45, 10_000, 0, 0));
+    }
+
+    #[test]
+    fn time_trigger() {
+        let p = UpdatePolicy::EveryMillis(5 * 60 * 1000);
+        assert!(!p.should_publish(0, 0, 0, 299_999));
+        assert!(p.should_publish(0, 0, 0, 300_000));
+    }
+
+    #[test]
+    fn interval_to_threshold_conversion() {
+        // 10 req/s, 40% misses, 5 minutes, 60k cached docs:
+        // 10*0.4*300 = 1200 new docs = 2% of the cache.
+        let t = UpdatePolicy::threshold_for_interval(300_000, 10.0, 0.4, 60_000);
+        assert!((t - 0.02).abs() < 1e-9, "{t}");
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's Section V-D message-size model, used to make Fig. 8
+//! (bytes of inter-proxy traffic per request) comparable with the
+//! original numbers.
+//!
+//! * query messages (ICP and summary-cache alike): "20 bytes of header
+//!   and 50 bytes of average URL";
+//! * exact-directory / server-name updates: "20 bytes of header and
+//!   16 bytes per change";
+//! * Bloom updates: "32 bytes of header plus 4 bytes per bit-flip", or
+//!   the whole bit array when that is smaller (Section V-D / VI-A).
+
+/// ICP/SC query header bytes.
+pub const QUERY_HEADER_BYTES: usize = 20;
+/// Assumed average URL length in a query.
+pub const AVG_URL_BYTES: usize = 50;
+/// A whole query (or its reply, which the model treats alike).
+pub const QUERY_BYTES: usize = QUERY_HEADER_BYTES + AVG_URL_BYTES;
+
+/// Header of an exact-directory / server-name update message.
+pub const DIRECTORY_HEADER_BYTES: usize = 20;
+/// Bytes per exact-directory / server-name change (one MD5 signature).
+pub const DIRECTORY_CHANGE_BYTES: usize = 16;
+
+/// Header of a Bloom `ICP_OP_DIRUPDATE` message: the 20-byte ICP header
+/// plus the 12-byte hash-spec extension (Section VI-A).
+pub const BLOOM_HEADER_BYTES: usize = 32;
+/// Bytes per shipped bit-flip record.
+pub const BLOOM_FLIP_BYTES: usize = 4;
+
+/// Wire size of an exact-directory or server-name update carrying
+/// `changes` entries.
+pub fn directory_update_bytes(changes: usize) -> usize {
+    DIRECTORY_HEADER_BYTES + DIRECTORY_CHANGE_BYTES * changes
+}
+
+/// Wire size of a Bloom delta update carrying `flips` records.
+pub fn bloom_delta_bytes(flips: usize) -> usize {
+    BLOOM_HEADER_BYTES + BLOOM_FLIP_BYTES * flips
+}
+
+/// Wire size of a Bloom full-bitmap update for an `m`-bit filter.
+pub fn bloom_full_bytes(m: usize) -> usize {
+    BLOOM_HEADER_BYTES + m.div_ceil(8)
+}
+
+/// The cheaper of delta and full-bitmap for a given filter state —
+/// what [`crate::ProxySummary::publish`] charges.
+pub fn bloom_update_bytes(flips: usize, m: usize) -> usize {
+    bloom_delta_bytes(flips).min(bloom_full_bytes(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(QUERY_BYTES, 70);
+        assert_eq!(directory_update_bytes(0), 20);
+        assert_eq!(directory_update_bytes(3), 68);
+        assert_eq!(bloom_delta_bytes(10), 72);
+        assert_eq!(bloom_full_bytes(8192), 32 + 1024);
+    }
+
+    #[test]
+    fn bloom_update_picks_cheaper() {
+        // 64-bit filter: full = 32+8 = 40 bytes; delta of 3 flips = 44.
+        assert_eq!(bloom_update_bytes(3, 64), 40);
+        assert_eq!(bloom_update_bytes(1, 64), 36);
+        // Large filter: delta usually wins.
+        assert_eq!(bloom_update_bytes(100, 1 << 20), bloom_delta_bytes(100));
+    }
+}

@@ -1,0 +1,77 @@
+//! One-shot MD5 of an in-memory buffer.
+
+use crate::stream::Md5;
+
+/// Length of an MD5 digest in bytes.
+pub const DIGEST_LEN: usize = 16;
+
+/// A 128-bit MD5 digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+/// Compute the MD5 digest of `data` in one call.
+///
+/// ```
+/// assert_eq!(sc_md5::to_hex(&sc_md5::md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+/// ```
+pub fn md5(data: &[u8]) -> Digest {
+    let mut ctx = Md5::new();
+    ctx.update(data);
+    ctx.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    /// The complete RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_test_suite() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (
+                b"abcdefghijklmnopqrstuvwxyz",
+                "c3fcd3d76192e4007dfb496cca67e13b",
+            ),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(to_hex(&md5(input)), want, "input {:?}", input);
+        }
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Lengths around the 64-byte block and 56-byte padding boundaries
+        // exercise every padding branch.
+        for len in [54usize, 55, 56, 57, 63, 64, 65, 119, 120, 128, 1000] {
+            let data = vec![0xa5u8; len];
+            let d = md5(&data);
+            // Self-consistency with the streaming interface, split oddly.
+            let mut ctx = Md5::new();
+            let (a, b) = data.split_at(len / 3);
+            ctx.update(a);
+            ctx.update(b);
+            assert_eq!(ctx.finalize(), d, "len {}", len);
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        // Not a collision test, just a sanity check that nearby URLs hash
+        // to different digests.
+        let a = md5(b"http://example.com/a.html");
+        let b = md5(b"http://example.com/b.html");
+        assert_ne!(a, b);
+    }
+}

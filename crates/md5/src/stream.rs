@@ -1,0 +1,193 @@
+//! Incremental (streaming) MD5 per RFC 1321.
+
+use crate::digest::{Digest, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// Per-round shift amounts, RFC 1321 section 3.4.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, // round 1
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, // round 2
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, // round 3
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, // round 4
+];
+
+/// Sine-derived constants K[i] = floor(2^32 * abs(sin(i+1))).
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391,
+];
+
+/// Incremental MD5 context.
+///
+/// ```
+/// let mut ctx = sc_md5::Md5::new();
+/// ctx.update(b"ab");
+/// ctx.update(b"c");
+/// assert_eq!(ctx.finalize(), sc_md5::md5(b"abc"));
+/// ```
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message length in bytes (mod 2^64).
+    len: u64,
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Fresh context with the RFC 1321 initial state.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            len: 0,
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb more message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (BLOCK_LEN - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            if data.is_empty() {
+                return; // everything fit in the partial buffer
+            }
+        }
+        let mut chunks = data.chunks_exact(BLOCK_LEN);
+        for block in &mut chunks {
+            let block: &[u8; BLOCK_LEN] = block.try_into().unwrap();
+            self.compress(block);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Pad, append the length, and produce the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // 0x80 then zeros until 56 mod 64, then the 64-bit little-endian
+        // bit length. The captured bit_len covers the message only, not
+        // this padding.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_le_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Core compression function over one 64-byte block.
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md5;
+    use proptest::prelude::*;
+
+    #[test]
+    fn streaming_equals_oneshot_on_random_splits() {
+        let data: Vec<u8> = (0..700u32).map(|i| (i * 31 % 251) as u8).collect();
+        let want = md5(&data);
+        for split in [0, 1, 63, 64, 65, 350, 699, 700] {
+            let mut ctx = Md5::new();
+            ctx.update(&data[..split]);
+            ctx.update(&data[split..]);
+            assert_eq!(ctx.finalize(), want, "split {}", split);
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let mut ctx = Md5::new();
+        for b in data.iter() {
+            ctx.update(std::slice::from_ref(b));
+        }
+        assert_eq!(
+            crate::to_hex(&ctx.finalize()),
+            "9e107d9d372bb6826bd81d3542a419d6"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                         cut in 0usize..512) {
+            let cut = cut.min(data.len());
+            let mut ctx = Md5::new();
+            ctx.update(&data[..cut]);
+            ctx.update(&data[cut..]);
+            prop_assert_eq!(ctx.finalize(), md5(&data));
+        }
+
+        #[test]
+        fn prop_three_way_split(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            let third = data.len() / 3;
+            let mut ctx = Md5::new();
+            ctx.update(&data[..third]);
+            ctx.update(&data[third..2 * third]);
+            ctx.update(&data[2 * third..]);
+            prop_assert_eq!(ctx.finalize(), md5(&data));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Proxy deployment configuration.
+
+use std::net::SocketAddr;
+use summary_cache_core::{SummaryKind, UpdatePolicy};
+
+/// Cooperation mode — the three columns of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// No inter-proxy traffic at all.
+    NoIcp,
+    /// Classic ICP: query every neighbour on every local miss, wait for
+    /// the first HIT (or all MISSes / timeout).
+    Icp,
+    /// Summary-cache enhanced ICP (the paper's SC-ICP): probe local
+    /// replicas of peer Bloom summaries, query only candidates, publish
+    /// `ICP_OP_DIRUPDATE` deltas under `policy`.
+    SummaryCache {
+        /// Bloom bits per expected cached document.
+        load_factor: u32,
+        /// Number of hash functions.
+        hashes: u16,
+        /// When to publish directory updates.
+        policy: UpdatePolicy,
+    },
+}
+
+impl Mode {
+    /// The paper's recommended SC-ICP configuration.
+    pub fn summary_cache_default() -> Mode {
+        Mode::SummaryCache {
+            load_factor: 8,
+            hashes: 4,
+            policy: UpdatePolicy::Threshold(0.01),
+        }
+    }
+
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::NoIcp => "no-ICP",
+            Mode::Icp => "ICP",
+            Mode::SummaryCache { .. } => "SC-ICP",
+        }
+    }
+
+    /// The summary kind used by SC-ICP (None otherwise).
+    pub fn summary_kind(&self) -> Option<SummaryKind> {
+        match *self {
+            Mode::SummaryCache {
+                load_factor,
+                hashes,
+                ..
+            } => Some(SummaryKind::Bloom {
+                load_factor,
+                hashes,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A peer proxy's addresses as known to one daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerAddr {
+    /// Stable peer id (index in the cluster).
+    pub id: u32,
+    /// Where the peer listens for ICP datagrams.
+    pub icp: SocketAddr,
+    /// Where the peer serves HTTP (for remote-hit fetches).
+    pub http: SocketAddr,
+}
+
+/// Full configuration of one proxy daemon.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// This proxy's id.
+    pub id: u32,
+    /// Cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Expected cached-document count (sizes the Bloom filter); derive
+    /// from `cache_bytes / mean doc size` for the workload.
+    pub expected_docs: u64,
+    /// Cooperation mode.
+    pub mode: Mode,
+    /// The other proxies.
+    pub peers: Vec<PeerAddr>,
+    /// The origin-server emulator every miss ultimately goes to.
+    pub origin: SocketAddr,
+    /// How long to wait for ICP replies before treating the query as a
+    /// miss everywhere (Squid uses 2 s; experiments use less).
+    pub icp_timeout_ms: u64,
+    /// Keep-alive (SECHO) interval in milliseconds; 0 disables. Present
+    /// in every mode — the paper's no-ICP baseline's only inter-proxy
+    /// traffic is keep-alive messages.
+    pub keepalive_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(Mode::NoIcp.label(), "no-ICP");
+        assert_eq!(Mode::Icp.label(), "ICP");
+        assert_eq!(Mode::summary_cache_default().label(), "SC-ICP");
+    }
+
+    #[test]
+    fn summary_kind_only_for_sc() {
+        assert!(Mode::NoIcp.summary_kind().is_none());
+        assert!(Mode::Icp.summary_kind().is_none());
+        assert_eq!(
+            Mode::summary_cache_default().summary_kind(),
+            Some(SummaryKind::Bloom {
+                load_factor: 8,
+                hashes: 4
+            })
+        );
+    }
+}

@@ -1,0 +1,903 @@
+//! The proxy daemon: HTTP front end, document cache, ICP endpoint, and
+//! the summary-cache machinery of Section VI-B.
+//!
+//! One daemon = one tokio task group sharing an internal state block:
+//!
+//! * a TCP accept loop serving clients (and peers fetching remote hits);
+//! * a UDP loop speaking ICP: answering queries, dispatching replies to
+//!   waiting requests, and applying `ICP_OP_DIRUPDATE` / `DIRFULL`
+//!   messages to the local replicas of peer summaries;
+//! * in SC-ICP mode, a [`ProxySummary`] over the cache directory whose
+//!   publishes fan out as UDP updates, exactly as the prototype of
+//!   Section VI-B ("an additional bit array is added to the data
+//!   structure for each neighbor … initialized when the first summary
+//!   update message is received").
+//!
+//! The cache stores document *metadata*; bodies are synthesized at the
+//! sizes recorded, which preserves every quantity the experiments
+//! measure (message counts, byte counts, CPU, latency).
+
+use crate::config::{Mode, PeerAddr, ProxyConfig};
+use crate::origin::{drain_body, write_body};
+use crate::stats::ProxyStats;
+use parking_lot::Mutex;
+use sc_bloom::{BitVec, BloomFilter, Flip, HashSpec};
+use sc_cache::{DocMeta, Lookup, WebCache};
+use sc_wire::http;
+use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use summary_cache_core::{ProxySummary, UpdatePolicy};
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream, UdpSocket};
+use tokio::sync::{oneshot, watch};
+
+/// Max bit flips per DIRUPDATE datagram (keeps messages near one MTU,
+/// as the prototype "sends updates whenever there are enough changes to
+/// fill an IP packet").
+const FLIPS_PER_DATAGRAM: usize = 320;
+
+/// A running proxy daemon.
+pub struct Daemon {
+    /// This proxy's id.
+    pub id: u32,
+    /// Bound HTTP address.
+    pub http_addr: SocketAddr,
+    /// Bound ICP (UDP) address.
+    pub icp_addr: SocketAddr,
+    /// Live counters.
+    pub stats: Arc<ProxyStats>,
+    inner: Arc<Inner>,
+    shutdown: watch::Sender<bool>,
+}
+
+/// Summary-cache mode state.
+struct ScState {
+    summary: ProxySummary,
+    policy: UpdatePolicy,
+    requests_since_publish: u64,
+    last_publish: Instant,
+}
+
+/// An outstanding ICP query awaiting replies.
+struct Pending {
+    outstanding: usize,
+    hit: Option<u32>,
+    done: Option<oneshot::Sender<Option<u32>>>,
+}
+
+struct Inner {
+    cfg: ProxyConfig,
+    stats: Arc<ProxyStats>,
+    cache: Mutex<WebCache<String>>,
+    sc: Option<Mutex<ScState>>,
+    /// Local replicas of peer summaries, built from received updates.
+    peer_filters: Mutex<HashMap<u32, BloomFilter>>,
+    /// ICP source address -> peer id, for dispatching replies.
+    peer_of_addr: HashMap<SocketAddr, u32>,
+    peers_by_id: HashMap<u32, PeerAddr>,
+    pending: Mutex<HashMap<u32, Pending>>,
+    /// Liveness per peer: when we last heard any datagram from it, and
+    /// whether it is currently considered failed.
+    liveness: Mutex<HashMap<u32, PeerLiveness>>,
+    udp: UdpSocket,
+    next_reqnum: AtomicU32,
+}
+
+/// Failure-detection state for one peer (Section VI-B: the prototype
+/// "leverages Squid's built-in support to detect failure and recovery
+/// of neighbor proxies, and reinitializes a failed neighbor's bit array
+/// when it recovers").
+struct PeerLiveness {
+    last_heard: Instant,
+    failed: bool,
+}
+
+impl Daemon {
+    /// Bind ephemeral loopback sockets and start the daemon.
+    ///
+    /// For clusters, bind the sockets first (so every daemon can know
+    /// every peer's address up front) and use [`Daemon::spawn_on`].
+    pub async fn spawn(cfg: ProxyConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        let udp = UdpSocket::bind("127.0.0.1:0").await?;
+        Self::spawn_on(cfg, listener, udp).await
+    }
+
+    /// Start the daemon on pre-bound sockets. The daemon is ready to
+    /// serve as soon as this returns.
+    pub async fn spawn_on(
+        cfg: ProxyConfig,
+        listener: TcpListener,
+        udp: UdpSocket,
+    ) -> std::io::Result<Daemon> {
+        let http_addr = listener.local_addr()?;
+        let icp_addr = udp.local_addr()?;
+        let stats = Arc::new(ProxyStats::default());
+
+        let sc = match cfg.mode {
+            Mode::SummaryCache { policy, .. } => {
+                let kind = cfg.mode.summary_kind().expect("SC mode has a kind");
+                Some(Mutex::new(ScState {
+                    summary: ProxySummary::with_expected_docs(kind, cfg.expected_docs),
+                    policy,
+                    requests_since_publish: 0,
+                    last_publish: Instant::now(),
+                }))
+            }
+            _ => None,
+        };
+
+        let inner = Arc::new(Inner {
+            stats: stats.clone(),
+            cache: Mutex::new(WebCache::new(cfg.cache_bytes)),
+            sc,
+            peer_filters: Mutex::new(HashMap::new()),
+            peer_of_addr: cfg.peers.iter().map(|p| (p.icp, p.id)).collect(),
+            peers_by_id: cfg.peers.iter().map(|p| (p.id, *p)).collect(),
+            pending: Mutex::new(HashMap::new()),
+            liveness: Mutex::new(
+                cfg.peers
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.id,
+                            PeerLiveness {
+                                last_heard: Instant::now(),
+                                failed: false,
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+            udp,
+            next_reqnum: AtomicU32::new(1),
+            cfg,
+        });
+
+        let (tx, rx) = watch::channel(false);
+
+        // TCP accept loop.
+        {
+            let inner = inner.clone();
+            let mut rx = rx.clone();
+            tokio::spawn(async move {
+                loop {
+                    tokio::select! {
+                        _ = rx.changed() => break,
+                        accepted = listener.accept() => {
+                            let Ok((stream, _)) = accepted else { break };
+                            // Request/response exchanges are small; Nagle
+                            // + delayed ACK would add ~40 ms per turn.
+                            let _ = stream.set_nodelay(true);
+                            let inner = inner.clone();
+                            tokio::spawn(async move {
+                                let _ = serve_tcp(inner, stream).await;
+                            });
+                        }
+                    }
+                }
+            });
+        }
+
+        // UDP (ICP) loop.
+        {
+            let inner = inner.clone();
+            let mut rx = rx.clone();
+            tokio::spawn(async move {
+                let mut buf = vec![0u8; 65536];
+                loop {
+                    tokio::select! {
+                        _ = rx.changed() => break,
+                        received = inner.udp.recv_from(&mut buf) => {
+                            let Ok((n, from)) = received else { break };
+                            inner.stats.udp_in(n);
+                            handle_datagram(&inner, &buf[..n], from).await;
+                        }
+                    }
+                }
+            });
+        }
+
+        // Keep-alive pings (all modes; the paper's no-ICP baseline
+        // traffic).
+        if inner.cfg.keepalive_ms > 0 && !inner.cfg.peers.is_empty() {
+            let inner = inner.clone();
+            let mut rx = rx.clone();
+            tokio::spawn(async move {
+                let period = Duration::from_millis(inner.cfg.keepalive_ms);
+                let mut tick = tokio::time::interval(period);
+                tick.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+                loop {
+                    tokio::select! {
+                        _ = rx.changed() => break,
+                        _ = tick.tick() => {
+                            let msg = IcpMessage::Secho {
+                                request_number: 0,
+                                url: String::new(),
+                            };
+                            let Ok(bytes) = msg.encode(inner.cfg.id) else { continue };
+                            for peer in &inner.cfg.peers {
+                                if inner.udp.send_to(&bytes, peer.icp).await.is_ok() {
+                                    inner.stats.udp_out(bytes.len());
+                                }
+                            }
+                            sweep_failed_peers(&inner);
+                        }
+                    }
+                }
+            });
+        }
+
+        Ok(Daemon {
+            id: inner.cfg.id,
+            http_addr,
+            icp_addr,
+            stats,
+            inner,
+            shutdown: tx,
+        })
+    }
+
+    /// Number of documents currently cached.
+    pub fn cached_docs(&self) -> usize {
+        self.inner.cache.lock().len()
+    }
+
+    /// Peer ids whose summary replicas are currently installed.
+    pub fn replicated_peers(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.inner.peer_filters.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Stop the daemon's loops.
+    pub fn shutdown(&self) {
+        let _ = self.shutdown.send(true);
+    }
+}
+
+/// Serve one TCP connection (keep-alive, sequential requests).
+async fn serve_tcp(inner: Arc<Inner>, mut stream: TcpStream) -> std::io::Result<()> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        let req = loop {
+            match http::parse_request(&buf) {
+                Ok(http::Parse::Done { value, consumed }) => {
+                    inner.stats.tcp_in(consumed);
+                    buf.drain(..consumed);
+                    break value;
+                }
+                Ok(http::Parse::NeedMore) => {
+                    let mut chunk = [0u8; 4096];
+                    let n = stream.read(&mut chunk).await?;
+                    if n == 0 {
+                        return Ok(());
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(_) => {
+                    respond_empty(&inner, &mut stream, 400, "Bad Request").await?;
+                    return Ok(());
+                }
+            }
+        };
+        let peer_fetch = http::header(&req.headers, "x-peer-fetch").is_some();
+        if peer_fetch {
+            serve_peer_fetch(&inner, &mut stream, &req).await?;
+        } else {
+            serve_client(&inner, &mut stream, &req).await?;
+        }
+    }
+}
+
+async fn respond_empty(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+) -> std::io::Result<()> {
+    let head = http::build_response(status, reason, &[("Content-Length", "0")]);
+    inner.stats.tcp_out(head.len());
+    stream.write_all(head.as_bytes()).await
+}
+
+/// A neighbour asks for a document we advertised: serve from cache only.
+async fn serve_peer_fetch(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    req: &http::Request,
+) -> std::io::Result<()> {
+    let cached = inner.cache.lock().peek(&req.target);
+    match cached {
+        Some(meta) => {
+            let head = http::build_response(
+                200,
+                "OK",
+                &[
+                    ("Content-Length", &meta.size.to_string()),
+                    ("X-Doc-LM", &meta.last_modified.to_string()),
+                ],
+            );
+            inner.stats.tcp_out(head.len() + meta.size as usize);
+            stream.write_all(head.as_bytes()).await?;
+            write_body(stream, meta.size).await
+        }
+        None => respond_empty(inner, stream, 404, "Not Found").await,
+    }
+}
+
+/// The full client-request path: local cache, then mode-dependent
+/// cooperation, then origin; store; reply.
+async fn serve_client(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    req: &http::Request,
+) -> std::io::Result<()> {
+    let t0 = Instant::now();
+    inner.stats.http_requests.fetch_add(1, Ordering::Relaxed);
+    let url = req.target.clone();
+    let want = DocMeta {
+        size: http::header(&req.headers, "x-doc-size")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1024),
+        last_modified: http::header(&req.headers, "x-doc-lm")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    };
+
+    // 1. Local cache.
+    let lookup = inner.cache.lock().lookup(&url, want);
+    match lookup {
+        Lookup::Hit => {
+            inner.stats.local_hits.fetch_add(1, Ordering::Relaxed);
+            reply_doc(inner, stream, want).await?;
+            finish_request(inner, t0).await;
+            return Ok(());
+        }
+        Lookup::StaleHit => {
+            // Purged by lookup(); keep the summary in sync.
+            if let Some(sc) = &inner.sc {
+                sc.lock().summary.remove(url.as_bytes(), server_of(&url));
+            }
+        }
+        Lookup::Miss => {}
+    }
+
+    // 2. Cooperation.
+    let fetched = match inner.cfg.mode {
+        Mode::NoIcp => None,
+        Mode::Icp => {
+            let all: Vec<u32> = inner.cfg.peers.iter().map(|p| p.id).collect();
+            query_then_fetch(inner, &url, want, &all).await
+        }
+        Mode::SummaryCache { .. } => {
+            let candidates: Vec<u32> = {
+                let filters = inner.peer_filters.lock();
+                inner
+                    .cfg
+                    .peers
+                    .iter()
+                    .map(|p| p.id)
+                    .filter(|id| {
+                        filters
+                            .get(id)
+                            .map(|f| f.contains(url.as_bytes()))
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            };
+            if candidates.is_empty() {
+                None
+            } else {
+                let got = query_then_fetch(inner, &url, want, &candidates).await;
+                if got.is_none() {
+                    // Summary pointed somewhere, nobody had a usable copy.
+                    inner.stats.false_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                got
+            }
+        }
+    };
+
+    // 3. Origin on a full miss.
+    let meta = match fetched {
+        Some(meta) => {
+            inner.stats.remote_hits.fetch_add(1, Ordering::Relaxed);
+            meta
+        }
+        None => match fetch_http(inner, inner.cfg.origin, &url, want, false).await {
+            Ok(Some(meta)) => meta,
+            _ => {
+                respond_empty(inner, stream, 504, "Gateway Timeout").await?;
+                finish_request(inner, t0).await;
+                return Ok(());
+            }
+        },
+    };
+
+    // 4. Store and maintain the summary.
+    store_document(inner, &url, meta);
+
+    // 5. Reply.
+    reply_doc(inner, stream, meta).await?;
+    finish_request(inner, t0).await;
+    Ok(())
+}
+
+/// The server-name component of a URL (host part), for summaries.
+fn server_of(url: &str) -> &[u8] {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let end = rest.find('/').unwrap_or(rest.len());
+    &rest.as_bytes()[..end]
+}
+
+fn store_document(inner: &Inner, url: &str, meta: DocMeta) {
+    let evicted = inner.cache.lock().store(url.to_string(), meta);
+    if let (Some(evicted), Some(sc)) = (evicted, &inner.sc) {
+        let mut sc = sc.lock();
+        sc.summary.insert(url.as_bytes(), server_of(url));
+        for victim in &evicted {
+            sc.summary.remove(victim.as_bytes(), server_of(victim));
+        }
+    }
+}
+
+async fn reply_doc(inner: &Inner, stream: &mut TcpStream, meta: DocMeta) -> std::io::Result<()> {
+    let head = http::build_response(
+        200,
+        "OK",
+        &[
+            ("Content-Length", &meta.size.to_string()),
+            ("X-Doc-LM", &meta.last_modified.to_string()),
+        ],
+    );
+    inner.stats.tcp_out(head.len() + meta.size as usize);
+    stream.write_all(head.as_bytes()).await?;
+    write_body(stream, meta.size).await
+}
+
+/// Post-request bookkeeping: latency and (SC mode) update publishing.
+async fn finish_request(inner: &Inner, t0: Instant) {
+    inner.stats.latency(t0.elapsed().as_micros() as u64);
+    let Some(sc) = &inner.sc else { return };
+    let messages: Vec<IcpMessage> = {
+        let mut sc = sc.lock();
+        sc.requests_since_publish += 1;
+        let elapsed_ms = sc.last_publish.elapsed().as_millis() as u64;
+        if !sc.policy.should_publish(
+            sc.summary.fresh_docs(),
+            sc.summary.docs(),
+            sc.requests_since_publish,
+            elapsed_ms,
+        ) {
+            return;
+        }
+        let outcome = sc.summary.publish();
+        sc.requests_since_publish = 0;
+        sc.last_publish = Instant::now();
+        build_update_messages(inner, &sc.summary, outcome.full_bitmap, outcome.flips)
+    };
+    // Fan the update out to every peer, outside the lock.
+    for msg in &messages {
+        let bytes = match msg.encode(inner.cfg.id) {
+            Ok(b) => b,
+            Err(_) => continue, // oversized full bitmap: skip (documented limit)
+        };
+        for peer in &inner.cfg.peers {
+            if inner.udp.send_to(&bytes, peer.icp).await.is_ok() {
+                inner.stats.udp_out(bytes.len());
+                inner.stats.updates_sent.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Build the DIRUPDATE/DIRFULL message(s) for a publish.
+fn build_update_messages(
+    inner: &Inner,
+    summary: &ProxySummary,
+    full: bool,
+    flips: Vec<Flip>,
+) -> Vec<IcpMessage> {
+    let snapshot = summary.snapshot_published();
+    let summary_cache_core::SummarySnapshot::Bloom { spec, bits } = snapshot else {
+        unreachable!("SC mode always uses Bloom summaries");
+    };
+    let reqnum = inner.next_reqnum.fetch_add(1, Ordering::Relaxed);
+    let mk = |content| IcpMessage::DirUpdate {
+        request_number: reqnum,
+        sender: inner.cfg.id,
+        update: DirUpdate {
+            function_num: spec.k(),
+            function_bits: spec.function_bits(),
+            bit_array_size: spec.table_bits(),
+            content,
+        },
+    };
+    if full {
+        vec![mk(DirContent::Bitmap(bits.as_words().to_vec()))]
+    } else {
+        flips
+            .chunks(FLIPS_PER_DATAGRAM)
+            .map(|chunk| mk(DirContent::Flips(chunk.to_vec())))
+            .collect()
+    }
+}
+
+/// Send ICP queries to `peer_ids`; if one answers HIT, fetch the
+/// document from it. Returns the fetched metadata when it matches the
+/// requested version (a mismatch is a remote stale hit).
+async fn query_then_fetch(
+    inner: &Inner,
+    url: &str,
+    want: DocMeta,
+    peer_ids: &[u32],
+) -> Option<DocMeta> {
+    if peer_ids.is_empty() {
+        return None;
+    }
+    let reqnum = inner.next_reqnum.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = oneshot::channel();
+    inner.pending.lock().insert(
+        reqnum,
+        Pending {
+            outstanding: peer_ids.len(),
+            hit: None,
+            done: Some(tx),
+        },
+    );
+    let query = IcpMessage::Query {
+        request_number: reqnum,
+        requester: inner.cfg.id,
+        url: url.to_string(),
+    };
+    let bytes = query.encode(inner.cfg.id).expect("query fits a datagram");
+    for id in peer_ids {
+        if let Some(peer) = inner.peers_by_id.get(id) {
+            if inner.udp.send_to(&bytes, peer.icp).await.is_ok() {
+                inner.stats.udp_out(bytes.len());
+                inner
+                    .stats
+                    .icp_queries_sent
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let winner = tokio::time::timeout(
+        Duration::from_millis(inner.cfg.icp_timeout_ms),
+        rx,
+    )
+    .await
+    .ok()
+    .and_then(|r| r.ok())
+    .flatten();
+    inner.pending.lock().remove(&reqnum);
+
+    let peer = inner.peers_by_id.get(&winner?)?;
+    match fetch_http(inner, peer.http, url, want, true).await {
+        Ok(Some(meta)) if meta == want => Some(meta),
+        Ok(Some(_)) | Ok(None) => {
+            // Copy exists but is the wrong version, or vanished between
+            // the ICP reply and the fetch.
+            inner
+                .stats
+                .remote_stale_hits
+                .fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        Err(_) => None,
+    }
+}
+
+/// GET `url` from `addr` (peer or origin), draining the body. Returns
+/// the document metadata or `None` on 404.
+async fn fetch_http(
+    inner: &Inner,
+    addr: SocketAddr,
+    url: &str,
+    want: DocMeta,
+    peer: bool,
+) -> std::io::Result<Option<DocMeta>> {
+    let mut stream = TcpStream::connect(addr).await?;
+    stream.set_nodelay(true)?;
+    let size = want.size.to_string();
+    let lm = want.last_modified.to_string();
+    let mut headers: Vec<(&str, &str)> = vec![("X-Doc-Size", &size), ("X-Doc-LM", &lm)];
+    if peer {
+        headers.push(("X-Peer-Fetch", "1"));
+    }
+    let head = http::build_request(url, &headers);
+    inner.stats.tcp_out(head.len());
+    stream.write_all(head.as_bytes()).await?;
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let resp = loop {
+        match http::parse_response(&buf) {
+            Ok(http::Parse::Done { value, consumed }) => {
+                buf.drain(..consumed);
+                break value;
+            }
+            Ok(http::Parse::NeedMore) => {
+                let mut chunk = [0u8; 16 * 1024];
+                let n = stream.read(&mut chunk).await?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "closed before response head",
+                    ));
+                }
+                inner.stats.tcp_in(n);
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+            }
+        }
+    };
+    let len = http::content_length(&resp.headers).unwrap_or(0);
+    let already = buf.len() as u64;
+    if already < len {
+        let mut counted = CountingReader {
+            inner: &mut stream,
+            stats: &inner.stats,
+        };
+        drain_body(&mut counted, len - already).await?;
+    }
+    if resp.status == 404 {
+        return Ok(None);
+    }
+    let lm_out = http::header(&resp.headers, "x-doc-lm")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    Ok(Some(DocMeta {
+        size: len,
+        last_modified: lm_out,
+    }))
+}
+
+/// AsyncRead adapter that counts bytes into the proxy's TCP counters.
+struct CountingReader<'a> {
+    inner: &'a mut TcpStream,
+    stats: &'a ProxyStats,
+}
+
+impl tokio::io::AsyncRead for CountingReader<'_> {
+    fn poll_read(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+        buf: &mut tokio::io::ReadBuf<'_>,
+    ) -> std::task::Poll<std::io::Result<()>> {
+        let before = buf.filled().len();
+        let res = std::pin::Pin::new(&mut *self.inner).poll_read(cx, buf);
+        if let std::task::Poll::Ready(Ok(())) = &res {
+            self.stats.tcp_in(buf.filled().len() - before);
+        }
+        res
+    }
+}
+
+/// Handle one received ICP datagram.
+async fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
+    let Ok(msg) = IcpMessage::decode(data) else {
+        return; // malformed datagrams are dropped, as in Squid
+    };
+    if let Some(&peer_id) = inner.peer_of_addr.get(&from) {
+        if mark_heard(inner, peer_id) {
+            // The peer just came back: ship it a full bitmap of our own
+            // directory so its replica of us reinitializes.
+            send_full_bitmap(inner, from).await;
+        }
+    }
+    match msg {
+        IcpMessage::Query {
+            request_number,
+            url,
+            ..
+        } => {
+            inner
+                .stats
+                .icp_queries_served
+                .fetch_add(1, Ordering::Relaxed);
+            let have = inner.cache.lock().contains(&url);
+            let reply = if have {
+                IcpMessage::Hit {
+                    request_number,
+                    url,
+                }
+            } else {
+                IcpMessage::Miss {
+                    request_number,
+                    url,
+                }
+            };
+            if let Ok(bytes) = reply.encode(inner.cfg.id) {
+                if inner.udp.send_to(&bytes, from).await.is_ok() {
+                    inner.stats.udp_out(bytes.len());
+                }
+            }
+        }
+        IcpMessage::Hit { request_number, .. } => {
+            dispatch_reply(inner, request_number, inner.peer_of_addr.get(&from).copied());
+        }
+        IcpMessage::Miss { request_number, .. }
+        | IcpMessage::MissNoFetch { request_number, .. }
+        | IcpMessage::Denied { request_number, .. }
+        | IcpMessage::Err { request_number, .. } => {
+            dispatch_reply(inner, request_number, None);
+        }
+        IcpMessage::Secho { .. } => {
+            // Keep-alive: nothing to do beyond the udp_in accounting.
+        }
+        IcpMessage::DirUpdate { sender, update, .. } => {
+            apply_update(inner, sender, update);
+        }
+    }
+}
+
+/// Route an ICP reply to the waiting query, completing it on the first
+/// HIT or once every peer has answered.
+fn dispatch_reply(inner: &Inner, reqnum: u32, hit_from: Option<u32>) {
+    let mut pending = inner.pending.lock();
+    let Some(p) = pending.get_mut(&reqnum) else {
+        return; // late reply after timeout
+    };
+    p.outstanding = p.outstanding.saturating_sub(1);
+    if let Some(id) = hit_from {
+        p.hit = Some(id);
+    }
+    if p.hit.is_some() || p.outstanding == 0 {
+        if let Some(done) = p.done.take() {
+            let _ = done.send(p.hit);
+        }
+        pending.remove(&reqnum);
+    }
+}
+
+/// Apply a received directory update to the sender's local replica,
+/// creating it from the self-describing header on first contact (or
+/// after a spec change, e.g. a peer restart with a new configuration).
+fn apply_update(inner: &Inner, sender: u32, update: DirUpdate) {
+    let Ok(spec) = HashSpec::new(
+        update.function_num,
+        update.function_bits,
+        update.bit_array_size,
+    ) else {
+        return; // malformed spec: drop, as with any bad datagram
+    };
+    inner
+        .stats
+        .updates_received
+        .fetch_add(1, Ordering::Relaxed);
+    let mut filters = inner.peer_filters.lock();
+    let filter = filters
+        .entry(sender)
+        .and_modify(|f| {
+            if f.spec() != spec {
+                *f = BloomFilter::from_parts(spec, BitVec::new(spec.table_bits() as usize));
+            }
+        })
+        .or_insert_with(|| {
+            BloomFilter::from_parts(spec, BitVec::new(spec.table_bits() as usize))
+        });
+    match update.content {
+        DirContent::Flips(flips) => {
+            for f in flips {
+                if f.index() < spec.table_bits() {
+                    filter.apply_flip(f.index(), f.set_bit());
+                }
+            }
+        }
+        DirContent::Bitmap(words) => {
+            if words.len() == (spec.table_bits() as usize).div_ceil(64) {
+                // Mask any overhang bits the sender left set.
+                let mut words = words;
+                let rem = spec.table_bits() as usize % 64;
+                if rem != 0 {
+                    if let Some(last) = words.last_mut() {
+                        *last &= (1u64 << rem) - 1;
+                    }
+                }
+                filter.replace_bits(BitVec::from_words(spec.table_bits() as usize, words));
+            }
+        }
+    }
+}
+
+
+/// Failure timeout: a peer silent for this many keep-alive periods is
+/// considered failed and its summary replica is dropped (probes then
+/// treat it as empty — no candidates, no queries).
+const FAILURE_KEEPALIVE_PERIODS: u32 = 3;
+
+/// Mark `peer` as heard-from now. Returns `true` if this is a recovery
+/// (the peer was marked failed).
+fn mark_heard(inner: &Inner, peer: u32) -> bool {
+    let mut liveness = inner.liveness.lock();
+    let Some(l) = liveness.get_mut(&peer) else {
+        return false;
+    };
+    l.last_heard = Instant::now();
+    std::mem::replace(&mut l.failed, false)
+}
+
+/// Drop the summary replicas of peers we have not heard from lately.
+fn sweep_failed_peers(inner: &Inner) {
+    if inner.cfg.keepalive_ms == 0 {
+        return; // no keep-alives, no liveness signal
+    }
+    let timeout = Duration::from_millis(inner.cfg.keepalive_ms)
+        * FAILURE_KEEPALIVE_PERIODS;
+    let now = Instant::now();
+    let mut newly_failed = Vec::new();
+    {
+        let mut liveness = inner.liveness.lock();
+        for (&id, l) in liveness.iter_mut() {
+            if !l.failed && now.duration_since(l.last_heard) > timeout {
+                l.failed = true;
+                newly_failed.push(id);
+            }
+        }
+    }
+    if !newly_failed.is_empty() {
+        let mut filters = inner.peer_filters.lock();
+        for id in newly_failed {
+            filters.remove(&id);
+            inner.stats.peer_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Send our complete current published bitmap to one peer (recovery
+/// reinitialization). No-op outside SC mode.
+async fn send_full_bitmap(inner: &Inner, to: SocketAddr) {
+    let Some(sc) = &inner.sc else { return };
+    let msg = {
+        let sc = sc.lock();
+        let snapshot = sc.summary.snapshot_published();
+        let summary_cache_core::SummarySnapshot::Bloom { spec, bits } = snapshot else {
+            return;
+        };
+        IcpMessage::DirUpdate {
+            request_number: inner.next_reqnum.fetch_add(1, Ordering::Relaxed),
+            sender: inner.cfg.id,
+            update: DirUpdate {
+                function_num: spec.k(),
+                function_bits: spec.function_bits(),
+                bit_array_size: spec.table_bits(),
+                content: DirContent::Bitmap(bits.as_words().to_vec()),
+            },
+        }
+    };
+    if let Ok(bytes) = msg.encode(inner.cfg.id) {
+        if inner.udp.send_to(&bytes, to).await.is_ok() {
+            inner.stats.udp_out(bytes.len());
+            inner.stats.updates_sent.fetch_add(1, Ordering::Relaxed);
+            inner.stats.peer_recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_of_extracts_host() {
+        assert_eq!(server_of("http://a.example.com/x/y"), b"a.example.com");
+        assert_eq!(server_of("http://bare"), b"bare");
+        assert_eq!(server_of("no-scheme/path"), b"no-scheme");
+        assert_eq!(server_of("http://h/"), b"h");
+    }
+
+    #[test]
+    fn flips_chunking_constant_fits_a_packet() {
+        // 320 flips x 4 bytes + 32 bytes of headers stays under the
+        // typical 1500-byte MTU, per the prototype's packet-fill intent.
+        const { assert!(FLIPS_PER_DATAGRAM * 4 + 32 < 1500) };
+    }
+}

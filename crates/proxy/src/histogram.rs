@@ -1,0 +1,210 @@
+//! A lock-free log-bucketed latency histogram.
+//!
+//! The paper reports mean client latency; tail latency is where ICP's
+//! query round-trips actually hurt (a miss waits for the slowest
+//! neighbour or the timeout), so the cluster records full distributions:
+//! 64 logarithmic buckets covering 1 µs – ~2.3 h with ≤ ~4 % relative
+//! error, each an `AtomicU64`, safe to hammer from every connection
+//! tasks. 1024 buckets (16 per octave, ~4.4 % width) cover the full
+//! u64 microsecond range.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per power of two (16 ⇒ ~4.4 % bucket width).
+const SUBBUCKETS: u64 = 16;
+/// Total bucket count: 64 octaves × 16 sub-buckets covers the full u64
+/// microsecond range.
+const BUCKETS: usize = 1024;
+
+/// Concurrent histogram of microsecond latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a microsecond value: `SUBBUCKETS` linear slices per
+/// octave.
+fn bucket_of(us: u64) -> usize {
+    let v = us.max(1);
+    let octave = 63 - v.leading_zeros() as u64;
+    let base = octave * SUBBUCKETS;
+    let within = if octave == 0 {
+        0
+    } else {
+        // Position of v within [2^octave, 2^(octave+1)).
+        ((v - (1 << octave)) * SUBBUCKETS) >> octave
+    };
+    ((base + within) as usize).min(BUCKETS - 1)
+}
+
+/// Lower bound (µs) of a bucket, for reporting.
+fn bucket_floor(idx: usize) -> u64 {
+    let octave = idx as u64 / SUBBUCKETS;
+    let within = idx as u64 % SUBBUCKETS;
+    if octave == 0 {
+        within + 1
+    } else {
+        (1 << octave) + ((within << octave) / SUBBUCKETS)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            // [AtomicU64; 1024] has no Default impl; build from a Vec.
+            buckets: (0..BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>()
+                .try_into()
+                .expect("exactly BUCKETS elements"),
+        }
+    }
+
+    /// Record one latency in microseconds.
+    pub fn record(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freeze into a summary with the requested percentiles.
+    pub fn snapshot(&self, percentiles: &[f64]) -> LatencySummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let mut out = Vec::with_capacity(percentiles.len());
+        for &p in percentiles {
+            assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0,1]");
+            if total == 0 {
+                out.push((p, 0));
+                continue;
+            }
+            let target = ((p * total as f64).ceil() as u64).clamp(1, total);
+            let mut acc = 0;
+            let mut value = 0;
+            for (i, &c) in counts.iter().enumerate() {
+                acc += c;
+                if acc >= target {
+                    value = bucket_floor(i);
+                    break;
+                }
+            }
+            out.push((p, value));
+        }
+        LatencySummary {
+            samples: total,
+            percentiles_us: out,
+        }
+    }
+}
+
+/// A frozen percentile summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub samples: u64,
+    /// `(percentile, microseconds)` pairs in request order.
+    pub percentiles_us: Vec<(f64, u64)>,
+}
+
+impl LatencySummary {
+    /// The value for a percentile previously requested, in milliseconds.
+    pub fn ms(&self, p: f64) -> Option<f64> {
+        self.percentiles_us
+            .iter()
+            .find(|(q, _)| (q - p).abs() < 1e-9)
+            .map(|&(_, us)| us as f64 / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover() {
+        let mut prev = 0;
+        for us in [1u64, 2, 3, 7, 8, 100, 1_000, 65_536, 10_000_000] {
+            let b = bucket_of(us);
+            assert!(b >= prev, "bucket order at {us}");
+            prev = b;
+            assert!(bucket_floor(b) <= us, "floor({b}) = {} > {us}", bucket_floor(b));
+        }
+        assert_eq!(bucket_of(0), bucket_of(1), "zero clamps to the first bucket");
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 90 fast (1 ms), 10 slow (1 s).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot(&[0.5, 0.89, 0.95, 1.0]);
+        assert_eq!(s.samples, 100);
+        let p50 = s.ms(0.5).unwrap();
+        // Bucket floors under-report by up to one sub-bucket (~4.4%).
+        assert!((0.95..=1.0).contains(&p50), "p50 {p50} ms");
+        let p95 = s.ms(0.95).unwrap();
+        assert!((900.0..1100.0).contains(&p95), "p95 {p95} ms");
+        assert!(s.ms(0.89).unwrap() < 2.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot(&[0.5, 0.99]);
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.ms(0.5), Some(0.0));
+        assert_eq!(s.ms(0.42), None, "unrequested percentile");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_bad_percentile() {
+        LatencyHistogram::new().snapshot(&[1.5]);
+    }
+
+    proptest! {
+        /// The reported percentile is always <= the true value and
+        /// within one sub-bucket (~10%) below it.
+        #[test]
+        fn prop_percentile_accuracy(mut values in proptest::collection::vec(1u64..10_000_000, 1..300)) {
+            let h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            values.sort_unstable();
+            let s = h.snapshot(&[0.5]);
+            let true_p50 = values[(values.len() - 1) / 2];
+            let got = s.percentiles_us[0].1;
+            prop_assert!(got <= true_p50, "floor property: {got} > {true_p50}");
+            prop_assert!(
+                (got as f64) >= true_p50 as f64 * 0.90,
+                "bucket error too large: {got} vs {true_p50}"
+            );
+        }
+
+        #[test]
+        fn prop_bucket_floor_inverts(us in 1u64..1_000_000_000) {
+            let b = bucket_of(us);
+            prop_assert!(bucket_floor(b) <= us);
+            if b + 1 < BUCKETS {
+                prop_assert!(bucket_floor(b + 1) > us, "next bucket starts past the value");
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! A working summary-cache web proxy over tokio, plus everything needed
+//! to reproduce the paper's live experiments (Tables II, IV, V).
+//!
+//! The pieces:
+//!
+//! * [`daemon`] — the proxy itself: an HTTP front end with a
+//!   metadata-only document cache, a UDP ICP endpoint, and three peering
+//!   modes ([`config::Mode`]): no cooperation, classic ICP (query every
+//!   neighbour on every miss), and summary-cache enhanced ICP (probe
+//!   local Bloom replicas of peer directories, query only candidates,
+//!   ship `ICP_OP_DIRUPDATE` deltas).
+//! * [`origin`] — the origin-server emulator: answers every GET with the
+//!   size the URL's headers request, after a configurable artificial
+//!   delay (the benchmark's stand-in for Internet latency, Section IV).
+//! * [`client`] — load drivers: the Wisconsin-style synthetic benchmark
+//!   (Pareto sizes, temporal locality, adjustable inherent hit ratio,
+//!   optional disjoint per-proxy document spaces) and the two
+//!   trace-replay modes of Section VII (per-client binding and
+//!   round-robin dispatch).
+//! * [`cluster`] — spins up N proxies + an origin in-process on loopback
+//!   and runs a driver against them, collecting per-proxy statistics.
+//! * [`stats`] — atomic counters standing in for the paper's `netstat`
+//!   and CPU measurements, including `getrusage`-based CPU time.
+//!
+//! Bodies are synthesized (the cache stores metadata, not payloads):
+//! the experiments measure protocol traffic, CPU and latency, none of
+//! which depend on payload contents — only on their sizes, which are
+//! preserved exactly.
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod daemon;
+pub mod histogram;
+pub mod origin;
+pub mod stats;
+
+pub use client::{BenchmarkConfig, ReplayMode};
+pub use cluster::{Cluster, ClusterConfig, ExperimentReport};
+pub use config::{Mode, ProxyConfig};
+pub use histogram::{LatencyHistogram, LatencySummary};
+pub use stats::{CpuTimes, ProxyStats, StatsSnapshot};

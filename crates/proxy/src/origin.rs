@@ -1,0 +1,268 @@
+//! The origin-server emulator.
+//!
+//! Section IV's benchmark servers "delay the replies to emulate Internet
+//! latencies" — each forked server process "waits for one second before
+//! sending the reply". This emulator does the same on tokio: it answers
+//! any GET with a synthesized body of the size the request asks for
+//! (via the `X-Doc-Size` header, as the trace replay of Section VII
+//! encodes sizes in requests), echoing `X-Doc-LM` as `Last-Modified`,
+//! after a configurable delay.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+
+/// Counters the origin keeps (for sanity checks in experiments).
+#[derive(Debug, Default)]
+pub struct OriginStats {
+    /// GETs served.
+    pub requests: AtomicU64,
+    /// Body bytes written.
+    pub bytes: AtomicU64,
+}
+
+/// Handle to a running origin emulator.
+pub struct Origin {
+    /// Bound address.
+    pub addr: SocketAddr,
+    /// Live counters.
+    pub stats: Arc<OriginStats>,
+    shutdown: tokio::sync::watch::Sender<bool>,
+}
+
+impl Origin {
+    /// Spawn an origin on an ephemeral loopback port that delays every
+    /// reply by `delay`.
+    pub async fn spawn(delay: Duration) -> std::io::Result<Origin> {
+        Self::spawn_at("127.0.0.1:0".parse().unwrap(), delay).await
+    }
+
+    /// Spawn an origin on a specific address.
+    pub async fn spawn_at(bind: SocketAddr, delay: Duration) -> std::io::Result<Origin> {
+        let listener = TcpListener::bind(bind).await?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(OriginStats::default());
+        let (tx, rx) = tokio::sync::watch::channel(false);
+        let st = stats.clone();
+        tokio::spawn(async move {
+            let mut rx = rx;
+            loop {
+                tokio::select! {
+                    _ = rx.changed() => break,
+                    accepted = listener.accept() => {
+                        let Ok((stream, _)) = accepted else { break };
+                        let _ = stream.set_nodelay(true);
+                        let st = st.clone();
+                        tokio::spawn(async move {
+                            let _ = serve_conn(stream, delay, st).await;
+                        });
+                    }
+                }
+            }
+        });
+        Ok(Origin {
+            addr,
+            stats,
+            shutdown: tx,
+        })
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&self) {
+        let _ = self.shutdown.send(true);
+    }
+}
+
+/// Serve one connection; supports sequential keep-alive GETs.
+async fn serve_conn(
+    mut stream: TcpStream,
+    delay: Duration,
+    stats: Arc<OriginStats>,
+) -> std::io::Result<()> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        // Read until a full head is buffered.
+        let req = loop {
+            match sc_wire::http::parse_request(&buf) {
+                Ok(sc_wire::http::Parse::Done { value, consumed }) => {
+                    buf.drain(..consumed);
+                    break value;
+                }
+                Ok(sc_wire::http::Parse::NeedMore) => {
+                    let mut chunk = [0u8; 4096];
+                    let n = stream.read(&mut chunk).await?;
+                    if n == 0 {
+                        return Ok(()); // clean close between requests
+                    }
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(_) => {
+                    let head = sc_wire::http::build_response(400, "Bad Request", &[("Content-Length", "0")]);
+                    stream.write_all(head.as_bytes()).await?;
+                    return Ok(());
+                }
+            }
+        };
+
+        let size: u64 = sc_wire::http::header(&req.headers, "x-doc-size")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1024);
+        let lm = sc_wire::http::header(&req.headers, "x-doc-lm")
+            .unwrap_or("0")
+            .to_string();
+
+        // The paper's artificial Internet latency.
+        if !delay.is_zero() {
+            tokio::time::sleep(delay).await;
+        }
+
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        stats.bytes.fetch_add(size, Ordering::Relaxed);
+
+        let head = sc_wire::http::build_response(
+            200,
+            "OK",
+            &[
+                ("Content-Length", &size.to_string()),
+                ("X-Doc-LM", &lm),
+                ("Connection", "keep-alive"),
+            ],
+        );
+        stream.write_all(head.as_bytes()).await?;
+        write_body(&mut stream, size).await?;
+    }
+}
+
+/// Write `size` synthesized body bytes in chunks.
+pub async fn write_body<W: AsyncWriteExt + Unpin>(w: &mut W, size: u64) -> std::io::Result<()> {
+    const CHUNK: usize = 16 * 1024;
+    static FILL: [u8; CHUNK] = [b'x'; CHUNK];
+    let mut left = size;
+    while left > 0 {
+        let n = (left as usize).min(CHUNK);
+        w.write_all(&FILL[..n]).await?;
+        left -= n as u64;
+    }
+    Ok(())
+}
+
+/// Read and discard exactly `size` body bytes.
+pub async fn drain_body<R: AsyncReadExt + Unpin>(r: &mut R, size: u64) -> std::io::Result<()> {
+    let mut left = size;
+    let mut chunk = [0u8; 16 * 1024];
+    while left > 0 {
+        let want = (left as usize).min(chunk.len());
+        let n = r.read(&mut chunk[..want]).await?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "body truncated",
+            ));
+        }
+        left -= n as u64;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    async fn get(addr: SocketAddr, size: u64, lm: &str) -> (u16, u64, String) {
+        let mut s = TcpStream::connect(addr).await.unwrap();
+        let req = sc_wire::http::build_request(
+            "http://server-0.trace.invalid/doc/1",
+            &[("X-Doc-Size", &size.to_string()), ("X-Doc-LM", lm)],
+        );
+        s.write_all(req.as_bytes()).await.unwrap();
+        let mut buf = Vec::new();
+        let resp = loop {
+            match sc_wire::http::parse_response(&buf).unwrap() {
+                sc_wire::http::Parse::Done { value, consumed } => {
+                    buf.drain(..consumed);
+                    break value;
+                }
+                sc_wire::http::Parse::NeedMore => {
+                    let mut chunk = [0u8; 4096];
+                    let n = s.read(&mut chunk).await.unwrap();
+                    assert!(n > 0);
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        };
+        let len = sc_wire::http::content_length(&resp.headers).unwrap();
+        let mut got = buf.len() as u64;
+        let mut chunk = [0u8; 4096];
+        while got < len {
+            let n = s.read(&mut chunk).await.unwrap();
+            assert!(n > 0);
+            got += n as u64;
+        }
+        let lm_out = sc_wire::http::header(&resp.headers, "x-doc-lm").unwrap().to_string();
+        (resp.status, got, lm_out)
+    }
+
+    #[tokio::test]
+    async fn serves_requested_size_and_echoes_version() {
+        let origin = Origin::spawn(Duration::ZERO).await.unwrap();
+        let (status, body, lm) = get(origin.addr, 5000, "77").await;
+        assert_eq!(status, 200);
+        assert_eq!(body, 5000);
+        assert_eq!(lm, "77");
+        assert_eq!(origin.stats.requests.load(Ordering::Relaxed), 1);
+        assert_eq!(origin.stats.bytes.load(Ordering::Relaxed), 5000);
+    }
+
+    #[tokio::test]
+    async fn delay_is_applied() {
+        let origin = Origin::spawn(Duration::from_millis(80)).await.unwrap();
+        let t0 = std::time::Instant::now();
+        let (status, body, _) = get(origin.addr, 10, "0").await;
+        assert_eq!((status, body), (200, 10));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(75),
+            "reply arrived too fast: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[tokio::test]
+    async fn keep_alive_serves_sequential_requests() {
+        let origin = Origin::spawn(Duration::ZERO).await.unwrap();
+        let mut s = TcpStream::connect(origin.addr).await.unwrap();
+        for i in 1..=3u64 {
+            let req = sc_wire::http::build_request(
+                "http://server-0.trace.invalid/doc/2",
+                &[("X-Doc-Size", &(i * 100).to_string()), ("X-Doc-LM", "1")],
+            );
+            s.write_all(req.as_bytes()).await.unwrap();
+            let mut buf = Vec::new();
+            let resp = loop {
+                match sc_wire::http::parse_response(&buf).unwrap() {
+                    sc_wire::http::Parse::Done { value, consumed } => {
+                        buf.drain(..consumed);
+                        break value;
+                    }
+                    sc_wire::http::Parse::NeedMore => {
+                        let mut chunk = [0u8; 4096];
+                        let n = s.read(&mut chunk).await.unwrap();
+                        assert!(n > 0, "iteration {i}");
+                        buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+            };
+            let len = sc_wire::http::content_length(&resp.headers).unwrap();
+            assert_eq!(len, i * 100);
+            let mut left = len - buf.len() as u64;
+            let mut chunk = [0u8; 4096];
+            while left > 0 {
+                let n = s.read(&mut chunk[..(left as usize).min(4096)]).await.unwrap();
+                left -= n as u64;
+            }
+        }
+        assert_eq!(origin.stats.requests.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,328 @@
+//! Per-proxy measurement: the counters the paper reads from `netstat`
+//! plus CPU time from `getrusage`.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Ethernet-ish MSS used to convert byte counts into the "TCP packets"
+/// the paper reports from netstat.
+pub const TCP_SEGMENT_BYTES: u64 = 1460;
+
+/// Live atomic counters, shared across a proxy's tasks.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// UDP datagrams sent (ICP queries, replies, directory updates).
+    pub udp_sent: AtomicU64,
+    /// UDP datagrams received.
+    pub udp_recv: AtomicU64,
+    /// Bytes inside sent UDP datagrams.
+    pub udp_bytes_sent: AtomicU64,
+    /// Bytes inside received UDP datagrams.
+    pub udp_bytes_recv: AtomicU64,
+    /// Bytes written to TCP sockets (client + peer + origin sides).
+    pub tcp_bytes_sent: AtomicU64,
+    /// Bytes read from TCP sockets.
+    pub tcp_bytes_recv: AtomicU64,
+    /// HTTP requests served to clients.
+    pub http_requests: AtomicU64,
+    /// Served fresh from the local cache.
+    pub local_hits: AtomicU64,
+    /// Served from a neighbour.
+    pub remote_hits: AtomicU64,
+    /// Queried neighbours that turned out to hold nothing (false hits).
+    pub false_hits: AtomicU64,
+    /// Queried neighbours that held only a stale copy.
+    pub remote_stale_hits: AtomicU64,
+    /// ICP query messages this proxy sent.
+    pub icp_queries_sent: AtomicU64,
+    /// ICP queries this proxy answered.
+    pub icp_queries_served: AtomicU64,
+    /// Directory-update messages sent.
+    pub updates_sent: AtomicU64,
+    /// Directory-update messages received and applied.
+    pub updates_received: AtomicU64,
+    /// Summed client-observed latency, microseconds.
+    pub latency_us_sum: AtomicU64,
+    /// Latency samples.
+    pub latency_count: AtomicU64,
+    /// Peers declared failed (summary replica dropped).
+    pub peer_failures: AtomicU64,
+    /// Peer recoveries handled (full bitmap re-sent).
+    pub peer_recoveries: AtomicU64,
+    /// Full latency distribution (log-bucketed).
+    pub latency_hist: crate::histogram::LatencyHistogram,
+}
+
+macro_rules! bump {
+    ($self:ident, $field:ident) => {
+        $self.$field.fetch_add(1, Ordering::Relaxed)
+    };
+    ($self:ident, $field:ident, $n:expr) => {
+        $self.$field.fetch_add($n, Ordering::Relaxed)
+    };
+}
+
+impl ProxyStats {
+    /// Record a sent UDP datagram of `bytes`.
+    pub fn udp_out(&self, bytes: usize) {
+        bump!(self, udp_sent);
+        bump!(self, udp_bytes_sent, bytes as u64);
+    }
+
+    /// Record a received UDP datagram of `bytes`.
+    pub fn udp_in(&self, bytes: usize) {
+        bump!(self, udp_recv);
+        bump!(self, udp_bytes_recv, bytes as u64);
+    }
+
+    /// Record TCP bytes written.
+    pub fn tcp_out(&self, bytes: usize) {
+        bump!(self, tcp_bytes_sent, bytes as u64);
+    }
+
+    /// Record TCP bytes read.
+    pub fn tcp_in(&self, bytes: usize) {
+        bump!(self, tcp_bytes_recv, bytes as u64);
+    }
+
+    /// Record one client request's latency.
+    pub fn latency(&self, micros: u64) {
+        bump!(self, latency_us_sum, micros);
+        bump!(self, latency_count);
+        self.latency_hist.record(micros);
+    }
+
+    /// Latency percentiles (p50/p95/p99 by default elsewhere).
+    pub fn latency_summary(&self, percentiles: &[f64]) -> crate::histogram::LatencySummary {
+        self.latency_hist.snapshot(percentiles)
+    }
+
+    /// Freeze the counters into a snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        StatsSnapshot {
+            udp_sent: g(&self.udp_sent),
+            udp_recv: g(&self.udp_recv),
+            udp_bytes_sent: g(&self.udp_bytes_sent),
+            udp_bytes_recv: g(&self.udp_bytes_recv),
+            tcp_bytes_sent: g(&self.tcp_bytes_sent),
+            tcp_bytes_recv: g(&self.tcp_bytes_recv),
+            http_requests: g(&self.http_requests),
+            local_hits: g(&self.local_hits),
+            remote_hits: g(&self.remote_hits),
+            false_hits: g(&self.false_hits),
+            remote_stale_hits: g(&self.remote_stale_hits),
+            icp_queries_sent: g(&self.icp_queries_sent),
+            icp_queries_served: g(&self.icp_queries_served),
+            updates_sent: g(&self.updates_sent),
+            updates_received: g(&self.updates_received),
+            latency_us_sum: g(&self.latency_us_sum),
+            latency_count: g(&self.latency_count),
+            peer_failures: g(&self.peer_failures),
+            peer_recoveries: g(&self.peer_recoveries),
+        }
+    }
+}
+
+/// An immutable copy of the counters, with derived quantities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// UDP datagrams sent.
+    pub udp_sent: u64,
+    /// UDP datagrams received.
+    pub udp_recv: u64,
+    /// Bytes in sent UDP datagrams.
+    pub udp_bytes_sent: u64,
+    /// Bytes in received UDP datagrams.
+    pub udp_bytes_recv: u64,
+    /// TCP bytes written.
+    pub tcp_bytes_sent: u64,
+    /// TCP bytes read.
+    pub tcp_bytes_recv: u64,
+    /// Client HTTP requests served.
+    pub http_requests: u64,
+    /// Local cache hits.
+    pub local_hits: u64,
+    /// Remote (neighbour) hits.
+    pub remote_hits: u64,
+    /// Wasted candidate queries (false hits).
+    pub false_hits: u64,
+    /// Neighbours holding only stale copies.
+    pub remote_stale_hits: u64,
+    /// ICP queries sent.
+    pub icp_queries_sent: u64,
+    /// ICP queries answered.
+    pub icp_queries_served: u64,
+    /// Directory updates sent.
+    pub updates_sent: u64,
+    /// Directory updates received.
+    pub updates_received: u64,
+    /// Summed latency, microseconds.
+    pub latency_us_sum: u64,
+    /// Latency samples.
+    pub latency_count: u64,
+    /// Peers declared failed.
+    pub peer_failures: u64,
+    /// Peer recoveries handled.
+    pub peer_recoveries: u64,
+}
+
+impl StatsSnapshot {
+    /// Total UDP messages, the paper's headline ICP-overhead metric.
+    pub fn udp_messages(&self) -> u64 {
+        self.udp_sent + self.udp_recv
+    }
+
+    /// Approximate TCP packet count (bytes / MSS, one minimum per
+    /// direction) — the netstat "TCP packets" stand-in.
+    pub fn tcp_packets(&self) -> u64 {
+        self.tcp_bytes_sent.div_ceil(TCP_SEGMENT_BYTES)
+            + self.tcp_bytes_recv.div_ceil(TCP_SEGMENT_BYTES)
+    }
+
+    /// Total network "packets" (UDP messages + TCP segments), the
+    /// paper's third netstat column.
+    pub fn total_packets(&self) -> u64 {
+        self.udp_messages() + self.tcp_packets()
+    }
+
+    /// Mean client latency in milliseconds.
+    pub fn avg_latency_ms(&self) -> f64 {
+        if self.latency_count == 0 {
+            return 0.0;
+        }
+        self.latency_us_sum as f64 / self.latency_count as f64 / 1000.0
+    }
+
+    /// Total hit ratio (local + remote).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.http_requests == 0 {
+            return 0.0;
+        }
+        (self.local_hits + self.remote_hits) as f64 / self.http_requests as f64
+    }
+
+    /// Element-wise sum (for aggregating a cluster).
+    pub fn merged(mut self, other: &StatsSnapshot) -> StatsSnapshot {
+        self.udp_sent += other.udp_sent;
+        self.udp_recv += other.udp_recv;
+        self.udp_bytes_sent += other.udp_bytes_sent;
+        self.udp_bytes_recv += other.udp_bytes_recv;
+        self.tcp_bytes_sent += other.tcp_bytes_sent;
+        self.tcp_bytes_recv += other.tcp_bytes_recv;
+        self.http_requests += other.http_requests;
+        self.local_hits += other.local_hits;
+        self.remote_hits += other.remote_hits;
+        self.false_hits += other.false_hits;
+        self.remote_stale_hits += other.remote_stale_hits;
+        self.icp_queries_sent += other.icp_queries_sent;
+        self.icp_queries_served += other.icp_queries_served;
+        self.updates_sent += other.updates_sent;
+        self.updates_received += other.updates_received;
+        self.latency_us_sum += other.latency_us_sum;
+        self.latency_count += other.latency_count;
+        self.peer_failures += other.peer_failures;
+        self.peer_recoveries += other.peer_recoveries;
+        self
+    }
+}
+
+/// Process CPU time from `getrusage(RUSAGE_SELF)` — the paper's
+/// user/system CPU columns, measured at experiment granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuTimes {
+    /// User CPU seconds.
+    pub user: f64,
+    /// System CPU seconds.
+    pub system: f64,
+}
+
+impl CpuTimes {
+    /// Read the current process totals.
+    pub fn now() -> CpuTimes {
+        // SAFETY: getrusage with a valid pointer and RUSAGE_SELF is
+        // always safe; the struct is fully initialized on success.
+        let mut ru: libc::rusage = unsafe { std::mem::zeroed() };
+        let rc = unsafe { libc::getrusage(libc::RUSAGE_SELF, &mut ru) };
+        assert_eq!(rc, 0, "getrusage failed");
+        let tv = |t: libc::timeval| t.tv_sec as f64 + t.tv_usec as f64 / 1e6;
+        CpuTimes {
+            user: tv(ru.ru_utime),
+            system: tv(ru.ru_stime),
+        }
+    }
+
+    /// CPU spent between `start` and `self`.
+    pub fn since(&self, start: &CpuTimes) -> CpuTimes {
+        CpuTimes {
+            user: (self.user - start.user).max(0.0),
+            system: (self.system - start.system).max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let s = ProxyStats::default();
+        s.udp_out(100);
+        s.udp_out(50);
+        s.udp_in(70);
+        s.tcp_out(3000);
+        s.tcp_in(1461);
+        s.latency(2000);
+        let snap = s.snapshot();
+        assert_eq!(snap.udp_sent, 2);
+        assert_eq!(snap.udp_recv, 1);
+        assert_eq!(snap.udp_bytes_sent, 150);
+        assert_eq!(snap.udp_messages(), 3);
+        assert_eq!(snap.tcp_packets(), 3 + 2, "ceil(3000/1460)+ceil(1461/1460)");
+        assert_eq!(snap.total_packets(), 8);
+        assert!((snap.avg_latency_ms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_ratio_and_merge() {
+        let a = StatsSnapshot {
+            http_requests: 10,
+            local_hits: 3,
+            remote_hits: 2,
+            ..Default::default()
+        };
+        assert!((a.hit_ratio() - 0.5).abs() < 1e-12);
+        let b = StatsSnapshot {
+            http_requests: 10,
+            local_hits: 5,
+            ..Default::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.http_requests, 20);
+        assert_eq!(m.local_hits, 8);
+        assert!((m.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_no_nan() {
+        let s = StatsSnapshot::default();
+        assert_eq!(s.avg_latency_ms(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn cpu_times_monotone() {
+        let a = CpuTimes::now();
+        // Burn a little CPU.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let b = CpuTimes::now();
+        let d = b.since(&a);
+        assert!(d.user >= 0.0 && d.system >= 0.0);
+        assert!(b.user >= a.user);
+    }
+}

@@ -1,0 +1,30 @@
+//! Compact summary keys for simulation.
+//!
+//! The live proxy summarizes URL strings; the simulator uses the 8-byte
+//! little-endian encoding of the document/server ids instead — the same
+//! information through MD5, at a third of the hashing cost. Both sides
+//! only require keys to be stable and unique.
+
+use sc_trace::UrlId;
+
+/// The summary key for a document id.
+pub fn url_key(url: UrlId) -> [u8; 8] {
+    url.to_le_bytes()
+}
+
+/// The summary key for a server id.
+pub fn server_key(server: u32) -> [u8; 8] {
+    (server as u64).to_le_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_injective() {
+        assert_ne!(url_key(1), url_key(2));
+        assert_ne!(server_key(1), server_key(2));
+        assert_eq!(url_key(7), url_key(7));
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! Trace-driven simulator for the paper's cache-sharing experiments.
+//!
+//! Two simulation families:
+//!
+//! * [`schemes`] — the Section III comparison of cooperation schemes
+//!   (no sharing / ICP-style simple sharing / single-copy sharing /
+//!   global cache), producing Fig. 1;
+//! * [`summary_sim`] — the Section V summary-cache simulation with a
+//!   pluggable representation ([`summary_cache_core::SummaryKind`]) and
+//!   update policy, producing Fig. 2 and Figs. 5–8 plus the Table III
+//!   memory numbers; the same run also evaluates the ICP message model
+//!   for the Fig. 7/8 baselines.
+//!
+//! All simulators honour the paper's Section II methodology: clients are
+//! partitioned onto proxies by `clientid mod groups`, caches run LRU
+//! with the 250 KB object limit, consistency is perfect (a version
+//! change is a stale hit, counted as a miss), and the default cache size
+//! is 10 % of the trace's infinite cache size, split evenly across
+//! proxies.
+
+pub mod hierarchy;
+pub mod keys;
+pub mod metrics;
+pub mod replacement;
+pub mod schemes;
+pub mod summary_sim;
+
+pub use hierarchy::{simulate_hierarchy, HierarchyConfig, HierarchyResult};
+pub use metrics::{Metrics, Rates};
+pub use schemes::{simulate_scheme, SchemeKind};
+pub use summary_sim::{simulate_summary_cache, SummaryCacheConfig, SummarySimResult};
+
+/// Per-proxy cache capacity when a `fraction` of a trace's infinite
+/// cache size is split across `groups` proxies (the Section II setup).
+pub fn per_proxy_capacity(infinite_cache_bytes: u64, fraction: f64, groups: u32) -> u64 {
+    assert!(fraction > 0.0 && groups > 0);
+    (((infinite_cache_bytes as f64) * fraction) as u64 / groups as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_split() {
+        assert_eq!(per_proxy_capacity(1000, 0.1, 4), 25);
+        assert_eq!(per_proxy_capacity(10, 0.001, 4), 1, "floored at one byte");
+    }
+}

@@ -1,0 +1,166 @@
+//! Replacement-policy sensitivity (the Section III caveat): rerun the
+//! core Fig. 1 schemes under LRU, LFU, SIZE and GreedyDual-Size.
+
+use crate::metrics::Metrics;
+use crate::schemes::SchemeKind;
+use sc_cache::{DocMeta, Lookup, Policy, PolicyCache};
+use sc_trace::{group_of_client, Trace};
+
+fn meta(r: &sc_trace::Request) -> DocMeta {
+    DocMeta {
+        size: r.size,
+        last_modified: r.last_modified,
+    }
+}
+
+/// Simulate a cooperation scheme under an arbitrary replacement policy.
+/// Supports the three headline schemes (no-sharing, simple sharing,
+/// global); single-copy's promotion semantics are LRU-specific and stay
+/// in [`crate::simulate_scheme`].
+pub fn simulate_scheme_with_policy(
+    trace: &Trace,
+    scheme: SchemeKind,
+    policy: Policy,
+    total_cache_bytes: u64,
+) -> Metrics {
+    match scheme {
+        SchemeKind::Global => {
+            let mut cache: PolicyCache<u64> = PolicyCache::new(policy, total_cache_bytes.max(1));
+            let mut m = Metrics::default();
+            for r in &trace.requests {
+                m.requests += 1;
+                m.requested_bytes += r.size;
+                match cache.lookup(&r.url, meta(r)) {
+                    Lookup::Hit => {
+                        m.local_hits += 1;
+                        m.hit_bytes += r.size;
+                    }
+                    Lookup::StaleHit => {
+                        m.local_stale_hits += 1;
+                        cache.store(r.url, meta(r));
+                    }
+                    Lookup::Miss => {
+                        cache.store(r.url, meta(r));
+                    }
+                }
+            }
+            m
+        }
+        SchemeKind::NoSharing | SchemeKind::SimpleSharing => {
+            let groups = trace.groups as usize;
+            let per_proxy = (total_cache_bytes / groups as u64).max(1);
+            let mut caches: Vec<PolicyCache<u64>> =
+                (0..groups).map(|_| PolicyCache::new(policy, per_proxy)).collect();
+            let mut m = Metrics::default();
+            for r in &trace.requests {
+                m.requests += 1;
+                m.requested_bytes += r.size;
+                let home = group_of_client(r.client, trace.groups) as usize;
+                match caches[home].lookup(&r.url, meta(r)) {
+                    Lookup::Hit => {
+                        m.local_hits += 1;
+                        m.hit_bytes += r.size;
+                        continue;
+                    }
+                    Lookup::StaleHit => m.local_stale_hits += 1,
+                    Lookup::Miss => {}
+                }
+                if scheme == SchemeKind::SimpleSharing {
+                    let mut fresh = false;
+                    let mut stale = false;
+                    for (g, cache) in caches.iter().enumerate() {
+                        if g == home {
+                            continue;
+                        }
+                        match cache.peek(&r.url) {
+                            Some(have) if have == meta(r) => {
+                                fresh = true;
+                                break;
+                            }
+                            Some(_) => stale = true,
+                            None => {}
+                        }
+                    }
+                    if fresh {
+                        m.remote_hits += 1;
+                        m.hit_bytes += r.size;
+                    } else if stale {
+                        m.remote_stale_hits += 1;
+                    }
+                }
+                caches[home].store(r.url, meta(r));
+            }
+            m
+        }
+        other => panic!("scheme {other:?} not supported under policy sweeps"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate_scheme;
+    use sc_trace::{profile, TraceStats};
+
+    #[test]
+    fn lru_policy_agrees_with_dedicated_lru_simulator() {
+        let trace = profile("UPisa").unwrap().generate_scaled(20);
+        let budget = TraceStats::compute(&trace).infinite_cache_bytes / 10;
+        for scheme in [SchemeKind::NoSharing, SchemeKind::SimpleSharing, SchemeKind::Global] {
+            let a = simulate_scheme(&trace, scheme, budget);
+            let b = simulate_scheme_with_policy(&trace, scheme, Policy::Lru, budget);
+            assert_eq!(a.local_hits, b.local_hits, "{scheme:?}");
+            assert_eq!(a.remote_hits, b.remote_hits, "{scheme:?}");
+            assert_eq!(a.local_stale_hits, b.local_stale_hits, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn gds_beats_lru_on_hit_ratio() {
+        // GreedyDual-Size optimizes hit ratio by preferring to keep
+        // small documents; with heavy-tailed sizes it should match or
+        // beat LRU on (object) hit ratio.
+        let trace = profile("UPisa").unwrap().generate_scaled(20);
+        let budget = TraceStats::compute(&trace).infinite_cache_bytes / 20;
+        let lru = simulate_scheme_with_policy(&trace, SchemeKind::Global, Policy::Lru, budget)
+            .rates()
+            .total_hit_ratio;
+        let gds = simulate_scheme_with_policy(
+            &trace,
+            SchemeKind::Global,
+            Policy::GreedyDualSize,
+            budget,
+        )
+        .rates()
+        .total_hit_ratio;
+        assert!(gds > lru - 0.01, "gds {gds} should not lose to lru {lru}");
+    }
+
+    #[test]
+    fn sharing_helps_under_every_policy() {
+        let trace = profile("UPisa").unwrap().generate_scaled(20);
+        let budget = TraceStats::compute(&trace).infinite_cache_bytes / 10;
+        for policy in Policy::all() {
+            let none =
+                simulate_scheme_with_policy(&trace, SchemeKind::NoSharing, policy, budget)
+                    .rates()
+                    .total_hit_ratio;
+            let simple =
+                simulate_scheme_with_policy(&trace, SchemeKind::SimpleSharing, policy, budget)
+                    .rates()
+                    .total_hit_ratio;
+            assert!(
+                simple > none + 0.03,
+                "{}: sharing must help ({simple} vs {none})",
+                policy.label()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn single_copy_rejected() {
+        let trace = profile("UPisa").unwrap().generate_scaled(100);
+        simulate_scheme_with_policy(&trace, SchemeKind::SingleCopy, Policy::Lfu, 1_000_000);
+    }
+}

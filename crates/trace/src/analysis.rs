@@ -1,0 +1,279 @@
+//! Workload analysis: measure the properties the generator claims.
+//!
+//! The fidelity of every simulation rests on the synthetic traces
+//! actually exhibiting the structure real web workloads have. This
+//! module quantifies it:
+//!
+//! * [`popularity_exponent`] — the Zipf α fitted to the observed
+//!   document reference counts (web traces: ≈0.6–0.9);
+//! * [`overlap_matrix`] / [`sharing_potential`] — how much of one proxy
+//!   group's document set other groups also touch, which is what cache
+//!   sharing monetizes (Section III);
+//! * [`stack_distance_profile`] — the LRU stack-distance distribution,
+//!   the standard temporal-locality measure behind the paper's
+//!   benchmark;
+//! * [`size_percentiles`] — the document-size tail.
+
+use crate::model::Trace;
+use std::collections::{HashMap, HashSet};
+
+/// Fit a Zipf exponent to the reference counts by least squares on the
+/// log-log rank-frequency curve (the standard estimator for web
+/// popularity). Returns `None` for traces with fewer than 10 distinct
+/// documents.
+pub fn popularity_exponent(trace: &Trace) -> Option<f64> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for r in &trace.requests {
+        *counts.entry(r.url).or_default() += 1;
+    }
+    if counts.len() < 10 {
+        return None;
+    }
+    let mut freqs: Vec<u64> = counts.into_values().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    // Fit log f = c - alpha log rank over the head (ranks 1..=N/2 with
+    // freq > 1; singleton tail flattens any fit).
+    let pts: Vec<(f64, f64)> = freqs
+        .iter()
+        .enumerate()
+        .take(freqs.len() / 2)
+        .filter(|(_, &f)| f > 1)
+        .map(|(i, &f)| (((i + 1) as f64).ln(), (f as f64).ln()))
+        .collect();
+    if pts.len() < 5 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some(-slope)
+}
+
+/// For each ordered pair of proxy groups `(a, b)`, the fraction of
+/// group `a`'s distinct documents that group `b` also references.
+pub fn overlap_matrix(trace: &Trace) -> Vec<Vec<f64>> {
+    let g = trace.groups as usize;
+    let mut docs: Vec<HashSet<u64>> = vec![HashSet::new(); g];
+    for r in &trace.requests {
+        docs[(r.client % trace.groups) as usize].insert(r.url);
+    }
+    (0..g)
+        .map(|a| {
+            (0..g)
+                .map(|b| {
+                    if a == b || docs[a].is_empty() {
+                        return if a == b { 1.0 } else { 0.0 };
+                    }
+                    docs[a].intersection(&docs[b]).count() as f64 / docs[a].len() as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The fraction of requests that reference a document some *other*
+/// group references anywhere in the trace — an upper bound on what
+/// remote hits could ever deliver.
+pub fn sharing_potential(trace: &Trace) -> f64 {
+    let mut groups_of: HashMap<u64, HashSet<u32>> = HashMap::new();
+    for r in &trace.requests {
+        groups_of
+            .entry(r.url)
+            .or_default()
+            .insert(r.client % trace.groups);
+    }
+    let shared: u64 = trace
+        .requests
+        .iter()
+        .filter(|r| groups_of[&r.url].len() > 1)
+        .count() as u64;
+    shared as f64 / trace.requests.len().max(1) as f64
+}
+
+/// LRU stack-distance distribution: for each re-reference, the number
+/// of distinct documents touched since the previous reference. Returns
+/// the given percentiles (cold misses excluded).
+pub fn stack_distance_profile(trace: &Trace, percentiles: &[f64]) -> Vec<u64> {
+    // O(n log n) stack distances via a BIT over last-access positions.
+    let n = trace.requests.len();
+    let mut bit = vec![0i64; n + 1];
+    let add = |bit: &mut Vec<i64>, mut i: usize, v: i64| {
+        i += 1;
+        while i <= n {
+            bit[i] += v;
+            i += i & i.wrapping_neg();
+        }
+    };
+    let sum = |bit: &Vec<i64>, mut i: usize| -> i64 {
+        let mut s = 0;
+        i += 1;
+        let mut j = i.min(n);
+        while j > 0 {
+            s += bit[j];
+            j -= j & j.wrapping_neg();
+        }
+        s
+    };
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut distances: Vec<u64> = Vec::new();
+    for (pos, r) in trace.requests.iter().enumerate() {
+        if let Some(&prev) = last.get(&r.url) {
+            // Distinct docs accessed in (prev, pos) = docs whose last
+            // access lies in that window.
+            let d = sum(&bit, pos.saturating_sub(1)) - sum(&bit, prev);
+            distances.push(d.max(0) as u64);
+            add(&mut bit, prev, -1);
+        }
+        add(&mut bit, pos, 1);
+        last.insert(r.url, pos);
+    }
+    distances.sort_unstable();
+    percentiles
+        .iter()
+        .map(|&p| {
+            if distances.is_empty() {
+                0
+            } else {
+                let idx = ((p * distances.len() as f64) as usize).min(distances.len() - 1);
+                distances[idx]
+            }
+        })
+        .collect()
+}
+
+/// Document-size percentiles over distinct documents.
+pub fn size_percentiles(trace: &Trace, percentiles: &[f64]) -> Vec<u64> {
+    let mut sizes: Vec<u64> = {
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        for r in &trace.requests {
+            seen.entry(r.url).or_insert(r.size);
+        }
+        seen.into_values().collect()
+    };
+    sizes.sort_unstable();
+    percentiles
+        .iter()
+        .map(|&p| {
+            if sizes.is_empty() {
+                0
+            } else {
+                sizes[((p * sizes.len() as f64) as usize).min(sizes.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Request;
+    use crate::profiles::profile;
+
+    fn req(client: u32, url: u64, t: u64) -> Request {
+        Request {
+            time_ms: t,
+            client,
+            url,
+            server: 0,
+            size: 100,
+            last_modified: 0,
+        }
+    }
+
+    #[test]
+    fn popularity_fit_recovers_generator_alpha() {
+        let p = profile("UPisa").unwrap();
+        let trace = p.generate_scaled(10);
+        let alpha = popularity_exponent(&trace).expect("enough documents");
+        // The effective exponent folds in the recency/burst processes,
+        // so allow a band around the configured 0.82.
+        assert!(
+            (0.5..1.3).contains(&alpha),
+            "fitted alpha {alpha} far from configured {}",
+            p.config.zipf_alpha
+        );
+    }
+
+    #[test]
+    fn overlap_and_sharing_potential() {
+        // Two groups; doc 1 shared, docs 2/3 private.
+        let trace = Trace {
+            name: "t".into(),
+            groups: 2,
+            requests: vec![
+                req(0, 1, 0),
+                req(1, 1, 1),
+                req(0, 2, 2),
+                req(1, 3, 3),
+            ],
+        };
+        let m = overlap_matrix(&trace);
+        assert_eq!(m[0][0], 1.0);
+        assert!((m[0][1] - 0.5).abs() < 1e-9, "group0: 1 of 2 docs shared");
+        assert!((m[1][0] - 0.5).abs() < 1e-9);
+        assert!((sharing_potential(&trace) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_traces_have_real_sharing_potential() {
+        let trace = profile("UPisa").unwrap().generate_scaled(20);
+        let p = sharing_potential(&trace);
+        assert!(
+            (0.2..0.95).contains(&p),
+            "sharing potential {p} out of band — cache sharing would be pointless"
+        );
+    }
+
+    #[test]
+    fn stack_distances_reflect_locality() {
+        // A A B A: distances are 0 (A->A) and 1 (A after B).
+        let trace = Trace {
+            name: "t".into(),
+            groups: 1,
+            requests: vec![req(0, 1, 0), req(0, 1, 1), req(0, 2, 2), req(0, 1, 3)],
+        };
+        let d = stack_distance_profile(&trace, &[0.0, 0.99]);
+        assert_eq!(d, vec![0, 1]);
+    }
+
+    #[test]
+    fn stack_distance_median_is_small_on_profiles() {
+        let trace = profile("UPisa").unwrap().generate_scaled(20);
+        let d = stack_distance_profile(&trace, &[0.5, 0.9]);
+        let distinct: std::collections::HashSet<u64> =
+            trace.requests.iter().map(|r| r.url).collect();
+        assert!(
+            (d[0] as usize) < distinct.len() / 4,
+            "median stack distance {} vs {} docs — no temporal locality",
+            d[0],
+            distinct.len()
+        );
+        assert!(d[1] > d[0], "percentiles ordered");
+    }
+
+    #[test]
+    fn size_tail_is_heavy() {
+        let trace = profile("DEC").unwrap().generate_scaled(20);
+        let p = size_percentiles(&trace, &[0.5, 0.99]);
+        assert!(p[1] > p[0] * 10, "p99 {} should dwarf median {}", p[1], p[0]);
+    }
+
+    #[test]
+    fn degenerate_traces_are_handled() {
+        let tiny = Trace {
+            name: "t".into(),
+            groups: 1,
+            requests: vec![req(0, 1, 0)],
+        };
+        assert_eq!(popularity_exponent(&tiny), None);
+        assert_eq!(stack_distance_profile(&tiny, &[0.5]), vec![0]);
+        assert_eq!(sharing_potential(&tiny), 0.0);
+    }
+}

@@ -1,0 +1,444 @@
+//! The synthetic trace generator.
+//!
+//! Request streams are produced by composing four processes:
+//!
+//! 1. **Popularity** — documents are ranked by a Zipf-like law
+//!    (`P(rank i) ∝ 1/i^α`, α ≈ 0.7–0.8 for web traces);
+//! 2. **Temporal locality** — with probability `recency_prob` a request
+//!    re-draws from an LRU stack of recently referenced documents, with
+//!    Zipf-distributed stack distance (the model behind the Wisconsin
+//!    Proxy Benchmark the paper uses in Section IV);
+//! 3. **Sizes** — per-document bodies from a bounded Pareto (α = 1.1);
+//! 4. **Modification** — each request finds the document modified since
+//!    its last access with probability `mod_probability`, producing the
+//!    stale hits of Section V-A.
+//!
+//! Clients have Zipf-skewed activity. For the ICP-overhead benchmark
+//! (Table II) `disjoint_groups` gives every proxy group a private
+//! document space so there are *no* inter-proxy hits — the paper's
+//! worst case for ICP. The NLANR anomaly (duplicate simultaneous
+//! requests to two proxies, Section V-A) is reproduced by
+//! `anomaly_duplicates`.
+
+use crate::model::{Request, Trace};
+use crate::partition::group_of_client;
+use crate::sampler::{exp_gap_ms, BoundedPareto, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the generator. Construct via a [`crate::TraceProfile`]
+/// or fill in fields directly for custom workloads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Trace name recorded in the output.
+    pub name: String,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of distinct clients.
+    pub clients: u32,
+    /// Number of distinct documents (per group when `disjoint_groups`).
+    pub documents: usize,
+    /// Zipf exponent of document popularity.
+    pub zipf_alpha: f64,
+    /// Zipf exponent of client activity (0 = uniform).
+    pub client_activity_alpha: f64,
+    /// Number of proxy groups the trace will be partitioned into.
+    pub groups: u32,
+    /// URLs per server name; the paper observes a ≈10:1 ratio of
+    /// referenced URLs to referenced servers.
+    pub urls_per_server: u32,
+    /// Mean inter-arrival gap in milliseconds.
+    pub mean_gap_ms: f64,
+    /// Per-request probability that the document was modified since its
+    /// previous version (drives stale hits).
+    pub mod_probability: f64,
+    /// Probability a request is drawn from the recency stack instead of
+    /// the popularity law.
+    pub recency_prob: f64,
+    /// Depth of the recency stack.
+    pub stack_depth: usize,
+    /// Zipf exponent of stack-distance draws.
+    pub stack_alpha: f64,
+    /// Give each proxy group a disjoint document space (no remote hits).
+    pub disjoint_groups: bool,
+    /// Fraction of requests duplicated immediately from a client in a
+    /// *different* group (the NLANR anomaly).
+    pub anomaly_duplicates: f64,
+    /// Probability that a request is followed by a burst of requests for
+    /// other documents on the *same server* from the same client — the
+    /// embedded-object (page) locality that gives web traces their high
+    /// cached-URL : server-name ratio (Section V-B observes ≈ 10:1).
+    pub spatial_burst_prob: f64,
+    /// Maximum burst length (uniform in `1..=burst_max`).
+    pub burst_max: u32,
+    /// Body-size distribution: (alpha, min bytes, max bytes).
+    pub size_pareto: (f64, u64, u64),
+    /// RNG seed; equal configs generate byte-identical traces.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            name: "custom".into(),
+            requests: 100_000,
+            clients: 256,
+            documents: 40_000,
+            zipf_alpha: 0.75,
+            client_activity_alpha: 0.5,
+            groups: 8,
+            urls_per_server: 12,
+            mean_gap_ms: 500.0,
+            mod_probability: 0.015,
+            recency_prob: 0.25,
+            stack_depth: 8_192,
+            stack_alpha: 0.9,
+            disjoint_groups: false,
+            anomaly_duplicates: 0.0,
+            spatial_burst_prob: 0.5,
+            burst_max: 10,
+            size_pareto: (1.1, 1024, 8 * 1024 * 1024),
+            seed: 0x5ca1ab1e,
+        }
+    }
+}
+
+/// Per-document generation state.
+struct DocState {
+    size: u64,
+    last_modified: u64,
+}
+
+/// The generator itself. One-shot: [`TraceGenerator::generate`] consumes
+/// the configuration and produces a [`Trace`].
+pub struct TraceGenerator {
+    cfg: GeneratorConfig,
+}
+
+impl TraceGenerator {
+    /// Build a generator for `cfg`.
+    ///
+    /// # Panics
+    /// On degenerate configs (zero requests/clients/documents, fewer
+    /// clients than groups, probabilities outside `[0, 1]`).
+    pub fn new(cfg: GeneratorConfig) -> Self {
+        assert!(cfg.requests > 0 && cfg.clients > 0 && cfg.documents > 0);
+        assert!(cfg.groups > 0 && cfg.clients >= cfg.groups, "need a client per group");
+        for p in [
+            cfg.mod_probability,
+            cfg.recency_prob,
+            cfg.anomaly_duplicates,
+            cfg.spatial_burst_prob,
+        ] {
+            assert!((0.0..=1.0).contains(&p), "probability {p} outside [0,1]");
+        }
+        assert!(cfg.urls_per_server > 0);
+        assert!(
+            cfg.spatial_burst_prob == 0.0 || cfg.burst_max >= 1,
+            "bursts need burst_max >= 1"
+        );
+        TraceGenerator { cfg }
+    }
+
+    /// Generate the trace.
+    pub fn generate(self) -> Trace {
+        let cfg = self.cfg;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let doc_zipf = Zipf::new(cfg.documents, cfg.zipf_alpha);
+        let client_zipf = Zipf::new(cfg.clients as usize, cfg.client_activity_alpha);
+        let stack_zipf = Zipf::new(cfg.stack_depth.max(1), cfg.stack_alpha);
+        let sizes = BoundedPareto::new(cfg.size_pareto.0, cfg.size_pareto.1, cfg.size_pareto.2);
+
+        // Popularity rank → document id permutation, so that ids carry no
+        // popularity information (as in real traces).
+        let spaces = if cfg.disjoint_groups { cfg.groups as usize } else { 1 };
+        let servers_per_space = cfg.documents.div_ceil(cfg.urls_per_server as usize) as u32;
+        let mut rank_to_doc: Vec<Vec<u64>> = Vec::with_capacity(spaces);
+        let mut server_of_doc: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for space in 0..spaces {
+            let base = (space * cfg.documents) as u64;
+            let mut ids: Vec<u64> = (base..base + cfg.documents as u64).collect();
+            // Fisher–Yates with the seeded rng keeps determinism.
+            for i in (1..ids.len()).rev() {
+                ids.swap(i, rng.gen_range(0..=i));
+            }
+            // Servers cluster by popularity rank: consecutive ranks share
+            // a server, the way a popular site hosts many popular URLs.
+            // This is what gives real traces their ~10:1 ratio of cached
+            // URLs to cached server names (Section V-B).
+            for (rank, &id) in ids.iter().enumerate() {
+                let server =
+                    space as u32 * servers_per_space + (rank / cfg.urls_per_server as usize) as u32;
+                server_of_doc.insert(id, server);
+            }
+            rank_to_doc.push(ids);
+        }
+
+        // Server -> member documents, for spatial (embedded-object) bursts.
+        let mut docs_of_server: std::collections::HashMap<u32, Vec<u64>> =
+            std::collections::HashMap::new();
+        for (&doc, &server) in &server_of_doc {
+            docs_of_server.entry(server).or_default().push(doc);
+        }
+        for members in docs_of_server.values_mut() {
+            members.sort_unstable(); // HashMap order must not leak into the trace
+        }
+
+        let mut docs: std::collections::HashMap<u64, DocState> = std::collections::HashMap::new();
+        // One recency stack per document space.
+        let mut stacks: Vec<Vec<u64>> = vec![Vec::new(); spaces];
+
+        let mut requests = Vec::with_capacity(cfg.requests);
+        let mut now: u64 = 0;
+
+        while requests.len() < cfg.requests {
+            now += exp_gap_ms(&mut rng, cfg.mean_gap_ms);
+            let client = client_zipf.sample(&mut rng) as u32;
+            let group = group_of_client(client, cfg.groups);
+            let space = if cfg.disjoint_groups { group as usize } else { 0 };
+
+            // Pick the primary document: recency stack or popularity law.
+            let stack = &stacks[space];
+            let url = if !stack.is_empty() && rng.gen_bool(cfg.recency_prob) {
+                let pos = stack_zipf.sample(&mut rng).min(stack.len() - 1);
+                // Stack is most-recent-last; distance 0 = most recent.
+                stack[stack.len() - 1 - pos]
+            } else {
+                rank_to_doc[space][doc_zipf.sample(&mut rng)]
+            };
+
+            // The page fetch: the primary document plus, with
+            // spatial_burst_prob, a burst of same-server siblings (the
+            // page's embedded objects).
+            let mut batch = vec![url];
+            if cfg.spatial_burst_prob > 0.0 && rng.gen_bool(cfg.spatial_burst_prob) {
+                let siblings = &docs_of_server[&server_of_doc[&url]];
+                let burst = rng.gen_range(1..=cfg.burst_max as usize);
+                for _ in 0..burst {
+                    batch.push(siblings[rng.gen_range(0..siblings.len())]);
+                }
+            }
+
+            for (offset, &url) in batch.iter().enumerate() {
+                if requests.len() >= cfg.requests {
+                    break;
+                }
+                let now = now + offset as u64; // burst objects arrive back-to-back
+
+                // Maintain the recency stack (move-to-top, bounded depth).
+                let stack = &mut stacks[space];
+                if let Some(pos) = stack.iter().rposition(|&d| d == url) {
+                    stack.remove(pos);
+                }
+                stack.push(url);
+                if stack.len() > cfg.stack_depth {
+                    stack.remove(0);
+                }
+
+                // Document state: size fixed at first touch, version bumps
+                // with mod_probability on each re-reference.
+                let is_new = !docs.contains_key(&url);
+                let state = docs.entry(url).or_insert_with(|| DocState {
+                    size: sizes.sample(&mut rng),
+                    last_modified: now,
+                });
+                if !is_new && rng.gen_bool(cfg.mod_probability) {
+                    state.last_modified = now;
+                }
+
+                let req = Request {
+                    time_ms: now,
+                    client,
+                    url,
+                    server: server_of_doc[&url],
+                    size: state.size,
+                    last_modified: state.last_modified,
+                };
+                requests.push(req);
+
+                // NLANR anomaly: the same document requested
+                // "simultaneously" by a client of another group.
+                if cfg.anomaly_duplicates > 0.0
+                    && requests.len() < cfg.requests
+                    && rng.gen_bool(cfg.anomaly_duplicates)
+                    && cfg.groups > 1
+                {
+                    let other_group =
+                        (group + 1 + rng.gen_range(0..cfg.groups - 1)) % cfg.groups;
+                    // A client landing in other_group: client ids map to
+                    // groups by id % groups, so sample until it fits.
+                    let other_client = loop {
+                        let c = rng.gen_range(0..cfg.clients);
+                        if group_of_client(c, cfg.groups) == other_group {
+                            break c;
+                        }
+                    };
+                    requests.push(Request {
+                        time_ms: now,
+                        client: other_client,
+                        ..req
+                    });
+                }
+            }
+            // Burst offsets consumed wall-clock; keep time monotone.
+            now += (batch.len() - 1) as u64;
+        }
+
+        Trace {
+            name: cfg.name,
+            groups: cfg.groups,
+            requests,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn small() -> GeneratorConfig {
+        GeneratorConfig {
+            requests: 20_000,
+            clients: 64,
+            documents: 5_000,
+            groups: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = TraceGenerator::new(small()).generate();
+        let b = TraceGenerator::new(small()).generate();
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(GeneratorConfig {
+            seed: 99,
+            ..small()
+        })
+        .generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn monotone_time_and_exact_count() {
+        let t = TraceGenerator::new(small()).generate();
+        assert_eq!(t.len(), 20_000);
+        assert!(t.requests.windows(2).all(|w| w[0].time_ms <= w[1].time_ms));
+    }
+
+    #[test]
+    fn sizes_stable_within_version() {
+        let t = TraceGenerator::new(small()).generate();
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        for r in &t.requests {
+            let prev = seen.insert(r.url, r.size);
+            if let Some(p) = prev {
+                assert_eq!(p, r.size, "size of {} changed", r.url);
+            }
+        }
+    }
+
+    #[test]
+    fn modifications_move_last_modified_forward() {
+        let t = TraceGenerator::new(small()).generate();
+        let mut lm: HashMap<u64, u64> = HashMap::new();
+        let mut mods = 0u32;
+        for r in &t.requests {
+            if let Some(&prev) = lm.get(&r.url) {
+                assert!(r.last_modified >= prev, "last_modified went backwards");
+                if r.last_modified != prev {
+                    mods += 1;
+                }
+            }
+            lm.insert(r.url, r.last_modified);
+        }
+        assert!(mods > 0, "modification process never fired");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let t = TraceGenerator::new(small()).generate();
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for r in &t.requests {
+            *counts.entry(r.url).or_default() += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = freqs.iter().take(10).sum();
+        assert!(
+            top10 as usize * 20 > t.len(),
+            "top-10 docs should carry >5% of requests, got {top10}"
+        );
+    }
+
+    #[test]
+    fn disjoint_groups_never_share_documents() {
+        let t = TraceGenerator::new(GeneratorConfig {
+            disjoint_groups: true,
+            ..small()
+        })
+        .generate();
+        let mut owner: HashMap<u64, u32> = HashMap::new();
+        for r in &t.requests {
+            let g = group_of_client(r.client, 4);
+            let prev = owner.insert(r.url, g);
+            if let Some(p) = prev {
+                assert_eq!(p, g, "document {} crossed groups", r.url);
+            }
+        }
+        // And the spaces are actually distinct id ranges.
+        let groups_seen: HashSet<u32> = owner.values().copied().collect();
+        assert_eq!(groups_seen.len(), 4);
+    }
+
+    #[test]
+    fn anomaly_produces_cross_group_duplicates() {
+        let t = TraceGenerator::new(GeneratorConfig {
+            anomaly_duplicates: 0.05,
+            ..small()
+        })
+        .generate();
+        let mut dups = 0;
+        for w in t.requests.windows(2) {
+            if w[0].url == w[1].url
+                && w[0].time_ms == w[1].time_ms
+                && group_of_client(w[0].client, 4) != group_of_client(w[1].client, 4)
+            {
+                dups += 1;
+            }
+        }
+        assert!(dups > 200, "expected ~1000 anomaly pairs, saw {dups}");
+    }
+
+    #[test]
+    fn server_component_stable_and_clustered() {
+        let t = TraceGenerator::new(small()).generate();
+        // One URL always maps to the same server.
+        let mut server_of: HashMap<u64, u32> = HashMap::new();
+        for r in &t.requests {
+            let prev = server_of.insert(r.url, r.server);
+            if let Some(p) = prev {
+                assert_eq!(p, r.server, "server of {} changed", r.url);
+            }
+        }
+        // Popularity clustering keeps the ratio of *referenced* URLs to
+        // referenced servers well above uniform scattering — the paper's
+        // observed ~10:1 (Section V-B).
+        let servers: HashSet<u32> = t.requests.iter().map(|r| r.server).collect();
+        let urls: HashSet<u64> = t.requests.iter().map(|r| r.url).collect();
+        let ratio = urls.len() as f64 / servers.len() as f64;
+        assert!((4.0..=10.0).contains(&ratio), "URL:server ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need a client per group")]
+    fn rejects_more_groups_than_clients() {
+        TraceGenerator::new(GeneratorConfig {
+            clients: 2,
+            groups: 4,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,234 @@
+//! Trace (de)serialization.
+//!
+//! Two formats:
+//!
+//! * **JSON header + JSON-lines body** (`.jsonl`): first line is the
+//!   trace metadata, each following line one request. Streams well and
+//!   diffs well.
+//! * The compact **log format** (`.log`): one whitespace-separated line
+//!   per request, in the spirit of Squid access logs —
+//!   `time_ms client url server size last_modified`.
+
+use crate::model::{Request, Trace};
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    name: String,
+    groups: u32,
+}
+
+/// Errors loading a trace.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "I/O error: {e}"),
+            LoadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Write a trace as JSON header + JSON-lines body.
+pub fn save_jsonl<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    let header = Header {
+        name: trace.name.clone(),
+        groups: trace.groups,
+    };
+    serde_json::to_writer(&mut w, &header)?;
+    w.write_all(b"\n")?;
+    for r in &trace.requests {
+        serde_json::to_writer(&mut w, r)?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Read a trace written by [`save_jsonl`].
+pub fn load_jsonl<R: Read>(r: R) -> Result<Trace, LoadError> {
+    let mut lines = BufReader::new(r).lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| LoadError::Parse {
+            line: 1,
+            message: "empty file".into(),
+        })??;
+    let header: Header = serde_json::from_str(&header_line).map_err(|e| LoadError::Parse {
+        line: 1,
+        message: e.to_string(),
+    })?;
+    let mut requests = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: Request = serde_json::from_str(&line).map_err(|e| LoadError::Parse {
+            line: i + 2,
+            message: e.to_string(),
+        })?;
+        requests.push(req);
+    }
+    Ok(Trace {
+        name: header.name,
+        groups: header.groups,
+        requests,
+    })
+}
+
+/// Write the compact log format. The header travels in a `#`-comment.
+pub fn save_log<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# trace {} groups {}", trace.name, trace.groups)?;
+    for r in &trace.requests {
+        writeln!(
+            w,
+            "{} {} {} {} {} {}",
+            r.time_ms, r.client, r.url, r.server, r.size, r.last_modified
+        )?;
+    }
+    w.flush()
+}
+
+/// Read the compact log format.
+pub fn load_log<R: Read>(r: R) -> Result<Trace, LoadError> {
+    let reader = BufReader::new(r);
+    let mut name = String::from("unnamed");
+    let mut groups = 1u32;
+    let mut requests = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() == 4 && toks[0] == "trace" && toks[2] == "groups" {
+                name = toks[1].to_string();
+                groups = toks[3].parse().map_err(|_| LoadError::Parse {
+                    line: i + 1,
+                    message: format!("bad group count {:?}", toks[3]),
+                })?;
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 6 {
+            return Err(LoadError::Parse {
+                line: i + 1,
+                message: format!("expected 6 fields, got {}", fields.len()),
+            });
+        }
+        let parse = |s: &str, what: &str| -> Result<u64, LoadError> {
+            s.parse().map_err(|_| LoadError::Parse {
+                line: i + 1,
+                message: format!("bad {what}: {s:?}"),
+            })
+        };
+        requests.push(Request {
+            time_ms: parse(fields[0], "time")?,
+            client: parse(fields[1], "client")? as u32,
+            url: parse(fields[2], "url")?,
+            server: parse(fields[3], "server")? as u32,
+            size: parse(fields[4], "size")?,
+            last_modified: parse(fields[5], "last_modified")?,
+        });
+    }
+    Ok(Trace {
+        name,
+        groups,
+        requests,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, TraceGenerator};
+
+    fn sample() -> Trace {
+        TraceGenerator::new(GeneratorConfig {
+            requests: 500,
+            clients: 16,
+            documents: 200,
+            groups: 4,
+            ..Default::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        save_jsonl(&t, &mut buf).unwrap();
+        let back = load_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn log_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        save_log(&t, &mut buf).unwrap();
+        let back = load_log(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn load_jsonl_rejects_garbage_with_line_number() {
+        let data = "{\"name\":\"x\",\"groups\":2}\nnot json\n";
+        match load_jsonl(data.as_bytes()) {
+            Err(LoadError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_log_rejects_short_lines() {
+        let data = "# trace t groups 2\n1 2 3\n";
+        match load_log(data.as_bytes()) {
+            Err(LoadError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("6 fields"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_jsonl_is_error() {
+        assert!(load_jsonl(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn log_without_header_defaults() {
+        let t = load_log(&b"5 1 2 0 100 0\n"[..]).unwrap();
+        assert_eq!(t.name, "unnamed");
+        assert_eq!(t.groups, 1);
+        assert_eq!(t.requests.len(), 1);
+    }
+}

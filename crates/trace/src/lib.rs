@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Workload substrate: the request-trace model and calibrated synthetic
+//! trace generators.
+//!
+//! The paper evaluates on five proprietary HTTP proxy traces (DEC, UCB,
+//! UPisa, Questnet, NLANR — Table I). Those traces are long gone, so this
+//! crate provides the closest synthetic equivalent: a generator with
+//! Zipf-like document popularity, bounded-Pareto body sizes (the heavy
+//! tail the Wisconsin Proxy Benchmark uses, α = 1.1), an LRU-stack
+//! temporal-locality model, heterogeneous client activity, and a
+//! document-modification process that produces stale hits. Five
+//! [`profiles`] mirror the *shape* of Table I (group counts, scale
+//! ratios); absolute numbers are scaled down to laptop size.
+//!
+//! Everything is seeded and deterministic: the same profile always yields
+//! byte-identical traces, so every experiment in the repository is exactly
+//! reproducible.
+
+pub mod analysis;
+pub mod generator;
+pub mod io;
+pub mod model;
+pub mod partition;
+pub mod profiles;
+pub mod sampler;
+pub mod squid;
+pub mod stats;
+
+pub use generator::{GeneratorConfig, TraceGenerator};
+pub use model::{Request, Trace, UrlId};
+pub use partition::{group_of_client, split_by_group};
+pub use profiles::{profile, profile_names, TraceProfile};
+pub use stats::TraceStats;

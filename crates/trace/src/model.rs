@@ -1,0 +1,123 @@
+//! The request-trace data model.
+
+use serde::{Deserialize, Serialize};
+
+/// A document identity. Synthetic traces use dense integer ids; the live
+/// proxy renders them as URLs with [`Request::url_string`].
+pub type UrlId = u64;
+
+/// One HTTP GET in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Trace time in milliseconds since trace start.
+    pub time_ms: u64,
+    /// Client identity (partitioned onto proxies by [`crate::group_of_client`]).
+    pub client: u32,
+    /// Document identity.
+    pub url: UrlId,
+    /// Server-name component of the URL (the paper's server-name summary
+    /// representation groups documents by this).
+    pub server: u32,
+    /// Body size in bytes of the *current* version.
+    pub size: u64,
+    /// Last-modified stamp of the current version; a change between
+    /// requests makes a cached copy stale.
+    pub last_modified: u64,
+}
+
+impl Request {
+    /// Render the canonical URL string used by the live proxy and by
+    /// MD5-based summaries. One id ↔ one URL, stable across runs.
+    pub fn url_string(&self) -> String {
+        render_url(self.server, self.url)
+    }
+}
+
+/// Canonical URL text for a `(server, url-id)` pair.
+pub fn render_url(server: u32, url: UrlId) -> String {
+    format!("http://server-{server}.trace.invalid/doc/{url}")
+}
+
+/// Extract `(server, url)` back out of a canonical URL string.
+/// Returns `None` for URLs this crate didn't generate.
+pub fn parse_url(url: &str) -> Option<(u32, UrlId)> {
+    let rest = url.strip_prefix("http://server-")?;
+    let (server, rest) = rest.split_once(".trace.invalid/doc/")?;
+    Some((server.parse().ok()?, rest.parse().ok()?))
+}
+
+/// A full trace plus its identifying metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Profile or generator name this trace came from.
+    pub name: String,
+    /// The number of proxy groups the paper partitions this trace into.
+    pub groups: u32,
+    /// Requests in time order.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Wall-clock span covered by the trace.
+    pub fn duration_ms(&self) -> u64 {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(a), Some(b)) => b.time_ms - a.time_ms,
+            _ => 0,
+        }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_roundtrip() {
+        let r = Request {
+            time_ms: 0,
+            client: 3,
+            url: 123456789,
+            server: 42,
+            size: 1000,
+            last_modified: 7,
+        };
+        let s = r.url_string();
+        assert_eq!(parse_url(&s), Some((42, 123456789)));
+    }
+
+    #[test]
+    fn parse_rejects_foreign_urls() {
+        assert_eq!(parse_url("http://example.com/doc/1"), None);
+        assert_eq!(parse_url("http://server-x.trace.invalid/doc/1"), None);
+        assert_eq!(parse_url("http://server-1.trace.invalid/doc/"), None);
+    }
+
+    #[test]
+    fn duration_of_empty_and_singleton() {
+        let mut t = Trace {
+            name: "t".into(),
+            groups: 1,
+            requests: vec![],
+        };
+        assert_eq!(t.duration_ms(), 0);
+        t.requests.push(Request {
+            time_ms: 99,
+            client: 0,
+            url: 0,
+            server: 0,
+            size: 1,
+            last_modified: 0,
+        });
+        assert_eq!(t.duration_ms(), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Client → proxy-group partitioning.
+//!
+//! Section II: "A client is put in a group if its clientid mod the group
+//! size equals the group ID." One function, used identically by the
+//! generator, the simulator and the live replay drivers, so they can
+//! never disagree about which proxy owns a client.
+
+use crate::model::{Request, Trace};
+
+/// The proxy group serving `client` when the trace is split `groups` ways.
+pub fn group_of_client(client: u32, groups: u32) -> u32 {
+    assert!(groups > 0, "zero proxy groups");
+    client % groups
+}
+
+/// Split a trace into per-group request streams, preserving time order
+/// within each group. Stream `g` contains exactly the requests of clients
+/// with `client mod groups == g`.
+pub fn split_by_group(trace: &Trace) -> Vec<Vec<Request>> {
+    let groups = trace.groups;
+    let mut out: Vec<Vec<Request>> = vec![Vec::new(); groups as usize];
+    for r in &trace.requests {
+        out[group_of_client(r.client, groups) as usize].push(*r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_rule() {
+        assert_eq!(group_of_client(0, 4), 0);
+        assert_eq!(group_of_client(5, 4), 1);
+        assert_eq!(group_of_client(7, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero proxy groups")]
+    fn rejects_zero_groups() {
+        group_of_client(1, 0);
+    }
+
+    #[test]
+    fn split_partitions_everything_in_order() {
+        let reqs: Vec<Request> = (0..100)
+            .map(|i| Request {
+                time_ms: i,
+                client: (i % 7) as u32,
+                url: i,
+                server: 0,
+                size: 1,
+                last_modified: 0,
+            })
+            .collect();
+        let trace = Trace {
+            name: "t".into(),
+            groups: 3,
+            requests: reqs,
+        };
+        let parts = split_by_group(&trace);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+        for (g, part) in parts.iter().enumerate() {
+            assert!(part.iter().all(|r| r.client % 3 == g as u32));
+            assert!(part.windows(2).all(|w| w[0].time_ms <= w[1].time_ms));
+        }
+    }
+}

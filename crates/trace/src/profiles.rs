@@ -1,0 +1,199 @@
+//! The five trace profiles mirroring the paper's Table I workloads.
+//!
+//! The original traces are unobtainable (DEC and UCB archives are gone;
+//! UPisa and Questnet were never public; NLANR logs rotated out decades
+//! ago), so each profile parameterizes the synthetic generator to match
+//! the *shape* the paper reports: the group count used in Section II, the
+//! relative scale of requests/clients/documents, and qualitative traits
+//! (Questnet sees only child-proxy misses, so weak temporal locality;
+//! NLANR has the duplicate-request anomaly of Section V-A). Request
+//! counts are scaled to laptop size — roughly 1/10 of the originals —
+//! which the paper itself licenses by reporting that "results under other
+//! cache sizes are similar".
+
+use crate::generator::{GeneratorConfig, TraceGenerator};
+use crate::model::Trace;
+
+/// A named, fully-determined workload.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    /// Profile name as used in the paper ("DEC", "UCB", …).
+    pub name: &'static str,
+    /// The generator configuration.
+    pub config: GeneratorConfig,
+}
+
+impl TraceProfile {
+    /// Generate this profile's trace (deterministic).
+    pub fn generate(&self) -> Trace {
+        TraceGenerator::new(self.config.clone()).generate()
+    }
+
+    /// Generate a scaled-down variant: request count divided by `factor`
+    /// (documents and clients shrink with the square root so popularity
+    /// density is roughly preserved). Used by quick tests and examples.
+    pub fn generate_scaled(&self, factor: usize) -> Trace {
+        assert!(factor >= 1);
+        let mut cfg = self.config.clone();
+        cfg.requests = (cfg.requests / factor).max(1_000);
+        let shrink = (factor as f64).sqrt();
+        cfg.documents = ((cfg.documents as f64 / shrink) as usize).max(500);
+        cfg.clients = ((cfg.clients as f64 / shrink) as u32).max(cfg.groups);
+        TraceGenerator::new(cfg).generate()
+    }
+}
+
+/// Names of the five paper profiles, in Table I order.
+pub fn profile_names() -> [&'static str; 5] {
+    ["DEC", "UCB", "UPisa", "Questnet", "NLANR"]
+}
+
+/// Look up a profile by (case-insensitive) name.
+pub fn profile(name: &str) -> Option<TraceProfile> {
+    let cfg = match name.to_ascii_lowercase().as_str() {
+        // DEC: corporate proxy, 16 groups in the paper's sharing split,
+        // the largest client population and document space.
+        "dec" => GeneratorConfig {
+            name: "DEC".into(),
+            requests: 350_000,
+            clients: 1_600,
+            documents: 130_000,
+            zipf_alpha: 0.77,
+            client_activity_alpha: 0.55,
+            groups: 16,
+            mean_gap_ms: 1_700.0, // ≈ a work week of trace time
+            mod_probability: 0.02,
+            recency_prob: 0.25,
+            seed: 0xDEC,
+            ..Default::default()
+        },
+        // UCB Dial-IP: home users, 8 groups, slightly weaker skew.
+        "ucb" => GeneratorConfig {
+            name: "UCB".into(),
+            requests: 250_000,
+            clients: 800,
+            documents: 95_000,
+            zipf_alpha: 0.74,
+            client_activity_alpha: 0.5,
+            groups: 8,
+            mean_gap_ms: 4_000.0,
+            mod_probability: 0.015,
+            recency_prob: 0.25,
+            seed: 0x0CB,
+            ..Default::default()
+        },
+        // UPisa: one CS department, the smallest and most local trace.
+        "upisa" => GeneratorConfig {
+            name: "UPisa".into(),
+            requests: 120_000,
+            clients: 250,
+            documents: 38_000,
+            zipf_alpha: 0.82,
+            client_activity_alpha: 0.5,
+            groups: 8,
+            mean_gap_ms: 20_000.0, // three months of trace time
+            mod_probability: 0.015,
+            recency_prob: 0.3,
+            seed: 0x215A,
+            ..Default::default()
+        },
+        // Questnet: the parent proxy sees only the *misses* of 12 child
+        // proxies — each "client" is a child proxy, and the easy re-hits
+        // were already absorbed below, so temporal locality is weak.
+        "questnet" => GeneratorConfig {
+            name: "Questnet".into(),
+            requests: 200_000,
+            clients: 12,
+            documents: 90_000,
+            zipf_alpha: 0.65,
+            client_activity_alpha: 0.3,
+            groups: 12,
+            mean_gap_ms: 2_500.0,
+            mod_probability: 0.02,
+            recency_prob: 0.08,
+            seed: 0x0E57,
+            ..Default::default()
+        },
+        // NLANR: four top-level proxies (bo, pb, sd, uc), one day, with
+        // the duplicate-request anomaly the paper diagnoses in §V-A.
+        "nlanr" => GeneratorConfig {
+            name: "NLANR".into(),
+            requests: 300_000,
+            clients: 480,
+            documents: 160_000,
+            zipf_alpha: 0.72,
+            client_activity_alpha: 0.45,
+            groups: 4,
+            mean_gap_ms: 280.0, // one busy day
+            mod_probability: 0.02,
+            recency_prob: 0.2,
+            anomaly_duplicates: 0.03,
+            seed: 0x41A7,
+            ..Default::default()
+        },
+        _ => return None,
+    };
+    Some(TraceProfile {
+        name: match name.to_ascii_lowercase().as_str() {
+            "dec" => "DEC",
+            "ucb" => "UCB",
+            "upisa" => "UPisa",
+            "questnet" => "Questnet",
+            _ => "NLANR",
+        },
+        config: cfg,
+    })
+}
+
+/// All five profiles, in Table I order.
+pub fn all_profiles() -> Vec<TraceProfile> {
+    profile_names()
+        .iter()
+        .map(|n| profile(n).expect("built-in profile"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_resolve() {
+        for n in profile_names() {
+            let p = profile(n).unwrap_or_else(|| panic!("missing {n}"));
+            assert_eq!(p.name, n);
+            assert_eq!(p.config.name, n);
+        }
+        assert!(profile("nonexistent").is_none());
+        assert!(profile("DEC").is_some(), "case-insensitive");
+        assert!(profile("dec").is_some());
+    }
+
+    #[test]
+    fn group_counts_match_section_two() {
+        let expect = [("DEC", 16u32), ("UCB", 8), ("UPisa", 8), ("Questnet", 12), ("NLANR", 4)];
+        for (name, groups) in expect {
+            assert_eq!(profile(name).unwrap().config.groups, groups, "{name}");
+        }
+    }
+
+    #[test]
+    fn scaled_generation_shrinks() {
+        let p = profile("UPisa").unwrap();
+        let t = p.generate_scaled(10);
+        assert_eq!(t.len(), 12_000);
+        assert_eq!(t.groups, 8);
+    }
+
+    #[test]
+    fn only_nlanr_has_anomaly() {
+        for n in profile_names() {
+            let p = profile(n).unwrap();
+            if n == "NLANR" {
+                assert!(p.config.anomaly_duplicates > 0.0);
+            } else {
+                assert_eq!(p.config.anomaly_duplicates, 0.0, "{n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Table I statistics: what an infinite cache could achieve on a trace.
+
+use crate::model::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Summary statistics of a trace, mirroring the paper's Table I columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Trace name.
+    pub name: String,
+    /// Trace span in milliseconds.
+    pub duration_ms: u64,
+    /// Number of requests.
+    pub requests: usize,
+    /// Number of distinct clients.
+    pub clients: usize,
+    /// Number of distinct documents.
+    pub unique_documents: usize,
+    /// "Infinite cache size": total bytes of unique documents — the
+    /// minimum cache size that incurs no replacement.
+    pub infinite_cache_bytes: u64,
+    /// Hit ratio of an infinite cache honouring the perfect-consistency
+    /// rule (a version change is a miss).
+    pub max_hit_ratio: f64,
+    /// Byte hit ratio of the same infinite cache.
+    pub max_byte_hit_ratio: f64,
+}
+
+impl TraceStats {
+    /// Compute the statistics by simulating an infinite cache over the
+    /// trace: every request is cached; a repeat access hits unless the
+    /// document's size or last-modified stamp changed since it was
+    /// cached (then it is a miss and the new version replaces the old).
+    pub fn compute(trace: &Trace) -> TraceStats {
+        let mut cache: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut clients: HashMap<u32, ()> = HashMap::new();
+        let mut hits = 0usize;
+        let mut hit_bytes = 0u64;
+        let mut total_bytes = 0u64;
+        let mut infinite_bytes = 0u64;
+        for r in &trace.requests {
+            clients.insert(r.client, ());
+            total_bytes += r.size;
+            match cache.get(&r.url) {
+                Some(&(size, lm)) if size == r.size && lm == r.last_modified => {
+                    hits += 1;
+                    hit_bytes += r.size;
+                }
+                Some(&(size, _)) => {
+                    // Version changed: adjust the stored footprint.
+                    infinite_bytes = infinite_bytes - size + r.size;
+                    cache.insert(r.url, (r.size, r.last_modified));
+                }
+                None => {
+                    infinite_bytes += r.size;
+                    cache.insert(r.url, (r.size, r.last_modified));
+                }
+            }
+        }
+        let n = trace.requests.len().max(1);
+        TraceStats {
+            name: trace.name.clone(),
+            duration_ms: trace.duration_ms(),
+            requests: trace.requests.len(),
+            clients: clients.len(),
+            unique_documents: cache.len(),
+            infinite_cache_bytes: infinite_bytes,
+            max_hit_ratio: hits as f64 / n as f64,
+            max_byte_hit_ratio: hit_bytes as f64 / total_bytes.max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Request;
+
+    fn req(time: u64, client: u32, url: u64, size: u64, lm: u64) -> Request {
+        Request {
+            time_ms: time,
+            client,
+            url,
+            server: 0,
+            size,
+            last_modified: lm,
+        }
+    }
+
+    #[test]
+    fn counts_hits_and_stale_misses() {
+        let trace = Trace {
+            name: "t".into(),
+            groups: 1,
+            requests: vec![
+                req(0, 1, 10, 100, 0), // cold miss
+                req(1, 2, 10, 100, 0), // hit
+                req(2, 1, 10, 100, 5), // modified -> stale miss
+                req(3, 2, 10, 100, 5), // hit again
+                req(4, 3, 20, 50, 0),  // cold miss
+            ],
+        };
+        let s = TraceStats::compute(&trace);
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.clients, 3);
+        assert_eq!(s.unique_documents, 2);
+        assert_eq!(s.infinite_cache_bytes, 150);
+        assert!((s.max_hit_ratio - 0.4).abs() < 1e-9);
+        assert!((s.max_byte_hit_ratio - 200.0 / 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn size_change_adjusts_footprint() {
+        let trace = Trace {
+            name: "t".into(),
+            groups: 1,
+            requests: vec![req(0, 1, 10, 100, 0), req(1, 1, 10, 300, 1)],
+        };
+        let s = TraceStats::compute(&trace);
+        assert_eq!(s.infinite_cache_bytes, 300, "old version's bytes released");
+        assert_eq!(s.max_hit_ratio, 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::compute(&Trace {
+            name: "e".into(),
+            groups: 1,
+            requests: vec![],
+        });
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.max_hit_ratio, 0.0);
+        assert_eq!(s.infinite_cache_bytes, 0);
+    }
+
+    #[test]
+    fn profile_traces_have_sane_max_hit_ratio() {
+        let p = crate::profile("UPisa").unwrap();
+        let t = p.generate_scaled(10);
+        let s = TraceStats::compute(&t);
+        assert!(
+            (0.2..0.9).contains(&s.max_hit_ratio),
+            "web traces peak around 40-70%: {}",
+            s.max_hit_ratio
+        );
+        assert!(s.infinite_cache_bytes > 0);
+        assert!(s.unique_documents > 100);
+    }
+}

@@ -1,0 +1,611 @@
+//! ICP version 2 (RFC 2186) with the paper's directory-update extension.
+//!
+//! The RFC 2186 header (20 bytes):
+//!
+//! ```text
+//!  0                   1                   2                   3
+//!  0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//! +---------------+---------------+-------------------------------+
+//! |    Opcode     |    Version    |         Message Length        |
+//! +---------------+---------------+-------------------------------+
+//! |                       Request Number                          |
+//! +---------------------------------------------------------------+
+//! |                            Options                            |
+//! +---------------------------------------------------------------+
+//! |                          Option Data                          |
+//! +---------------------------------------------------------------+
+//! |                      Sender Host Address                      |
+//! +---------------------------------------------------------------+
+//! ```
+//!
+//! Queries carry a requester host address and a null-terminated URL;
+//! replies carry the URL. The paper adds `ICP_OP_DIRUPDATE` whose
+//! payload is an extension header — `Function_Num` (u16),
+//! `Function_Bits` (u16), `BitArray_Size_InBits` (u32),
+//! `Number_of_Updates` (u32) — followed by one 32-bit word per bit
+//! flip: most-significant bit = new value, low 31 bits = index
+//! (Section VI-A). Because every record is absolute and every message
+//! repeats the hash spec, updates tolerate unreliable, unordered
+//! delivery.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sc_bloom::Flip;
+
+/// ICP protocol version implemented (RFC 2186).
+pub const ICP_VERSION: u8 = 2;
+
+/// Size of the fixed RFC 2186 header.
+pub const HEADER_LEN: usize = 20;
+
+/// Size of the paper's DIRUPDATE extension header.
+pub const DIRUPDATE_HEADER_LEN: usize = 12;
+
+/// Message opcodes. 1–22 are RFC 2186; 32/33 are the summary-cache
+/// extension range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Membership query for a URL.
+    Query = 1,
+    /// Fresh copy present.
+    Hit = 2,
+    /// Not cached.
+    Miss = 3,
+    /// Protocol error.
+    Err = 4,
+    /// Source echo — the keep-alive Squid peers exchange.
+    Secho = 10,
+    /// Not cached, and the responder declines to fetch it.
+    MissNoFetch = 21,
+    /// Request refused.
+    Denied = 22,
+    /// Paper Section VI-A: incremental directory update (bit flips).
+    DirUpdate = 32,
+    /// Companion full-bitmap update (bootstrap / recovery), in the
+    /// spirit of Squid 1.2's cache digests.
+    DirFull = 33,
+}
+
+impl Opcode {
+    /// Decode an opcode byte.
+    pub fn from_u8(v: u8) -> Option<Opcode> {
+        Some(match v {
+            1 => Opcode::Query,
+            2 => Opcode::Hit,
+            3 => Opcode::Miss,
+            4 => Opcode::Err,
+            10 => Opcode::Secho,
+            21 => Opcode::MissNoFetch,
+            22 => Opcode::Denied,
+            32 => Opcode::DirUpdate,
+            33 => Opcode::DirFull,
+            _ => return None,
+        })
+    }
+}
+
+/// The payload of a directory update: the self-describing hash spec and
+/// either bit flips (incremental) or the whole bitmap (full).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirUpdate {
+    /// `Function_Num`: number of hash functions.
+    pub function_num: u16,
+    /// `Function_Bits`: digest bits per function.
+    pub function_bits: u16,
+    /// `BitArray_Size_InBits`.
+    pub bit_array_size: u32,
+    /// The update content.
+    pub content: DirContent,
+}
+
+/// Incremental or full-bitmap content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirContent {
+    /// Bit flips to apply (DIRUPDATE).
+    Flips(Vec<Flip>),
+    /// The complete bit array, packed little-endian u64 words (DIRFULL).
+    Bitmap(Vec<u64>),
+}
+
+/// A decoded ICP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcpMessage {
+    /// "Do you have this URL?" — sent on a local miss (ICP) or to a
+    /// summary candidate (SC-ICP).
+    Query {
+        /// Query id, echoed in replies.
+        request_number: u32,
+        /// Original requester address (RFC 2186 carries it before the URL).
+        requester: u32,
+        /// The document asked about.
+        url: String,
+    },
+    /// "Yes, fresh copy here."
+    Hit {
+        /// Echoed query id.
+        request_number: u32,
+        /// Echoed URL.
+        url: String,
+    },
+    /// "No."
+    Miss {
+        /// Echoed query id.
+        request_number: u32,
+        /// Echoed URL.
+        url: String,
+    },
+    /// "No, and don't ask me to fetch it."
+    MissNoFetch {
+        /// Echoed query id.
+        request_number: u32,
+        /// Echoed URL.
+        url: String,
+    },
+    /// Refused.
+    Denied {
+        /// Echoed query id.
+        request_number: u32,
+        /// Echoed URL.
+        url: String,
+    },
+    /// Protocol error report.
+    Err {
+        /// Echoed query id.
+        request_number: u32,
+        /// Echoed URL (may be empty).
+        url: String,
+    },
+    /// Keep-alive ping (the no-ICP baseline's only inter-proxy traffic).
+    Secho {
+        /// Ping id (unused, 0 by convention).
+        request_number: u32,
+        /// Unused; empty on the wire.
+        url: String,
+    },
+    /// Summary directory update.
+    DirUpdate {
+        /// Message id (not echoed; updates are fire-and-forget).
+        request_number: u32,
+        /// The publishing proxy's id (from the sender-host field).
+        sender: u32,
+        /// The update payload.
+        update: DirUpdate,
+    },
+}
+
+/// Decode errors. Every malformed input maps to one of these; decoding
+/// never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcpError {
+    /// Fewer than 20 bytes.
+    TruncatedHeader,
+    /// Header's message length disagrees with the buffer.
+    LengthMismatch {
+        /// Length the header claims.
+        header: u16,
+        /// Bytes actually received.
+        actual: usize,
+    },
+    /// Unknown opcode byte.
+    UnknownOpcode(u8),
+    /// Unsupported version byte.
+    BadVersion(u8),
+    /// Payload shorter than its opcode requires.
+    TruncatedPayload,
+    /// URL bytes were not valid UTF-8.
+    BadUrl,
+    /// URL missing its null terminator.
+    UnterminatedUrl,
+    /// DIRUPDATE payload inconsistent (count vs bytes, bitmap size).
+    BadDirUpdate(&'static str),
+    /// Message would exceed the u16 length field.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for IcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IcpError::TruncatedHeader => write!(f, "ICP header truncated"),
+            IcpError::LengthMismatch { header, actual } => {
+                write!(f, "header claims {header} bytes, datagram has {actual}")
+            }
+            IcpError::UnknownOpcode(op) => write!(f, "unknown ICP opcode {op}"),
+            IcpError::BadVersion(v) => write!(f, "unsupported ICP version {v}"),
+            IcpError::TruncatedPayload => write!(f, "ICP payload truncated"),
+            IcpError::BadUrl => write!(f, "URL is not valid UTF-8"),
+            IcpError::UnterminatedUrl => write!(f, "URL missing null terminator"),
+            IcpError::BadDirUpdate(what) => write!(f, "malformed DIRUPDATE: {what}"),
+            IcpError::TooLarge(n) => write!(f, "message of {n} bytes exceeds ICP's 64 KiB"),
+        }
+    }
+}
+
+impl std::error::Error for IcpError {}
+
+impl IcpMessage {
+    /// Encode to a datagram. `sender` fills the RFC header's sender-host
+    /// field for the reply/query opcodes (DirUpdate carries its own).
+    pub fn encode(&self, sender: u32) -> Result<Bytes, IcpError> {
+        let mut body = BytesMut::new();
+        let (opcode, request_number, sender_host) = match self {
+            IcpMessage::Query {
+                request_number,
+                requester,
+                url,
+            } => {
+                body.put_u32(*requester);
+                put_url(&mut body, url);
+                (Opcode::Query, *request_number, sender)
+            }
+            IcpMessage::Hit { request_number, url } => {
+                put_url(&mut body, url);
+                (Opcode::Hit, *request_number, sender)
+            }
+            IcpMessage::Miss { request_number, url } => {
+                put_url(&mut body, url);
+                (Opcode::Miss, *request_number, sender)
+            }
+            IcpMessage::MissNoFetch { request_number, url } => {
+                put_url(&mut body, url);
+                (Opcode::MissNoFetch, *request_number, sender)
+            }
+            IcpMessage::Denied { request_number, url } => {
+                put_url(&mut body, url);
+                (Opcode::Denied, *request_number, sender)
+            }
+            IcpMessage::Err { request_number, url } => {
+                put_url(&mut body, url);
+                (Opcode::Err, *request_number, sender)
+            }
+            IcpMessage::Secho { request_number, url } => {
+                put_url(&mut body, url);
+                (Opcode::Secho, *request_number, sender)
+            }
+            IcpMessage::DirUpdate {
+                request_number,
+                sender: s,
+                update,
+            } => {
+                body.put_u16(update.function_num);
+                body.put_u16(update.function_bits);
+                body.put_u32(update.bit_array_size);
+                let opcode = match &update.content {
+                    DirContent::Flips(flips) => {
+                        body.put_u32(flips.len() as u32);
+                        for f in flips {
+                            body.put_u32(f.to_wire());
+                        }
+                        Opcode::DirUpdate
+                    }
+                    DirContent::Bitmap(words) => {
+                        body.put_u32(words.len() as u32);
+                        for w in words {
+                            body.put_u64_le(*w);
+                        }
+                        Opcode::DirFull
+                    }
+                };
+                (opcode, *request_number, *s)
+            }
+        };
+        let total = HEADER_LEN + body.len();
+        if total > u16::MAX as usize {
+            return Err(IcpError::TooLarge(total));
+        }
+        let mut out = BytesMut::with_capacity(total);
+        out.put_u8(opcode as u8);
+        out.put_u8(ICP_VERSION);
+        out.put_u16(total as u16);
+        out.put_u32(request_number);
+        out.put_u32(0); // options
+        out.put_u32(0); // option data
+        out.put_u32(sender_host);
+        out.extend_from_slice(&body);
+        Ok(out.freeze())
+    }
+
+    /// Decode one datagram.
+    pub fn decode(datagram: &[u8]) -> Result<IcpMessage, IcpError> {
+        if datagram.len() < HEADER_LEN {
+            return Err(IcpError::TruncatedHeader);
+        }
+        let mut buf = datagram;
+        let opcode_byte = buf.get_u8();
+        let version = buf.get_u8();
+        if version != ICP_VERSION {
+            return Err(IcpError::BadVersion(version));
+        }
+        let msg_len = buf.get_u16();
+        if msg_len as usize != datagram.len() {
+            return Err(IcpError::LengthMismatch {
+                header: msg_len,
+                actual: datagram.len(),
+            });
+        }
+        let request_number = buf.get_u32();
+        let _options = buf.get_u32();
+        let _option_data = buf.get_u32();
+        let sender_host = buf.get_u32();
+        let opcode = Opcode::from_u8(opcode_byte).ok_or(IcpError::UnknownOpcode(opcode_byte))?;
+        match opcode {
+            Opcode::Query => {
+                if buf.remaining() < 4 {
+                    return Err(IcpError::TruncatedPayload);
+                }
+                let requester = buf.get_u32();
+                let url = take_url(buf)?;
+                Ok(IcpMessage::Query {
+                    request_number,
+                    requester,
+                    url,
+                })
+            }
+            Opcode::Hit => Ok(IcpMessage::Hit {
+                request_number,
+                url: take_url(buf)?,
+            }),
+            Opcode::Miss => Ok(IcpMessage::Miss {
+                request_number,
+                url: take_url(buf)?,
+            }),
+            Opcode::MissNoFetch => Ok(IcpMessage::MissNoFetch {
+                request_number,
+                url: take_url(buf)?,
+            }),
+            Opcode::Denied => Ok(IcpMessage::Denied {
+                request_number,
+                url: take_url(buf)?,
+            }),
+            Opcode::Err => Ok(IcpMessage::Err {
+                request_number,
+                url: take_url(buf)?,
+            }),
+            Opcode::Secho => Ok(IcpMessage::Secho {
+                request_number,
+                url: take_url(buf)?,
+            }),
+            Opcode::DirUpdate | Opcode::DirFull => {
+                if buf.remaining() < DIRUPDATE_HEADER_LEN {
+                    return Err(IcpError::TruncatedPayload);
+                }
+                let function_num = buf.get_u16();
+                let function_bits = buf.get_u16();
+                let bit_array_size = buf.get_u32();
+                let count = buf.get_u32() as usize;
+                let content = if opcode == Opcode::DirUpdate {
+                    if buf.remaining() != count * 4 {
+                        return Err(IcpError::BadDirUpdate("flip count vs payload size"));
+                    }
+                    let mut flips = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        flips.push(Flip::from_wire(buf.get_u32()));
+                    }
+                    DirContent::Flips(flips)
+                } else {
+                    if buf.remaining() != count * 8 {
+                        return Err(IcpError::BadDirUpdate("word count vs payload size"));
+                    }
+                    if count != (bit_array_size as usize).div_ceil(64) {
+                        return Err(IcpError::BadDirUpdate("bitmap words vs bit array size"));
+                    }
+                    let mut words = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        words.push(buf.get_u64_le());
+                    }
+                    DirContent::Bitmap(words)
+                };
+                Ok(IcpMessage::DirUpdate {
+                    request_number,
+                    sender: sender_host,
+                    update: DirUpdate {
+                        function_num,
+                        function_bits,
+                        bit_array_size,
+                        content,
+                    },
+                })
+            }
+        }
+    }
+}
+
+fn put_url(buf: &mut BytesMut, url: &str) {
+    buf.extend_from_slice(url.as_bytes());
+    buf.put_u8(0);
+}
+
+fn take_url(mut buf: &[u8]) -> Result<String, IcpError> {
+    let nul = buf
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(IcpError::UnterminatedUrl)?;
+    let url = std::str::from_utf8(&buf[..nul]).map_err(|_| IcpError::BadUrl)?;
+    let s = url.to_string();
+    buf.advance(nul + 1);
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(msg: IcpMessage) {
+        let bytes = msg.encode(0xC0A80001).unwrap();
+        let back = IcpMessage::decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn query_roundtrip_and_layout() {
+        let msg = IcpMessage::Query {
+            request_number: 42,
+            requester: 0x0A000001,
+            url: "http://example.com/x".into(),
+        };
+        let bytes = msg.encode(7).unwrap();
+        assert_eq!(bytes[0], 1, "opcode");
+        assert_eq!(bytes[1], 2, "version");
+        let len = u16::from_be_bytes([bytes[2], bytes[3]]) as usize;
+        assert_eq!(len, bytes.len());
+        assert_eq!(len, 20 + 4 + 20 + 1, "header + requester + url + NUL");
+        assert_eq!(*bytes.last().unwrap(), 0, "null-terminated URL");
+        roundtrip(msg);
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        for make in [
+            |u: String| IcpMessage::Hit { request_number: 1, url: u },
+            |u: String| IcpMessage::Miss { request_number: 2, url: u },
+            |u: String| IcpMessage::MissNoFetch { request_number: 3, url: u },
+            |u: String| IcpMessage::Denied { request_number: 4, url: u },
+            |u: String| IcpMessage::Err { request_number: 5, url: u },
+        ] {
+            roundtrip(make("http://a/b?q=1".into()));
+        }
+    }
+
+    #[test]
+    fn dirupdate_roundtrip() {
+        let msg = IcpMessage::DirUpdate {
+            request_number: 9,
+            sender: 0x7F000001,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 1 << 20,
+                content: DirContent::Flips(vec![
+                    Flip::set(0),
+                    Flip::clear(12345),
+                    Flip::set((1 << 20) - 1),
+                ]),
+            },
+        };
+        let bytes = msg.encode(0).unwrap();
+        assert_eq!(bytes[0], 32, "ICP_OP_DIRUPDATE");
+        assert_eq!(bytes.len(), 20 + 12 + 3 * 4);
+        roundtrip(msg);
+    }
+
+    #[test]
+    fn dirfull_roundtrip() {
+        let msg = IcpMessage::DirUpdate {
+            request_number: 10,
+            sender: 1,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 130, // 3 words
+                content: DirContent::Bitmap(vec![u64::MAX, 0, 0b11]),
+            },
+        };
+        let bytes = msg.encode(0).unwrap();
+        assert_eq!(bytes[0], 33, "DIRFULL");
+        roundtrip(msg);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            IcpMessage::decode(&[1, 2, 3]),
+            Err(IcpError::TruncatedHeader)
+        );
+        let ok = IcpMessage::Hit {
+            request_number: 0,
+            url: "http://a/".into(),
+        }
+        .encode(0)
+        .unwrap();
+        // Wrong version.
+        let mut bad = ok.to_vec();
+        bad[1] = 3;
+        assert_eq!(IcpMessage::decode(&bad), Err(IcpError::BadVersion(3)));
+        // Wrong length field.
+        let mut bad = ok.to_vec();
+        bad[2] = 0xFF;
+        bad[3] = 0xFF;
+        assert!(matches!(
+            IcpMessage::decode(&bad),
+            Err(IcpError::LengthMismatch { .. })
+        ));
+        // Unknown opcode.
+        let mut bad = ok.to_vec();
+        bad[0] = 99;
+        assert_eq!(IcpMessage::decode(&bad), Err(IcpError::UnknownOpcode(99)));
+        // Unterminated URL.
+        let mut bad = ok.to_vec();
+        let n = bad.len();
+        bad[n - 1] = b'x';
+        assert_eq!(IcpMessage::decode(&bad), Err(IcpError::UnterminatedUrl));
+    }
+
+    #[test]
+    fn dirupdate_length_checks() {
+        let msg = IcpMessage::DirUpdate {
+            request_number: 0,
+            sender: 0,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 64,
+                content: DirContent::Flips(vec![Flip::set(1)]),
+            },
+        };
+        let mut bytes = msg.encode(0).unwrap().to_vec();
+        // Claim two flips but carry one.
+        let off = 20 + 8; // Number_of_Updates field offset
+        bytes[off..off + 4].copy_from_slice(&2u32.to_be_bytes());
+        assert!(matches!(
+            IcpMessage::decode(&bytes),
+            Err(IcpError::BadDirUpdate(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_message_rejected_at_encode() {
+        let msg = IcpMessage::DirUpdate {
+            request_number: 0,
+            sender: 0,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 1 << 24,
+                content: DirContent::Flips((0..20_000).map(Flip::set).collect()),
+            },
+        };
+        assert!(matches!(msg.encode(0), Err(IcpError::TooLarge(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_query_roundtrip(reqnum in any::<u32>(), requester in any::<u32>(),
+                                url in "[a-zA-Z0-9:/._?&=%-]{0,200}") {
+            let msg = IcpMessage::Query { request_number: reqnum, requester, url };
+            let bytes = msg.encode(0).unwrap();
+            prop_assert_eq!(IcpMessage::decode(&bytes).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_dirupdate_roundtrip(words in proptest::collection::vec(any::<u32>(), 0..64),
+                                    k in 1u16..16, m in 1u32..1_000_000) {
+            let msg = IcpMessage::DirUpdate {
+                request_number: 1,
+                sender: 2,
+                update: DirUpdate {
+                    function_num: k,
+                    function_bits: 32,
+                    bit_array_size: m,
+                    content: DirContent::Flips(words.into_iter().map(Flip::from_wire).collect()),
+                },
+            };
+            let bytes = msg.encode(0).unwrap();
+            prop_assert_eq!(IcpMessage::decode(&bytes).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = IcpMessage::decode(&data);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # summary-cache
+//!
+//! A from-scratch Rust reproduction of *Summary Cache: A Scalable
+//! Wide-Area Web Cache Sharing Protocol* (Fan, Cao, Almeida, Broder —
+//! SIGCOMM 1998 / IEEE ToN June 2000): the protocol that popularized
+//! Bloom filters in networked systems and introduced the **counting
+//! Bloom filter**.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`bloom`] — Bloom filters, counting Bloom filters, the MD5-derived
+//!   hash family, delta journals, and the false-positive analysis;
+//! * [`md5`] — RFC 1321 MD5, implemented from scratch;
+//! * [`cache`] — byte-budget LRU caches with the paper's web policy;
+//! * [`trace`] — calibrated synthetic workloads standing in for the
+//!   paper's five proprietary traces;
+//! * [`core`] — the summary-cache protocol: directory summaries
+//!   (exact / server-name / Bloom), update policies, peer tables, the
+//!   wire-cost model and the Section V-F scalability calculator;
+//! * [`wire`] — ICPv2 (RFC 2186) plus the paper's `ICP_OP_DIRUPDATE`
+//!   extension, and a minimal HTTP/1.x codec;
+//! * [`sim`] — trace-driven simulators for Figs. 1–2 and 5–8;
+//! * [`proxy`] — a live tokio proxy cluster reproducing the testbed
+//!   experiments (Tables II, IV, V).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use summary_cache::core::{ProxySummary, SummaryKind, PeerTable, PeerId};
+//!
+//! // A proxy summarizes its cache directory as a Bloom filter…
+//! let mut mine = ProxySummary::new(SummaryKind::recommended(), 64 << 20);
+//! mine.insert(b"http://example.com/a", b"example.com");
+//! mine.publish();
+//!
+//! // …and peers probe the published snapshot before querying anyone.
+//! let mut peers = PeerTable::new();
+//! peers.install(1 as PeerId, mine.snapshot_published());
+//! assert_eq!(peers.probe_all(b"http://example.com/a", b"example.com"), vec![1]);
+//! assert!(peers.probe_all(b"http://example.com/b", b"example.com").is_empty());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the per-table/figure experiment
+//! harnesses.
+
+pub use sc_bloom as bloom;
+pub use sc_cache as cache;
+pub use sc_md5 as md5;
+pub use sc_proxy as proxy;
+pub use sc_sim as sim;
+pub use sc_trace as trace;
+pub use sc_wire as wire;
+pub use summary_cache_core as core;

@@ -1,0 +1,172 @@
+//! Cross-crate integration: trace generation → simulators → the
+//! paper's qualitative claims, end to end.
+
+use summary_cache::core::{SummaryKind, UpdatePolicy};
+use summary_cache::sim::{
+    simulate_scheme, simulate_summary_cache, SchemeKind, SummaryCacheConfig,
+};
+use summary_cache::trace::{profile, TraceStats};
+
+fn upisa() -> (summary_cache::trace::Trace, u64) {
+    let trace = profile("UPisa").expect("profile").generate_scaled(10);
+    let budget = TraceStats::compute(&trace).infinite_cache_bytes / 10;
+    (trace, budget)
+}
+
+/// Fig. 1's headline: sharing schemes beat no-sharing decisively and
+/// land within a band of the unified global cache.
+#[test]
+fn sharing_beats_isolation_on_every_profile() {
+    for name in ["UPisa", "NLANR"] {
+        let trace = profile(name).unwrap().generate_scaled(20);
+        let budget = TraceStats::compute(&trace).infinite_cache_bytes / 10;
+        let hit = |s| simulate_scheme(&trace, s, budget).rates().total_hit_ratio;
+        let none = hit(SchemeKind::NoSharing);
+        let simple = hit(SchemeKind::SimpleSharing);
+        let global = hit(SchemeKind::Global);
+        assert!(simple > none + 0.05, "{name}: {simple} vs {none}");
+        assert!(
+            (simple - global).abs() < 0.12,
+            "{name}: simple {simple} should track global {global}"
+        );
+    }
+}
+
+/// Fig. 2's headline: hit-ratio degradation grows with the update
+/// threshold, and is small at 1%.
+#[test]
+fn update_delay_degrades_gracefully() {
+    let (trace, budget) = upisa();
+    let run = |t: f64| {
+        let cfg = SummaryCacheConfig {
+            kind: SummaryKind::ExactDirectory,
+            policy: UpdatePolicy::Threshold(t),
+            multicast_updates: false,
+        };
+        simulate_summary_cache(&trace, &cfg, budget)
+            .metrics
+            .rates()
+            .total_hit_ratio
+    };
+    let fresh = run(0.0);
+    let one = run(0.01);
+    let ten = run(0.10);
+    assert!(one <= fresh + 1e-9 && ten <= one + 1e-9, "monotone: {fresh} {one} {ten}");
+    assert!(fresh - one < 0.02, "1% threshold costs little: {}", fresh - one);
+    assert!(fresh - ten < 0.08, "even 10% is survivable: {}", fresh - ten);
+}
+
+/// Fig. 6's ordering: false hits — server-name ≫ bloom-8 > bloom-16 >
+/// bloom-32 ≥ exact-directory.
+#[test]
+fn false_hit_ordering_across_representations() {
+    let (trace, budget) = upisa();
+    let run = |kind| {
+        let cfg = SummaryCacheConfig {
+            kind,
+            policy: UpdatePolicy::Threshold(0.01),
+            multicast_updates: false,
+        };
+        simulate_summary_cache(&trace, &cfg, budget)
+            .metrics
+            .rates()
+            .false_hit_ratio
+    };
+    let exact = run(SummaryKind::ExactDirectory);
+    let server = run(SummaryKind::ServerName);
+    let b8 = run(SummaryKind::Bloom { load_factor: 8, hashes: 4 });
+    let b16 = run(SummaryKind::Bloom { load_factor: 16, hashes: 4 });
+    let b32 = run(SummaryKind::Bloom { load_factor: 32, hashes: 4 });
+    assert!(server > b8, "server {server} > bloom8 {b8}");
+    assert!(b8 > b16, "bloom8 {b8} > bloom16 {b16}");
+    assert!(b16 > b32, "bloom16 {b16} > bloom32 {b32}");
+    assert!(b32 >= exact, "bloom32 {b32} >= exact {exact}");
+    assert!(exact < 0.01, "exact-directory false hits are deletion lag only");
+}
+
+/// Fig. 5's headline: every representation's *hit ratio* lands within a
+/// point or two of exact-directory — the errors barely cost hits.
+#[test]
+fn hit_ratio_insensitive_to_representation() {
+    let (trace, budget) = upisa();
+    let run = |kind| {
+        let cfg = SummaryCacheConfig {
+            kind,
+            policy: UpdatePolicy::Threshold(0.01),
+            multicast_updates: false,
+        };
+        simulate_summary_cache(&trace, &cfg, budget)
+            .metrics
+            .rates()
+            .total_hit_ratio
+    };
+    let exact = run(SummaryKind::ExactDirectory);
+    for kind in [
+        SummaryKind::ServerName,
+        SummaryKind::Bloom { load_factor: 8, hashes: 4 },
+        SummaryKind::Bloom { load_factor: 32, hashes: 4 },
+    ] {
+        let h = run(kind);
+        assert!(
+            (h - exact).abs() < 0.02,
+            "{kind:?}: {h} vs exact {exact}"
+        );
+    }
+}
+
+/// Fig. 7's headline: summary cache sends far fewer messages than ICP.
+#[test]
+fn summary_cache_slashes_messages() {
+    let (trace, budget) = upisa();
+    let cfg = SummaryCacheConfig {
+        kind: SummaryKind::Bloom { load_factor: 16, hashes: 4 },
+        policy: UpdatePolicy::EveryRequests(300),
+        multicast_updates: false,
+    };
+    let r = simulate_summary_cache(&trace, &cfg, budget);
+    let sc = r.metrics.queries_sent + r.metrics.update_messages;
+    assert!(
+        r.icp_queries as f64 / sc as f64 > 10.0,
+        "icp {} vs sc {}",
+        r.icp_queries,
+        sc
+    );
+    // Fig. 8: bytes drop too.
+    let sc_bytes = r.metrics.query_bytes + r.metrics.update_bytes;
+    assert!(
+        sc_bytes * 2 < r.icp_query_bytes,
+        "bytes cut by >50%: sc {} vs icp {}",
+        sc_bytes,
+        r.icp_query_bytes
+    );
+}
+
+/// The NLANR anomaly: the same trace with duplicate simultaneous
+/// cross-group requests loses more hit ratio to update delay than a
+/// clean trace does (Section V-A's diagnosis).
+#[test]
+fn nlanr_anomaly_amplifies_delay_sensitivity() {
+    let nlanr = profile("NLANR").unwrap().generate_scaled(10);
+    let dec = profile("DEC").unwrap().generate_scaled(10);
+    let loss = |trace: &summary_cache::trace::Trace| {
+        let budget = TraceStats::compute(trace).infinite_cache_bytes / 10;
+        let run = |t| {
+            let cfg = SummaryCacheConfig {
+                kind: SummaryKind::ExactDirectory,
+                policy: UpdatePolicy::Threshold(t),
+                multicast_updates: false,
+            };
+            simulate_summary_cache(trace, &cfg, budget)
+                .metrics
+                .rates()
+                .total_hit_ratio
+        };
+        run(0.0) - run(0.01)
+    };
+    assert!(
+        loss(&nlanr) > loss(&dec),
+        "NLANR must be more delay-sensitive: {} vs {}",
+        loss(&nlanr),
+        loss(&dec)
+    );
+}

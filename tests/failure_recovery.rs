@@ -1,0 +1,125 @@
+//! Section VI-B failure handling, live: a silent peer's summary
+//! replica is dropped (no more candidates point at it), and a peer
+//! heard again after a failure receives a full-bitmap
+//! reinitialization.
+
+use std::time::Duration;
+use summary_cache::cache::DocMeta;
+use summary_cache::proxy::client::ProxyClient;
+use summary_cache::proxy::{Cluster, ClusterConfig, Mode};
+use summary_cache::wire::icp::{DirContent, IcpMessage};
+
+fn sc_mode() -> Mode {
+    Mode::SummaryCache {
+        load_factor: 16,
+        hashes: 4,
+        policy: summary_cache::core::UpdatePolicy::Threshold(0.0),
+    }
+}
+
+fn cluster_cfg() -> ClusterConfig {
+    ClusterConfig {
+        proxies: 2,
+        mode: sc_mode(),
+        cache_bytes: 8 << 20,
+        expected_docs: 1_000,
+        origin_delay: Duration::from_millis(1),
+        icp_timeout_ms: 200,
+        keepalive_ms: 50, // failure threshold = 3 periods = 150 ms
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn silent_peer_replica_is_evicted() {
+    let cluster = Cluster::start(&cluster_cfg()).await.unwrap();
+    // Traffic from proxy 1 populates proxy 0's replica of it.
+    let mut c1 =
+        ProxyClient::connect(cluster.daemons[1].http_addr, cluster.daemons[1].stats.clone())
+            .await
+            .unwrap();
+    c1.get(
+        "http://server-1.trace.invalid/doc/1",
+        DocMeta { size: 500, last_modified: 1 },
+    )
+    .await
+    .unwrap();
+    tokio::time::sleep(Duration::from_millis(120)).await;
+    assert_eq!(
+        cluster.daemons[0].replicated_peers(),
+        vec![1],
+        "proxy 0 replicated proxy 1's summary"
+    );
+
+    // Proxy 1 dies; after >3 keep-alive periods proxy 0 must drop it.
+    cluster.daemons[1].shutdown();
+    tokio::time::sleep(Duration::from_millis(500)).await;
+    assert!(
+        cluster.daemons[0].replicated_peers().is_empty(),
+        "failed peer's replica evicted"
+    );
+    assert!(cluster.daemons[0].stats.snapshot().peer_failures >= 1);
+    cluster.origin.shutdown();
+    cluster.daemons[0].shutdown();
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn recovered_peer_receives_full_bitmap() {
+    let mut cluster = Cluster::start(&cluster_cfg()).await.unwrap();
+    let peer1_icp = cluster.daemons[1].icp_addr;
+    // Take proxy 1 out of the cluster so its sockets can actually close
+    // once its tasks observe the shutdown.
+    let d1 = cluster.daemons.remove(1);
+    let d0 = &cluster.daemons[0];
+
+    // Proxy 0 caches something so its summary is non-empty.
+    let mut c0 = ProxyClient::connect(d0.http_addr, d0.stats.clone()).await.unwrap();
+    c0.get(
+        "http://server-0.trace.invalid/doc/9",
+        DocMeta { size: 500, last_modified: 1 },
+    )
+    .await
+    .unwrap();
+
+    // Kill proxy 1 (dropping the handle releases its sockets once the
+    // tasks observe the signal) and wait for proxy 0 to declare it
+    // failed.
+    d1.shutdown();
+    drop(d1);
+    tokio::time::sleep(Duration::from_millis(500)).await;
+    assert!(d0.stats.snapshot().peer_failures >= 1);
+
+    // "Restart" proxy 1: bind a fresh socket on its old ICP port and
+    // send a keep-alive. Proxy 0 must answer with a DIRFULL
+    // reinitialization of its own directory.
+    let revived = tokio::net::UdpSocket::bind(peer1_icp).await.expect(
+        "rebind the dead peer's ICP port",
+    );
+    let hello = IcpMessage::Secho {
+        request_number: 0,
+        url: String::new(),
+    }
+    .encode(1)
+    .unwrap();
+    revived.send_to(&hello, d0.icp_addr).await.unwrap();
+
+    let mut buf = vec![0u8; 65536];
+    let full = tokio::time::timeout(Duration::from_secs(2), async {
+        loop {
+            let (n, _) = revived.recv_from(&mut buf).await.unwrap();
+            if let Ok(IcpMessage::DirUpdate { update, .. }) = IcpMessage::decode(&buf[..n]) {
+                if let DirContent::Bitmap(words) = update.content {
+                    return words;
+                }
+            }
+        }
+    })
+    .await
+    .expect("full bitmap arrives after recovery");
+    assert!(
+        full.iter().any(|&w| w != 0),
+        "reinitialization carries proxy 0's non-empty directory"
+    );
+    assert!(d0.stats.snapshot().peer_recoveries >= 1);
+    cluster.origin.shutdown();
+    d0.shutdown();
+}

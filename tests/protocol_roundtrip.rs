@@ -1,0 +1,198 @@
+//! Protocol-level integration: a proxy's summary travels through the
+//! actual wire format (DIRUPDATE / DIRFULL datagrams) into a peer's
+//! replica, which must then answer probes identically — including
+//! across lost and reordered updates, the failure mode the absolute
+//! bit-flip encoding was designed for (Section VI-A).
+
+use summary_cache::bloom::{BitVec, BloomFilter, HashSpec};
+use summary_cache::core::{ProxySummary, SummaryKind, SummarySnapshot};
+use summary_cache::wire::icp::{DirContent, DirUpdate, IcpMessage};
+
+fn url(i: u32) -> (String, String) {
+    (
+        format!("http://server-{}.trace.invalid/doc/{i}", i / 12),
+        format!("server-{}.trace.invalid", i / 12),
+    )
+}
+
+/// Encode one publish as DIRUPDATE datagrams (mirroring the daemon).
+fn encode_publish(summary: &ProxySummary, full: bool, flips: Vec<summary_cache::bloom::Flip>) -> Vec<Vec<u8>> {
+    let SummarySnapshot::Bloom { spec, bits } = summary.snapshot_published() else {
+        panic!("bloom summaries only");
+    };
+    let mk = |content| {
+        IcpMessage::DirUpdate {
+            request_number: 1,
+            sender: 9,
+            update: DirUpdate {
+                function_num: spec.k(),
+                function_bits: spec.function_bits(),
+                bit_array_size: spec.table_bits(),
+                content,
+            },
+        }
+        .encode(9)
+        .expect("fits")
+        .to_vec()
+    };
+    if full {
+        vec![mk(DirContent::Bitmap(bits.as_words().to_vec()))]
+    } else {
+        flips
+            .chunks(300)
+            .map(|c| mk(DirContent::Flips(c.to_vec())))
+            .collect()
+    }
+}
+
+/// Apply received datagrams to a replica (mirroring the daemon).
+fn apply(replica: &mut Option<BloomFilter>, datagram: &[u8]) {
+    let IcpMessage::DirUpdate { update, .. } = IcpMessage::decode(datagram).expect("valid") else {
+        panic!("expected a directory update");
+    };
+    let spec = HashSpec::new(
+        update.function_num,
+        update.function_bits,
+        update.bit_array_size,
+    )
+    .expect("valid spec");
+    let f = replica.get_or_insert_with(|| {
+        BloomFilter::from_parts(spec, BitVec::new(spec.table_bits() as usize))
+    });
+    match update.content {
+        DirContent::Flips(flips) => {
+            for fl in flips {
+                f.apply_flip(fl.index(), fl.set_bit());
+            }
+        }
+        DirContent::Bitmap(words) => {
+            f.replace_bits(BitVec::from_words(spec.table_bits() as usize, words));
+        }
+    }
+}
+
+fn assert_replica_matches(summary: &ProxySummary, replica: &BloomFilter, upto: u32) {
+    for i in 0..upto {
+        let (u, s) = url(i);
+        assert_eq!(
+            replica.contains(u.as_bytes()),
+            summary.probe_published(u.as_bytes(), s.as_bytes()),
+            "replica and published view disagree on doc {i}"
+        );
+    }
+}
+
+#[test]
+fn delta_updates_reconstruct_the_published_view() {
+    let kind = SummaryKind::Bloom { load_factor: 16, hashes: 4 };
+    let mut summary = ProxySummary::with_expected_docs(kind, 2_000);
+    let mut replica: Option<BloomFilter> = None;
+
+    // Round 1: 150 inserts — few enough that the delta (≤600 flips,
+    // ≤2432 B) beats the full bitmap (32000 bits → 4032 B).
+    for i in 0..150 {
+        let (u, s) = url(i);
+        summary.insert(u.as_bytes(), s.as_bytes());
+    }
+    let out = summary.publish();
+    assert!(!out.full_bitmap, "delta must win at this churn level");
+    for d in encode_publish(&summary, out.full_bitmap, out.flips) {
+        apply(&mut replica, &d);
+    }
+    assert_replica_matches(&summary, replica.as_ref().unwrap(), 700);
+
+    // Round 2: churn — 100 removals, 100 fresh inserts, ship the delta.
+    for i in 0..100 {
+        let (u, s) = url(i);
+        summary.remove(u.as_bytes(), s.as_bytes());
+        let (u2, s2) = url(10_000 + i);
+        summary.insert(u2.as_bytes(), s2.as_bytes());
+    }
+    let out = summary.publish();
+    for d in encode_publish(&summary, out.full_bitmap, out.flips) {
+        apply(&mut replica, &d);
+    }
+    assert_replica_matches(&summary, replica.as_ref().unwrap(), 400);
+    let (gone, gs) = url(10);
+    assert!(!replica.as_ref().unwrap().contains(gone.as_bytes()));
+    assert!(!summary.probe_published(gone.as_bytes(), gs.as_bytes()));
+}
+
+#[test]
+fn full_bitmap_recovers_from_lost_updates() {
+    let kind = SummaryKind::Bloom { load_factor: 8, hashes: 4 };
+    let mut summary = ProxySummary::with_expected_docs(kind, 1_000);
+    let mut replica: Option<BloomFilter> = None;
+
+    // First publish is LOST (never applied).
+    for i in 0..300 {
+        let (u, s) = url(i);
+        summary.insert(u.as_bytes(), s.as_bytes());
+    }
+    let lost = summary.publish();
+    drop(lost);
+
+    // Second publish as a full bitmap (the bootstrap/recovery path):
+    for i in 300..400 {
+        let (u, s) = url(i);
+        summary.insert(u.as_bytes(), s.as_bytes());
+    }
+    let out = summary.publish();
+    // Force the full-bitmap form regardless of what publish chose.
+    for d in encode_publish(&summary, true, Vec::new()) {
+        apply(&mut replica, &d);
+    }
+    assert_replica_matches(&summary, replica.as_ref().unwrap(), 500);
+    let _ = out;
+}
+
+#[test]
+fn redundant_and_reordered_deltas_are_harmless() {
+    // Absolute flips: applying a datagram twice, or applying the same
+    // round's datagrams in any order, yields the same replica.
+    let kind = SummaryKind::Bloom { load_factor: 16, hashes: 4 };
+    // 400 inserts into a 64000-bit filter: ~1500 flips, so the delta
+    // (~6 KB) still beats the full bitmap (8 KB) and spans several
+    // 300-flip datagrams.
+    let mut summary = ProxySummary::with_expected_docs(kind, 4_000);
+    for i in 0..400 {
+        let (u, s) = url(i);
+        summary.insert(u.as_bytes(), s.as_bytes());
+    }
+    let out = summary.publish();
+    assert!(!out.full_bitmap, "delta must win at this churn level");
+    let datagrams = encode_publish(&summary, out.full_bitmap, out.flips);
+    assert!(datagrams.len() > 1, "need multiple chunks to reorder");
+
+    let mut forward: Option<BloomFilter> = None;
+    for d in &datagrams {
+        apply(&mut forward, d);
+    }
+    let mut reversed: Option<BloomFilter> = None;
+    for d in datagrams.iter().rev() {
+        apply(&mut reversed, d);
+    }
+    let mut doubled: Option<BloomFilter> = None;
+    for d in datagrams.iter().chain(datagrams.iter()) {
+        apply(&mut doubled, d);
+    }
+    assert_eq!(forward.as_ref().unwrap().bits(), reversed.as_ref().unwrap().bits());
+    assert_eq!(forward.as_ref().unwrap().bits(), doubled.as_ref().unwrap().bits());
+    assert_replica_matches(&summary, forward.as_ref().unwrap(), 2_200);
+}
+
+#[test]
+fn spec_change_reinitializes_replica() {
+    // A peer that restarts with a different filter size announces it in
+    // every update header; the replica must be rebuilt, not patched.
+    let small = HashSpec::new(4, 32, 1_024).unwrap();
+    let large = HashSpec::new(4, 32, 2_048).unwrap();
+    let mut replica = BloomFilter::from_parts(small, BitVec::new(1_024));
+    replica.apply_flip(5, true);
+    // Simulate the daemon's spec check.
+    if replica.spec() != large {
+        replica = BloomFilter::from_parts(large, BitVec::new(2_048));
+    }
+    assert_eq!(replica.spec(), large);
+    assert_eq!(replica.bits().count_ones(), 0, "stale bits discarded");
+}

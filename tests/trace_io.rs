@@ -1,0 +1,48 @@
+//! Trace persistence integration: a generated profile survives a trip
+//! through both file formats with its statistics intact, so experiments
+//! can be re-run from archived traces.
+
+use summary_cache::trace::{io, profile, TraceStats};
+
+#[test]
+fn jsonl_file_roundtrip_preserves_statistics() {
+    let trace = profile("UCB").unwrap().generate_scaled(50);
+    let stats = TraceStats::compute(&trace);
+
+    let dir = std::env::temp_dir().join("summary-cache-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ucb.jsonl");
+
+    io::save_jsonl(&trace, std::fs::File::create(&path).unwrap()).unwrap();
+    let back = io::load_jsonl(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(back, trace);
+    assert_eq!(TraceStats::compute(&back), stats);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn log_file_roundtrip_preserves_statistics() {
+    let trace = profile("Questnet").unwrap().generate_scaled(50);
+    let dir = std::env::temp_dir().join("summary-cache-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("questnet.log");
+
+    io::save_log(&trace, std::fs::File::create(&path).unwrap()).unwrap();
+    let back = io::load_log(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(back, trace);
+    assert_eq!(back.name, "Questnet");
+    assert_eq!(back.groups, 12);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn formats_agree_with_each_other() {
+    let trace = profile("DEC").unwrap().generate_scaled(100);
+    let mut jsonl = Vec::new();
+    io::save_jsonl(&trace, &mut jsonl).unwrap();
+    let mut log = Vec::new();
+    io::save_log(&trace, &mut log).unwrap();
+    let a = io::load_jsonl(jsonl.as_slice()).unwrap();
+    let b = io::load_log(log.as_slice()).unwrap();
+    assert_eq!(a, b);
+}
