@@ -2,66 +2,56 @@
 //! DESIGN.md calls out: probe cost vs hash count k, and counting-filter
 //! maintenance vs the plain filter.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sc_bloom::{BloomFilter, CountingBloomFilter, FilterConfig};
+use sc_util::bench::{black_box, Bench};
 
 fn url(i: u32) -> Vec<u8> {
     format!("http://server-{}.trace.invalid/doc/{}", i / 12, i).into_bytes()
 }
 
-fn bench_ops(c: &mut Criterion) {
+fn bench_ops(b: &mut Bench) {
     let cfg = FilterConfig::with_load_factor(100_000, 8, 4);
 
-    c.bench_function("bloom/insert", |b| {
+    {
         let mut f = BloomFilter::new(cfg);
         let mut i = 0u32;
-        b.iter(|| {
+        b.bench("insert", || {
             f.insert(black_box(&url(i)));
             i = i.wrapping_add(1);
-        })
-    });
+        });
+    }
 
-    c.bench_function("bloom/query-hit", |b| {
+    {
         let mut f = BloomFilter::new(cfg);
         for i in 0..100_000 {
             f.insert(&url(i));
         }
         let mut i = 0u32;
-        b.iter(|| {
-            let hit = f.contains(black_box(&url(i % 100_000)));
+        b.bench("query-hit", || {
+            black_box(f.contains(black_box(&url(i % 100_000))));
             i = i.wrapping_add(1);
-            hit
-        })
-    });
-
-    c.bench_function("bloom/query-miss", |b| {
-        let mut f = BloomFilter::new(cfg);
-        for i in 0..100_000 {
-            f.insert(&url(i));
-        }
+        });
         let mut i = 1_000_000u32;
-        b.iter(|| {
-            let hit = f.contains(black_box(&url(i)));
+        b.bench("query-miss", || {
+            black_box(f.contains(black_box(&url(i))));
             i = i.wrapping_add(1);
-            hit
-        })
-    });
+        });
+    }
 
-    c.bench_function("counting/insert+remove", |b| {
+    {
         let mut f = CountingBloomFilter::new(cfg);
         let mut i = 0u32;
-        b.iter(|| {
+        b.bench("counting/insert+remove", || {
             let u = url(i);
             f.insert(black_box(&u));
             f.remove(black_box(&u));
             i = i.wrapping_add(1);
-        })
-    });
+        });
+    }
 }
 
 /// Ablation: probe cost as a function of k at a fixed load factor.
-fn bench_k_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bloom/probe-vs-k");
+fn bench_k_sweep(b: &mut Bench) {
     for k in [2u16, 4, 6, 8, 12] {
         let cfg = FilterConfig {
             bits: 1 << 20,
@@ -72,48 +62,46 @@ fn bench_k_sweep(c: &mut Criterion) {
         for i in 0..50_000 {
             f.insert(&url(i));
         }
-        g.bench_with_input(BenchmarkId::from_parameter(k), &f, |b, f| {
-            let mut i = 0u32;
-            b.iter(|| {
-                let hit = f.contains(black_box(&url(i)));
-                i = i.wrapping_add(1);
-                hit
-            })
+        let mut i = 0u32;
+        b.bench(&format!("probe-vs-k/{k}"), || {
+            black_box(f.contains(black_box(&url(i))));
+            i = i.wrapping_add(1);
         });
     }
-    g.finish();
 }
 
 /// Delta-update encoding: diffing a published baseline against the live
 /// bits — the per-publish cost of the protocol.
-fn bench_delta(c: &mut Criterion) {
+fn bench_delta(b: &mut Bench) {
     let cfg = FilterConfig::with_load_factor(100_000, 8, 4);
-    c.bench_function("bloom/delta-diff-1%churn", |b| {
-        let mut f = CountingBloomFilter::new(cfg);
-        for i in 0..100_000 {
-            f.insert(&url(i));
-        }
-        let baseline = f.bits().clone();
-        // 1% churn.
-        for i in 0..1_000 {
-            f.remove(&url(i));
-            f.insert(&url(200_000 + i));
-        }
-        b.iter(|| baseline.diff_indices(black_box(f.bits())))
+    let mut f = CountingBloomFilter::new(cfg);
+    for i in 0..100_000 {
+        f.insert(&url(i));
+    }
+    let baseline = f.bits().clone();
+    // 1% churn.
+    for i in 0..1_000 {
+        f.remove(&url(i));
+        f.insert(&url(200_000 + i));
+    }
+    b.bench("delta-diff-1%churn", || {
+        black_box(baseline.diff_indices(black_box(f.bits())));
     });
 }
 
 /// MD5 vs Rabin hash family (the paper's Section V-D alternative) and
 /// the Golomb-coded bitmap transmission.
-fn bench_alternatives(c: &mut Criterion) {
+fn bench_alternatives(b: &mut Bench) {
     let key = b"http://server-123.trace.invalid/doc/456789";
 
-    let mut g = c.benchmark_group("hash-family/4-indices");
     let md5_spec = sc_bloom::HashSpec::paper_default(4, 1 << 20).unwrap();
-    g.bench_function("md5", |b| b.iter(|| md5_spec.indices(black_box(key))));
+    b.bench("hash-family/4-indices/md5", || {
+        black_box(md5_spec.indices(black_box(key)));
+    });
     let rabin = sc_bloom::rabin::RabinFamily::new(4, 1 << 20);
-    g.bench_function("rabin", |b| b.iter(|| rabin.indices(black_box(key))));
-    g.finish();
+    b.bench("hash-family/4-indices/rabin", || {
+        black_box(rabin.indices(black_box(key)));
+    });
 
     // Compression of a realistic published bitmap (fill ~0.22, the k=4
     // load-factor-16 operating point).
@@ -121,16 +109,19 @@ fn bench_alternatives(c: &mut Criterion) {
     for i in 0..50_000 {
         f.insert(&url(i));
     }
-    let mut g = c.benchmark_group("bitmap-transmission");
-    g.bench_function("golomb-compress", |b| {
-        b.iter(|| sc_bloom::compress(black_box(f.bits())))
+    b.bench("bitmap/golomb-compress", || {
+        black_box(sc_bloom::compress(black_box(f.bits())));
     });
     let coded = sc_bloom::compress(f.bits());
-    g.bench_function("golomb-decompress", |b| {
-        b.iter(|| sc_bloom::decompress(black_box(&coded)).unwrap())
+    b.bench("bitmap/golomb-decompress", || {
+        black_box(sc_bloom::decompress(black_box(&coded)).unwrap());
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_ops, bench_k_sweep, bench_delta, bench_alternatives);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("bloom");
+    bench_ops(&mut b);
+    bench_k_sweep(&mut b);
+    bench_delta(&mut b);
+    bench_alternatives(&mut b);
+}

@@ -3,24 +3,19 @@
 //! incurred by caching documents" (Section V-E); this bench quantifies
 //! the per-URL hashing cost that claim rests on.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sc_util::bench::{black_box, Bench};
 
-fn bench_md5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("md5");
+fn main() {
+    let mut b = Bench::new("md5");
     for len in [16usize, 50, 200, 1024, 64 * 1024] {
         let data = vec![0xabu8; len];
-        g.throughput(Throughput::Bytes(len as u64));
-        g.bench_with_input(BenchmarkId::new("digest", len), &data, |b, d| {
-            b.iter(|| sc_md5::md5(black_box(d)))
+        b.bench_throughput(&format!("digest/{len}"), len as u64, || {
+            black_box(sc_md5::md5(black_box(&data)));
         });
     }
-    g.finish();
 
-    c.bench_function("md5/typical-url", |b| {
-        let url = b"http://server-123.trace.invalid/doc/456789";
-        b.iter(|| sc_md5::md5(black_box(url)))
+    let url = b"http://server-123.trace.invalid/doc/456789";
+    b.bench("typical-url", || {
+        black_box(sc_md5::md5(black_box(url)));
     });
 }
-
-criterion_group!(benches, bench_md5);
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! three-proxy loopback cluster per cooperation mode, with a zero-delay
 //! origin so the protocol path itself is what's measured.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sc_cache::DocMeta;
 use sc_proxy::client::ProxyClient;
 use sc_proxy::{Cluster, ClusterConfig, Mode};
+use sc_util::bench::Bench;
 use std::time::Duration;
 
 fn cluster_cfg(mode: Mode) -> ClusterConfig {
@@ -20,80 +20,56 @@ fn cluster_cfg(mode: Mode) -> ClusterConfig {
     }
 }
 
-fn bench_modes(c: &mut Criterion) {
-    let rt = tokio::runtime::Builder::new_multi_thread()
-        .worker_threads(4)
-        .enable_all()
-        .build()
-        .expect("tokio runtime");
+const BATCH: u64 = 200;
 
-    let mut g = c.benchmark_group("proxy/request-path");
-    g.sample_size(10);
-    const BATCH: u64 = 200;
-    g.throughput(Throughput::Elements(BATCH));
+fn main() {
+    let mut b = Bench::new("proxy");
 
     for mode in [Mode::NoIcp, Mode::Icp, Mode::summary_cache_default()] {
         // One long-lived cluster + connection per mode; each iteration
         // drives a batch of cache-miss requests through the full path
         // (parse, cache, peering, origin fetch, store, respond).
-        let cluster = rt.block_on(Cluster::start(&cluster_cfg(mode))).expect("cluster");
-        let mut client = rt
-            .block_on(ProxyClient::connect(
-                cluster.daemons[0].http_addr,
-                cluster.daemons[0].stats.clone(),
-            ))
-            .expect("connect");
-        let mut next_doc: u64 = 0;
-        g.bench_function(BenchmarkId::from_parameter(mode.label()), |b| {
-            b.iter(|| {
-                rt.block_on(async {
-                    for _ in 0..BATCH {
-                        let url = format!(
-                            "http://server-{}.trace.invalid/doc/{next_doc}",
-                            next_doc % 50
-                        );
-                        next_doc += 1;
-                        let status = client
-                            .get(&url, DocMeta { size: 2048, last_modified: 1 })
-                            .await
-                            .expect("request");
-                        assert_eq!(status, 200);
-                    }
-                })
-            })
-        });
-        cluster.shutdown();
-    }
-    g.finish();
-
-    // The hit path, isolated: one hot document requested repeatedly.
-    let mut g = c.benchmark_group("proxy/hit-path");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(BATCH));
-    let cluster = rt
-        .block_on(Cluster::start(&cluster_cfg(Mode::NoIcp)))
-        .expect("cluster");
-    let mut client = rt
-        .block_on(ProxyClient::connect(
+        let cluster = Cluster::start(&cluster_cfg(mode)).expect("cluster");
+        let mut client = ProxyClient::connect(
             cluster.daemons[0].http_addr,
             cluster.daemons[0].stats.clone(),
-        ))
+        )
         .expect("connect");
+        let mut next_doc: u64 = 0;
+        b.bench_throughput(
+            &format!("request-path/{}", mode.label()),
+            BATCH,
+            || {
+                for _ in 0..BATCH {
+                    let url = format!(
+                        "http://server-{}.trace.invalid/doc/{next_doc}",
+                        next_doc % 50
+                    );
+                    next_doc += 1;
+                    let status = client
+                        .get(&url, DocMeta { size: 2048, last_modified: 1 })
+                        .expect("request");
+                    assert_eq!(status, 200);
+                }
+            },
+        );
+        cluster.shutdown();
+    }
+
+    // The hit path, isolated: one hot document requested repeatedly.
+    let cluster = Cluster::start(&cluster_cfg(Mode::NoIcp)).expect("cluster");
+    let mut client = ProxyClient::connect(
+        cluster.daemons[0].http_addr,
+        cluster.daemons[0].stats.clone(),
+    )
+    .expect("connect");
     let url = "http://server-0.trace.invalid/doc/hot";
     let meta = DocMeta { size: 2048, last_modified: 1 };
-    rt.block_on(client.get(url, meta)).expect("warm");
-    g.bench_function("local-hit", |b| {
-        b.iter(|| {
-            rt.block_on(async {
-                for _ in 0..BATCH {
-                    client.get(url, meta).await.expect("hit");
-                }
-            })
-        })
+    client.get(url, meta).expect("warm");
+    b.bench_throughput("hit-path/local-hit", BATCH, || {
+        for _ in 0..BATCH {
+            client.get(url, meta).expect("hit");
+        }
     });
     cluster.shutdown();
-    g.finish();
 }
-
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);

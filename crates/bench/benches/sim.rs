@@ -2,9 +2,9 @@
 //! summary-cache simulators, so a full-scale figure run's cost is
 //! predictable.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use sc_sim::{simulate_scheme, simulate_summary_cache, SchemeKind, SummaryCacheConfig};
 use sc_trace::{GeneratorConfig, Trace, TraceGenerator, TraceStats};
+use sc_util::bench::{black_box, Bench};
 use summary_cache_core::{SummaryKind, UpdatePolicy};
 
 fn small_trace() -> Trace {
@@ -18,42 +18,41 @@ fn small_trace() -> Trace {
     .generate()
 }
 
-fn bench_sim(c: &mut Criterion) {
+fn main() {
     let trace = small_trace();
     let budget = TraceStats::compute(&trace).infinite_cache_bytes / 10;
+    let n = trace.len() as u64;
 
-    let mut g = c.benchmark_group("sim");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(trace.len() as u64));
+    let mut b = Bench::new("sim");
 
-    g.bench_function("schemes/simple-sharing", |b| {
-        b.iter(|| simulate_scheme(black_box(&trace), SchemeKind::SimpleSharing, budget))
+    b.bench_throughput("schemes/simple-sharing", n, || {
+        black_box(simulate_scheme(
+            black_box(&trace),
+            SchemeKind::SimpleSharing,
+            budget,
+        ));
     });
-    g.bench_function("schemes/global", |b| {
-        b.iter(|| simulate_scheme(black_box(&trace), SchemeKind::Global, budget))
+    b.bench_throughput("schemes/global", n, || {
+        black_box(simulate_scheme(black_box(&trace), SchemeKind::Global, budget));
     });
-    g.bench_function("summary/bloom-lf8", |b| {
-        let cfg = SummaryCacheConfig {
-            kind: SummaryKind::Bloom { load_factor: 8, hashes: 4 },
-            policy: UpdatePolicy::Threshold(0.01),
-            multicast_updates: false,
-        };
-        b.iter(|| simulate_summary_cache(black_box(&trace), &cfg, budget))
+    let bloom_cfg = SummaryCacheConfig {
+        kind: SummaryKind::Bloom { load_factor: 8, hashes: 4 },
+        policy: UpdatePolicy::Threshold(0.01),
+        multicast_updates: false,
+    };
+    b.bench_throughput("summary/bloom-lf8", n, || {
+        black_box(simulate_summary_cache(black_box(&trace), &bloom_cfg, budget));
     });
-    g.bench_function("summary/exact-directory", |b| {
-        let cfg = SummaryCacheConfig {
-            kind: SummaryKind::ExactDirectory,
-            policy: UpdatePolicy::Threshold(0.01),
-            multicast_updates: false,
-        };
-        b.iter(|| simulate_summary_cache(black_box(&trace), &cfg, budget))
+    let exact_cfg = SummaryCacheConfig {
+        kind: SummaryKind::ExactDirectory,
+        policy: UpdatePolicy::Threshold(0.01),
+        multicast_updates: false,
+    };
+    b.bench_throughput("summary/exact-directory", n, || {
+        black_box(simulate_summary_cache(black_box(&trace), &exact_cfg, budget));
     });
-    g.finish();
 
-    c.bench_function("trace/generate-20k", |b| {
-        b.iter(small_trace)
+    b.bench("trace/generate-20k", || {
+        black_box(small_trace());
     });
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! every peer summary on every local miss, and the publish that turns
 //! pending changes into an update message.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_util::bench::{black_box, Bench};
 use summary_cache_core::{ProxySummary, SummaryKind};
 
 fn keys(i: u32) -> (Vec<u8>, Vec<u8>) {
@@ -31,57 +31,40 @@ fn loaded(kind: SummaryKind, docs: u32) -> ProxySummary {
     s
 }
 
-fn bench_probe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("summary/probe");
+fn main() {
+    let mut b = Bench::new("summary");
+
     for kind in kinds() {
         let s = loaded(kind, 20_000);
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &s, |b, s| {
-            let mut i = 0u32;
-            b.iter(|| {
-                let (u, srv) = keys(i % 40_000);
-                i = i.wrapping_add(1);
-                s.probe_published(black_box(&u), black_box(&srv))
-            })
+        let mut i = 0u32;
+        b.bench(&format!("probe/{}", kind.label()), || {
+            let (u, srv) = keys(i % 40_000);
+            i = i.wrapping_add(1);
+            black_box(s.probe_published(black_box(&u), black_box(&srv)));
         });
     }
-    g.finish();
-}
 
-fn bench_maintenance(c: &mut Criterion) {
-    let mut g = c.benchmark_group("summary/insert+remove");
     for kind in kinds() {
-        g.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
-            let mut s = loaded(kind, 20_000);
-            let mut i = 100_000u32;
-            b.iter(|| {
+        let mut s = loaded(kind, 20_000);
+        let mut i = 100_000u32;
+        b.bench(&format!("insert+remove/{}", kind.label()), || {
+            let (u, srv) = keys(i);
+            s.insert(&u, &srv);
+            s.remove(&u, &srv);
+            i = i.wrapping_add(1);
+        });
+    }
+
+    for kind in kinds() {
+        let mut s = loaded(kind, 20_000);
+        let mut i = 500_000u32;
+        b.bench(&format!("publish-1%churn/{}", kind.label()), || {
+            for _ in 0..200 {
                 let (u, srv) = keys(i);
                 s.insert(&u, &srv);
-                s.remove(&u, &srv);
                 i = i.wrapping_add(1);
-            })
+            }
+            black_box(s.publish());
         });
     }
-    g.finish();
 }
-
-fn bench_publish(c: &mut Criterion) {
-    let mut g = c.benchmark_group("summary/publish-1%churn");
-    for kind in kinds() {
-        g.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
-            let mut s = loaded(kind, 20_000);
-            let mut i = 500_000u32;
-            b.iter(|| {
-                for _ in 0..200 {
-                    let (u, srv) = keys(i);
-                    s.insert(&u, &srv);
-                    i = i.wrapping_add(1);
-                }
-                black_box(s.publish())
-            })
-        });
-    }
-    g.finish();
-}
-
-criterion_group!(benches, bench_probe, bench_maintenance, bench_publish);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! Codec costs: ICP query/reply and DIRUPDATE encode/decode, and the
 //! HTTP head parser — the per-message CPU the protocol adds.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use sc_bloom::Flip;
+use sc_util::bench::{black_box, Bench};
 use sc_wire::http;
 use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
 
-fn bench_icp(c: &mut Criterion) {
+fn bench_icp(b: &mut Bench) {
     let query = IcpMessage::Query {
         request_number: 42,
         requester: 7,
@@ -14,11 +14,11 @@ fn bench_icp(c: &mut Criterion) {
     };
     let query_bytes = query.encode(1).unwrap();
 
-    c.bench_function("icp/encode-query", |b| {
-        b.iter(|| black_box(&query).encode(1).unwrap())
+    b.bench("icp/encode-query", || {
+        black_box(black_box(&query).encode(1).unwrap());
     });
-    c.bench_function("icp/decode-query", |b| {
-        b.iter(|| IcpMessage::decode(black_box(&query_bytes)).unwrap())
+    b.bench("icp/decode-query", || {
+        black_box(IcpMessage::decode(black_box(&query_bytes)).unwrap());
     });
 
     let update = IcpMessage::DirUpdate {
@@ -32,18 +32,23 @@ fn bench_icp(c: &mut Criterion) {
         },
     };
     let update_bytes = update.encode(1).unwrap();
-    let mut g = c.benchmark_group("icp/dirupdate");
-    g.throughput(Throughput::Bytes(update_bytes.len() as u64));
-    g.bench_function("encode-320-flips", |b| {
-        b.iter(|| black_box(&update).encode(1).unwrap())
-    });
-    g.bench_function("decode-320-flips", |b| {
-        b.iter(|| IcpMessage::decode(black_box(&update_bytes)).unwrap())
-    });
-    g.finish();
+    b.bench_throughput(
+        "icp/dirupdate/encode-320-flips",
+        update_bytes.len() as u64,
+        || {
+            black_box(black_box(&update).encode(1).unwrap());
+        },
+    );
+    b.bench_throughput(
+        "icp/dirupdate/decode-320-flips",
+        update_bytes.len() as u64,
+        || {
+            black_box(IcpMessage::decode(black_box(&update_bytes)).unwrap());
+        },
+    );
 }
 
-fn bench_http(c: &mut Criterion) {
+fn bench_http(b: &mut Bench) {
     let req = http::build_request(
         "http://server-123.trace.invalid/doc/456789",
         &[
@@ -52,19 +57,20 @@ fn bench_http(c: &mut Criterion) {
             ("X-Doc-LM", "123456"),
         ],
     );
-    c.bench_function("http/parse-request", |b| {
-        b.iter(|| http::parse_request(black_box(req.as_bytes())).unwrap())
+    b.bench("http/parse-request", || {
+        black_box(http::parse_request(black_box(req.as_bytes())).unwrap());
     });
-    c.bench_function("http/build-response", |b| {
-        b.iter(|| {
-            http::build_response(
-                200,
-                "OK",
-                &[("Content-Length", "8192"), ("X-Doc-LM", "123456")],
-            )
-        })
+    b.bench("http/build-response", || {
+        black_box(http::build_response(
+            200,
+            "OK",
+            &[("Content-Length", "8192"), ("X-Doc-LM", "123456")],
+        ));
     });
 }
 
-criterion_group!(benches, bench_icp, bench_http);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new("wire");
+    bench_icp(&mut b);
+    bench_http(&mut b);
+}

@@ -14,10 +14,8 @@ use sc_bench::{pct, rule, write_results};
 use sc_bloom::analysis;
 use sc_sim::{simulate_summary_cache, SummaryCacheConfig};
 use sc_trace::{profile, TraceStats};
-use serde::Serialize;
 use summary_cache_core::{wire_cost, SummaryKind, UpdatePolicy};
 
-#[derive(Serialize)]
 struct KRow {
     k: u16,
     predicted_fp: f64,
@@ -25,20 +23,22 @@ struct KRow {
     messages_per_request: f64,
 }
 
-#[derive(Serialize)]
 struct LfRow {
     load_factor: u32,
     false_hit_ratio: f64,
     summary_fraction_of_cache: f64,
 }
 
-#[derive(Serialize)]
 struct PolicyRow {
     policy: String,
     total_hit_ratio: f64,
     publishes: u64,
     update_bytes: u64,
 }
+
+sc_json::json_struct!(KRow { k, predicted_fp, false_hit_ratio, messages_per_request });
+sc_json::json_struct!(LfRow { load_factor, false_hit_ratio, summary_fraction_of_cache });
+sc_json::json_struct!(PolicyRow { policy, total_hit_ratio, publishes, update_bytes });
 
 fn main() {
     let trace = profile("UPisa").expect("profile").generate_scaled(sc_bench::scale().max(2));
@@ -201,10 +201,10 @@ fn main() {
 
     write_results(
         "ablation",
-        &serde_json::json!({
-            "k_sweep": k_rows,
-            "load_factor_sweep": lf_rows,
-            "policies": policy_rows,
-        }),
+        &sc_json::obj! {
+            "k_sweep" => k_rows,
+            "load_factor_sweep" => lf_rows,
+            "policies" => policy_rows,
+        },
     );
 }

@@ -10,9 +10,7 @@
 use sc_bench::{all_profiles, load_trace, pct, rule, write_results};
 use sc_sim::{simulate_scheme, SchemeKind};
 use sc_trace::TraceStats;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     trace: String,
     cache_fraction: f64,
@@ -20,6 +18,8 @@ struct Row {
     total_hit_ratio: f64,
     byte_hit_ratio: f64,
 }
+
+sc_json::json_struct!(Row { trace, cache_fraction, scheme, total_hit_ratio, byte_hit_ratio });
 
 fn main() {
     println!("Fig. 1: hit ratios under cooperative caching schemes");

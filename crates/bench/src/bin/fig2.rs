@@ -16,10 +16,9 @@
 use sc_bench::{all_profiles, load_trace, pct, rule, write_results};
 use sc_sim::{simulate_summary_cache, SummaryCacheConfig};
 use sc_trace::TraceStats;
-use serde::Serialize;
 use summary_cache_core::{SummaryKind, UpdatePolicy};
 
-#[derive(Serialize, Clone)]
+#[derive(Clone)]
 struct Row {
     trace: String,
     policy: String,
@@ -28,6 +27,15 @@ struct Row {
     false_hit_ratio: f64,
     false_miss_ratio: f64,
 }
+
+sc_json::json_struct!(Row {
+    trace,
+    policy,
+    total_hit_ratio,
+    remote_stale_hit_ratio,
+    false_hit_ratio,
+    false_miss_ratio
+});
 
 fn run(
     trace: &sc_trace::Trace,

@@ -7,15 +7,15 @@
 
 use sc_bench::{rule, write_results};
 use sc_bloom::analysis;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     bits_per_entry: f64,
     p_four_hashes: f64,
     k_optimal: u32,
     p_optimal: f64,
 }
+
+sc_json::json_struct!(Row { bits_per_entry, p_four_hashes, k_optimal, p_optimal });
 
 fn main() {
     println!("Fig. 4: Bloom filter false-positive probability vs bits per entry");

@@ -17,10 +17,8 @@
 use sc_bench::{all_profiles, load_trace, pct, rule, write_results};
 use sc_sim::{simulate_summary_cache, SummaryCacheConfig};
 use sc_trace::TraceStats;
-use serde::Serialize;
 use summary_cache_core::{SummaryKind, UpdatePolicy};
 
-#[derive(Serialize)]
 struct Row {
     trace: String,
     representation: String,
@@ -33,6 +31,19 @@ struct Row {
     message_reduction_factor: f64,
     byte_reduction: f64,
 }
+
+sc_json::json_struct!(Row {
+    trace,
+    representation,
+    total_hit_ratio,
+    false_hit_ratio,
+    messages_per_request,
+    bytes_per_request,
+    icp_messages_per_request,
+    icp_bytes_per_request,
+    message_reduction_factor,
+    byte_reduction
+});
 
 fn kinds() -> Vec<SummaryKind> {
     vec![

@@ -8,10 +8,8 @@
 use sc_bench::{all_profiles, load_trace, pct, rule, write_results};
 use sc_sim::{simulate_hierarchy, HierarchyConfig, SummaryCacheConfig};
 use sc_trace::TraceStats;
-use serde::Serialize;
 use summary_cache_core::{SummaryKind, UpdatePolicy};
 
-#[derive(Serialize)]
 struct Row {
     trace: String,
     sibling_sharing: bool,
@@ -22,6 +20,17 @@ struct Row {
     parent_load: f64,
     sibling_queries_per_request: f64,
 }
+
+sc_json::json_struct!(Row {
+    trace,
+    sibling_sharing,
+    child_hit,
+    sibling_hit,
+    parent_hit,
+    hierarchy_hit,
+    parent_load,
+    sibling_queries_per_request
+});
 
 fn main() {
     println!("Hierarchy extension: child tier (+/- sibling summary cache) behind one parent");

@@ -7,9 +7,7 @@ use sc_sim::replacement::simulate_scheme_with_policy;
 use sc_sim::SchemeKind;
 use sc_cache::Policy;
 use sc_trace::TraceStats;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     trace: String,
     policy: String,
@@ -18,6 +16,8 @@ struct Row {
     global: f64,
     sharing_gain: f64,
 }
+
+sc_json::json_struct!(Row { trace, policy, no_sharing, simple_sharing, global, sharing_gain });
 
 fn main() {
     println!("Replacement-policy sensitivity (cache = 10% of infinite)");

@@ -13,11 +13,9 @@
 use sc_bench::{pct, rule, scale, write_results};
 use sc_sim::{simulate_summary_cache, SummaryCacheConfig};
 use sc_trace::{GeneratorConfig, TraceGenerator, TraceStats};
-use serde::Serialize;
 use summary_cache_core::scalability::{estimate, Deployment};
 use summary_cache_core::{SummaryKind, UpdatePolicy};
 
-#[derive(Serialize)]
 struct AnalyticRow {
     proxies: u32,
     summary_mb: f64,
@@ -27,13 +25,27 @@ struct AnalyticRow {
     overhead_msgs_per_request: f64,
 }
 
-#[derive(Serialize)]
 struct SimRow {
     groups: u32,
     sc_messages_per_request: f64,
     icp_messages_per_request: f64,
     total_hit_ratio: f64,
 }
+
+sc_json::json_struct!(AnalyticRow {
+    proxies,
+    summary_mb,
+    peer_memory_mb,
+    update_msgs_per_request,
+    false_hit_per_request,
+    overhead_msgs_per_request
+});
+sc_json::json_struct!(SimRow {
+    groups,
+    sc_messages_per_request,
+    icp_messages_per_request,
+    total_hit_ratio
+});
 
 fn main() {
     println!("Section V-F: scalability");
@@ -125,6 +137,6 @@ fn main() {
     println!("paper: summary-cache overhead stays near-flat — it scales to ~100 proxies.");
     write_results(
         "scalability",
-        &serde_json::json!({ "analytic": analytic, "simulation": sims }),
+        &sc_json::obj! { "analytic" => analytic, "simulation" => sims },
     );
 }

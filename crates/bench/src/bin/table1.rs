@@ -9,9 +9,7 @@
 
 use sc_bench::{all_profiles, load_trace, pct, rule, write_results};
 use sc_trace::TraceStats;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     trace: String,
     groups: u32,
@@ -23,6 +21,18 @@ struct Row {
     max_hit_ratio: f64,
     max_byte_hit_ratio: f64,
 }
+
+sc_json::json_struct!(Row {
+    trace,
+    groups,
+    duration_hours,
+    requests,
+    clients,
+    unique_documents,
+    infinite_cache_mb,
+    max_hit_ratio,
+    max_byte_hit_ratio
+});
 
 fn main() {
     println!("Table I: statistics about the (synthetic stand-in) traces");

@@ -1,5 +1,5 @@
 //! Table II — overhead of ICP in the four-proxy case, measured on the
-//! live tokio cluster.
+//! live threaded cluster.
 //!
 //! The paper's setup (Section IV): 4 Squid proxies, 120 synthetic
 //! clients (30 per proxy) issuing 200 requests each with zero think
@@ -28,7 +28,7 @@ fn bench_cfg(hit_ratio: f64, seed: u64) -> BenchmarkConfig {
     }
 }
 
-async fn run_mode(mode: Mode, hit_ratio: f64) -> ExperimentReport {
+fn run_mode(mode: Mode, hit_ratio: f64) -> ExperimentReport {
     let cfg = ClusterConfig {
         proxies: 4,
         mode,
@@ -38,13 +38,12 @@ async fn run_mode(mode: Mode, hit_ratio: f64) -> ExperimentReport {
         icp_timeout_ms: 500,
         keepalive_ms: 1_000,
     };
-    let cluster = Cluster::start(&cfg).await.expect("cluster start");
+    let cluster = Cluster::start(&cfg).expect("cluster start");
     let cpu0 = CpuTimes::now();
     // Same seed across modes: "we use the same seeds ... to ensure
     // comparable results".
     let wall = cluster
         .run_benchmark(&bench_cfg(hit_ratio, 0xBEEF))
-        .await
         .expect("benchmark run");
     let report = ExperimentReport::build(mode, wall, &cpu0, &cluster);
     cluster.shutdown();
@@ -87,32 +86,23 @@ fn print_block(reports: &[ExperimentReport]) {
 }
 
 fn main() {
-    let rt = tokio::runtime::Builder::new_multi_thread()
-        .worker_threads(6)
-        .enable_all()
-        .build()
-        .expect("tokio runtime");
-    rt.block_on(async move {
-        println!(
-            "Table II: ICP overhead, 4 proxies, 120 clients x 200 requests, no inter-proxy hits"
-        );
-        println!(
-            "(origin delay {} ms; paper used 1000 ms — set SC_ORIGIN_DELAY_MS to match)",
-            origin_delay_ms()
-        );
-        let mut all = Vec::new();
-        for hit_ratio in [0.25, 0.45] {
-            println!("\n=== inherent hit ratio {} ===", pct(hit_ratio));
-            let mut reports = Vec::new();
-            for mode in [Mode::NoIcp, Mode::Icp, Mode::summary_cache_default()] {
-                reports.push(run_mode(mode, hit_ratio).await);
-            }
-            print_block(&reports);
-            all.extend(reports);
+    println!("Table II: ICP overhead, 4 proxies, 120 clients x 200 requests, no inter-proxy hits");
+    println!(
+        "(origin delay {} ms; paper used 1000 ms — set SC_ORIGIN_DELAY_MS to match)",
+        origin_delay_ms()
+    );
+    let mut all = Vec::new();
+    for hit_ratio in [0.25, 0.45] {
+        println!("\n=== inherent hit ratio {} ===", pct(hit_ratio));
+        let mut reports = Vec::new();
+        for mode in [Mode::NoIcp, Mode::Icp, Mode::summary_cache_default()] {
+            reports.push(run_mode(mode, hit_ratio));
         }
-        println!();
-        println!("paper: ICP UDP x73-90, total packets +8-13%, user CPU +20-24%,");
-        println!("paper: latency +8-12%; SC-ICP within noise of no-ICP on all columns.");
-        write_results("table2", &all);
-    });
+        print_block(&reports);
+        all.extend(reports);
+    }
+    println!();
+    println!("paper: ICP UDP x73-90, total packets +8-13%, user CPU +20-24%,");
+    println!("paper: latency +8-12%; SC-ICP within noise of no-ICP on all columns.");
+    write_results("table2", &all);
 }

@@ -9,10 +9,8 @@
 use sc_bench::{all_profiles, load_trace, pct, rule, write_results};
 use sc_sim::{simulate_summary_cache, SummaryCacheConfig};
 use sc_trace::TraceStats;
-use serde::Serialize;
 use summary_cache_core::{SummaryKind, UpdatePolicy};
 
-#[derive(Serialize)]
 struct Row {
     trace: String,
     representation: String,
@@ -20,6 +18,14 @@ struct Row {
     own_summary_bytes: f64,
     fraction_of_cache: f64,
 }
+
+sc_json::json_struct!(Row {
+    trace,
+    representation,
+    peer_summaries_bytes,
+    own_summary_bytes,
+    fraction_of_cache
+});
 
 fn kinds() -> Vec<SummaryKind> {
     vec![

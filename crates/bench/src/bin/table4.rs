@@ -12,25 +12,18 @@ use sc_bench::write_results;
 use sc_proxy::{Mode, ReplayMode};
 
 fn main() {
-    let rt = tokio::runtime::Builder::new_multi_thread()
-        .worker_threads(6)
-        .enable_all()
-        .build()
-        .expect("tokio runtime");
-    rt.block_on(async move {
-        let trace = replay_trace();
-        println!(
-            "Table IV: UPisa replay, experiment 3 (per-client binding), {} requests, 4 proxies",
-            trace.len()
-        );
-        let mut reports = Vec::new();
-        for mode in [Mode::NoIcp, Mode::Icp, sc_prototype_mode()] {
-            reports.push(run_mode(mode, &trace, ReplayMode::PerClient).await);
-        }
-        print_table(&reports);
-        println!();
-        println!("paper: SC-ICP matches ICP's hit ratio within ~1 point, cuts UDP ~50x,");
-        println!("paper: and lowers client latency slightly below no-ICP (remote hits).");
-        write_results("table4", &reports);
-    });
+    let trace = replay_trace();
+    println!(
+        "Table IV: UPisa replay, experiment 3 (per-client binding), {} requests, 4 proxies",
+        trace.len()
+    );
+    let mut reports = Vec::new();
+    for mode in [Mode::NoIcp, Mode::Icp, sc_prototype_mode()] {
+        reports.push(run_mode(mode, &trace, ReplayMode::PerClient));
+    }
+    print_table(&reports);
+    println!();
+    println!("paper: SC-ICP matches ICP's hit ratio within ~1 point, cuts UDP ~50x,");
+    println!("paper: and lowers client latency slightly below no-ICP (remote hits).");
+    write_results("table4", &reports);
 }

@@ -13,25 +13,18 @@ use sc_bench::write_results;
 use sc_proxy::{Mode, ReplayMode};
 
 fn main() {
-    let rt = tokio::runtime::Builder::new_multi_thread()
-        .worker_threads(6)
-        .enable_all()
-        .build()
-        .expect("tokio runtime");
-    rt.block_on(async move {
-        let trace = replay_trace();
-        println!(
-            "Table V: UPisa replay, experiment 4 (round-robin dispatch), {} requests, 4 proxies",
-            trace.len()
-        );
-        let mut reports = Vec::new();
-        for mode in [Mode::NoIcp, Mode::Icp, sc_prototype_mode()] {
-            reports.push(run_mode(mode, &trace, ReplayMode::RoundRobin).await);
-        }
-        print_table(&reports);
-        println!();
-        println!("paper: same ordering as Table IV under load-balanced dispatch;");
-        println!("paper: SC-ICP keeps the remote hits while shedding ICP's UDP storm.");
-        write_results("table5", &reports);
-    });
+    let trace = replay_trace();
+    println!(
+        "Table V: UPisa replay, experiment 4 (round-robin dispatch), {} requests, 4 proxies",
+        trace.len()
+    );
+    let mut reports = Vec::new();
+    for mode in [Mode::NoIcp, Mode::Icp, sc_prototype_mode()] {
+        reports.push(run_mode(mode, &trace, ReplayMode::RoundRobin));
+    }
+    print_table(&reports);
+    println!();
+    println!("paper: same ordering as Table IV under load-balanced dispatch;");
+    println!("paper: SC-ICP keeps the remote hits while shedding ICP's UDP storm.");
+    write_results("table5", &reports);
 }

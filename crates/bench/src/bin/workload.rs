@@ -5,9 +5,7 @@
 
 use sc_bench::{all_profiles, load_trace, pct, rule, write_results};
 use sc_trace::analysis;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     trace: String,
     fitted_zipf_alpha: Option<f64>,
@@ -18,6 +16,17 @@ struct Row {
     size_p99: u64,
     mean_cross_group_overlap: f64,
 }
+
+sc_json::json_struct!(Row {
+    trace,
+    fitted_zipf_alpha,
+    sharing_potential,
+    stack_distance_p50,
+    stack_distance_p90,
+    size_p50,
+    size_p99,
+    mean_cross_group_overlap
+});
 
 fn main() {
     println!("Workload validation: measured structure of the synthetic traces");

@@ -14,7 +14,6 @@
 //! * `SC_RESULTS_DIR` — where JSON results land (default `results/`).
 
 use sc_trace::{profiles, Trace, TraceProfile};
-use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -61,11 +60,11 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Write one experiment's JSON rows.
-pub fn write_results<T: Serialize>(name: &str, rows: &T) {
+pub fn write_results<T: sc_json::ToJson>(name: &str, rows: &T) {
     let path = results_dir().join(format!("{name}.json"));
     match std::fs::File::create(&path) {
         Ok(mut f) => {
-            let _ = serde_json::to_writer_pretty(&mut f, rows);
+            let _ = f.write_all(rows.to_json().to_pretty().as_bytes());
             let _ = f.write_all(b"\n");
             eprintln!("[{name}] wrote {}", path.display());
         }

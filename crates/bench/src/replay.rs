@@ -31,7 +31,7 @@ pub fn sc_prototype_mode() -> Mode {
 
 /// Run one cooperation mode of a replay experiment (80 driver tasks:
 /// 20 per proxy, as in Section VII).
-pub async fn run_mode(mode: Mode, trace: &Trace, replay: ReplayMode) -> ExperimentReport {
+pub fn run_mode(mode: Mode, trace: &Trace, replay: ReplayMode) -> ExperimentReport {
     let cfg = ClusterConfig {
         proxies: 4,
         mode,
@@ -41,12 +41,9 @@ pub async fn run_mode(mode: Mode, trace: &Trace, replay: ReplayMode) -> Experime
         icp_timeout_ms: 500,
         keepalive_ms: 1_000,
     };
-    let cluster = Cluster::start(&cfg).await.expect("cluster start");
+    let cluster = Cluster::start(&cfg).expect("cluster start");
     let cpu0 = CpuTimes::now();
-    let wall = cluster
-        .run_replay(trace, 20, replay)
-        .await
-        .expect("replay run");
+    let wall = cluster.run_replay(trace, 20, replay).expect("replay run");
     let mut report = ExperimentReport::build(mode, wall, &cpu0, &cluster);
     // Tail latency across the whole cluster (merge per-proxy summaries
     // by picking the max — conservative and simple).

@@ -1,13 +1,12 @@
 //! A compact bit vector backing the Bloom filter's public bit array.
 
-use serde::{Deserialize, Serialize};
 
 /// A fixed-length vector of bits packed into `u64` words.
 ///
 /// This is the structure a proxy ships to its peers (as bytes or as bit-flip
 /// deltas); it deliberately exposes exactly the operations the protocol
 /// needs rather than being a general-purpose bitset.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitVec {
     len: usize,
     words: Vec<u64>,
@@ -139,7 +138,7 @@ impl BitVec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sc_util::prop::{check, index_set};
 
     #[test]
     fn set_get_roundtrip() {
@@ -215,23 +214,25 @@ mod tests {
         BitVec::from_words(65, vec![0, 0b100]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_ones_matches_popcount(indices in proptest::collection::btree_set(0usize..500, 0..100)) {
+    #[test]
+    fn prop_ones_matches_popcount() {
+        check("bits_ones_matches_popcount", 256, |rng| {
+            let indices = index_set(rng, 500, 0..100);
             let mut v = BitVec::new(500);
             for &i in &indices {
                 v.set(i, true);
             }
-            prop_assert_eq!(v.count_ones(), indices.len());
+            assert_eq!(v.count_ones(), indices.len());
             let collected: Vec<usize> = v.iter_ones().collect();
-            prop_assert_eq!(collected, indices.into_iter().collect::<Vec<_>>());
-        }
+            assert_eq!(collected, indices);
+        });
+    }
 
-        #[test]
-        fn prop_applying_diff_makes_equal(
-            xs in proptest::collection::btree_set(0usize..300, 0..60),
-            ys in proptest::collection::btree_set(0usize..300, 0..60),
-        ) {
+    #[test]
+    fn prop_applying_diff_makes_equal() {
+        check("bits_applying_diff_makes_equal", 256, |rng| {
+            let xs = index_set(rng, 300, 0..60);
+            let ys = index_set(rng, 300, 0..60);
             let mut a = BitVec::new(300);
             let mut b = BitVec::new(300);
             for &i in &xs { a.set(i, true); }
@@ -241,7 +242,7 @@ mod tests {
                 let bit = patched.get(i);
                 patched.set(i, !bit);
             }
-            prop_assert_eq!(patched, b);
-        }
+            assert_eq!(patched, b);
+        });
     }
 }

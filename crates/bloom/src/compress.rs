@@ -184,13 +184,12 @@ pub fn compressed_bytes(c: &CompressedBits) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use sc_util::prop::{check, index_set, vec_of};
+    use sc_util::Rng;
 
     fn random_bits(len: usize, fill: f64, seed: u64) -> BitVec {
         let mut b = BitVec::new(len);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for i in 0..len {
             if rng.gen_bool(fill) {
                 b.set(i, true);
@@ -273,22 +272,29 @@ mod tests {
         assert!(decompress(&c).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(indices in proptest::collection::btree_set(0usize..2048, 0..400)) {
+    #[test]
+    fn prop_roundtrip() {
+        check("compress_roundtrip", 256, |rng| {
+            let indices = index_set(rng, 2048, 0..400);
             let mut bits = BitVec::new(2048);
             for &i in &indices {
                 bits.set(i, true);
             }
             let c = compress(&bits);
-            prop_assert_eq!(decompress(&c).unwrap(), bits);
-        }
+            assert_eq!(decompress(&c).unwrap(), bits);
+        });
+    }
 
-        #[test]
-        fn prop_decompress_never_panics(len in 1u32..4096, ones in 0u32..500, rice in 0u8..12,
-                                        data in proptest::collection::vec(any::<u8>(), 0..256)) {
-            let c = CompressedBits { len, ones, rice, data };
+    #[test]
+    fn prop_decompress_never_panics() {
+        check("compress_decompress_never_panics", 512, |rng| {
+            let c = CompressedBits {
+                len: rng.gen_range(1u32..4096),
+                ones: rng.gen_range(0u32..500),
+                rice: rng.gen_range(0u8..12),
+                data: vec_of(rng, 0..256, |r| r.gen_range(0u8..=255)),
+            };
             let _ = decompress(&c);
-        }
+        });
     }
 }

@@ -18,14 +18,13 @@ use crate::bits::BitVec;
 use crate::delta::Flip;
 use crate::filter::FilterConfig;
 use crate::hashing::HashSpec;
-use serde::{Deserialize, Serialize};
 
 /// Default counter width from the paper: "4 bits per count would be amply
 /// sufficient".
 pub const DEFAULT_COUNTER_BITS: u8 = 4;
 
 /// A Bloom filter with per-position counters, supporting deletion.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountingBloomFilter {
     spec: HashSpec,
     bits: BitVec,
@@ -118,7 +117,7 @@ impl CountingBloomFilter {
                 self.saturations += 1;
                 continue; // paper: "simply let it stay at 15"
             }
-            self.set_count(i, c + 1);
+            self.set_count(i, c.saturating_add(1).min(self.max_count));
             if c == 0 {
                 self.bits.set(i, true);
                 flips.push(Flip::set(i as u32));
@@ -142,7 +141,7 @@ impl CountingBloomFilter {
                 self.underflows += 1;
                 continue;
             }
-            self.set_count(i, c - 1);
+            self.set_count(i, c.saturating_sub(1));
             if c == 1 {
                 self.bits.set(i, false);
                 flips.push(Flip::clear(i as u32));
@@ -202,7 +201,7 @@ impl CountingBloomFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sc_util::prop::{check, vec_of};
     use std::collections::BTreeSet;
 
     fn cfg(keys: usize, lf: u32) -> FilterConfig {
@@ -333,11 +332,12 @@ mod tests {
         assert_eq!(f.byte_len(), 1024 / 2 + 1024 / 8);
     }
 
-    proptest! {
-        /// The exported bit vector always equals "counter > 0" and matches
-        /// a plain Bloom filter over the live key multiset.
-        #[test]
-        fn prop_bits_consistent_with_counts(ops in proptest::collection::vec((0u32..64, any::<bool>()), 0..200)) {
+    /// The exported bit vector always equals "counter > 0" and matches
+    /// a plain Bloom filter over the live key multiset.
+    #[test]
+    fn prop_bits_consistent_with_counts() {
+        check("cbf_bits_consistent_with_counts", 256, |rng| {
+            let ops = vec_of(rng, 0..200, |r| (r.gen_range(0u32..64), r.gen_bool(0.5)));
             let config = cfg(64, 8);
             let mut f = CountingBloomFilter::new(config);
             let mut live: Vec<u32> = Vec::new();
@@ -350,21 +350,27 @@ mod tests {
                     f.remove(&url(key));
                 }
             }
-            prop_assume!(f.saturations() == 0);
+            if f.saturations() != 0 {
+                return; // clamped counters may legitimately diverge
+            }
             let mut plain = crate::BloomFilter::new(config);
             for &k in &live {
                 plain.insert(&url(k));
             }
-            prop_assert_eq!(f.bits(), plain.bits());
+            assert_eq!(f.bits(), plain.bits());
             for i in 0..64usize {
-                prop_assert_eq!(f.bits().get(i), f.count(i) > 0);
+                assert_eq!(f.bits().get(i), f.count(i) > 0);
             }
-        }
+        });
+    }
 
-        /// Packed counter storage: set_count/count round-trips at every
-        /// width and position, without disturbing neighbours.
-        #[test]
-        fn prop_counter_packing(width in 1u8..=8, values in proptest::collection::vec(any::<u8>(), 1..50)) {
+    /// Packed counter storage: set_count/count round-trips at every
+    /// width and position, without disturbing neighbours.
+    #[test]
+    fn prop_counter_packing() {
+        check("cbf_counter_packing", 256, |rng| {
+            let width = rng.gen_range(1u8..=8);
+            let values = vec_of(rng, 1..50, |r| r.gen_range(0u8..=255));
             let config = FilterConfig { bits: values.len() as u32, hashes: 1, function_bits: 32 };
             let mut f = CountingBloomFilter::with_counter_bits(config, width);
             let max = if width == 8 { 255 } else { (1u16 << width) as u8 - 1 };
@@ -373,8 +379,8 @@ mod tests {
                 f.set_count(i, v);
             }
             for (i, &v) in clamped.iter().enumerate() {
-                prop_assert_eq!(f.count(i), v, "width {} index {}", width, i);
+                assert_eq!(f.count(i), v, "width {} index {}", width, i);
             }
-        }
+        });
     }
 }

@@ -9,7 +9,6 @@
 //! updates may travel over unreliable transport.
 
 use crate::bits::BitVec;
-use serde::{Deserialize, Serialize};
 
 /// Largest representable bit index: the wire word keeps 31 bits for the
 /// index ("the design limits the hash table size to be less than
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 pub const MAX_FLIP_INDEX: u32 = (1 << 31) - 1;
 
 /// One absolute bit assignment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Flip(u32);
 
 impl Flip {
@@ -58,7 +57,7 @@ impl Flip {
 }
 
 /// An append-only journal of flips since the last summary update.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeltaLog {
     flips: Vec<Flip>,
 }
@@ -173,7 +172,7 @@ impl std::error::Error for FlipError {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sc_util::prop::{check, index_set};
 
     #[test]
     fn wire_roundtrip() {
@@ -242,12 +241,11 @@ mod tests {
         assert_eq!(DeltaLog::delta_bytes(10), 40);
     }
 
-    proptest! {
-        #[test]
-        fn prop_compact_replay_reaches_current(
-            base in proptest::collection::btree_set(0usize..128, 0..40),
-            cur in proptest::collection::btree_set(0usize..128, 0..40),
-        ) {
+    #[test]
+    fn prop_compact_replay_reaches_current() {
+        check("delta_compact_replay_reaches_current", 256, |rng| {
+            let base = index_set(rng, 128, 0..40);
+            let cur = index_set(rng, 128, 0..40);
             let mut baseline = BitVec::new(128);
             let mut current = BitVec::new(128);
             for &i in &base { baseline.set(i, true); }
@@ -256,13 +254,16 @@ mod tests {
             let delta = log.compact(&baseline, &current);
             let mut patched = baseline.clone();
             apply_flips(&mut patched, &delta).unwrap();
-            prop_assert_eq!(patched, current);
-        }
+            assert_eq!(patched, current);
+        });
+    }
 
-        #[test]
-        fn prop_flip_wire_roundtrip(word in any::<u32>()) {
+    #[test]
+    fn prop_flip_wire_roundtrip() {
+        check("delta_flip_wire_roundtrip", 512, |rng| {
+            let word = rng.next_u32();
             let f = Flip::from_wire(word);
-            prop_assert_eq!(f.to_wire(), word);
-        }
+            assert_eq!(f.to_wire(), word);
+        });
     }
 }

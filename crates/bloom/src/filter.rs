@@ -2,10 +2,9 @@
 
 use crate::bits::BitVec;
 use crate::hashing::{HashSpec, HashSpecError};
-use serde::{Deserialize, Serialize};
 
 /// Sizing and hashing parameters for a Bloom filter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FilterConfig {
     /// Bit-array size `m`.
     pub bits: u32,
@@ -39,7 +38,7 @@ impl FilterConfig {
 ///
 /// In the protocol this is the *remote* view of a peer's directory; the
 /// peer itself maintains a [`crate::CountingBloomFilter`] so it can delete.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BloomFilter {
     spec: HashSpec,
     bits: BitVec,
@@ -145,8 +144,7 @@ impl BloomFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use sc_util::Rng;
 
     fn url(i: u32) -> Vec<u8> {
         format!("http://server{}.example.com/doc/{}.html", i % 97, i).into_bytes()
@@ -212,7 +210,7 @@ mod tests {
         let cfg = FilterConfig::with_load_factor(50, 16, 4);
         let mut a = BloomFilter::new(cfg);
         let mut b = BloomFilter::new(cfg);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..50 {
             let key = url(rng.gen_range(0..1_000_000));
             let before = a.bits().clone();

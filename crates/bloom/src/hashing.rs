@@ -15,7 +15,6 @@
 //! Section V-E prescribes.
 
 use sc_md5::{md5_repeated, Digest};
-use serde::{Deserialize, Serialize};
 
 /// Maximum bit-group width: indices are reduced mod a `u32` table size, so
 /// wider groups add no entropy to a single probe.
@@ -35,7 +34,7 @@ pub const MAX_FUNCTION_BITS: u16 = 32;
 /// assert_eq!(idx.len(), 4);
 /// assert!(idx.iter().all(|&i| i < (1 << 20)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HashSpec {
     function_num: u16,
     function_bits: u16,

@@ -16,7 +16,6 @@
 //! paper warns, **not** collision-resistant against adversarial inputs:
 //! use it only where peers are trusted.
 
-use serde::{Deserialize, Serialize};
 
 /// A fixed irreducible polynomial of degree 64 over GF(2) (the low 64
 /// coefficient bits; the x^64 term is implicit).
@@ -94,7 +93,7 @@ fn fingerprint_bitwise(data: &[u8]) -> u64 {
 
 /// A `k`-function probe family over a table of `m` bits, built from one
 /// Rabin fingerprint plus `k` fixed random linear transformations.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RabinFamily {
     k: u16,
     m: u32,

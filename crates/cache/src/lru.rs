@@ -281,7 +281,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sc_util::prop::{check, vec_of};
 
     #[test]
     fn evicts_least_recently_used() {
@@ -411,11 +411,14 @@ mod tests {
         c.check_invariants();
     }
 
-    proptest! {
-        /// Random op sequences keep every structural invariant and agree
-        /// with a naive model on membership.
-        #[test]
-        fn prop_matches_naive_model(ops in proptest::collection::vec((0u8..4, 0u32..30, 1u64..40), 1..300)) {
+    /// Random op sequences keep every structural invariant and agree
+    /// with a naive model on membership.
+    #[test]
+    fn prop_matches_naive_model() {
+        check("lru_matches_naive_model", 256, |rng| {
+            let ops = vec_of(rng, 1..300, |r| {
+                (r.gen_range(0u8..4), r.gen_range(0u32..30), r.gen_range(1u64..40))
+            });
             let capacity = 200u64;
             let mut c: LruCache<u32, u32> = LruCache::new(capacity);
             // Naive model: Vec in MRU order.
@@ -437,7 +440,7 @@ mod tests {
                     1 => { // get
                         let hit = c.get(&key).is_some();
                         let model_hit = model.iter().any(|&(k, _)| k == key);
-                        prop_assert_eq!(hit, model_hit);
+                        assert_eq!(hit, model_hit);
                         if let Some(pos) = model.iter().position(|&(k, _)| k == key) {
                             let e = model.remove(pos);
                             model.insert(0, e);
@@ -446,7 +449,7 @@ mod tests {
                     2 => { // remove
                         let had = c.remove(&key).is_some();
                         let model_had = model.iter().any(|&(k, _)| k == key);
-                        prop_assert_eq!(had, model_had);
+                        assert_eq!(had, model_had);
                         model.retain(|&(k, _)| k != key);
                     }
                     _ => { // touch
@@ -458,11 +461,11 @@ mod tests {
                     }
                 }
                 c.check_invariants();
-                prop_assert_eq!(c.len(), model.len());
+                assert_eq!(c.len(), model.len());
                 let mru: Vec<u32> = c.iter_mru().map(|(k, _)| *k).collect();
                 let model_mru: Vec<u32> = model.iter().map(|&(k, _)| k).collect();
-                prop_assert_eq!(mru, model_mru);
+                assert_eq!(mru, model_mru);
             }
-        }
+        });
     }
 }

@@ -19,12 +19,11 @@
 //! how priorities are computed and refreshed on access.
 
 use crate::web::{DocMeta, Lookup, MAX_CACHEABLE_BYTES};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 
 /// Which replacement policy to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// Evict the least recently used (the baseline).
     Lru,
@@ -225,7 +224,7 @@ impl<K: Eq + Hash + Clone> PolicyCache<K> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sc_util::prop::{check, vec_of};
 
     fn meta(size: u64) -> DocMeta {
         DocMeta {
@@ -330,14 +329,14 @@ mod tests {
         assert!(!c.contains(&2), "stale copy purged");
     }
 
-    proptest! {
-        /// Structural invariants hold for every policy under random ops.
-        #[test]
-        fn prop_invariants_all_policies(
-            policy_idx in 0usize..4,
-            ops in proptest::collection::vec((0u32..20, 50u64..400, any::<bool>()), 1..200),
-        ) {
-            let policy = Policy::all()[policy_idx];
+    /// Structural invariants hold for every policy under random ops.
+    #[test]
+    fn prop_invariants_all_policies() {
+        check("policy_invariants_all_policies", 256, |rng| {
+            let policy = Policy::all()[rng.gen_range(0usize..4)];
+            let ops = vec_of(rng, 1..200, |r| {
+                (r.gen_range(0u32..20), r.gen_range(50u64..400), r.gen_bool(0.5))
+            });
             let mut c: PolicyCache<u32> = PolicyCache::new(policy, 2_000);
             for (key, size, is_store) in ops {
                 if is_store {
@@ -347,16 +346,19 @@ mod tests {
                 }
                 c.check_invariants();
             }
-        }
+        });
+    }
 
-        /// Whatever the policy, a just-stored document is present and a
-        /// hit immediately afterwards.
-        #[test]
-        fn prop_store_then_hit(policy_idx in 0usize..4, size in 1u64..1000) {
-            let policy = Policy::all()[policy_idx];
+    /// Whatever the policy, a just-stored document is present and a
+    /// hit immediately afterwards.
+    #[test]
+    fn prop_store_then_hit() {
+        check("policy_store_then_hit", 128, |rng| {
+            let policy = Policy::all()[rng.gen_range(0usize..4)];
+            let size = rng.gen_range(1u64..1000);
             let mut c: PolicyCache<u32> = PolicyCache::new(policy, 10_000);
             c.store(7, meta(size)).unwrap();
-            prop_assert_eq!(c.lookup(&7, meta(size)), Lookup::Hit);
-        }
+            assert_eq!(c.lookup(&7, meta(size)), Lookup::Hit);
+        });
     }
 }

@@ -1,7 +1,6 @@
 //! The paper's web-document caching policy layered on [`LruCache`].
 
 use crate::lru::{InsertOutcome, LruCache};
-use serde::{Deserialize, Serialize};
 use std::hash::Hash;
 
 /// "Documents larger than 250 KB are not cached" (Section II).
@@ -10,7 +9,7 @@ pub const MAX_CACHEABLE_BYTES: u64 = 250 * 1024;
 /// Cached metadata of a web document: enough to implement the paper's
 /// perfect-consistency model (a hit whose size or last-modified time
 /// changed is a stale hit, counted as a miss).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DocMeta {
     /// Body size in bytes.
     pub size: u64,

@@ -1,0 +1,670 @@
+//! `sc-check` — the workspace's static-analysis gate.
+//!
+//! Four rules, each guarding an invariant the reproduction depends on:
+//!
+//! 1. **Dependency firewall** (`deps`): every `Cargo.toml` may only
+//!    reference path-local workspace crates. No registry crates means
+//!    the build needs zero network — the property that makes tier-1
+//!    verification reproducible anywhere.
+//! 2. **Panic hygiene** (`panic`): no `.unwrap()` / `.expect(` in the
+//!    runtime paths of `crates/proxy` and `crates/wire`. A malformed
+//!    ICP datagram or a peer hangup must degrade gracefully (the
+//!    paper's false-hit handling argument), never take the daemon down.
+//! 3. **Determinism** (`determinism`): no `Instant::now` /
+//!    `SystemTime::now` / ambient entropy inside `crates/sim`,
+//!    `crates/core`, `crates/bloom`. Simulated time comes from the
+//!    trace; hashing comes from MD5 — results must replay bit-for-bit.
+//! 4. **Counter safety** (`counters`): all 4-bit counter arithmetic in
+//!    `bloom/counting.rs` uses `saturating_*` / `checked_*` ops
+//!    (Section V-C bounds overflow probability assuming counters pin at
+//!    their maximum instead of wrapping).
+//!
+//! Everything here is hand-rolled on `std` — a line-oriented
+//! TOML-subset reader and a lexical Rust scanner, no `syn`, no
+//! dependencies — so the gate itself can never break the firewall it
+//! enforces. `#[cfg(test)]` items are exempt from rules 2–4: tests may
+//! unwrap.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Short rule name: `deps`, `panic`, `determinism`, `counters`.
+    pub rule: &'static str,
+    /// File the violation is in, relative to the checked root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// What a full run looked at and found.
+#[derive(Debug)]
+pub struct Report {
+    /// `Cargo.toml` files scanned.
+    pub manifests: usize,
+    /// `.rs` files scanned.
+    pub sources: usize,
+    /// Everything the rules flagged.
+    pub violations: Vec<Violation>,
+}
+
+/// Directory names never descended into.
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | ".git" | "fixtures" | "results" | ".cargo")
+}
+
+/// Recursively collect files under `root` matching `want`, skipping
+/// build/VCS/fixture trees, in sorted order for stable output.
+fn collect(root: &Path, want: &dyn Fn(&Path) -> bool, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !skip_dir(name) {
+                collect(&path, want, out);
+            }
+        } else if want(&path) {
+            out.push(path);
+        }
+    }
+}
+
+/// Run every rule against the workspace at `root`. Returns all
+/// violations, manifest rules first, then source rules in path order.
+pub fn check_repo(root: &Path) -> Result<Report, String> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let mut manifests = Vec::new();
+    collect(
+        root,
+        &|p| p.file_name().is_some_and(|n| n == "Cargo.toml"),
+        &mut manifests,
+    );
+    let mut sources = Vec::new();
+    collect(
+        root,
+        &|p| p.extension().is_some_and(|e| e == "rs"),
+        &mut sources,
+    );
+
+    let mut violations = Vec::new();
+    for m in &manifests {
+        check_manifest(root, m, &mut violations);
+    }
+    for s in &sources {
+        check_source(root, s, &mut violations);
+    }
+    Ok(Report {
+        manifests: manifests.len(),
+        sources: sources.len(),
+        violations,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: dependency firewall
+// ---------------------------------------------------------------------------
+
+/// Which kind of dependency table a `[section]` header opens, if any.
+///
+/// Covers `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]`, `[target.'…'.dependencies]`, and their
+/// single-dependency dotted forms (`[dependencies.foo]`).
+fn dep_section(header: &str) -> Option<DepSection> {
+    let h = header.trim();
+    for kind in ["dependencies", "dev-dependencies", "build-dependencies"] {
+        if let Some(pos) = h.find(kind) {
+            let before_ok = pos == 0 || h.as_bytes()[pos - 1] == b'.';
+            let after = &h[pos + kind.len()..];
+            if before_ok && after.is_empty() {
+                return Some(DepSection::Table);
+            }
+            if before_ok && after.starts_with('.') {
+                return Some(DepSection::Single(after[1..].to_string()));
+            }
+        }
+    }
+    None
+}
+
+enum DepSection {
+    /// `[dependencies]`-style: each `name = …` line is one dependency.
+    Table,
+    /// `[dependencies.foo]`-style: the whole section is one dependency.
+    Single(String),
+}
+
+/// Is a single dependency value (the right-hand side of `name = …`)
+/// path-local? Accepts inline tables carrying a `path` key and
+/// `{ workspace = true }` references. Bare version strings and inline
+/// tables with only `version`/`features` are registry pulls.
+fn value_is_local(value: &str) -> bool {
+    let v = value.trim();
+    if !v.starts_with('{') {
+        return false;
+    }
+    inline_table_keys(v)
+        .iter()
+        .any(|(k, val)| k == "path" || (k == "workspace" && val.trim() == "true"))
+}
+
+/// Split a single-line inline table `{ a = 1, b = "x" }` into
+/// (key, value) pairs. Good enough for Cargo manifests: values never
+/// contain top-level commas except inside `[…]` arrays or strings.
+fn inline_table_keys(v: &str) -> Vec<(String, String)> {
+    let inner = v
+        .trim()
+        .trim_start_matches('{')
+        .trim_end_matches('}')
+        .trim();
+    let mut pairs = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut cur = String::new();
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '[' | '{' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | '}' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                push_pair(&mut pairs, &cur);
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    push_pair(&mut pairs, &cur);
+    pairs
+}
+
+fn push_pair(pairs: &mut Vec<(String, String)>, entry: &str) {
+    if let Some((k, val)) = entry.split_once('=') {
+        pairs.push((k.trim().to_string(), val.trim().to_string()));
+    }
+}
+
+fn check_manifest(root: &Path, path: &Path, out: &mut Vec<Violation>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    let mut in_deps: Option<DepSection> = None;
+    // For `[dependencies.foo]` single-dep tables: (name, header line,
+    // proven-local yet).
+    let mut single: Option<(String, usize, bool)> = None;
+
+    fn flush_single(
+        rel: &Path,
+        single: &mut Option<(String, usize, bool)>,
+        out: &mut Vec<Violation>,
+    ) {
+        if let Some((name, line, is_local)) = single.take() {
+            if !is_local {
+                out.push(Violation {
+                    rule: "deps",
+                    file: rel.to_path_buf(),
+                    line,
+                    message: format!(
+                        "dependency `{name}` is not path-local (add `path = …` or `workspace = true`)"
+                    ),
+                });
+            }
+        }
+    }
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            flush_single(&rel, &mut single, out);
+            let header = &line[1..line.len() - 1];
+            in_deps = dep_section(header);
+            if let Some(DepSection::Single(name)) = &in_deps {
+                single = Some((name.clone(), line_no, false));
+            }
+            continue;
+        }
+        match &in_deps {
+            None => {}
+            Some(DepSection::Table) => {
+                let Some((key, value)) = line.split_once('=') else {
+                    continue;
+                };
+                let key = key.trim();
+                // `name.workspace = true` key form is a local reference.
+                if key.ends_with(".workspace") && value.trim() == "true" {
+                    continue;
+                }
+                if !value_is_local(value) {
+                    out.push(Violation {
+                        rule: "deps",
+                        file: rel.clone(),
+                        line: line_no,
+                        message: format!(
+                            "dependency `{key}` is not path-local (add `path = …` or `workspace = true`)"
+                        ),
+                    });
+                }
+            }
+            Some(DepSection::Single(_)) => {
+                if let Some((key, value)) = line.split_once('=') {
+                    let key = key.trim();
+                    if key == "path" || (key == "workspace" && value.trim() == "true") {
+                        if let Some(s) = &mut single {
+                            s.2 = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flush_single(&rel, &mut single, out);
+}
+
+// ---------------------------------------------------------------------------
+// Lexical Rust scanning shared by rules 2–4
+// ---------------------------------------------------------------------------
+
+/// Blank out comments and the contents of string/char literals,
+/// preserving newlines (and byte positions for ASCII source), so token
+/// searches cannot false-positive inside text.
+pub fn strip_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string: r"…" or r#"…"# (any hash count). `r#foo`
+                // raw identifiers fall through to the plain-byte arm.
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    out.push(b'r');
+                    out.extend(std::iter::repeat(b' ').take(hashes));
+                    out.push(b'"');
+                    j += 1;
+                    while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut h = 0;
+                            while k < b.len() && b[k] == b'#' && h < hashes {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                out.push(b'"');
+                                out.extend(std::iter::repeat(b' ').take(hashes));
+                                j = k;
+                                break;
+                            }
+                        }
+                        out.push(if b[j] == b'\n' { b'\n' } else { b' ' });
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    out.push(b'r');
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.push(b' ');
+                        out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime: a literal closes within a
+                // few bytes, a lifetime has no nearby closing quote.
+                let close = if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    // '\n', '\u{41}' — find the closing quote.
+                    (i + 2..(i + 12).min(b.len())).find(|&k| b[k] == b'\'')
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(c) = close {
+                    out.push(b'\'');
+                    out.extend(std::iter::repeat(b' ').take(c - i - 1));
+                    out.push(b'\'');
+                    i = c + 1;
+                } else {
+                    out.push(b'\''); // lifetime
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// 1-based inclusive line ranges covered by `#[cfg(test)]`-gated items
+/// (modules or functions), computed on stripped source by brace
+/// matching.
+pub fn test_regions(stripped: &str) -> Vec<(usize, usize)> {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Find the gated item's opening brace, then match it. A gated
+        // item with no body (`use`, `struct X;`) ends at the `;`.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut j = i + 1;
+        'item: while j < lines.len() {
+            for ch in lines[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            break 'item;
+                        }
+                    }
+                    ';' if !opened && depth == 0 => break 'item,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        regions.push((i + 1, (j + 1).min(lines.len())));
+        i = j + 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// 1-based lines of non-test stripped code containing `token`.
+fn token_lines(stripped: &str, regions: &[(usize, usize)], token: &str) -> Vec<usize> {
+    stripped
+        .lines()
+        .enumerate()
+        .filter(|(idx, line)| !in_regions(regions, idx + 1) && line.contains(token))
+        .map(|(idx, _)| idx + 1)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Rules 2–4: source rules
+// ---------------------------------------------------------------------------
+
+/// Path prefixes (relative, `/`-separated) rule 2 applies to.
+const PANIC_SCOPES: [&str; 2] = ["crates/proxy/src", "crates/wire/src"];
+/// Path prefixes rule 3 applies to.
+const DETERMINISM_SCOPES: [&str; 3] = ["crates/sim/src", "crates/core/src", "crates/bloom/src"];
+/// Ambient time / entropy tokens rule 3 forbids.
+const DETERMINISM_TOKENS: [&str; 5] = [
+    "Instant::now",
+    "SystemTime::now",
+    "rand::",
+    "getrandom",
+    "RandomState::new",
+];
+
+fn check_source(root: &Path, path: &Path, out: &mut Vec<Violation>) {
+    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    let unix = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    let in_panic_scope = PANIC_SCOPES.iter().any(|s| unix.starts_with(s));
+    let in_det_scope = DETERMINISM_SCOPES.iter().any(|s| unix.starts_with(s));
+    let is_counting = unix.ends_with("bloom/src/counting.rs");
+    if !in_panic_scope && !in_det_scope && !is_counting {
+        return;
+    }
+    let Ok(src) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let stripped = strip_code(&src);
+    let regions = test_regions(&stripped);
+
+    if in_panic_scope {
+        for token in [".unwrap()", ".expect("] {
+            for line in token_lines(&stripped, &regions, token) {
+                out.push(Violation {
+                    rule: "panic",
+                    file: rel.clone(),
+                    line,
+                    message: format!(
+                        "`{token}` in a runtime path; propagate a Result (a bad datagram must not kill the daemon)"
+                    ),
+                });
+            }
+        }
+    }
+    if in_det_scope {
+        for token in DETERMINISM_TOKENS {
+            for line in token_lines(&stripped, &regions, token) {
+                out.push(Violation {
+                    rule: "determinism",
+                    file: rel.clone(),
+                    line,
+                    message: format!(
+                        "`{token}` introduces ambient nondeterminism; drive time/entropy from the trace or a seeded Rng"
+                    ),
+                });
+            }
+        }
+    }
+    if is_counting {
+        for token in ["wrapping_add(", "wrapping_sub("] {
+            for line in token_lines(&stripped, &regions, token) {
+                out.push(Violation {
+                    rule: "counters",
+                    file: rel.clone(),
+                    line,
+                    message: format!(
+                        "`{token}…)` on a 4-bit counter wraps silently; use saturating_*/checked_* (Section V-C)"
+                    ),
+                });
+            }
+        }
+        // Counter updates fed by bare infix +/- must instead go through
+        // a bounded op.
+        for (idx, line) in stripped.lines().enumerate() {
+            let line_no = idx + 1;
+            if in_regions(&regions, line_no) {
+                continue;
+            }
+            let Some(pos) = line.find("set_count(") else {
+                continue;
+            };
+            let args = &line[pos + "set_count(".len()..];
+            let bounded = args.contains("saturating_") || args.contains("checked_");
+            let bytes = args.as_bytes();
+            let bare_arith = bytes.iter().enumerate().any(|(k, &c)| {
+                (c == b'+' || c == b'-')
+                    && bytes.get(k + 1) != Some(&c)
+                    && bytes.get(k + 1) != Some(&b'=')
+                    && bytes.get(k + 1) != Some(&b'>') // `->` is not arithmetic
+                    && (k == 0 || bytes[k - 1] != c)
+            });
+            if bare_arith && !bounded {
+                out.push(Violation {
+                    rule: "counters",
+                    file: rel.clone(),
+                    line: line_no,
+                    message:
+                        "bare +/- arithmetic feeding set_count; use saturating_*/checked_* (Section V-C)"
+                            .to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_blanks_comments_and_strings() {
+        let src = "let a = \"x.unwrap()\"; // .unwrap()\nlet b = 1; /* .expect( */\n";
+        let s = strip_code(src);
+        assert!(!s.contains(".unwrap()"));
+        assert!(!s.contains(".expect("));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strip_keeps_positions() {
+        let src = "ab\"cd\"ef\n";
+        let s = strip_code(src);
+        assert_eq!(s.len(), src.len());
+        assert!(s.starts_with("ab\""));
+        assert!(s.contains("\"ef"));
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_chars_lifetimes() {
+        let src = "r#\"has .unwrap() inside\"#; let c = '\\n'; let l: &'static str = x;";
+        let s = strip_code(src);
+        assert!(!s.contains(".unwrap()"));
+        assert!(s.contains("&'static str"), "lifetime untouched: {s}");
+    }
+
+    #[test]
+    fn strip_handles_nested_block_comments() {
+        let src = "/* outer /* inner .unwrap() */ still out */ code()";
+        let s = strip_code(src);
+        assert!(!s.contains(".unwrap()"));
+        assert!(s.contains("code()"));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}\n";
+        let stripped = strip_code(src);
+        let regions = test_regions(&stripped);
+        assert_eq!(regions, vec![(2, 5)]);
+        let lines = token_lines(&stripped, &regions, ".unwrap()");
+        assert_eq!(lines, vec![1], "only the non-test unwrap is flagged");
+    }
+
+    #[test]
+    fn dep_sections_recognized() {
+        assert!(matches!(dep_section("dependencies"), Some(DepSection::Table)));
+        assert!(matches!(dep_section("dev-dependencies"), Some(DepSection::Table)));
+        assert!(matches!(
+            dep_section("workspace.dependencies"),
+            Some(DepSection::Table)
+        ));
+        assert!(matches!(
+            dep_section("dependencies.serde"),
+            Some(DepSection::Single(n)) if n == "serde"
+        ));
+        assert!(dep_section("package").is_none());
+        assert!(dep_section("features").is_none());
+        assert!(dep_section("profile.release").is_none());
+    }
+
+    #[test]
+    fn local_values_pass_registry_values_fail() {
+        assert!(value_is_local("{ path = \"../md5\" }"));
+        assert!(value_is_local("{ workspace = true }"));
+        assert!(value_is_local("{ path = \"../core\", package = \"summary-cache-core\" }"));
+        assert!(!value_is_local("\"1.0\""));
+        assert!(!value_is_local("{ version = \"1\", features = [\"derive\"] }"));
+        // A `features = ["path"]` array must not count as a path key.
+        assert!(!value_is_local("{ version = \"1\", features = [\"path\"] }"));
+    }
+}

@@ -1,0 +1,39 @@
+//! CLI for the static-analysis gate: `cargo run -p sc-check [ROOT]`
+//! (or `cargo check-repo` via the workspace alias). Prints one
+//! `file:line: [rule] message` diagnostic per violation and exits
+//! nonzero if any were found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args_os()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let report = match sc_check::check_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sc-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.violations.is_empty() {
+        eprintln!(
+            "sc-check: ok ({} manifests, {} source files, 0 violations)",
+            report.manifests, report.sources
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "sc-check: {} violation(s) across {} manifests and {} source files",
+            report.violations.len(),
+            report.manifests,
+            report.sources
+        );
+        ExitCode::FAILURE
+    }
+}

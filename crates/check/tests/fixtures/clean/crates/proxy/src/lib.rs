@@ -1,0 +1,15 @@
+//! Runtime path propagates errors; only the test module unwraps.
+
+pub fn decode(buf: &[u8]) -> Result<u8, &'static str> {
+    // Strings and comments mentioning .unwrap() must not trip the gate.
+    let _doc = "never call .unwrap() here";
+    buf.first().copied().ok_or("empty datagram")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::decode(&[7]).unwrap(), 7);
+    }
+}

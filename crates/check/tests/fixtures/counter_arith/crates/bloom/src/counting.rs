@@ -1,0 +1,22 @@
+//! A counting Bloom filter whose counters can wrap 15 -> 0, silently
+//! corrupting the summary — the overflow Section V-C rules out.
+
+pub struct Counting {
+    counts: Vec<u8>,
+}
+
+impl Counting {
+    fn set_count(&mut self, i: usize, v: u8) {
+        self.counts[i] = v & 0x0f;
+    }
+
+    pub fn insert(&mut self, i: usize) {
+        let c = self.counts[i];
+        self.set_count(i, c.wrapping_add(1));
+    }
+
+    pub fn remove(&mut self, i: usize) {
+        let c = self.counts[i];
+        self.set_count(i, c - 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! A daemon loop that panics on malformed input — exactly what the
+//! gate exists to reject.
+
+pub fn handle_datagram(buf: &[u8]) -> u8 {
+    let first = buf.first().unwrap();
+    let second = buf.get(1).copied().expect("datagram too short");
+    first.wrapping_add(second)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        // This unwrap is inside cfg(test) and must NOT be reported.
+        assert_eq!(super::handle_datagram(&[1, 2]), [3u8].first().copied().unwrap());
+    }
+}

@@ -1,0 +1,12 @@
+//! A simulator that reads the wall clock — results would never replay.
+
+use std::time::{Instant, SystemTime};
+
+pub fn simulate() -> u128 {
+    let started = Instant::now();
+    let seed = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    seed ^ started.elapsed().as_nanos()
+}

@@ -1,0 +1,126 @@
+//! End-to-end tests for the `sc-check` binary: each fixture tree seeds
+//! one class of violation, and the gate must exit nonzero with a
+//! `file:line: [rule] …` diagnostic pointing at the seeded site —
+//! while the clean fixture (and the real workspace) pass.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_gate(root: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sc-check"))
+        .arg(root)
+        .output()
+        .expect("spawn sc-check")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let out = run_gate(&fixture("clean"));
+    assert!(
+        out.status.success(),
+        "clean fixture must pass, got:\n{}",
+        stdout(&out)
+    );
+    assert!(stdout(&out).is_empty(), "no diagnostics on a clean tree");
+}
+
+#[test]
+fn real_workspace_passes() {
+    // CARGO_MANIFEST_DIR is crates/check; the workspace root is ../..
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = run_gate(&root);
+    assert!(
+        out.status.success(),
+        "the shipped workspace must satisfy its own gate, got:\n{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn registry_dep_flagged_with_file_and_line() {
+    let out = run_gate(&fixture("registry_dep"));
+    assert!(!out.status.success(), "registry deps must fail the gate");
+    let text = stdout(&out);
+    assert!(
+        text.contains("Cargo.toml:8: [deps]") && text.contains("`serde`"),
+        "inline-table registry dep flagged at its line:\n{text}"
+    );
+    assert!(
+        text.contains("Cargo.toml:12: [deps]") && text.contains("`proptest`"),
+        "bare-version dev-dependency flagged:\n{text}"
+    );
+    assert!(
+        text.contains("Cargo.toml:14: [deps]") && text.contains("`tokio`"),
+        "[dependencies.tokio] section flagged at its header:\n{text}"
+    );
+    assert!(
+        !text.contains("local-ok"),
+        "path-local dep must not be flagged:\n{text}"
+    );
+}
+
+#[test]
+fn unwrap_in_proxy_flagged_tests_exempt() {
+    let out = run_gate(&fixture("unwrap_in_proxy"));
+    assert!(!out.status.success(), "runtime unwrap must fail the gate");
+    let text = stdout(&out);
+    assert!(
+        text.contains("daemon.rs:5: [panic]") && text.contains(".unwrap()"),
+        "unwrap flagged at its line:\n{text}"
+    );
+    assert!(
+        text.contains("daemon.rs:6: [panic]") && text.contains(".expect("),
+        "expect flagged at its line:\n{text}"
+    );
+    assert_eq!(
+        text.matches("[panic]").count(),
+        2,
+        "the cfg(test) unwrap is exempt:\n{text}"
+    );
+}
+
+#[test]
+fn wallclock_in_sim_flagged() {
+    let out = run_gate(&fixture("wallclock_in_sim"));
+    assert!(!out.status.success(), "ambient time must fail the gate");
+    let text = stdout(&out);
+    assert!(
+        text.contains("lib.rs:6: [determinism]") && text.contains("Instant::now"),
+        "Instant::now flagged:\n{text}"
+    );
+    assert!(
+        text.contains("lib.rs:7: [determinism]") && text.contains("SystemTime::now"),
+        "SystemTime::now flagged:\n{text}"
+    );
+}
+
+#[test]
+fn counter_arith_flagged() {
+    let out = run_gate(&fixture("counter_arith"));
+    assert!(!out.status.success(), "wrapping counters must fail the gate");
+    let text = stdout(&out);
+    assert!(
+        text.contains("counting.rs:15: [counters]") && text.contains("wrapping_add"),
+        "wrapping_add flagged:\n{text}"
+    );
+    assert!(
+        text.contains("counting.rs:20: [counters]") && text.contains("set_count"),
+        "bare arithmetic into set_count flagged:\n{text}"
+    );
+}
+
+#[test]
+fn missing_root_is_a_usage_error() {
+    let out = run_gate(Path::new("/nonexistent/definitely-not-a-repo"));
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+}

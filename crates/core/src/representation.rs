@@ -3,11 +3,10 @@
 
 use sc_bloom::{BitVec, HashSpec};
 use sc_md5::{md5, Digest};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Which representation a proxy summarizes its directory with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SummaryKind {
     /// The cache directory itself, one 16-byte MD5 signature per URL.
     ExactDirectory,

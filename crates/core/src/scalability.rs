@@ -9,10 +9,9 @@
 
 use crate::{expected_docs, wire_cost};
 use sc_bloom::analysis;
-use serde::{Deserialize, Serialize};
 
 /// Deployment parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Deployment {
     /// Number of cooperating proxies.
     pub proxies: u32,
@@ -40,7 +39,7 @@ impl Deployment {
 }
 
 /// What the deployment costs, per the paper's arithmetic.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Estimate {
     /// Cached documents per proxy (cache / 8 KB).
     pub docs_per_proxy: u64,

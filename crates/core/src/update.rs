@@ -6,10 +6,9 @@
 //! the request rate and miss ratio; and the Section V-A NLANR
 //! sub-experiment uses a raw request-count trigger. All three are here.
 
-use serde::{Deserialize, Serialize};
 
 /// The update trigger.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum UpdatePolicy {
     /// Publish when `fresh_docs / cached_docs` reaches this fraction.
     /// The paper recommends 0.01–0.10.

@@ -1,0 +1,252 @@
+#![warn(missing_docs)]
+
+//! A small JSON library: one [`Value`] type, a strict parser, compact and
+//! pretty writers, and [`ToJson`]/[`FromJson`] traits with a macro for
+//! mechanical struct impls.
+//!
+//! This replaces `serde`/`serde_json` under the workspace's std-only
+//! dependency firewall (see `crates/check`). It intentionally covers only
+//! what the repo needs: results files, trace headers/records, experiment
+//! reports. Numbers keep integer fidelity (`u64`/`i64` don't round-trip
+//! through `f64`), object key order is preserved, and non-finite floats
+//! serialize as `null` (JSON has no NaN).
+//!
+//! ```
+//! use sc_json::Value;
+//! let v = Value::parse(r#"{"name":"t","groups":4,"ok":true}"#).unwrap();
+//! assert_eq!(v.get("groups").and_then(Value::as_u64), Some(4));
+//! assert_eq!(v.to_string(), r#"{"name":"t","groups":4,"ok":true}"#);
+//! ```
+
+mod parse;
+mod traits;
+mod write;
+
+pub use parse::JsonError;
+pub use traits::{FromJson, ToJson};
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A negative integer (parsed from a leading `-` without `.`/`e`).
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// Any number with a fraction or exponent, or outside integer range.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved and duplicate keys keep
+    /// the last occurrence on lookup.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        parse::parse(text)
+    }
+
+    /// Member lookup on an object; `None` for other variants or missing
+    /// keys. Duplicate keys resolve to the last occurrence.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers convert losslessly when possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::UInt(u) => Some(u as f64),
+            Value::Int(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The field slice, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fs) => Some(fs),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization (no added whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write::write_compact(self, &mut out);
+        out
+    }
+
+    /// Pretty serialization with two-space indentation and a stable
+    /// layout, matching what the results files used to look like.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write::write_pretty(self, 0, &mut out);
+        out
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+/// Build a [`Value::Object`] from `"key" => expr` pairs; each value goes
+/// through [`ToJson`].
+///
+/// ```
+/// use sc_json::{obj, ToJson};
+/// let v = obj! { "scheme" => "icp", "hit_ratio" => 0.42 };
+/// assert_eq!(v.to_string(), r#"{"scheme":"icp","hit_ratio":0.42}"#);
+/// ```
+#[macro_export]
+macro_rules! obj {
+    ( $( $key:expr => $val:expr ),* $(,)? ) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::ToJson::to_json(&$val)) ),*
+        ])
+    };
+}
+
+/// Implement [`ToJson`] and [`FromJson`] for a plain named-field struct.
+/// Missing fields on read fall back to `Default::default()` (the moral
+/// equivalent of `#[serde(default)]`, which the old derives relied on).
+///
+/// ```
+/// #[derive(Default, PartialEq, Debug)]
+/// struct Row { name: String, count: u64 }
+/// sc_json::json_struct!(Row { name, count });
+///
+/// use sc_json::{FromJson, ToJson, Value};
+/// let row = Row { name: "a".into(), count: 3 };
+/// let back = Row::from_json(&row.to_json()).unwrap();
+/// assert_eq!(back, row);
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ( $ty:ty { $( $field:ident ),* $(,)? } ) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)) ),*
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::JsonError> {
+                if v.as_object().is_none() {
+                    return Err($crate::JsonError::type_error(concat!(
+                        "expected object for ",
+                        stringify!($ty)
+                    )));
+                }
+                Ok(Self {
+                    $( $field: match v.get(stringify!($field)) {
+                        Some(f) => $crate::FromJson::from_json(f)?,
+                        None => Default::default(),
+                    } ),*
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_prefers_last_duplicate() {
+        let v = Value::parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn accessors_cross_convert_numbers() {
+        assert_eq!(Value::UInt(7).as_i64(), Some(7));
+        assert_eq!(Value::Int(-7).as_u64(), None);
+        assert_eq!(Value::UInt(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Float(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn obj_macro_shape() {
+        let v = obj! { "x" => 1u32, "y" => vec![1u64, 2], "s" => "hi" };
+        assert_eq!(v.to_string(), r#"{"x":1,"y":[1,2],"s":"hi"}"#);
+    }
+
+    #[derive(Default, Debug, PartialEq)]
+    struct Demo {
+        a: u64,
+        b: String,
+        c: f64,
+    }
+    json_struct!(Demo { a, b, c });
+
+    #[test]
+    fn struct_macro_roundtrip_and_default() {
+        let d = Demo { a: 4, b: "x".into(), c: 0.5 };
+        let v = d.to_json();
+        assert_eq!(Demo::from_json(&v).unwrap(), d);
+        // Missing field -> Default, like #[serde(default)].
+        let partial = Value::parse(r#"{"a":9}"#).unwrap();
+        let got = Demo::from_json(&partial).unwrap();
+        assert_eq!(got, Demo { a: 9, b: String::new(), c: 0.0 });
+        // Non-object input is a type error.
+        assert!(Demo::from_json(&Value::Null).is_err());
+    }
+}

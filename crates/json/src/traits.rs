@@ -1,0 +1,207 @@
+//! Conversions between Rust values and [`Value`].
+
+use crate::{JsonError, Value};
+
+/// Serialize into a [`Value`] (the replacement for `serde::Serialize`
+/// at the fidelity this workspace needs).
+pub trait ToJson {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Deserialize from a [`Value`] (the replacement for
+/// `serde::Deserialize`).
+pub trait FromJson: Sized {
+    /// Reconstruct from a JSON value.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(v.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| JsonError::type_error("expected bool"))
+    }
+}
+
+macro_rules! impl_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let u = v.as_u64().ok_or_else(|| {
+                    JsonError::type_error(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(u).map_err(|_| {
+                    JsonError::type_error(concat!(stringify!($t), " out of range"))
+                })
+            }
+        }
+    )*};
+}
+
+impl_json_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                let i = *self as i64;
+                if i < 0 { Value::Int(i) } else { Value::UInt(i as u64) }
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Value) -> Result<Self, JsonError> {
+                let i = v.as_i64().ok_or_else(|| {
+                    JsonError::type_error(concat!("expected ", stringify!($t)))
+                })?;
+                <$t>::try_from(i).map_err(|_| {
+                    JsonError::type_error(concat!(stringify!($t), " out of range"))
+                })
+            }
+        }
+    )*};
+}
+
+impl_json_int!(i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_f64().ok_or_else(|| JsonError::type_error("expected number"))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(f64::from_json(v)? as f32)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::type_error("expected string"))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::type_error("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(x) => x.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_fidelity() {
+        assert_eq!(u64::MAX.to_json(), Value::UInt(u64::MAX));
+        assert_eq!(u64::from_json(&Value::UInt(u64::MAX)).unwrap(), u64::MAX);
+        assert_eq!((-5i64).to_json(), Value::Int(-5));
+        assert_eq!(5i64.to_json(), Value::UInt(5));
+        assert!(u8::from_json(&Value::UInt(256)).is_err());
+        assert!(u32::from_json(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn collections_and_options() {
+        let v = vec![1u32, 2, 3].to_json();
+        assert_eq!(Vec::<u32>::from_json(&v).unwrap(), vec![1, 2, 3]);
+        assert_eq!(Option::<u32>::from_json(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_json(&Value::UInt(4)).unwrap(), Some(4));
+        assert_eq!(None::<u32>.to_json(), Value::Null);
+    }
+
+    #[test]
+    fn numbers_cross_read_as_f64() {
+        assert_eq!(f64::from_json(&Value::UInt(3)).unwrap(), 3.0);
+        assert_eq!(f64::from_json(&Value::Float(0.5)).unwrap(), 0.5);
+        assert!(f64::from_json(&Value::Str("x".into())).is_err());
+    }
+}

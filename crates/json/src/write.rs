@@ -1,0 +1,158 @@
+//! Compact and pretty JSON writers.
+
+use crate::Value;
+
+pub(crate) fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_f64(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// JSON has no NaN/Infinity; serialize them as `null` (what serde_json
+/// does for its `f64` value type as well).
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let s = format!("{f}");
+        out.push_str(&s);
+        // `Display` drops the fraction for integral floats ("2" for 2.0);
+        // keep a marker so the value re-parses as a float.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) {
+        let v = Value::parse(text).unwrap();
+        assert_eq!(Value::parse(&v.to_compact()).unwrap(), v, "compact {text}");
+        assert_eq!(Value::parse(&v.to_pretty()).unwrap(), v, "pretty {text}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for t in [
+            "null",
+            "[]",
+            "{}",
+            r#"{"a":[1,-2,3.5,"x\ny",{"b":false}],"c":null}"#,
+            "18446744073709551615",
+            "-9223372036854775808",
+        ] {
+            roundtrip(t);
+        }
+    }
+
+    #[test]
+    fn float_always_reparses_as_float() {
+        assert_eq!(Value::Float(2.0).to_compact(), "2.0");
+        assert_eq!(Value::parse("2.0").unwrap(), Value::Float(2.0));
+        assert_eq!(Value::Float(f64::NAN).to_compact(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        assert_eq!(Value::Str("\u{1}".into()).to_compact(), "\"\\u0001\"");
+        assert_eq!(Value::Str("a\"b\\c".into()).to_compact(), r#""a\"b\\c""#);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let v = Value::parse(r#"{"a":1,"b":[true]}"#).unwrap();
+        assert_eq!(v.to_pretty(), "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+    }
+}

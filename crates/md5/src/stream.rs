@@ -142,7 +142,7 @@ impl Md5 {
 mod tests {
     use super::*;
     use crate::md5;
-    use proptest::prelude::*;
+    use sc_util::prop::{check, vec_of};
 
     #[test]
     fn streaming_equals_oneshot_on_random_splits() {
@@ -169,25 +169,28 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
-        fn prop_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
-                                         cut in 0usize..512) {
-            let cut = cut.min(data.len());
+    #[test]
+    fn prop_streaming_equals_oneshot() {
+        check("md5_streaming_equals_oneshot", 256, |rng| {
+            let data = vec_of(rng, 0..512, |r| r.gen_range(0u32..=255) as u8);
+            let cut = rng.gen_range(0usize..512).min(data.len());
             let mut ctx = Md5::new();
             ctx.update(&data[..cut]);
             ctx.update(&data[cut..]);
-            prop_assert_eq!(ctx.finalize(), md5(&data));
-        }
+            assert_eq!(ctx.finalize(), md5(&data));
+        });
+    }
 
-        #[test]
-        fn prop_three_way_split(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+    #[test]
+    fn prop_three_way_split() {
+        check("md5_three_way_split", 256, |rng| {
+            let data = vec_of(rng, 0..1024, |r| r.gen_range(0u32..=255) as u8);
             let third = data.len() / 3;
             let mut ctx = Md5::new();
             ctx.update(&data[..third]);
             ctx.update(&data[third..2 * third]);
             ctx.update(&data[2 * third..]);
-            prop_assert_eq!(ctx.finalize(), md5(&data));
-        }
+            assert_eq!(ctx.finalize(), md5(&data));
+        });
     }
 }

@@ -2,17 +2,15 @@
 //! and the two trace-replay modes (Section VII, experiments 3 and 4).
 
 use crate::stats::ProxyStats;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sc_cache::DocMeta;
 use sc_trace::sampler::BoundedPareto;
 use sc_trace::{group_of_client, Trace};
+use sc_util::Rng;
 use sc_wire::http;
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::TcpStream;
 
 /// The synthetic benchmark's knobs (Wisconsin Proxy Benchmark 1.0 shape).
 #[derive(Debug, Clone)]
@@ -54,8 +52,8 @@ pub struct ProxyClient {
 
 impl ProxyClient {
     /// Connect to a proxy's HTTP address.
-    pub async fn connect(addr: SocketAddr, stats: Arc<ProxyStats>) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr).await?;
+    pub fn connect(addr: SocketAddr, stats: Arc<ProxyStats>) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(ProxyClient {
             stream,
@@ -65,12 +63,12 @@ impl ProxyClient {
     }
 
     /// Issue one GET and fully drain the response. Returns the status.
-    pub async fn get(&mut self, url: &str, meta: DocMeta) -> std::io::Result<u16> {
+    pub fn get(&mut self, url: &str, meta: DocMeta) -> std::io::Result<u16> {
         let t0 = Instant::now();
         let size = meta.size.to_string();
         let lm = meta.last_modified.to_string();
         let head = http::build_request(url, &[("X-Doc-Size", &size), ("X-Doc-LM", &lm)]);
-        self.stream.write_all(head.as_bytes()).await?;
+        self.stream.write_all(head.as_bytes())?;
         let resp = loop {
             match http::parse_response(&self.buf)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
@@ -81,7 +79,7 @@ impl ProxyClient {
                 }
                 http::Parse::NeedMore => {
                     let mut chunk = [0u8; 16 * 1024];
-                    let n = self.stream.read(&mut chunk).await?;
+                    let n = self.stream.read(&mut chunk)?;
                     if n == 0 {
                         return Err(std::io::Error::new(
                             std::io::ErrorKind::UnexpectedEof,
@@ -98,7 +96,7 @@ impl ProxyClient {
         let mut chunk = [0u8; 16 * 1024];
         while got < len {
             let want = ((len - got) as usize).min(chunk.len());
-            let n = self.stream.read(&mut chunk[..want]).await?;
+            let n = self.stream.read(&mut chunk[..want])?;
             if n == 0 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
@@ -116,7 +114,7 @@ impl ProxyClient {
 /// client (the Table II worst case — zero inter-proxy hits), Pareto
 /// sizes, and re-references at the target inherent hit ratio.
 pub struct SyntheticStream {
-    rng: StdRng,
+    rng: Rng,
     sizes: BoundedPareto,
     hit_ratio: f64,
     /// Unique namespace prefix for this client's fresh documents.
@@ -129,7 +127,7 @@ impl SyntheticStream {
     /// Build the stream for global client number `client_id`.
     pub fn new(cfg: &BenchmarkConfig, client_id: u64) -> Self {
         SyntheticStream {
-            rng: StdRng::seed_from_u64(cfg.seed ^ (client_id.wrapping_mul(0x9E3779B97F4A7C15))),
+            rng: Rng::seed_from_u64(cfg.seed ^ (client_id.wrapping_mul(0x9E3779B97F4A7C15))),
             sizes: BoundedPareto::new(cfg.size_pareto.0, cfg.size_pareto.1, cfg.size_pareto.2),
             hit_ratio: cfg.target_hit_ratio,
             namespace: client_id << 32,
@@ -153,8 +151,9 @@ impl SyntheticStream {
             size: self.sizes.sample(&mut self.rng),
             last_modified: 1,
         };
-        self.history.push((url.clone(), meta));
-        self.history.last().unwrap().clone()
+        let entry = (url, meta);
+        self.history.push(entry.clone());
+        entry
     }
 }
 

@@ -1,5 +1,5 @@
 //! In-process experiment clusters: N proxies + one origin on loopback,
-//! driven by the synthetic benchmark or a trace replay — the tokio
+//! driven by the synthetic benchmark or a trace replay — the threaded
 //! equivalent of the paper's 10-workstation testbed (Section IV).
 
 use crate::client::{plan_replay, BenchmarkConfig, ProxyClient, ReplayMode, SyntheticStream};
@@ -8,9 +8,8 @@ use crate::daemon::Daemon;
 use crate::origin::Origin;
 use crate::stats::{CpuTimes, StatsSnapshot};
 use sc_trace::Trace;
-use serde::{Deserialize, Serialize};
+use std::net::{SocketAddr, TcpListener, UdpSocket};
 use std::time::{Duration, Instant};
-use tokio::net::{TcpListener, UdpSocket};
 
 /// Cluster-wide configuration.
 #[derive(Debug, Clone)]
@@ -53,20 +52,33 @@ pub struct Cluster {
     pub origin: Origin,
 }
 
+/// Join a set of driver threads, surfacing the first I/O error (a
+/// panicked thread reports as an error rather than poisoning the run).
+fn join_drivers(
+    handles: Vec<std::thread::JoinHandle<std::io::Result<()>>>,
+) -> std::io::Result<()> {
+    for h in handles {
+        h.join()
+            .map_err(|_| std::io::Error::other("driver thread panicked"))??;
+    }
+    Ok(())
+}
+
 impl Cluster {
     /// Bind all sockets, compute the full peer mesh, and start
     /// everything.
-    pub async fn start(cfg: &ClusterConfig) -> std::io::Result<Cluster> {
+    pub fn start(cfg: &ClusterConfig) -> std::io::Result<Cluster> {
         assert!(cfg.proxies >= 1);
-        let origin = Origin::spawn(cfg.origin_delay).await?;
+        let origin = Origin::spawn(cfg.origin_delay)?;
 
         // Bind every socket first so each daemon knows the whole mesh.
+        let loopback = SocketAddr::from(([127, 0, 0, 1], 0));
         let mut listeners = Vec::new();
         let mut udps = Vec::new();
         let mut addrs = Vec::new();
         for id in 0..cfg.proxies {
-            let l = TcpListener::bind("127.0.0.1:0").await?;
-            let u = UdpSocket::bind("127.0.0.1:0").await?;
+            let l = TcpListener::bind(loopback)?;
+            let u = UdpSocket::bind(loopback)?;
             addrs.push(PeerAddr {
                 id,
                 icp: u.local_addr()?,
@@ -93,7 +105,7 @@ impl Cluster {
                 icp_timeout_ms: cfg.icp_timeout_ms,
                 keepalive_ms: cfg.keepalive_ms,
             };
-            daemons.push(Daemon::spawn_on(pc, listener, udp).await?);
+            daemons.push(Daemon::spawn_on(pc, listener, udp)?);
         }
         Ok(Cluster { daemons, origin })
     }
@@ -113,9 +125,9 @@ impl Cluster {
     /// Run the synthetic benchmark: `clients_per_proxy` concurrent
     /// clients against each proxy, each issuing its stream sequentially.
     /// Returns the wall-clock duration.
-    pub async fn run_benchmark(&self, bench: &BenchmarkConfig) -> std::io::Result<Duration> {
+    pub fn run_benchmark(&self, bench: &BenchmarkConfig) -> std::io::Result<Duration> {
         let t0 = Instant::now();
-        let mut tasks = Vec::new();
+        let mut handles = Vec::new();
         for (pid, d) in self.daemons.iter().enumerate() {
             for c in 0..bench.clients_per_proxy {
                 let global_client = (pid * bench.clients_per_proxy + c) as u64 + 1;
@@ -123,27 +135,24 @@ impl Cluster {
                 let addr = d.http_addr;
                 let stats = d.stats.clone();
                 let n = bench.requests_per_client;
-                tasks.push(tokio::spawn(async move {
-                    let mut client = ProxyClient::connect(addr, stats).await?;
+                handles.push(std::thread::spawn(move || -> std::io::Result<()> {
+                    let mut client = ProxyClient::connect(addr, stats)?;
                     for _ in 0..n {
                         let (url, meta) = stream.next_request();
-                        let status = client.get(&url, meta).await?;
+                        let status = client.get(&url, meta)?;
                         debug_assert_eq!(status, 200);
                     }
-                    Ok::<(), std::io::Error>(())
+                    Ok(())
                 }));
             }
         }
-        for t in tasks {
-            t.await
-                .map_err(std::io::Error::other)??;
-        }
+        join_drivers(handles)?;
         Ok(t0.elapsed())
     }
 
-    /// Replay a trace per Section VII: `tasks_per_proxy` driver tasks
+    /// Replay a trace per Section VII: `tasks_per_proxy` driver threads
     /// per proxy (the paper: 20, for 80 total), bound per `mode`.
-    pub async fn run_replay(
+    pub fn run_replay(
         &self,
         trace: &Trace,
         tasks_per_proxy: usize,
@@ -156,7 +165,7 @@ impl Cluster {
         );
         let plans = plan_replay(trace, tasks_per_proxy, mode);
         let t0 = Instant::now();
-        let mut tasks = Vec::new();
+        let mut handles = Vec::new();
         for (tid, plan) in plans.into_iter().enumerate() {
             if plan.is_empty() {
                 continue;
@@ -164,18 +173,15 @@ impl Cluster {
             let d = &self.daemons[tid % self.daemons.len()];
             let addr = d.http_addr;
             let stats = d.stats.clone();
-            tasks.push(tokio::spawn(async move {
-                let mut client = ProxyClient::connect(addr, stats).await?;
+            handles.push(std::thread::spawn(move || -> std::io::Result<()> {
+                let mut client = ProxyClient::connect(addr, stats)?;
                 for (url, meta) in plan {
-                    client.get(&url, meta).await?;
+                    client.get(&url, meta)?;
                 }
-                Ok::<(), std::io::Error>(())
+                Ok(())
             }));
         }
-        for t in tasks {
-            t.await
-                .map_err(std::io::Error::other)??;
-        }
+        join_drivers(handles)?;
         Ok(t0.elapsed())
     }
 
@@ -189,7 +195,7 @@ impl Cluster {
 }
 
 /// One experiment's results, as printed by the Table II/IV/V harnesses.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ExperimentReport {
     /// Mode label ("no-ICP", "ICP", "SC-ICP").
     pub mode: String,
@@ -204,15 +210,24 @@ pub struct ExperimentReport {
     /// Per-proxy counters.
     pub per_proxy: Vec<StatsSnapshot>,
     /// Tail latency (worst proxy), filled in by harnesses that need it.
-    #[serde(default)]
     pub latency_ms_p50: f64,
-    #[serde(default)]
     /// 95th-percentile client latency, milliseconds.
     pub latency_ms_p95: f64,
-    #[serde(default)]
     /// 99th-percentile client latency, milliseconds.
     pub latency_ms_p99: f64,
 }
+
+sc_json::json_struct!(ExperimentReport {
+    mode,
+    wall_seconds,
+    cpu_user,
+    cpu_system,
+    totals,
+    per_proxy,
+    latency_ms_p50,
+    latency_ms_p95,
+    latency_ms_p99
+});
 
 impl ExperimentReport {
     /// Assemble a report from a finished run.
@@ -264,10 +279,10 @@ mod tests {
         }
     }
 
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn no_icp_cluster_serves_benchmark() {
-        let cluster = Cluster::start(&quick_cluster(Mode::NoIcp)).await.unwrap();
-        cluster.run_benchmark(&quick_bench()).await.unwrap();
+    #[test]
+    fn no_icp_cluster_serves_benchmark() {
+        let cluster = Cluster::start(&quick_cluster(Mode::NoIcp)).unwrap();
+        cluster.run_benchmark(&quick_bench()).unwrap();
         let total = cluster.aggregate();
         assert_eq!(total.http_requests, 3 * 4 * 25);
         assert_eq!(total.udp_messages(), 0, "no ICP traffic in no-ICP mode");
@@ -275,10 +290,10 @@ mod tests {
         cluster.shutdown();
     }
 
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn icp_mode_queries_on_every_miss() {
-        let cluster = Cluster::start(&quick_cluster(Mode::Icp)).await.unwrap();
-        cluster.run_benchmark(&quick_bench()).await.unwrap();
+    #[test]
+    fn icp_mode_queries_on_every_miss() {
+        let cluster = Cluster::start(&quick_cluster(Mode::Icp)).unwrap();
+        cluster.run_benchmark(&quick_bench()).unwrap();
         let total = cluster.aggregate();
         let misses = total.http_requests - total.local_hits - total.remote_hits;
         assert_eq!(
@@ -293,12 +308,10 @@ mod tests {
         cluster.shutdown();
     }
 
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn summary_cache_mode_sends_almost_no_queries() {
-        let cluster = Cluster::start(&quick_cluster(Mode::summary_cache_default()))
-            .await
-            .unwrap();
-        cluster.run_benchmark(&quick_bench()).await.unwrap();
+    #[test]
+    fn summary_cache_mode_sends_almost_no_queries() {
+        let cluster = Cluster::start(&quick_cluster(Mode::summary_cache_default())).unwrap();
+        cluster.run_benchmark(&quick_bench()).unwrap();
         let total = cluster.aggregate();
         // Disjoint streams: summaries point nowhere except Bloom false
         // positives, so queries are a tiny fraction of ICP's.
@@ -314,8 +327,8 @@ mod tests {
         cluster.shutdown();
     }
 
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn remote_hits_flow_between_peers() {
+    #[test]
+    fn remote_hits_flow_between_peers() {
         // Two proxies; client of proxy 0 fetches a doc, then a client of
         // proxy 1 asks for the same doc: ICP must turn it into a remote
         // hit.
@@ -325,21 +338,21 @@ mod tests {
             origin_delay: Duration::from_millis(50),
             ..quick_cluster(Mode::Icp)
         };
-        let cluster = Cluster::start(&cfg).await.unwrap();
+        let cluster = Cluster::start(&cfg).unwrap();
         let url = "http://server-9.trace.invalid/doc/99";
         let meta = DocMeta {
             size: 5000,
             last_modified: 3,
         };
-        let mut c0 = ProxyClient::connect(cluster.daemons[0].http_addr, cluster.daemons[0].stats.clone())
-            .await
-            .unwrap();
-        assert_eq!(c0.get(url, meta).await.unwrap(), 200);
-        let mut c1 = ProxyClient::connect(cluster.daemons[1].http_addr, cluster.daemons[1].stats.clone())
-            .await
-            .unwrap();
+        let mut c0 =
+            ProxyClient::connect(cluster.daemons[0].http_addr, cluster.daemons[0].stats.clone())
+                .unwrap();
+        assert_eq!(c0.get(url, meta).unwrap(), 200);
+        let mut c1 =
+            ProxyClient::connect(cluster.daemons[1].http_addr, cluster.daemons[1].stats.clone())
+                .unwrap();
         let t0 = Instant::now();
-        assert_eq!(c1.get(url, meta).await.unwrap(), 200);
+        assert_eq!(c1.get(url, meta).unwrap(), 200);
         let remote_latency = t0.elapsed();
         let s1 = cluster.daemons[1].stats.snapshot();
         assert_eq!(s1.remote_hits, 1, "{s1:?}");
@@ -350,8 +363,8 @@ mod tests {
         cluster.shutdown();
     }
 
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn summary_cache_remote_hit_after_update() {
+    #[test]
+    fn summary_cache_remote_hit_after_update() {
         // SC mode with an aggressive update policy: after proxy 0 caches
         // a doc and publishes, proxy 1 finds it via the Bloom replica.
         let cfg = ClusterConfig {
@@ -364,30 +377,30 @@ mod tests {
             origin_delay: Duration::from_millis(20),
             ..quick_cluster(Mode::NoIcp)
         };
-        let cluster = Cluster::start(&cfg).await.unwrap();
+        let cluster = Cluster::start(&cfg).unwrap();
         let url = "http://server-9.trace.invalid/doc/42";
         let meta = DocMeta {
             size: 2000,
             last_modified: 9,
         };
-        let mut c0 = ProxyClient::connect(cluster.daemons[0].http_addr, cluster.daemons[0].stats.clone())
-            .await
-            .unwrap();
-        assert_eq!(c0.get(url, meta).await.unwrap(), 200);
+        let mut c0 =
+            ProxyClient::connect(cluster.daemons[0].http_addr, cluster.daemons[0].stats.clone())
+                .unwrap();
+        assert_eq!(c0.get(url, meta).unwrap(), 200);
         // Give the update datagram a moment to land.
-        tokio::time::sleep(Duration::from_millis(100)).await;
-        let mut c1 = ProxyClient::connect(cluster.daemons[1].http_addr, cluster.daemons[1].stats.clone())
-            .await
-            .unwrap();
-        assert_eq!(c1.get(url, meta).await.unwrap(), 200);
+        std::thread::sleep(Duration::from_millis(100));
+        let mut c1 =
+            ProxyClient::connect(cluster.daemons[1].http_addr, cluster.daemons[1].stats.clone())
+                .unwrap();
+        assert_eq!(c1.get(url, meta).unwrap(), 200);
         let s1 = cluster.daemons[1].stats.snapshot();
         assert_eq!(s1.remote_hits, 1, "{s1:?}");
         assert_eq!(s1.icp_queries_sent, 1, "queried exactly the candidate");
         cluster.shutdown();
     }
 
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn replay_drives_all_requests() {
+    #[test]
+    fn replay_drives_all_requests() {
         let trace = sc_trace::TraceGenerator::new(sc_trace::GeneratorConfig {
             requests: 400,
             clients: 12,
@@ -401,22 +414,39 @@ mod tests {
             origin_delay: Duration::from_millis(1),
             ..quick_cluster(Mode::Icp)
         };
-        let cluster = Cluster::start(&cfg).await.unwrap();
-        cluster
-            .run_replay(&trace, 4, ReplayMode::PerClient)
-            .await
-            .unwrap();
+        let cluster = Cluster::start(&cfg).unwrap();
+        cluster.run_replay(&trace, 4, ReplayMode::PerClient).unwrap();
         let total = cluster.aggregate();
         assert_eq!(total.http_requests, 400);
         assert!(total.remote_hits > 0, "shared documents produce remote hits");
         cluster.shutdown();
 
-        let cluster2 = Cluster::start(&cfg).await.unwrap();
+        let cluster2 = Cluster::start(&cfg).unwrap();
         cluster2
             .run_replay(&trace, 4, ReplayMode::RoundRobin)
-            .await
             .unwrap();
         assert_eq!(cluster2.aggregate().http_requests, 400);
         cluster2.shutdown();
+    }
+
+    #[test]
+    fn experiment_report_json_roundtrip() {
+        use sc_json::{FromJson, ToJson};
+        let report = ExperimentReport {
+            mode: "SC-ICP".into(),
+            wall_seconds: 1.25,
+            totals: StatsSnapshot {
+                http_requests: 100,
+                ..Default::default()
+            },
+            per_proxy: vec![StatsSnapshot::default(); 2],
+            ..Default::default()
+        };
+        let v = report.to_json();
+        let back = ExperimentReport::from_json(&v).unwrap();
+        assert_eq!(back.mode, "SC-ICP");
+        assert_eq!(back.totals.http_requests, 100);
+        assert_eq!(back.per_proxy.len(), 2);
+        assert!((back.wall_seconds - 1.25).abs() < 1e-12);
     }
 }

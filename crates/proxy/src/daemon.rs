@@ -1,9 +1,10 @@
 //! The proxy daemon: HTTP front end, document cache, ICP endpoint, and
 //! the summary-cache machinery of Section VI-B.
 //!
-//! One daemon = one tokio task group sharing an internal state block:
+//! One daemon = a small thread group sharing an internal state block:
 //!
-//! * a TCP accept loop serving clients (and peers fetching remote hits);
+//! * a TCP accept loop serving clients (and peers fetching remote hits),
+//!   one thread per connection;
 //! * a UDP loop speaking ICP: answering queries, dispatching replies to
 //!   waiting requests, and applying `ICP_OP_DIRUPDATE` / `DIRFULL`
 //!   messages to the local replicas of peer summaries;
@@ -16,29 +17,41 @@
 //! The cache stores document *metadata*; bodies are synthesized at the
 //! sizes recorded, which preserves every quantity the experiments
 //! measure (message counts, byte counts, CPU, latency).
+//!
+//! Everything here is plain `std`: `std::net` sockets, `std::thread`,
+//! `std::sync` — the workspace's dependency firewall (`sc-check`) keeps
+//! it that way.
 
 use crate::config::{Mode, PeerAddr, ProxyConfig};
-use crate::origin::{drain_body, write_body};
+use crate::origin::{drain_body, write_body, ACCEPT_POLL};
 use crate::stats::ProxyStats;
-use parking_lot::Mutex;
 use sc_bloom::{BitVec, BloomFilter, Flip, HashSpec};
 use sc_cache::{DocMeta, Lookup, WebCache};
 use sc_wire::http;
 use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
 use std::collections::HashMap;
-use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use summary_cache_core::{ProxySummary, UpdatePolicy};
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::{TcpListener, TcpStream, UdpSocket};
-use tokio::sync::{oneshot, watch};
+use summary_cache_core::{ProxySummary, SummaryKind, UpdatePolicy};
 
 /// Max bit flips per DIRUPDATE datagram (keeps messages near one MTU,
 /// as the prototype "sends updates whenever there are enough changes to
 /// fill an IP packet").
 const FLIPS_PER_DATAGRAM: usize = 320;
+
+/// How long the UDP loop blocks per receive before re-checking shutdown.
+const UDP_POLL: Duration = Duration::from_millis(50);
+
+/// Lock a mutex, tolerating poisoning: a panicking connection thread
+/// must not wedge the whole daemon, and every structure guarded here is
+/// consistent after each individual operation.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// A running proxy daemon.
 pub struct Daemon {
@@ -51,7 +64,7 @@ pub struct Daemon {
     /// Live counters.
     pub stats: Arc<ProxyStats>,
     inner: Arc<Inner>,
-    shutdown: watch::Sender<bool>,
+    shutdown: Arc<AtomicBool>,
 }
 
 /// Summary-cache mode state.
@@ -66,7 +79,7 @@ struct ScState {
 struct Pending {
     outstanding: usize,
     hit: Option<u32>,
-    done: Option<oneshot::Sender<Option<u32>>>,
+    done: Option<SyncSender<Option<u32>>>,
 }
 
 struct Inner {
@@ -101,15 +114,16 @@ impl Daemon {
     ///
     /// For clusters, bind the sockets first (so every daemon can know
     /// every peer's address up front) and use [`Daemon::spawn_on`].
-    pub async fn spawn(cfg: ProxyConfig) -> std::io::Result<Daemon> {
-        let listener = TcpListener::bind("127.0.0.1:0").await?;
-        let udp = UdpSocket::bind("127.0.0.1:0").await?;
-        Self::spawn_on(cfg, listener, udp).await
+    pub fn spawn(cfg: ProxyConfig) -> std::io::Result<Daemon> {
+        let loopback = SocketAddr::from(([127, 0, 0, 1], 0));
+        let listener = TcpListener::bind(loopback)?;
+        let udp = UdpSocket::bind(loopback)?;
+        Self::spawn_on(cfg, listener, udp)
     }
 
     /// Start the daemon on pre-bound sockets. The daemon is ready to
     /// serve as soon as this returns.
-    pub async fn spawn_on(
+    pub fn spawn_on(
         cfg: ProxyConfig,
         listener: TcpListener,
         udp: UdpSocket,
@@ -119,8 +133,15 @@ impl Daemon {
         let stats = Arc::new(ProxyStats::default());
 
         let sc = match cfg.mode {
-            Mode::SummaryCache { policy, .. } => {
-                let kind = cfg.mode.summary_kind().expect("SC mode has a kind");
+            Mode::SummaryCache {
+                load_factor,
+                hashes,
+                policy,
+            } => {
+                let kind = SummaryKind::Bloom {
+                    load_factor,
+                    hashes,
+                };
                 Some(Mutex::new(ScState {
                     summary: ProxySummary::with_expected_docs(kind, cfg.expected_docs),
                     policy,
@@ -158,26 +179,30 @@ impl Daemon {
             cfg,
         });
 
-        let (tx, rx) = watch::channel(false);
+        let shutdown = Arc::new(AtomicBool::new(false));
 
         // TCP accept loop.
         {
             let inner = inner.clone();
-            let mut rx = rx.clone();
-            tokio::spawn(async move {
-                loop {
-                    tokio::select! {
-                        _ = rx.changed() => break,
-                        accepted = listener.accept() => {
-                            let Ok((stream, _)) = accepted else { break };
+            let stop = shutdown.clone();
+            listener.set_nonblocking(true)?;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
                             // Request/response exchanges are small; Nagle
                             // + delayed ACK would add ~40 ms per turn.
                             let _ = stream.set_nodelay(true);
+                            let _ = stream.set_nonblocking(false);
                             let inner = inner.clone();
-                            tokio::spawn(async move {
-                                let _ = serve_tcp(inner, stream).await;
+                            std::thread::spawn(move || {
+                                let _ = serve_tcp(inner, stream);
                             });
                         }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => break,
                     }
                 }
             });
@@ -186,17 +211,22 @@ impl Daemon {
         // UDP (ICP) loop.
         {
             let inner = inner.clone();
-            let mut rx = rx.clone();
-            tokio::spawn(async move {
+            let stop = shutdown.clone();
+            inner.udp.set_read_timeout(Some(UDP_POLL))?;
+            std::thread::spawn(move || {
                 let mut buf = vec![0u8; 65536];
-                loop {
-                    tokio::select! {
-                        _ = rx.changed() => break,
-                        received = inner.udp.recv_from(&mut buf) => {
-                            let Ok((n, from)) = received else { break };
+                while !stop.load(Ordering::Relaxed) {
+                    match inner.udp.recv_from(&mut buf) {
+                        Ok((n, from)) => {
                             inner.stats.udp_in(n);
-                            handle_datagram(&inner, &buf[..n], from).await;
+                            handle_datagram(&inner, &buf[..n], from);
                         }
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) => {}
+                        Err(_) => break,
                     }
                 }
             });
@@ -206,28 +236,33 @@ impl Daemon {
         // traffic).
         if inner.cfg.keepalive_ms > 0 && !inner.cfg.peers.is_empty() {
             let inner = inner.clone();
-            let mut rx = rx.clone();
-            tokio::spawn(async move {
+            let stop = shutdown.clone();
+            std::thread::spawn(move || {
                 let period = Duration::from_millis(inner.cfg.keepalive_ms);
-                let mut tick = tokio::time::interval(period);
-                tick.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
                 loop {
-                    tokio::select! {
-                        _ = rx.changed() => break,
-                        _ = tick.tick() => {
-                            let msg = IcpMessage::Secho {
-                                request_number: 0,
-                                url: String::new(),
-                            };
-                            let Ok(bytes) = msg.encode(inner.cfg.id) else { continue };
-                            for peer in &inner.cfg.peers {
-                                if inner.udp.send_to(&bytes, peer.icp).await.is_ok() {
-                                    inner.stats.udp_out(bytes.len());
-                                }
-                            }
-                            sweep_failed_peers(&inner);
+                    // Sleep one period, but notice shutdown within 50 ms.
+                    let mut slept = Duration::ZERO;
+                    while slept < period {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let step = (period - slept).min(Duration::from_millis(50));
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    let msg = IcpMessage::Secho {
+                        request_number: 0,
+                        url: String::new(),
+                    };
+                    let Ok(bytes) = msg.encode(inner.cfg.id) else {
+                        continue;
+                    };
+                    for peer in &inner.cfg.peers {
+                        if inner.udp.send_to(&bytes, peer.icp).is_ok() {
+                            inner.stats.udp_out(bytes.len());
                         }
                     }
+                    sweep_failed_peers(&inner);
                 }
             });
         }
@@ -238,30 +273,36 @@ impl Daemon {
             icp_addr,
             stats,
             inner,
-            shutdown: tx,
+            shutdown,
         })
     }
 
     /// Number of documents currently cached.
     pub fn cached_docs(&self) -> usize {
-        self.inner.cache.lock().len()
+        lock(&self.inner.cache).len()
     }
 
     /// Peer ids whose summary replicas are currently installed.
     pub fn replicated_peers(&self) -> Vec<u32> {
-        let mut ids: Vec<u32> = self.inner.peer_filters.lock().keys().copied().collect();
+        let mut ids: Vec<u32> = lock(&self.inner.peer_filters).keys().copied().collect();
         ids.sort_unstable();
         ids
     }
 
     /// Stop the daemon's loops.
     pub fn shutdown(&self) {
-        let _ = self.shutdown.send(true);
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
 /// Serve one TCP connection (keep-alive, sequential requests).
-async fn serve_tcp(inner: Arc<Inner>, mut stream: TcpStream) -> std::io::Result<()> {
+fn serve_tcp(inner: Arc<Inner>, mut stream: TcpStream) -> std::io::Result<()> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     loop {
         let req = loop {
@@ -273,28 +314,28 @@ async fn serve_tcp(inner: Arc<Inner>, mut stream: TcpStream) -> std::io::Result<
                 }
                 Ok(http::Parse::NeedMore) => {
                     let mut chunk = [0u8; 4096];
-                    let n = stream.read(&mut chunk).await?;
+                    let n = stream.read(&mut chunk)?;
                     if n == 0 {
                         return Ok(());
                     }
                     buf.extend_from_slice(&chunk[..n]);
                 }
                 Err(_) => {
-                    respond_empty(&inner, &mut stream, 400, "Bad Request").await?;
+                    respond_empty(&inner, &mut stream, 400, "Bad Request")?;
                     return Ok(());
                 }
             }
         };
         let peer_fetch = http::header(&req.headers, "x-peer-fetch").is_some();
         if peer_fetch {
-            serve_peer_fetch(&inner, &mut stream, &req).await?;
+            serve_peer_fetch(&inner, &mut stream, &req)?;
         } else {
-            serve_client(&inner, &mut stream, &req).await?;
+            serve_client(&inner, &mut stream, &req)?;
         }
     }
 }
 
-async fn respond_empty(
+fn respond_empty(
     inner: &Inner,
     stream: &mut TcpStream,
     status: u16,
@@ -302,16 +343,16 @@ async fn respond_empty(
 ) -> std::io::Result<()> {
     let head = http::build_response(status, reason, &[("Content-Length", "0")]);
     inner.stats.tcp_out(head.len());
-    stream.write_all(head.as_bytes()).await
+    stream.write_all(head.as_bytes())
 }
 
 /// A neighbour asks for a document we advertised: serve from cache only.
-async fn serve_peer_fetch(
+fn serve_peer_fetch(
     inner: &Inner,
     stream: &mut TcpStream,
     req: &http::Request,
 ) -> std::io::Result<()> {
-    let cached = inner.cache.lock().peek(&req.target);
+    let cached = lock(&inner.cache).peek(&req.target);
     match cached {
         Some(meta) => {
             let head = http::build_response(
@@ -323,16 +364,16 @@ async fn serve_peer_fetch(
                 ],
             );
             inner.stats.tcp_out(head.len() + meta.size as usize);
-            stream.write_all(head.as_bytes()).await?;
-            write_body(stream, meta.size).await
+            stream.write_all(head.as_bytes())?;
+            write_body(stream, meta.size)
         }
-        None => respond_empty(inner, stream, 404, "Not Found").await,
+        None => respond_empty(inner, stream, 404, "Not Found"),
     }
 }
 
 /// The full client-request path: local cache, then mode-dependent
 /// cooperation, then origin; store; reply.
-async fn serve_client(
+fn serve_client(
     inner: &Inner,
     stream: &mut TcpStream,
     req: &http::Request,
@@ -350,18 +391,18 @@ async fn serve_client(
     };
 
     // 1. Local cache.
-    let lookup = inner.cache.lock().lookup(&url, want);
+    let lookup = lock(&inner.cache).lookup(&url, want);
     match lookup {
         Lookup::Hit => {
             inner.stats.local_hits.fetch_add(1, Ordering::Relaxed);
-            reply_doc(inner, stream, want).await?;
-            finish_request(inner, t0).await;
+            reply_doc(inner, stream, want)?;
+            finish_request(inner, t0);
             return Ok(());
         }
         Lookup::StaleHit => {
             // Purged by lookup(); keep the summary in sync.
             if let Some(sc) = &inner.sc {
-                sc.lock().summary.remove(url.as_bytes(), server_of(&url));
+                lock(sc).summary.remove(url.as_bytes(), server_of(&url));
             }
         }
         Lookup::Miss => {}
@@ -372,11 +413,11 @@ async fn serve_client(
         Mode::NoIcp => None,
         Mode::Icp => {
             let all: Vec<u32> = inner.cfg.peers.iter().map(|p| p.id).collect();
-            query_then_fetch(inner, &url, want, &all).await
+            query_then_fetch(inner, &url, want, &all)
         }
         Mode::SummaryCache { .. } => {
             let candidates: Vec<u32> = {
-                let filters = inner.peer_filters.lock();
+                let filters = lock(&inner.peer_filters);
                 inner
                     .cfg
                     .peers
@@ -393,7 +434,7 @@ async fn serve_client(
             if candidates.is_empty() {
                 None
             } else {
-                let got = query_then_fetch(inner, &url, want, &candidates).await;
+                let got = query_then_fetch(inner, &url, want, &candidates);
                 if got.is_none() {
                     // Summary pointed somewhere, nobody had a usable copy.
                     inner.stats.false_hits.fetch_add(1, Ordering::Relaxed);
@@ -409,11 +450,11 @@ async fn serve_client(
             inner.stats.remote_hits.fetch_add(1, Ordering::Relaxed);
             meta
         }
-        None => match fetch_http(inner, inner.cfg.origin, &url, want, false).await {
+        None => match fetch_http(inner, inner.cfg.origin, &url, want, false) {
             Ok(Some(meta)) => meta,
             _ => {
-                respond_empty(inner, stream, 504, "Gateway Timeout").await?;
-                finish_request(inner, t0).await;
+                respond_empty(inner, stream, 504, "Gateway Timeout")?;
+                finish_request(inner, t0);
                 return Ok(());
             }
         },
@@ -423,8 +464,8 @@ async fn serve_client(
     store_document(inner, &url, meta);
 
     // 5. Reply.
-    reply_doc(inner, stream, meta).await?;
-    finish_request(inner, t0).await;
+    reply_doc(inner, stream, meta)?;
+    finish_request(inner, t0);
     Ok(())
 }
 
@@ -436,9 +477,9 @@ fn server_of(url: &str) -> &[u8] {
 }
 
 fn store_document(inner: &Inner, url: &str, meta: DocMeta) {
-    let evicted = inner.cache.lock().store(url.to_string(), meta);
+    let evicted = lock(&inner.cache).store(url.to_string(), meta);
     if let (Some(evicted), Some(sc)) = (evicted, &inner.sc) {
-        let mut sc = sc.lock();
+        let mut sc = lock(sc);
         sc.summary.insert(url.as_bytes(), server_of(url));
         for victim in &evicted {
             sc.summary.remove(victim.as_bytes(), server_of(victim));
@@ -446,7 +487,7 @@ fn store_document(inner: &Inner, url: &str, meta: DocMeta) {
     }
 }
 
-async fn reply_doc(inner: &Inner, stream: &mut TcpStream, meta: DocMeta) -> std::io::Result<()> {
+fn reply_doc(inner: &Inner, stream: &mut TcpStream, meta: DocMeta) -> std::io::Result<()> {
     let head = http::build_response(
         200,
         "OK",
@@ -456,16 +497,16 @@ async fn reply_doc(inner: &Inner, stream: &mut TcpStream, meta: DocMeta) -> std:
         ],
     );
     inner.stats.tcp_out(head.len() + meta.size as usize);
-    stream.write_all(head.as_bytes()).await?;
-    write_body(stream, meta.size).await
+    stream.write_all(head.as_bytes())?;
+    write_body(stream, meta.size)
 }
 
 /// Post-request bookkeeping: latency and (SC mode) update publishing.
-async fn finish_request(inner: &Inner, t0: Instant) {
+fn finish_request(inner: &Inner, t0: Instant) {
     inner.stats.latency(t0.elapsed().as_micros() as u64);
     let Some(sc) = &inner.sc else { return };
     let messages: Vec<IcpMessage> = {
-        let mut sc = sc.lock();
+        let mut sc = lock(sc);
         sc.requests_since_publish += 1;
         let elapsed_ms = sc.last_publish.elapsed().as_millis() as u64;
         if !sc.policy.should_publish(
@@ -488,7 +529,7 @@ async fn finish_request(inner: &Inner, t0: Instant) {
             Err(_) => continue, // oversized full bitmap: skip (documented limit)
         };
         for peer in &inner.cfg.peers {
-            if inner.udp.send_to(&bytes, peer.icp).await.is_ok() {
+            if inner.udp.send_to(&bytes, peer.icp).is_ok() {
                 inner.stats.udp_out(bytes.len());
                 inner.stats.updates_sent.fetch_add(1, Ordering::Relaxed);
             }
@@ -531,7 +572,7 @@ fn build_update_messages(
 /// Send ICP queries to `peer_ids`; if one answers HIT, fetch the
 /// document from it. Returns the fetched metadata when it matches the
 /// requested version (a mismatch is a remote stale hit).
-async fn query_then_fetch(
+fn query_then_fetch(
     inner: &Inner,
     url: &str,
     want: DocMeta,
@@ -541,8 +582,16 @@ async fn query_then_fetch(
         return None;
     }
     let reqnum = inner.next_reqnum.fetch_add(1, Ordering::Relaxed);
-    let (tx, rx) = oneshot::channel();
-    inner.pending.lock().insert(
+    let query = IcpMessage::Query {
+        request_number: reqnum,
+        requester: inner.cfg.id,
+        url: url.to_string(),
+    };
+    // An oversized URL cannot be queried; treat it as a miss everywhere
+    // rather than taking the daemon down.
+    let bytes = query.encode(inner.cfg.id).ok()?;
+    let (tx, rx) = std::sync::mpsc::sync_channel(1);
+    lock(&inner.pending).insert(
         reqnum,
         Pending {
             outstanding: peer_ids.len(),
@@ -550,15 +599,9 @@ async fn query_then_fetch(
             done: Some(tx),
         },
     );
-    let query = IcpMessage::Query {
-        request_number: reqnum,
-        requester: inner.cfg.id,
-        url: url.to_string(),
-    };
-    let bytes = query.encode(inner.cfg.id).expect("query fits a datagram");
     for id in peer_ids {
         if let Some(peer) = inner.peers_by_id.get(id) {
-            if inner.udp.send_to(&bytes, peer.icp).await.is_ok() {
+            if inner.udp.send_to(&bytes, peer.icp).is_ok() {
                 inner.stats.udp_out(bytes.len());
                 inner
                     .stats
@@ -567,18 +610,14 @@ async fn query_then_fetch(
             }
         }
     }
-    let winner = tokio::time::timeout(
-        Duration::from_millis(inner.cfg.icp_timeout_ms),
-        rx,
-    )
-    .await
-    .ok()
-    .and_then(|r| r.ok())
-    .flatten();
-    inner.pending.lock().remove(&reqnum);
+    let winner = rx
+        .recv_timeout(Duration::from_millis(inner.cfg.icp_timeout_ms))
+        .ok()
+        .flatten();
+    lock(&inner.pending).remove(&reqnum);
 
     let peer = inner.peers_by_id.get(&winner?)?;
-    match fetch_http(inner, peer.http, url, want, true).await {
+    match fetch_http(inner, peer.http, url, want, true) {
         Ok(Some(meta)) if meta == want => Some(meta),
         Ok(Some(_)) | Ok(None) => {
             // Copy exists but is the wrong version, or vanished between
@@ -595,14 +634,14 @@ async fn query_then_fetch(
 
 /// GET `url` from `addr` (peer or origin), draining the body. Returns
 /// the document metadata or `None` on 404.
-async fn fetch_http(
+fn fetch_http(
     inner: &Inner,
     addr: SocketAddr,
     url: &str,
     want: DocMeta,
     peer: bool,
 ) -> std::io::Result<Option<DocMeta>> {
-    let mut stream = TcpStream::connect(addr).await?;
+    let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let size = want.size.to_string();
     let lm = want.last_modified.to_string();
@@ -612,7 +651,7 @@ async fn fetch_http(
     }
     let head = http::build_request(url, &headers);
     inner.stats.tcp_out(head.len());
-    stream.write_all(head.as_bytes()).await?;
+    stream.write_all(head.as_bytes())?;
 
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let resp = loop {
@@ -623,7 +662,7 @@ async fn fetch_http(
             }
             Ok(http::Parse::NeedMore) => {
                 let mut chunk = [0u8; 16 * 1024];
-                let n = stream.read(&mut chunk).await?;
+                let n = stream.read(&mut chunk)?;
                 if n == 0 {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::UnexpectedEof,
@@ -645,7 +684,7 @@ async fn fetch_http(
             inner: &mut stream,
             stats: &inner.stats,
         };
-        drain_body(&mut counted, len - already).await?;
+        drain_body(&mut counted, len - already)?;
     }
     if resp.status == 404 {
         return Ok(None);
@@ -659,29 +698,22 @@ async fn fetch_http(
     }))
 }
 
-/// AsyncRead adapter that counts bytes into the proxy's TCP counters.
+/// Read adapter that counts bytes into the proxy's TCP counters.
 struct CountingReader<'a> {
     inner: &'a mut TcpStream,
     stats: &'a ProxyStats,
 }
 
-impl tokio::io::AsyncRead for CountingReader<'_> {
-    fn poll_read(
-        mut self: std::pin::Pin<&mut Self>,
-        cx: &mut std::task::Context<'_>,
-        buf: &mut tokio::io::ReadBuf<'_>,
-    ) -> std::task::Poll<std::io::Result<()>> {
-        let before = buf.filled().len();
-        let res = std::pin::Pin::new(&mut *self.inner).poll_read(cx, buf);
-        if let std::task::Poll::Ready(Ok(())) = &res {
-            self.stats.tcp_in(buf.filled().len() - before);
-        }
-        res
+impl Read for CountingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.stats.tcp_in(n);
+        Ok(n)
     }
 }
 
 /// Handle one received ICP datagram.
-async fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
+fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
     let Ok(msg) = IcpMessage::decode(data) else {
         return; // malformed datagrams are dropped, as in Squid
     };
@@ -689,7 +721,7 @@ async fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
         if mark_heard(inner, peer_id) {
             // The peer just came back: ship it a full bitmap of our own
             // directory so its replica of us reinitializes.
-            send_full_bitmap(inner, from).await;
+            send_full_bitmap(inner, from);
         }
     }
     match msg {
@@ -702,7 +734,7 @@ async fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
                 .stats
                 .icp_queries_served
                 .fetch_add(1, Ordering::Relaxed);
-            let have = inner.cache.lock().contains(&url);
+            let have = lock(&inner.cache).contains(&url);
             let reply = if have {
                 IcpMessage::Hit {
                     request_number,
@@ -715,7 +747,7 @@ async fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
                 }
             };
             if let Ok(bytes) = reply.encode(inner.cfg.id) {
-                if inner.udp.send_to(&bytes, from).await.is_ok() {
+                if inner.udp.send_to(&bytes, from).is_ok() {
                     inner.stats.udp_out(bytes.len());
                 }
             }
@@ -741,7 +773,7 @@ async fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
 /// Route an ICP reply to the waiting query, completing it on the first
 /// HIT or once every peer has answered.
 fn dispatch_reply(inner: &Inner, reqnum: u32, hit_from: Option<u32>) {
-    let mut pending = inner.pending.lock();
+    let mut pending = lock(&inner.pending);
     let Some(p) = pending.get_mut(&reqnum) else {
         return; // late reply after timeout
     };
@@ -751,7 +783,7 @@ fn dispatch_reply(inner: &Inner, reqnum: u32, hit_from: Option<u32>) {
     }
     if p.hit.is_some() || p.outstanding == 0 {
         if let Some(done) = p.done.take() {
-            let _ = done.send(p.hit);
+            let _ = done.try_send(p.hit);
         }
         pending.remove(&reqnum);
     }
@@ -772,7 +804,7 @@ fn apply_update(inner: &Inner, sender: u32, update: DirUpdate) {
         .stats
         .updates_received
         .fetch_add(1, Ordering::Relaxed);
-    let mut filters = inner.peer_filters.lock();
+    let mut filters = lock(&inner.peer_filters);
     let filter = filters
         .entry(sender)
         .and_modify(|f| {
@@ -816,7 +848,7 @@ const FAILURE_KEEPALIVE_PERIODS: u32 = 3;
 /// Mark `peer` as heard-from now. Returns `true` if this is a recovery
 /// (the peer was marked failed).
 fn mark_heard(inner: &Inner, peer: u32) -> bool {
-    let mut liveness = inner.liveness.lock();
+    let mut liveness = lock(&inner.liveness);
     let Some(l) = liveness.get_mut(&peer) else {
         return false;
     };
@@ -834,7 +866,7 @@ fn sweep_failed_peers(inner: &Inner) {
     let now = Instant::now();
     let mut newly_failed = Vec::new();
     {
-        let mut liveness = inner.liveness.lock();
+        let mut liveness = lock(&inner.liveness);
         for (&id, l) in liveness.iter_mut() {
             if !l.failed && now.duration_since(l.last_heard) > timeout {
                 l.failed = true;
@@ -843,7 +875,7 @@ fn sweep_failed_peers(inner: &Inner) {
         }
     }
     if !newly_failed.is_empty() {
-        let mut filters = inner.peer_filters.lock();
+        let mut filters = lock(&inner.peer_filters);
         for id in newly_failed {
             filters.remove(&id);
             inner.stats.peer_failures.fetch_add(1, Ordering::Relaxed);
@@ -853,10 +885,10 @@ fn sweep_failed_peers(inner: &Inner) {
 
 /// Send our complete current published bitmap to one peer (recovery
 /// reinitialization). No-op outside SC mode.
-async fn send_full_bitmap(inner: &Inner, to: SocketAddr) {
+fn send_full_bitmap(inner: &Inner, to: SocketAddr) {
     let Some(sc) = &inner.sc else { return };
     let msg = {
-        let sc = sc.lock();
+        let sc = lock(sc);
         let snapshot = sc.summary.snapshot_published();
         let summary_cache_core::SummarySnapshot::Bloom { spec, bits } = snapshot else {
             return;
@@ -873,7 +905,7 @@ async fn send_full_bitmap(inner: &Inner, to: SocketAddr) {
         }
     };
     if let Ok(bytes) = msg.encode(inner.cfg.id) {
-        if inner.udp.send_to(&bytes, to).await.is_ok() {
+        if inner.udp.send_to(&bytes, to).is_ok() {
             inner.stats.udp_out(bytes.len());
             inner.stats.updates_sent.fetch_add(1, Ordering::Relaxed);
             inner.stats.peer_recoveries.fetch_add(1, Ordering::Relaxed);

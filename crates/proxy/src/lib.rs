@@ -1,7 +1,8 @@
 #![warn(missing_docs)]
 
-//! A working summary-cache web proxy over tokio, plus everything needed
-//! to reproduce the paper's live experiments (Tables II, IV, V).
+//! A working summary-cache web proxy over `std::net` + threads, plus
+//! everything needed to reproduce the paper's live experiments
+//! (Tables II, IV, V).
 //!
 //! The pieces:
 //!
@@ -22,7 +23,7 @@
 //! * [`cluster`] — spins up N proxies + an origin in-process on loopback
 //!   and runs a driver against them, collecting per-proxy statistics.
 //! * [`stats`] — atomic counters standing in for the paper's `netstat`
-//!   and CPU measurements, including `getrusage`-based CPU time.
+//!   and CPU measurements, including `/proc/self/stat`-based CPU time.
 //!
 //! Bodies are synthesized (the cache stores metadata, not payloads):
 //! the experiments measure protocol traffic, CPU and latency, none of

@@ -2,18 +2,20 @@
 //!
 //! Section IV's benchmark servers "delay the replies to emulate Internet
 //! latencies" — each forked server process "waits for one second before
-//! sending the reply". This emulator does the same on tokio: it answers
-//! any GET with a synthesized body of the size the request asks for
-//! (via the `X-Doc-Size` header, as the trace replay of Section VII
+//! sending the reply". This emulator does the same on plain threads: it
+//! answers any GET with a synthesized body of the size the request asks
+//! for (via the `X-Doc-Size` header, as the trace replay of Section VII
 //! encodes sizes in requests), echoing `X-Doc-LM` as `Last-Modified`,
 //! after a configurable delay.
 
-use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::{TcpListener, TcpStream};
+
+/// How long the accept loop naps when no connection is waiting.
+pub(crate) const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
 /// Counters the origin keeps (for sanity checks in experiments).
 #[derive(Debug, Default)]
@@ -30,54 +32,66 @@ pub struct Origin {
     pub addr: SocketAddr,
     /// Live counters.
     pub stats: Arc<OriginStats>,
-    shutdown: tokio::sync::watch::Sender<bool>,
+    shutdown: Arc<AtomicBool>,
 }
 
 impl Origin {
     /// Spawn an origin on an ephemeral loopback port that delays every
     /// reply by `delay`.
-    pub async fn spawn(delay: Duration) -> std::io::Result<Origin> {
-        Self::spawn_at("127.0.0.1:0".parse().unwrap(), delay).await
+    pub fn spawn(delay: Duration) -> std::io::Result<Origin> {
+        Self::spawn_at(SocketAddr::from(([127, 0, 0, 1], 0)), delay)
     }
 
     /// Spawn an origin on a specific address.
-    pub async fn spawn_at(bind: SocketAddr, delay: Duration) -> std::io::Result<Origin> {
-        let listener = TcpListener::bind(bind).await?;
+    pub fn spawn_at(bind: SocketAddr, delay: Duration) -> std::io::Result<Origin> {
+        let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
         let stats = Arc::new(OriginStats::default());
-        let (tx, rx) = tokio::sync::watch::channel(false);
+        let shutdown = Arc::new(AtomicBool::new(false));
         let st = stats.clone();
-        tokio::spawn(async move {
-            let mut rx = rx;
-            loop {
-                tokio::select! {
-                    _ = rx.changed() => break,
-                    accepted = listener.accept() => {
-                        let Ok((stream, _)) = accepted else { break };
+        let stop = shutdown.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // Request/response exchanges are small; Nagle +
+                        // delayed ACK would add ~40 ms per turn.
                         let _ = stream.set_nodelay(true);
+                        let _ = stream.set_nonblocking(false);
                         let st = st.clone();
-                        tokio::spawn(async move {
-                            let _ = serve_conn(stream, delay, st).await;
+                        std::thread::spawn(move || {
+                            let _ = serve_conn(stream, delay, st);
                         });
                     }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => break,
                 }
             }
         });
         Ok(Origin {
             addr,
             stats,
-            shutdown: tx,
+            shutdown,
         })
     }
 
     /// Stop accepting connections.
     pub fn shutdown(&self) {
-        let _ = self.shutdown.send(true);
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Origin {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
 /// Serve one connection; supports sequential keep-alive GETs.
-async fn serve_conn(
+fn serve_conn(
     mut stream: TcpStream,
     delay: Duration,
     stats: Arc<OriginStats>,
@@ -93,15 +107,16 @@ async fn serve_conn(
                 }
                 Ok(sc_wire::http::Parse::NeedMore) => {
                     let mut chunk = [0u8; 4096];
-                    let n = stream.read(&mut chunk).await?;
+                    let n = stream.read(&mut chunk)?;
                     if n == 0 {
                         return Ok(()); // clean close between requests
                     }
                     buf.extend_from_slice(&chunk[..n]);
                 }
                 Err(_) => {
-                    let head = sc_wire::http::build_response(400, "Bad Request", &[("Content-Length", "0")]);
-                    stream.write_all(head.as_bytes()).await?;
+                    let head =
+                        sc_wire::http::build_response(400, "Bad Request", &[("Content-Length", "0")]);
+                    stream.write_all(head.as_bytes())?;
                     return Ok(());
                 }
             }
@@ -116,7 +131,7 @@ async fn serve_conn(
 
         // The paper's artificial Internet latency.
         if !delay.is_zero() {
-            tokio::time::sleep(delay).await;
+            std::thread::sleep(delay);
         }
 
         stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -131,31 +146,31 @@ async fn serve_conn(
                 ("Connection", "keep-alive"),
             ],
         );
-        stream.write_all(head.as_bytes()).await?;
-        write_body(&mut stream, size).await?;
+        stream.write_all(head.as_bytes())?;
+        write_body(&mut stream, size)?;
     }
 }
 
 /// Write `size` synthesized body bytes in chunks.
-pub async fn write_body<W: AsyncWriteExt + Unpin>(w: &mut W, size: u64) -> std::io::Result<()> {
+pub fn write_body<W: Write>(w: &mut W, size: u64) -> std::io::Result<()> {
     const CHUNK: usize = 16 * 1024;
     static FILL: [u8; CHUNK] = [b'x'; CHUNK];
     let mut left = size;
     while left > 0 {
         let n = (left as usize).min(CHUNK);
-        w.write_all(&FILL[..n]).await?;
+        w.write_all(&FILL[..n])?;
         left -= n as u64;
     }
     Ok(())
 }
 
 /// Read and discard exactly `size` body bytes.
-pub async fn drain_body<R: AsyncReadExt + Unpin>(r: &mut R, size: u64) -> std::io::Result<()> {
+pub fn drain_body<R: Read>(r: &mut R, size: u64) -> std::io::Result<()> {
     let mut left = size;
     let mut chunk = [0u8; 16 * 1024];
     while left > 0 {
         let want = (left as usize).min(chunk.len());
-        let n = r.read(&mut chunk[..want]).await?;
+        let n = r.read(&mut chunk[..want])?;
         if n == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
@@ -171,13 +186,13 @@ pub async fn drain_body<R: AsyncReadExt + Unpin>(r: &mut R, size: u64) -> std::i
 mod tests {
     use super::*;
 
-    async fn get(addr: SocketAddr, size: u64, lm: &str) -> (u16, u64, String) {
-        let mut s = TcpStream::connect(addr).await.unwrap();
+    fn get(addr: SocketAddr, size: u64, lm: &str) -> (u16, u64, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
         let req = sc_wire::http::build_request(
             "http://server-0.trace.invalid/doc/1",
             &[("X-Doc-Size", &size.to_string()), ("X-Doc-LM", lm)],
         );
-        s.write_all(req.as_bytes()).await.unwrap();
+        s.write_all(req.as_bytes()).unwrap();
         let mut buf = Vec::new();
         let resp = loop {
             match sc_wire::http::parse_response(&buf).unwrap() {
@@ -187,7 +202,7 @@ mod tests {
                 }
                 sc_wire::http::Parse::NeedMore => {
                     let mut chunk = [0u8; 4096];
-                    let n = s.read(&mut chunk).await.unwrap();
+                    let n = s.read(&mut chunk).unwrap();
                     assert!(n > 0);
                     buf.extend_from_slice(&chunk[..n]);
                 }
@@ -197,7 +212,7 @@ mod tests {
         let mut got = buf.len() as u64;
         let mut chunk = [0u8; 4096];
         while got < len {
-            let n = s.read(&mut chunk).await.unwrap();
+            let n = s.read(&mut chunk).unwrap();
             assert!(n > 0);
             got += n as u64;
         }
@@ -205,10 +220,10 @@ mod tests {
         (resp.status, got, lm_out)
     }
 
-    #[tokio::test]
-    async fn serves_requested_size_and_echoes_version() {
-        let origin = Origin::spawn(Duration::ZERO).await.unwrap();
-        let (status, body, lm) = get(origin.addr, 5000, "77").await;
+    #[test]
+    fn serves_requested_size_and_echoes_version() {
+        let origin = Origin::spawn(Duration::ZERO).unwrap();
+        let (status, body, lm) = get(origin.addr, 5000, "77");
         assert_eq!(status, 200);
         assert_eq!(body, 5000);
         assert_eq!(lm, "77");
@@ -216,11 +231,11 @@ mod tests {
         assert_eq!(origin.stats.bytes.load(Ordering::Relaxed), 5000);
     }
 
-    #[tokio::test]
-    async fn delay_is_applied() {
-        let origin = Origin::spawn(Duration::from_millis(80)).await.unwrap();
+    #[test]
+    fn delay_is_applied() {
+        let origin = Origin::spawn(Duration::from_millis(80)).unwrap();
         let t0 = std::time::Instant::now();
-        let (status, body, _) = get(origin.addr, 10, "0").await;
+        let (status, body, _) = get(origin.addr, 10, "0");
         assert_eq!((status, body), (200, 10));
         assert!(
             t0.elapsed() >= Duration::from_millis(75),
@@ -229,16 +244,16 @@ mod tests {
         );
     }
 
-    #[tokio::test]
-    async fn keep_alive_serves_sequential_requests() {
-        let origin = Origin::spawn(Duration::ZERO).await.unwrap();
-        let mut s = TcpStream::connect(origin.addr).await.unwrap();
+    #[test]
+    fn keep_alive_serves_sequential_requests() {
+        let origin = Origin::spawn(Duration::ZERO).unwrap();
+        let mut s = TcpStream::connect(origin.addr).unwrap();
         for i in 1..=3u64 {
             let req = sc_wire::http::build_request(
                 "http://server-0.trace.invalid/doc/2",
                 &[("X-Doc-Size", &(i * 100).to_string()), ("X-Doc-LM", "1")],
             );
-            s.write_all(req.as_bytes()).await.unwrap();
+            s.write_all(req.as_bytes()).unwrap();
             let mut buf = Vec::new();
             let resp = loop {
                 match sc_wire::http::parse_response(&buf).unwrap() {
@@ -248,7 +263,7 @@ mod tests {
                     }
                     sc_wire::http::Parse::NeedMore => {
                         let mut chunk = [0u8; 4096];
-                        let n = s.read(&mut chunk).await.unwrap();
+                        let n = s.read(&mut chunk).unwrap();
                         assert!(n > 0, "iteration {i}");
                         buf.extend_from_slice(&chunk[..n]);
                     }
@@ -259,7 +274,7 @@ mod tests {
             let mut left = len - buf.len() as u64;
             let mut chunk = [0u8; 4096];
             while left > 0 {
-                let n = s.read(&mut chunk[..(left as usize).min(4096)]).await.unwrap();
+                let n = s.read(&mut chunk[..(left as usize).min(4096)]).unwrap();
                 left -= n as u64;
             }
         }

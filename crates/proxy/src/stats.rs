@@ -1,14 +1,13 @@
 //! Per-proxy measurement: the counters the paper reads from `netstat`
-//! plus CPU time from `getrusage`.
+//! plus process CPU time.
 
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Ethernet-ish MSS used to convert byte counts into the "TCP packets"
 /// the paper reports from netstat.
 pub const TCP_SEGMENT_BYTES: u64 = 1460;
 
-/// Live atomic counters, shared across a proxy's tasks.
+/// Live atomic counters, shared across a proxy's threads.
 #[derive(Debug, Default)]
 pub struct ProxyStats {
     /// UDP datagrams sent (ICP queries, replies, directory updates).
@@ -125,7 +124,7 @@ impl ProxyStats {
 }
 
 /// An immutable copy of the counters, with derived quantities.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// UDP datagrams sent.
     pub udp_sent: u64,
@@ -166,6 +165,28 @@ pub struct StatsSnapshot {
     /// Peer recoveries handled.
     pub peer_recoveries: u64,
 }
+
+sc_json::json_struct!(StatsSnapshot {
+    udp_sent,
+    udp_recv,
+    udp_bytes_sent,
+    udp_bytes_recv,
+    tcp_bytes_sent,
+    tcp_bytes_recv,
+    http_requests,
+    local_hits,
+    remote_hits,
+    false_hits,
+    remote_stale_hits,
+    icp_queries_sent,
+    icp_queries_served,
+    updates_sent,
+    updates_received,
+    latency_us_sum,
+    latency_count,
+    peer_failures,
+    peer_recoveries
+});
 
 impl StatsSnapshot {
     /// Total UDP messages, the paper's headline ICP-overhead metric.
@@ -227,9 +248,11 @@ impl StatsSnapshot {
     }
 }
 
-/// Process CPU time from `getrusage(RUSAGE_SELF)` — the paper's
-/// user/system CPU columns, measured at experiment granularity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Process CPU time, read from `/proc/self/stat` — the paper's
+/// user/system CPU columns (it reads them from `getrusage`), measured
+/// at experiment granularity. On platforms without procfs both values
+/// read as zero, which downstream code treats as "not measured".
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuTimes {
     /// User CPU seconds.
     pub user: f64,
@@ -237,19 +260,33 @@ pub struct CpuTimes {
     pub system: f64,
 }
 
+/// Linux's userspace-visible clock tick rate (`_SC_CLK_TCK`); fixed at
+/// 100 on every supported architecture.
+const TICKS_PER_SEC: f64 = 100.0;
+
 impl CpuTimes {
-    /// Read the current process totals.
+    /// Read the current process totals (zeros where procfs is absent).
     pub fn now() -> CpuTimes {
-        // SAFETY: getrusage with a valid pointer and RUSAGE_SELF is
-        // always safe; the struct is fully initialized on success.
-        let mut ru: libc::rusage = unsafe { std::mem::zeroed() };
-        let rc = unsafe { libc::getrusage(libc::RUSAGE_SELF, &mut ru) };
-        assert_eq!(rc, 0, "getrusage failed");
-        let tv = |t: libc::timeval| t.tv_sec as f64 + t.tv_usec as f64 / 1e6;
-        CpuTimes {
-            user: tv(ru.ru_utime),
-            system: tv(ru.ru_stime),
-        }
+        Self::read().unwrap_or(CpuTimes {
+            user: 0.0,
+            system: 0.0,
+        })
+    }
+
+    fn read() -> Option<CpuTimes> {
+        let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+        // Field 2 (comm) may itself contain spaces and parentheses;
+        // everything after the *last* ')' is fields 3 onward.
+        let rest = stat.rsplit_once(')')?.1;
+        let mut fields = rest.split_whitespace();
+        // utime/stime are stat fields 14 and 15, i.e. indices 11 and 12
+        // relative to field 3.
+        let utime: f64 = fields.nth(11)?.parse().ok()?;
+        let stime: f64 = fields.next()?.parse().ok()?;
+        Some(CpuTimes {
+            user: utime / TICKS_PER_SEC,
+            system: stime / TICKS_PER_SEC,
+        })
     }
 
     /// CPU spent between `start` and `self`.
@@ -264,6 +301,7 @@ impl CpuTimes {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_json::{FromJson, ToJson};
 
     #[test]
     fn snapshot_reflects_counters() {
@@ -312,6 +350,18 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_json_roundtrip() {
+        let snap = StatsSnapshot {
+            http_requests: 42,
+            local_hits: 17,
+            udp_bytes_sent: u64::MAX,
+            ..Default::default()
+        };
+        let back = StatsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
     fn cpu_times_monotone() {
         let a = CpuTimes::now();
         // Burn a little CPU.
@@ -324,5 +374,15 @@ mod tests {
         let d = b.since(&a);
         assert!(d.user >= 0.0 && d.system >= 0.0);
         assert!(b.user >= a.user);
+    }
+
+    #[test]
+    fn cpu_times_parse_shape() {
+        // On Linux the read path must succeed and yield finite values.
+        if std::path::Path::new("/proc/self/stat").exists() {
+            let t = CpuTimes::now();
+            assert!(t.user.is_finite() && t.system.is_finite());
+            assert!(t.user >= 0.0 && t.system >= 0.0);
+        }
     }
 }

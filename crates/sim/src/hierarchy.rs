@@ -13,7 +13,6 @@ use crate::keys::{server_key, url_key};
 use crate::summary_sim::SummaryCacheConfig;
 use sc_cache::{DocMeta, Lookup, WebCache};
 use sc_trace::{group_of_client, Trace};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use summary_cache_core::ProxySummary;
 
@@ -31,7 +30,7 @@ pub struct HierarchyConfig {
 }
 
 /// What a hierarchy run produces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HierarchyResult {
     /// User requests processed.
     pub requests: u64,

@@ -1,9 +1,8 @@
 //! Simulation counters and the derived rates the paper's figures plot.
 
-use serde::{Deserialize, Serialize};
 
 /// Raw event counters accumulated over one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// User requests processed.
     pub requests: u64,
@@ -78,7 +77,7 @@ impl Metrics {
 }
 
 /// Per-request ratios, the units of Figs. 1–2 and 5–8.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rates {
     /// Fraction of requests served from any cache (local + remote).
     pub total_hit_ratio: f64,

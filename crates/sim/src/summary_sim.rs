@@ -12,12 +12,11 @@ use crate::keys::{server_key, url_key};
 use crate::metrics::Metrics;
 use sc_cache::{DocMeta, Lookup, WebCache};
 use sc_trace::{group_of_client, Trace};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use summary_cache_core::{wire_cost, ProxySummary, SummaryKind, UpdatePolicy};
 
 /// Configuration of one summary-cache simulation run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SummaryCacheConfig {
     /// Directory representation.
     pub kind: SummaryKind,
@@ -43,7 +42,7 @@ impl SummaryCacheConfig {
 }
 
 /// Everything one run produces.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SummarySimResult {
     /// Summary-cache protocol counters.
     pub metrics: Metrics,

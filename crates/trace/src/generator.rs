@@ -23,13 +23,11 @@
 use crate::model::{Request, Trace};
 use crate::partition::group_of_client;
 use crate::sampler::{exp_gap_ms, BoundedPareto, Zipf};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use sc_util::Rng;
 
 /// All knobs of the generator. Construct via a [`crate::TraceProfile`]
 /// or fill in fields directly for custom workloads.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GeneratorConfig {
     /// Trace name recorded in the output.
     pub name: String,
@@ -144,7 +142,7 @@ impl TraceGenerator {
     /// Generate the trace.
     pub fn generate(self) -> Trace {
         let cfg = self.cfg;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         let doc_zipf = Zipf::new(cfg.documents, cfg.zipf_alpha);
         let client_zipf = Zipf::new(cfg.clients as usize, cfg.client_activity_alpha);
         let stack_zipf = Zipf::new(cfg.stack_depth.max(1), cfg.stack_alpha);

@@ -10,14 +10,16 @@
 //!   `time_ms client url server size last_modified`.
 
 use crate::model::{Request, Trace};
-use serde::{Deserialize, Serialize};
+use sc_json::{FromJson, ToJson, Value};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
-#[derive(Serialize, Deserialize)]
+#[derive(Default)]
 struct Header {
     name: String,
     groups: u32,
 }
+
+sc_json::json_struct!(Header { name, groups });
 
 /// Errors loading a trace.
 #[derive(Debug)]
@@ -57,10 +59,10 @@ pub fn save_jsonl<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
         name: trace.name.clone(),
         groups: trace.groups,
     };
-    serde_json::to_writer(&mut w, &header)?;
+    w.write_all(header.to_json().to_compact().as_bytes())?;
     w.write_all(b"\n")?;
     for r in &trace.requests {
-        serde_json::to_writer(&mut w, r)?;
+        w.write_all(r.to_json().to_compact().as_bytes())?;
         w.write_all(b"\n")?;
     }
     w.flush()
@@ -75,20 +77,24 @@ pub fn load_jsonl<R: Read>(r: R) -> Result<Trace, LoadError> {
             line: 1,
             message: "empty file".into(),
         })??;
-    let header: Header = serde_json::from_str(&header_line).map_err(|e| LoadError::Parse {
-        line: 1,
-        message: e.to_string(),
-    })?;
+    let header = Value::parse(&header_line)
+        .and_then(|v| Header::from_json(&v))
+        .map_err(|e| LoadError::Parse {
+            line: 1,
+            message: e.to_string(),
+        })?;
     let mut requests = Vec::new();
     for (i, line) in lines.enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let req: Request = serde_json::from_str(&line).map_err(|e| LoadError::Parse {
-            line: i + 2,
-            message: e.to_string(),
-        })?;
+        let req = Value::parse(&line)
+            .and_then(|v| Request::from_json(&v))
+            .map_err(|e| LoadError::Parse {
+                line: i + 2,
+                message: e.to_string(),
+            })?;
         requests.push(req);
     }
     Ok(Trace {

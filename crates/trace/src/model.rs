@@ -1,13 +1,12 @@
 //! The request-trace data model.
 
-use serde::{Deserialize, Serialize};
 
 /// A document identity. Synthetic traces use dense integer ids; the live
 /// proxy renders them as URLs with [`Request::url_string`].
 pub type UrlId = u64;
 
 /// One HTTP GET in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// Trace time in milliseconds since trace start.
     pub time_ms: u64,
@@ -24,6 +23,15 @@ pub struct Request {
     /// requests makes a cached copy stale.
     pub last_modified: u64,
 }
+
+sc_json::json_struct!(Request {
+    time_ms,
+    client,
+    url,
+    server,
+    size,
+    last_modified
+});
 
 impl Request {
     /// Render the canonical URL string used by the live proxy and by
@@ -47,7 +55,7 @@ pub fn parse_url(url: &str) -> Option<(u32, UrlId)> {
 }
 
 /// A full trace plus its identifying metadata.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// Profile or generator name this trace came from.
     pub name: String,

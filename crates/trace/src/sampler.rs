@@ -6,7 +6,7 @@
 //! α = 1.1 (Crovella & Bestavros, as used by the Wisconsin Proxy
 //! Benchmark), and exponential inter-arrivals.
 
-use rand::Rng;
+use sc_util::Rng;
 
 /// Zipf-like sampler over ranks `0..n`: `P(rank i) ∝ 1/(i+1)^alpha`.
 ///
@@ -45,8 +45,8 @@ impl Zipf {
     }
 
     /// Draw a rank in `0..n` (0 = most popular).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.gen_f64();
         // partition_point: first index whose cdf >= u.
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
@@ -84,7 +84,7 @@ impl BoundedPareto {
     }
 
     /// Draw a size in bytes (inverse-CDF method).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
         let u: f64 = rng.gen_range(0.0..1.0);
         let (l, h, a) = (self.min, self.max, self.alpha);
         let la = l.powf(-a);
@@ -95,7 +95,7 @@ impl BoundedPareto {
 }
 
 /// Exponential inter-arrival gap in milliseconds with the given mean.
-pub fn exp_gap_ms<R: Rng + ?Sized>(rng: &mut R, mean_ms: f64) -> u64 {
+pub fn exp_gap_ms(rng: &mut Rng, mean_ms: f64) -> u64 {
     assert!(mean_ms > 0.0);
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     (-mean_ms * u.ln()).round() as u64
@@ -104,13 +104,11 @@ pub fn exp_gap_ms<R: Rng + ?Sized>(rng: &mut R, mean_ms: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn zipf_rank_zero_dominates() {
         let z = Zipf::new(1000, 0.8);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut counts = vec![0u32; 1000];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -125,7 +123,7 @@ mod tests {
     #[test]
     fn zipf_alpha_zero_is_uniform() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let mut counts = vec![0u32; 10];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -138,7 +136,7 @@ mod tests {
     #[test]
     fn zipf_single_item() {
         let z = Zipf::new(1, 0.8);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         assert_eq!(z.sample(&mut rng), 0);
     }
 
@@ -151,7 +149,7 @@ mod tests {
     #[test]
     fn pareto_within_bounds_and_heavy_tailed() {
         let p = BoundedPareto::wisconsin();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let samples: Vec<u64> = (0..50_000).map(|_| p.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&s| (1024..=8 * 1024 * 1024).contains(&s)));
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
@@ -176,7 +174,7 @@ mod tests {
 
     #[test]
     fn exp_gap_mean() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let n = 50_000;
         let total: u64 = (0..n).map(|_| exp_gap_ms(&mut rng, 100.0)).sum();
         let mean = total as f64 / n as f64;

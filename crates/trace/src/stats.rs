@@ -1,11 +1,10 @@
 //! Table I statistics: what an infinite cache could achieve on a trace.
 
 use crate::model::Trace;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Summary statistics of a trace, mirroring the paper's Table I columns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Trace name.
     pub name: String,

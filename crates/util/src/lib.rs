@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Std-only building blocks shared across the workspace.
+//!
+//! The repo's dependency firewall (see `crates/check`) forbids registry
+//! crates, so the usual suspects are reimplemented here at the scale this
+//! project needs:
+//!
+//! * [`rng`] — a seeded xorshift RNG replacing `rand` (every consumer in
+//!   this workspace seeds explicitly; there is deliberately *no* ambient
+//!   `thread_rng`, so simulations stay replayable);
+//! * [`prop`] — a minimal property-test harness replacing `proptest`
+//!   (seeded cases, shrink-free, failure messages name the failing seed);
+//! * [`bench`] — a minimal wall-clock micro-benchmark harness replacing
+//!   `criterion` (used by the `harness = false` bench targets).
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::Rng;

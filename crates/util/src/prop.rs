@@ -1,0 +1,116 @@
+//! A minimal property-test harness.
+//!
+//! Replaces `proptest` at the scale this repo uses it: run a closure over
+//! many seeded random cases; on failure, re-panic with the case index and
+//! seed so the exact input can be replayed by hand. There is no input
+//! shrinking — cases are small enough here that the seed is the repro.
+//!
+//! ```
+//! use sc_util::prop::check;
+//!
+//! check("addition_commutes", 64, |rng| {
+//!     let a: u32 = rng.gen_range(0..1000);
+//!     let b: u32 = rng.gen_range(0..1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::Rng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Derive a per-case seed from the property name and case index, so two
+/// properties in one test binary never share input streams.
+fn case_seed(name: &str, case: u32) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Run `body` over `cases` seeded random inputs.
+///
+/// # Panics
+/// Re-raises the first failing case's panic, after printing which case
+/// and seed failed. Replay a single failure with [`check_seed`].
+pub fn check<F>(name: &str, cases: u32, mut body: F)
+where
+    F: FnMut(&mut Rng),
+{
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut rng = Rng::seed_from_u64(seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| body(&mut rng))) {
+            eprintln!("property `{name}` failed at case {case}/{cases} (seed {seed:#x}); replay with sc_util::prop::check_seed(\"{name}\", {seed:#x}, ..)");
+            resume_unwind(panic);
+        }
+    }
+}
+
+/// Replay one case of a property by seed (for debugging a failure
+/// reported by [`check`]).
+pub fn check_seed<F>(name: &str, seed: u64, mut body: F)
+where
+    F: FnMut(&mut Rng),
+{
+    let _ = name;
+    let mut rng = Rng::seed_from_u64(seed);
+    body(&mut rng);
+}
+
+/// Uniform random `Vec` whose length is drawn from `len`, elements from
+/// `gen` — the moral equivalent of `proptest::collection::vec`.
+pub fn vec_of<T>(
+    rng: &mut Rng,
+    len: std::ops::Range<usize>,
+    mut gen: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = if len.start == len.end { len.start } else { rng.gen_range(len) };
+    (0..n).map(|_| gen(rng)).collect()
+}
+
+/// Random sorted deduplicated set of `usize` indices below `bound` —
+/// the moral equivalent of `proptest::collection::btree_set(0..bound, len)`.
+pub fn index_set(rng: &mut Rng, bound: usize, len: std::ops::Range<usize>) -> Vec<usize> {
+    let mut v = vec_of(rng, len, |r| r.gen_range(0..bound));
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_case() {
+        let mut n = 0;
+        check("count_cases", 37, |_| n += 1);
+        assert_eq!(n, 37);
+    }
+
+    #[test]
+    fn seeds_differ_across_cases_and_names() {
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_failure() {
+        check("always_fails", 10, |_| panic!("boom"));
+    }
+
+    #[test]
+    fn helpers_respect_bounds() {
+        check("helpers", 32, |rng| {
+            let v = vec_of(rng, 0..20, |r| r.gen_range(0u32..5));
+            assert!(v.len() < 20);
+            let s = index_set(rng, 100, 0..50);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&i| i < 100));
+        });
+    }
+}

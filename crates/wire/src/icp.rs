@@ -28,8 +28,62 @@
 //! repeats the hash spec, updates tolerate unreliable, unordered
 //! delivery.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sc_bloom::Flip;
+
+/// Append big-endian integers to a byte buffer (the tiny subset of the
+/// `bytes` crate this codec needs).
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Checked big-endian reads over a byte slice; every short read maps to
+/// [`IcpError::TruncatedPayload`] instead of panicking.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IcpError> {
+        if self.buf.len() < n {
+            return Err(IcpError::TruncatedPayload);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+    fn get_u8(&mut self) -> Result<u8, IcpError> {
+        Ok(self.take(1)?[0])
+    }
+    fn get_u16(&mut self) -> Result<u16, IcpError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+    fn get_u32(&mut self) -> Result<u32, IcpError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn get_u64_le(&mut self) -> Result<u64, IcpError> {
+        let b = self.take(8)?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(b);
+        Ok(u64::from_le_bytes(w))
+    }
+}
 
 /// ICP protocol version implemented (RFC 2186).
 pub const ICP_VERSION: u8 = 2;
@@ -225,15 +279,15 @@ impl std::error::Error for IcpError {}
 impl IcpMessage {
     /// Encode to a datagram. `sender` fills the RFC header's sender-host
     /// field for the reply/query opcodes (DirUpdate carries its own).
-    pub fn encode(&self, sender: u32) -> Result<Bytes, IcpError> {
-        let mut body = BytesMut::new();
+    pub fn encode(&self, sender: u32) -> Result<Vec<u8>, IcpError> {
+        let mut body = Vec::new();
         let (opcode, request_number, sender_host) = match self {
             IcpMessage::Query {
                 request_number,
                 requester,
                 url,
             } => {
-                body.put_u32(*requester);
+                put_u32(&mut body, *requester);
                 put_url(&mut body, url);
                 (Opcode::Query, *request_number, sender)
             }
@@ -266,21 +320,21 @@ impl IcpMessage {
                 sender: s,
                 update,
             } => {
-                body.put_u16(update.function_num);
-                body.put_u16(update.function_bits);
-                body.put_u32(update.bit_array_size);
+                put_u16(&mut body, update.function_num);
+                put_u16(&mut body, update.function_bits);
+                put_u32(&mut body, update.bit_array_size);
                 let opcode = match &update.content {
                     DirContent::Flips(flips) => {
-                        body.put_u32(flips.len() as u32);
+                        put_u32(&mut body, flips.len() as u32);
                         for f in flips {
-                            body.put_u32(f.to_wire());
+                            put_u32(&mut body, f.to_wire());
                         }
                         Opcode::DirUpdate
                     }
                     DirContent::Bitmap(words) => {
-                        body.put_u32(words.len() as u32);
+                        put_u32(&mut body, words.len() as u32);
                         for w in words {
-                            body.put_u64_le(*w);
+                            put_u64_le(&mut body, *w);
                         }
                         Opcode::DirFull
                     }
@@ -292,16 +346,16 @@ impl IcpMessage {
         if total > u16::MAX as usize {
             return Err(IcpError::TooLarge(total));
         }
-        let mut out = BytesMut::with_capacity(total);
-        out.put_u8(opcode as u8);
-        out.put_u8(ICP_VERSION);
-        out.put_u16(total as u16);
-        out.put_u32(request_number);
-        out.put_u32(0); // options
-        out.put_u32(0); // option data
-        out.put_u32(sender_host);
+        let mut out = Vec::with_capacity(total);
+        put_u8(&mut out, opcode as u8);
+        put_u8(&mut out, ICP_VERSION);
+        put_u16(&mut out, total as u16);
+        put_u32(&mut out, request_number);
+        put_u32(&mut out, 0); // options
+        put_u32(&mut out, 0); // option data
+        put_u32(&mut out, sender_host);
         out.extend_from_slice(&body);
-        Ok(out.freeze())
+        Ok(out)
     }
 
     /// Decode one datagram.
@@ -309,31 +363,28 @@ impl IcpMessage {
         if datagram.len() < HEADER_LEN {
             return Err(IcpError::TruncatedHeader);
         }
-        let mut buf = datagram;
-        let opcode_byte = buf.get_u8();
-        let version = buf.get_u8();
+        let mut buf = Reader::new(datagram);
+        let opcode_byte = buf.get_u8()?;
+        let version = buf.get_u8()?;
         if version != ICP_VERSION {
             return Err(IcpError::BadVersion(version));
         }
-        let msg_len = buf.get_u16();
+        let msg_len = buf.get_u16()?;
         if msg_len as usize != datagram.len() {
             return Err(IcpError::LengthMismatch {
                 header: msg_len,
                 actual: datagram.len(),
             });
         }
-        let request_number = buf.get_u32();
-        let _options = buf.get_u32();
-        let _option_data = buf.get_u32();
-        let sender_host = buf.get_u32();
+        let request_number = buf.get_u32()?;
+        let _options = buf.get_u32()?;
+        let _option_data = buf.get_u32()?;
+        let sender_host = buf.get_u32()?;
         let opcode = Opcode::from_u8(opcode_byte).ok_or(IcpError::UnknownOpcode(opcode_byte))?;
         match opcode {
             Opcode::Query => {
-                if buf.remaining() < 4 {
-                    return Err(IcpError::TruncatedPayload);
-                }
-                let requester = buf.get_u32();
-                let url = take_url(buf)?;
+                let requester = buf.get_u32()?;
+                let url = take_url(&mut buf)?;
                 Ok(IcpMessage::Query {
                     request_number,
                     requester,
@@ -342,47 +393,47 @@ impl IcpMessage {
             }
             Opcode::Hit => Ok(IcpMessage::Hit {
                 request_number,
-                url: take_url(buf)?,
+                url: take_url(&mut buf)?,
             }),
             Opcode::Miss => Ok(IcpMessage::Miss {
                 request_number,
-                url: take_url(buf)?,
+                url: take_url(&mut buf)?,
             }),
             Opcode::MissNoFetch => Ok(IcpMessage::MissNoFetch {
                 request_number,
-                url: take_url(buf)?,
+                url: take_url(&mut buf)?,
             }),
             Opcode::Denied => Ok(IcpMessage::Denied {
                 request_number,
-                url: take_url(buf)?,
+                url: take_url(&mut buf)?,
             }),
             Opcode::Err => Ok(IcpMessage::Err {
                 request_number,
-                url: take_url(buf)?,
+                url: take_url(&mut buf)?,
             }),
             Opcode::Secho => Ok(IcpMessage::Secho {
                 request_number,
-                url: take_url(buf)?,
+                url: take_url(&mut buf)?,
             }),
             Opcode::DirUpdate | Opcode::DirFull => {
                 if buf.remaining() < DIRUPDATE_HEADER_LEN {
                     return Err(IcpError::TruncatedPayload);
                 }
-                let function_num = buf.get_u16();
-                let function_bits = buf.get_u16();
-                let bit_array_size = buf.get_u32();
-                let count = buf.get_u32() as usize;
+                let function_num = buf.get_u16()?;
+                let function_bits = buf.get_u16()?;
+                let bit_array_size = buf.get_u32()?;
+                let count = buf.get_u32()? as usize;
                 let content = if opcode == Opcode::DirUpdate {
-                    if buf.remaining() != count * 4 {
+                    if buf.remaining() != count.saturating_mul(4) {
                         return Err(IcpError::BadDirUpdate("flip count vs payload size"));
                     }
                     let mut flips = Vec::with_capacity(count);
                     for _ in 0..count {
-                        flips.push(Flip::from_wire(buf.get_u32()));
+                        flips.push(Flip::from_wire(buf.get_u32()?));
                     }
                     DirContent::Flips(flips)
                 } else {
-                    if buf.remaining() != count * 8 {
+                    if buf.remaining() != count.saturating_mul(8) {
                         return Err(IcpError::BadDirUpdate("word count vs payload size"));
                     }
                     if count != (bit_array_size as usize).div_ceil(64) {
@@ -390,7 +441,7 @@ impl IcpMessage {
                     }
                     let mut words = Vec::with_capacity(count);
                     for _ in 0..count {
-                        words.push(buf.get_u64_le());
+                        words.push(buf.get_u64_le()?);
                     }
                     DirContent::Bitmap(words)
                 };
@@ -409,26 +460,25 @@ impl IcpMessage {
     }
 }
 
-fn put_url(buf: &mut BytesMut, url: &str) {
+fn put_url(buf: &mut Vec<u8>, url: &str) {
     buf.extend_from_slice(url.as_bytes());
-    buf.put_u8(0);
+    buf.push(0);
 }
 
-fn take_url(mut buf: &[u8]) -> Result<String, IcpError> {
-    let nul = buf
+fn take_url(buf: &mut Reader<'_>) -> Result<String, IcpError> {
+    let bytes = buf.take(buf.remaining())?;
+    let nul = bytes
         .iter()
         .position(|&b| b == 0)
         .ok_or(IcpError::UnterminatedUrl)?;
-    let url = std::str::from_utf8(&buf[..nul]).map_err(|_| IcpError::BadUrl)?;
-    let s = url.to_string();
-    buf.advance(nul + 1);
-    Ok(s)
+    let url = std::str::from_utf8(&bytes[..nul]).map_err(|_| IcpError::BadUrl)?;
+    Ok(url.to_string())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sc_util::prop::{check, vec_of};
 
     fn roundtrip(msg: IcpMessage) {
         let bytes = msg.encode(0xC0A80001).unwrap();
@@ -577,35 +627,47 @@ mod tests {
         assert!(matches!(msg.encode(0), Err(IcpError::TooLarge(_))));
     }
 
-    proptest! {
-        #[test]
-        fn prop_query_roundtrip(reqnum in any::<u32>(), requester in any::<u32>(),
-                                url in "[a-zA-Z0-9:/._?&=%-]{0,200}") {
-            let msg = IcpMessage::Query { request_number: reqnum, requester, url };
+    #[test]
+    fn prop_query_roundtrip() {
+        const URL_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789:/._?&=%-";
+        check("icp_query_roundtrip", 256, |rng| {
+            let url: String = (0..rng.gen_range(0usize..200))
+                .map(|_| URL_CHARS[rng.gen_range(0..URL_CHARS.len())] as char)
+                .collect();
+            let msg = IcpMessage::Query {
+                request_number: rng.next_u32(),
+                requester: rng.next_u32(),
+                url,
+            };
             let bytes = msg.encode(0).unwrap();
-            prop_assert_eq!(IcpMessage::decode(&bytes).unwrap(), msg);
-        }
+            assert_eq!(IcpMessage::decode(&bytes).unwrap(), msg);
+        });
+    }
 
-        #[test]
-        fn prop_dirupdate_roundtrip(words in proptest::collection::vec(any::<u32>(), 0..64),
-                                    k in 1u16..16, m in 1u32..1_000_000) {
+    #[test]
+    fn prop_dirupdate_roundtrip() {
+        check("icp_dirupdate_roundtrip", 256, |rng| {
+            let words = vec_of(rng, 0..64, |r| r.next_u32());
             let msg = IcpMessage::DirUpdate {
                 request_number: 1,
                 sender: 2,
                 update: DirUpdate {
-                    function_num: k,
+                    function_num: rng.gen_range(1u16..16),
                     function_bits: 32,
-                    bit_array_size: m,
+                    bit_array_size: rng.gen_range(1u32..1_000_000),
                     content: DirContent::Flips(words.into_iter().map(Flip::from_wire).collect()),
                 },
             };
             let bytes = msg.encode(0).unwrap();
-            prop_assert_eq!(IcpMessage::decode(&bytes).unwrap(), msg);
-        }
+            assert_eq!(IcpMessage::decode(&bytes).unwrap(), msg);
+        });
+    }
 
-        #[test]
-        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+    #[test]
+    fn prop_decode_never_panics() {
+        check("icp_decode_never_panics", 512, |rng| {
+            let data = vec_of(rng, 0..256, |r| r.gen_range(0u8..=255));
             let _ = IcpMessage::decode(&data);
-        }
+        });
     }
 }

@@ -11,9 +11,9 @@
 //!   GET requests, status responses, `Content-Length` framing, and the
 //!   handful of headers the experiments use.
 //!
-//! Both codecs are zero-copy-ish over [`bytes`] buffers, total (every
-//! byte sequence either decodes or yields a typed error), and round-trip
-//! exactly — properties the proptest suites pin down.
+//! Both codecs operate on plain byte slices, are total (every byte
+//! sequence either decodes or yields a typed error), and round-trip
+//! exactly — properties the property-test suites pin down.
 
 pub mod http;
 pub mod icp;

@@ -10,8 +10,7 @@ use summary_cache::proxy::{
 };
 use summary_cache::trace::{GeneratorConfig, TraceGenerator};
 
-#[tokio::main]
-async fn main() -> std::io::Result<()> {
+fn main() -> std::io::Result<()> {
     // A workload whose clients *share* documents across proxy groups,
     // so cooperation has something to find.
     let trace = TraceGenerator::new(GeneratorConfig {
@@ -35,8 +34,8 @@ async fn main() -> std::io::Result<()> {
             icp_timeout_ms: 300,
             keepalive_ms: 0,
         };
-        let cluster = Cluster::start(&cfg).await?;
-        let wall = cluster.run_replay(&trace, 5, ReplayMode::PerClient).await?;
+        let cluster = Cluster::start(&cfg)?;
+        let wall = cluster.run_replay(&trace, 5, ReplayMode::PerClient)?;
         let t = cluster.aggregate();
         println!(
             "{:<7}  hit {:>5.1}%  remote {:>5.1}%  latency {:>6.2} ms  UDP msgs {:>6}  wall {:.2}s",
@@ -63,7 +62,7 @@ async fn main() -> std::io::Result<()> {
             icp_timeout_ms: 300,
             keepalive_ms: 0,
         };
-        let cluster = Cluster::start(&cfg).await?;
+        let cluster = Cluster::start(&cfg)?;
         cluster
             .run_benchmark(&BenchmarkConfig {
                 clients_per_proxy: 5,
@@ -71,8 +70,7 @@ async fn main() -> std::io::Result<()> {
                 target_hit_ratio: 0.3,
                 size_pareto: (1.1, 512, 64 * 1024),
                 seed: 7,
-            })
-            .await?;
+            })?;
         let t = cluster.aggregate();
         println!(
             "{:<7}  queries sent {:>6}  updates sent {:>5}  (all pure overhead here)",

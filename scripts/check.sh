@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 verification: build, test, then run the sc-check gate.
+#
+# Everything runs offline — the workspace has zero registry
+# dependencies (sc-check's `deps` rule enforces exactly that), so no
+# step here ever touches the network.
+#
+#   scripts/check.sh            # from the workspace root
+#
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q --offline
+
+echo "==> sc-check (static-analysis gate)"
+cargo run -p sc-check --offline --quiet
+
+echo "==> all checks passed"

@@ -13,9 +13,11 @@
 //! scache estimate  --proxies 100 --cache-gb 8 --load-factor 16
 //! ```
 //!
-//! Proxies print a stats line every 10 s and a final report on Ctrl-C.
+//! Long-running subcommands (`origin`, `proxy`) run until stdin reaches
+//! EOF (Ctrl-D, or closing the pipe that feeds them); proxies print a
+//! stats line every 10 s and a final report on exit.
 
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpListener, UdpSocket};
 use std::time::Duration;
 use summary_cache::core::scalability::{estimate, Deployment};
 use summary_cache::core::UpdatePolicy;
@@ -58,7 +60,7 @@ subcommands:
   proxy     --id N --http ADDR --icp ADDR --origin ADDR
             [--mode no-icp|icp|sc] [--cache-mb N] [--expected-docs N]
             [--threshold FRACTION] [--peer ID=HTTP/ICP]...
-            run one proxy daemon (Ctrl-C prints final stats)
+            run one proxy daemon (EOF on stdin prints final stats)
   gen-trace --profile NAME [--scale N] --out FILE[.jsonl|.log]
             generate a synthetic workload (DEC|UCB|UPisa|Questnet|NLANR)
   import-squid --log ACCESS_LOG --groups N --out FILE[.jsonl|.log]
@@ -104,25 +106,31 @@ fn cmd_origin(args: &[String]) -> i32 {
     let delay = Duration::from_millis(
         flag(args, "--delay-ms").map_or(100, |v| parse_or_die(v, "--delay-ms")),
     );
-    let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
-    rt.block_on(async move {
-        let origin = Origin::spawn_at(listen, delay).await.unwrap_or_else(|e| {
-            eprintln!("cannot bind {listen}: {e}");
-            std::process::exit(1);
-        });
-        println!("origin listening on {} (delay {:?})", origin.addr, delay);
-        tokio::signal::ctrl_c().await.ok();
-        println!(
-            "served {} requests, {} bytes",
-            origin
-                .stats
-                .requests
-                .load(std::sync::atomic::Ordering::Relaxed),
-            origin.stats.bytes.load(std::sync::atomic::Ordering::Relaxed)
-        );
-        origin.shutdown();
+    let origin = Origin::spawn_at(listen, delay).unwrap_or_else(|e| {
+        eprintln!("cannot bind {listen}: {e}");
+        std::process::exit(1);
     });
+    println!("origin listening on {} (delay {:?})", origin.addr, delay);
+    wait_for_stdin_eof();
+    println!(
+        "served {} requests, {} bytes",
+        origin
+            .stats
+            .requests
+            .load(std::sync::atomic::Ordering::Relaxed),
+        origin.stats.bytes.load(std::sync::atomic::Ordering::Relaxed)
+    );
+    origin.shutdown();
     0
+}
+
+/// Block until stdin is exhausted — the shutdown signal for the
+/// long-running subcommands (works under pipes and terminals alike).
+fn wait_for_stdin_eof() {
+    use std::io::Read;
+    let mut sink = [0u8; 1024];
+    let mut stdin = std::io::stdin();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
 }
 
 fn parse_peer(spec: &str) -> PeerAddr {
@@ -184,39 +192,32 @@ fn cmd_proxy(args: &[String]) -> i32 {
         icp_timeout_ms: 500,
         keepalive_ms: 1_000,
     };
-    let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
-    rt.block_on(async move {
-        let listener = tokio::net::TcpListener::bind(http).await.unwrap_or_else(|e| {
-            eprintln!("cannot bind HTTP {http}: {e}");
-            std::process::exit(1);
-        });
-        let udp = tokio::net::UdpSocket::bind(icp).await.unwrap_or_else(|e| {
-            eprintln!("cannot bind ICP {icp}: {e}");
-            std::process::exit(1);
-        });
-        let daemon = Daemon::spawn_on(cfg, listener, udp).await.expect("spawn daemon");
-        println!(
-            "proxy {} serving HTTP on {} / ICP on {} ({} mode)",
-            daemon.id,
-            daemon.http_addr,
-            daemon.icp_addr,
-            flag(args, "--mode").unwrap_or("sc"),
-        );
-        let stats = daemon.stats.clone();
-        let mut tick = tokio::time::interval(Duration::from_secs(10));
-        tick.tick().await; // swallow the immediate first tick
-        loop {
-            tokio::select! {
-                _ = tick.tick() => {
-                    print_stats(&stats);
-                }
-                _ = tokio::signal::ctrl_c() => break,
-            }
-        }
-        println!("final:");
-        print_stats(&stats);
-        daemon.shutdown();
+    let listener = TcpListener::bind(http).unwrap_or_else(|e| {
+        eprintln!("cannot bind HTTP {http}: {e}");
+        std::process::exit(1);
     });
+    let udp = UdpSocket::bind(icp).unwrap_or_else(|e| {
+        eprintln!("cannot bind ICP {icp}: {e}");
+        std::process::exit(1);
+    });
+    let daemon = Daemon::spawn_on(cfg, listener, udp).expect("spawn daemon");
+    println!(
+        "proxy {} serving HTTP on {} / ICP on {} ({} mode)",
+        daemon.id,
+        daemon.http_addr,
+        daemon.icp_addr,
+        flag(args, "--mode").unwrap_or("sc"),
+    );
+    // Periodic stats line; the thread dies with the process.
+    let stats = daemon.stats.clone();
+    std::thread::spawn(move || loop {
+        std::thread::sleep(Duration::from_secs(10));
+        print_stats(&stats);
+    });
+    wait_for_stdin_eof();
+    println!("final:");
+    print_stats(&daemon.stats);
+    daemon.shutdown();
     0
 }
 
@@ -353,40 +354,37 @@ fn cmd_replay(args: &[String]) -> i32 {
         proxies.len(),
         tasks
     );
-    let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
-    rt.block_on(async move {
-        let plans = plan_replay(&trace, tasks, mode);
-        let stats = std::sync::Arc::new(ProxyStats::default());
-        let t0 = std::time::Instant::now();
-        let mut handles = Vec::new();
-        for (tid, plan) in plans.into_iter().enumerate() {
-            if plan.is_empty() {
-                continue;
-            }
-            let addr = proxies[tid % proxies.len()];
-            let stats = stats.clone();
-            handles.push(tokio::spawn(async move {
-                let mut client = ProxyClient::connect(addr, stats).await?;
-                for (url, meta) in plan {
-                    client.get(&url, meta).await?;
-                }
-                Ok::<(), std::io::Error>(())
-            }));
+    let plans = plan_replay(&trace, tasks, mode);
+    let stats = std::sync::Arc::new(ProxyStats::default());
+    let t0 = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for (tid, plan) in plans.into_iter().enumerate() {
+        if plan.is_empty() {
+            continue;
         }
-        for h in handles {
-            if let Err(e) = h.await.expect("driver task") {
-                eprintln!("driver error: {e}");
-                std::process::exit(1);
+        let addr = proxies[tid % proxies.len()];
+        let stats = stats.clone();
+        handles.push(std::thread::spawn(move || -> std::io::Result<()> {
+            let mut client = ProxyClient::connect(addr, stats)?;
+            for (url, meta) in plan {
+                client.get(&url, meta)?;
             }
+            Ok(())
+        }));
+    }
+    for h in handles {
+        if let Err(e) = h.join().expect("driver thread") {
+            eprintln!("driver error: {e}");
+            std::process::exit(1);
         }
-        let s = stats.snapshot();
-        println!(
-            "done in {:.1}s: {} requests, mean latency {:.2} ms",
-            t0.elapsed().as_secs_f64(),
-            s.latency_count,
-            s.avg_latency_ms()
-        );
-    });
+    }
+    let s = stats.snapshot();
+    println!(
+        "done in {:.1}s: {} requests, mean latency {:.2} ms",
+        t0.elapsed().as_secs_f64(),
+        s.latency_count,
+        s.avg_latency_ms()
+    );
     0
 }
 

@@ -20,7 +20,7 @@
 //! * [`wire`] — ICPv2 (RFC 2186) plus the paper's `ICP_OP_DIRUPDATE`
 //!   extension, and a minimal HTTP/1.x codec;
 //! * [`sim`] — trace-driven simulators for Figs. 1–2 and 5–8;
-//! * [`proxy`] — a live tokio proxy cluster reproducing the testbed
+//! * [`proxy`] — a live threaded proxy cluster reproducing the testbed
 //!   experiments (Tables II, IV, V).
 //!
 //! ## Quick start

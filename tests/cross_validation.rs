@@ -4,7 +4,7 @@
 //! are exact and always fresh. Under those settings the two must agree
 //! *exactly* — any divergence is a bug in one of them.
 
-use proptest::prelude::*;
+use sc_util::prop::{check, vec_of};
 use summary_cache::core::{SummaryKind, UpdatePolicy};
 use summary_cache::sim::{
     simulate_scheme, simulate_summary_cache, SchemeKind, SummaryCacheConfig,
@@ -32,16 +32,19 @@ fn fresh_exact_summaries_equal_simple_sharing_on_profile() {
     assert_eq!(summary.metrics.false_hits, 0, "exact fresh summaries never false-hit");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The equivalence holds on arbitrary small traces, including nasty
-    /// interleavings of versions, clients and sizes.
-    #[test]
-    fn prop_fresh_exact_equals_simple_sharing(
-        ops in proptest::collection::vec(
-            (0u32..8, 0u64..30, 1u64..2000, 0u64..3), 1..400)
-    ) {
+/// The equivalence holds on arbitrary small traces, including nasty
+/// interleavings of versions, clients and sizes.
+#[test]
+fn prop_fresh_exact_equals_simple_sharing() {
+    check("prop_fresh_exact_equals_simple_sharing", 64, |rng| {
+        let ops = vec_of(rng, 1..400, |r| {
+            (
+                r.gen_range(0u32..8),
+                r.gen_range(0u64..30),
+                r.gen_range(1u64..2000),
+                r.gen_range(0u64..3),
+            )
+        });
         let requests: Vec<Request> = ops
             .iter()
             .enumerate()
@@ -64,21 +67,24 @@ proptest! {
         let budget = 20_000u64;
         let scheme = simulate_scheme(&trace, SchemeKind::SimpleSharing, budget);
         let summary = simulate_summary_cache(&trace, &fresh_exact(), budget);
-        prop_assert_eq!(scheme.local_hits, summary.metrics.local_hits);
-        prop_assert_eq!(scheme.remote_hits, summary.metrics.remote_hits);
-        prop_assert_eq!(scheme.local_stale_hits, summary.metrics.local_stale_hits);
-        prop_assert_eq!(scheme.remote_stale_hits, summary.metrics.remote_stale_hits);
-        prop_assert_eq!(summary.metrics.false_hits, 0);
-        prop_assert_eq!(summary.metrics.false_misses, 0);
-    }
+        assert_eq!(scheme.local_hits, summary.metrics.local_hits);
+        assert_eq!(scheme.remote_hits, summary.metrics.remote_hits);
+        assert_eq!(scheme.local_stale_hits, summary.metrics.local_stale_hits);
+        assert_eq!(scheme.remote_stale_hits, summary.metrics.remote_stale_hits);
+        assert_eq!(summary.metrics.false_hits, 0);
+        assert_eq!(summary.metrics.false_misses, 0);
+    });
+}
 
-    /// Metric conservation: every request is exactly one of
-    /// {local hit, remote hit, miss}; byte accounting follows.
-    #[test]
-    fn prop_metrics_conserved(
-        ops in proptest::collection::vec((0u32..6, 0u64..40), 1..300),
-        threshold in 0.0f64..0.2,
-    ) {
+/// Metric conservation: every request is exactly one of
+/// {local hit, remote hit, miss}; byte accounting follows.
+#[test]
+fn prop_metrics_conserved() {
+    check("prop_metrics_conserved", 64, |rng| {
+        let ops = vec_of(rng, 1..300, |r| {
+            (r.gen_range(0u32..6), r.gen_range(0u64..40))
+        });
+        let threshold = rng.gen_f64() * 0.2;
         let requests: Vec<Request> = ops
             .iter()
             .enumerate()
@@ -99,15 +105,15 @@ proptest! {
         };
         let r = simulate_summary_cache(&trace, &cfg, 50_000);
         let m = &r.metrics;
-        prop_assert_eq!(m.requests, trace.requests.len() as u64);
-        prop_assert!(m.local_hits + m.remote_hits <= m.requests);
-        prop_assert!(m.hit_bytes <= m.requested_bytes);
+        assert_eq!(m.requests, trace.requests.len() as u64);
+        assert!(m.local_hits + m.remote_hits <= m.requests);
+        assert!(m.hit_bytes <= m.requested_bytes);
         // False hits and remote hits both require queries.
-        prop_assert!(m.queries_sent >= m.remote_hits);
-        prop_assert!(m.wasted_queries <= m.queries_sent);
+        assert!(m.queries_sent >= m.remote_hits);
+        assert!(m.wasted_queries <= m.queries_sent);
         // Bloom summaries cannot false-miss *fresh* state beyond update
         // lag with threshold 0 — but with arbitrary thresholds we can
         // only bound: false misses never exceed total misses.
-        prop_assert!(m.false_misses <= m.requests - m.local_hits - m.remote_hits);
-    }
+        assert!(m.false_misses <= m.requests - m.local_hits - m.remote_hits);
+    });
 }

@@ -34,12 +34,12 @@ fn shared_trace(groups: u32, requests: usize) -> summary_cache::trace::Trace {
 
 /// The paper's central protocol claim, live: SC-ICP finds the same
 /// remote hits as ICP with a fraction of the messages.
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn sc_icp_matches_icp_hits_with_fewer_messages() {
+#[test]
+fn sc_icp_matches_icp_hits_with_fewer_messages() {
     let trace = shared_trace(4, 2_000);
 
-    let icp = Cluster::start(&cfg(4, Mode::Icp)).await.unwrap();
-    icp.run_replay(&trace, 4, ReplayMode::PerClient).await.unwrap();
+    let icp = Cluster::start(&cfg(4, Mode::Icp)).unwrap();
+    icp.run_replay(&trace, 4, ReplayMode::PerClient).unwrap();
     let icp_totals = icp.aggregate();
     icp.shutdown();
 
@@ -48,8 +48,8 @@ async fn sc_icp_matches_icp_hits_with_fewer_messages() {
         hashes: 4,
         policy: summary_cache::core::UpdatePolicy::Threshold(0.005),
     };
-    let sc = Cluster::start(&cfg(4, sc_mode)).await.unwrap();
-    sc.run_replay(&trace, 4, ReplayMode::PerClient).await.unwrap();
+    let sc = Cluster::start(&cfg(4, sc_mode)).unwrap();
+    sc.run_replay(&trace, 4, ReplayMode::PerClient).unwrap();
     let sc_totals = sc.aggregate();
     sc.shutdown();
 
@@ -82,27 +82,25 @@ async fn sc_icp_matches_icp_hits_with_fewer_messages() {
 /// Remote stale hits, live: a peer advertises a document, but its copy
 /// is an older version — the fetch must fall through to the origin and
 /// be counted as a remote stale hit.
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn remote_stale_hit_falls_through_to_origin() {
-    let cluster = Cluster::start(&cfg(2, Mode::Icp)).await.unwrap();
+#[test]
+fn remote_stale_hit_falls_through_to_origin() {
+    let cluster = Cluster::start(&cfg(2, Mode::Icp)).unwrap();
     let url = "http://server-1.trace.invalid/doc/7";
     let mut c0 =
         ProxyClient::connect(cluster.daemons[0].http_addr, cluster.daemons[0].stats.clone())
-            .await
             .unwrap();
     let mut c1 =
         ProxyClient::connect(cluster.daemons[1].http_addr, cluster.daemons[1].stats.clone())
-            .await
             .unwrap();
     // Proxy 0 caches version 1.
     assert_eq!(
-        c0.get(url, DocMeta { size: 1000, last_modified: 1 }).await.unwrap(),
+        c0.get(url, DocMeta { size: 1000, last_modified: 1 }).unwrap(),
         200
     );
     // Proxy 1's client wants version 2: ICP says proxy 0 has the URL,
     // but the fetched copy is stale.
     assert_eq!(
-        c1.get(url, DocMeta { size: 1000, last_modified: 2 }).await.unwrap(),
+        c1.get(url, DocMeta { size: 1000, last_modified: 2 }).unwrap(),
         200
     );
     let s1 = cluster.daemons[1].stats.snapshot();
@@ -113,12 +111,12 @@ async fn remote_stale_hit_falls_through_to_origin() {
 
 /// Keep-alives flow in every mode — the paper's no-ICP baseline has
 /// nonzero UDP traffic consisting solely of them.
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn keepalives_are_the_no_icp_baseline() {
+#[test]
+fn keepalives_are_the_no_icp_baseline() {
     let mut config = cfg(3, Mode::NoIcp);
     config.keepalive_ms = 50;
-    let cluster = Cluster::start(&config).await.unwrap();
-    tokio::time::sleep(Duration::from_millis(400)).await;
+    let cluster = Cluster::start(&config).unwrap();
+    std::thread::sleep(Duration::from_millis(400));
     let totals = cluster.aggregate();
     assert!(
         totals.udp_sent >= 3 * 2 * 3, // 3 proxies x 2 peers x >=3 ticks
@@ -130,19 +128,17 @@ async fn keepalives_are_the_no_icp_baseline() {
 
 /// Cache capacity is enforced across the live path: a stream larger
 /// than the cache must evict and keep byte usage within budget.
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn live_cache_respects_capacity() {
+#[test]
+fn live_cache_respects_capacity() {
     let mut config = cfg(2, Mode::NoIcp);
     config.cache_bytes = 64 * 1024;
-    let cluster = Cluster::start(&config).await.unwrap();
+    let cluster = Cluster::start(&config).unwrap();
     let mut c0 =
         ProxyClient::connect(cluster.daemons[0].http_addr, cluster.daemons[0].stats.clone())
-            .await
             .unwrap();
     for i in 0..50 {
         let url = format!("http://server-0.trace.invalid/doc/{i}");
         c0.get(&url, DocMeta { size: 8 * 1024, last_modified: 1 })
-            .await
             .unwrap();
     }
     // 50 x 8KB = 400KB through a 64KB cache: at most 8 docs fit.
@@ -152,9 +148,9 @@ async fn live_cache_respects_capacity() {
 
 /// The synthetic benchmark reaches its inherent hit ratio through the
 /// full live stack (client -> proxy -> origin).
-#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-async fn benchmark_hits_inherent_ratio_live() {
-    let cluster = Cluster::start(&cfg(2, Mode::NoIcp)).await.unwrap();
+#[test]
+fn benchmark_hits_inherent_ratio_live() {
+    let cluster = Cluster::start(&cfg(2, Mode::NoIcp)).unwrap();
     cluster
         .run_benchmark(&BenchmarkConfig {
             clients_per_proxy: 6,
@@ -163,7 +159,6 @@ async fn benchmark_hits_inherent_ratio_live() {
             size_pareto: (1.1, 256, 32 * 1024),
             seed: 3,
         })
-        .await
         .unwrap();
     let totals = cluster.aggregate();
     let hr = totals.hit_ratio();
