@@ -44,20 +44,10 @@ pub fn run_mode(mode: Mode, trace: &Trace, replay: ReplayMode) -> ExperimentRepo
     let cluster = Cluster::start(&cfg).expect("cluster start");
     let cpu0 = CpuTimes::now();
     let wall = cluster.run_replay(trace, 20, replay).expect("replay run");
-    let mut report = ExperimentReport::build(mode, wall, &cpu0, &cluster);
-    // Tail latency across the whole cluster (merge per-proxy summaries
-    // by picking the max — conservative and simple).
-    let p = [0.5, 0.95, 0.99];
-    let mut merged = [0.0f64; 3];
-    for d in &cluster.daemons {
-        let s = d.stats.latency_summary(&p);
-        for (i, &q) in p.iter().enumerate() {
-            merged[i] = merged[i].max(s.ms(q).unwrap_or(0.0));
-        }
-    }
-    report.latency_ms_p50 = merged[0];
-    report.latency_ms_p95 = merged[1];
-    report.latency_ms_p99 = merged[2];
+    // Every number in the report — counters, tail latency included — is
+    // a projection of the per-daemon sc-obs registry snapshots; nothing
+    // is tallied on the side.
+    let report = ExperimentReport::build(mode, wall, &cpu0, &cluster);
     cluster.shutdown();
     report
 }
@@ -85,7 +75,7 @@ pub fn print_table(reports: &[ExperimentReport]) {
             pct(r.totals.remote_stale_hits as f64 / n),
         );
     }
-    println!("tail latency (worst proxy):");
+    println!("tail latency (cluster-wide distribution):");
     for r in reports {
         println!(
             "{:>8}  p50 {:>8.2} ms  p95 {:>8.2} ms  p99 {:>8.2} ms",

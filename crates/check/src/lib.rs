@@ -1,6 +1,6 @@
 //! `sc-check` — the workspace's static-analysis gate.
 //!
-//! Four rules, each guarding an invariant the reproduction depends on:
+//! Five rules, each guarding an invariant the reproduction depends on:
 //!
 //! 1. **Dependency firewall** (`deps`): every `Cargo.toml` may only
 //!    reference path-local workspace crates. No registry crates means
@@ -18,6 +18,12 @@
 //!    `bloom/counting.rs` uses `saturating_*` / `checked_*` ops
 //!    (Section V-C bounds overflow probability assuming counters pin at
 //!    their maximum instead of wrapping).
+//! 5. **Metric registry hygiene** (`metrics`): every sc-obs metric name
+//!    is registered at exactly one source site across the workspace.
+//!    The registry get-or-creates by name, so a second registration
+//!    site silently shares (or, on a kind clash, detaches from) the
+//!    first — exposition stays ambiguous instead of failing. One site
+//!    per name keeps every exposition line attributable.
 //!
 //! Everything here is hand-rolled on `std` — a line-oriented
 //! TOML-subset reader and a lexical Rust scanner, no `syn`, no
@@ -25,6 +31,7 @@
 //! enforces. `#[cfg(test)]` items are exempt from rules 2–4: tests may
 //! unwrap.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -116,9 +123,14 @@ pub fn check_repo(root: &Path) -> Result<Report, String> {
     for m in &manifests {
         check_manifest(root, m, &mut violations);
     }
+    // Rule 5 accumulates registration sites across every file and is
+    // judged after the whole tree has been walked.
+    let mut metric_sites: BTreeMap<String, Vec<(PathBuf, usize)>> = BTreeMap::new();
     for s in &sources {
         check_source(root, s, &mut violations);
+        collect_metric_sites(root, s, &mut metric_sites);
     }
+    check_metric_sites(&metric_sites, &mut violations);
     Ok(Report {
         manifests: manifests.len(),
         sources: sources.len(),
@@ -592,6 +604,96 @@ fn check_source(root: &Path, path: &Path, out: &mut Vec<Violation>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 5: metric registry hygiene
+// ---------------------------------------------------------------------------
+
+/// Registration call tokens: a metric is born where one of these is
+/// applied to a name literal. Snapshot *reads* use `counter_value` /
+/// `gauge_value` / `histogram_value` and never match.
+const METRIC_TOKENS: [&str; 6] = [
+    ".counter(\"",
+    ".counter_with(\"",
+    ".gauge(\"",
+    ".gauge_with(\"",
+    ".histogram(\"",
+    ".histogram_with(\"",
+];
+
+/// Record every metric name this file registers (outside test code)
+/// into `sites`. Token positions come from the stripped text — so a
+/// registration quoted in a comment or doc string is ignored — but the
+/// name itself is read from the original line, where literal contents
+/// survive (byte positions are preserved by `strip_code`).
+fn collect_metric_sites(
+    root: &Path,
+    path: &Path,
+    sites: &mut BTreeMap<String, Vec<(PathBuf, usize)>>,
+) {
+    let Ok(src) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    for (name, line_no) in metric_registrations(&src) {
+        sites.entry(name).or_default().push((rel.clone(), line_no));
+    }
+}
+
+/// All `(metric name, 1-based line)` registrations in one source text,
+/// test regions excluded.
+pub fn metric_registrations(src: &str) -> Vec<(String, usize)> {
+    let stripped = strip_code(src);
+    let regions = test_regions(&stripped);
+    let mut found = Vec::new();
+    for (idx, (stripped_line, original)) in stripped.lines().zip(src.lines()).enumerate() {
+        let line_no = idx + 1;
+        if in_regions(&regions, line_no) {
+            continue;
+        }
+        for token in METRIC_TOKENS {
+            let mut from = 0;
+            while let Some(pos) = stripped_line[from..].find(token) {
+                let name_start = from + pos + token.len();
+                if let Some(name) = original
+                    .get(name_start..)
+                    .and_then(|rest| rest.split('"').next())
+                {
+                    if !name.is_empty() {
+                        found.push((name.to_string(), line_no));
+                    }
+                }
+                from = name_start;
+            }
+        }
+    }
+    found
+}
+
+/// Flag every name registered at more than one distinct source site.
+/// Each site of a duplicated name gets its own diagnostic so the fix
+/// locations are all visible.
+fn check_metric_sites(
+    sites: &BTreeMap<String, Vec<(PathBuf, usize)>>,
+    out: &mut Vec<Violation>,
+) {
+    for (name, at) in sites {
+        if at.len() < 2 {
+            continue;
+        }
+        for (file, line) in at {
+            out.push(Violation {
+                rule: "metrics",
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "metric `{name}` is registered at {} sites; register once and share the handle (the registry get-or-creates by name)",
+                    at.len()
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +740,44 @@ mod tests {
         assert_eq!(regions, vec![(2, 5)]);
         let lines = token_lines(&stripped, &regions, ".unwrap()");
         assert_eq!(lines, vec![1], "only the non-test unwrap is flagged");
+    }
+
+    #[test]
+    fn metric_registrations_found_outside_tests_only() {
+        let src = concat!(
+            "fn wire(r: &Registry) {\n",
+            "    r.counter(\"sc_a_total\").incr();\n",
+            "    let g = r.gauge_with(\"sc_stale\", &[(\"peer\", \"1\")]);\n",
+            "    // a comment naming .counter(\"sc_ghost_total\") is not a site\n",
+            "    let doc = \"reads use .histogram(\\\"sc_ghost2\\\") too\";\n",
+            "    let v = snap.counter_value(\"sc_a_total\");\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(r: &Registry) { r.counter(\"sc_a_total\").incr(); }\n",
+            "}\n",
+        );
+        let got = metric_registrations(src);
+        assert_eq!(
+            got,
+            vec![("sc_a_total".to_string(), 2), ("sc_stale".to_string(), 3)],
+            "comments, string contents, reads and test code are not sites"
+        );
+    }
+
+    #[test]
+    fn duplicate_metric_sites_flagged_at_each_site() {
+        let mut sites = BTreeMap::new();
+        sites.insert(
+            "sc_dup_total".to_string(),
+            vec![(PathBuf::from("a.rs"), 3), (PathBuf::from("b.rs"), 9)],
+        );
+        sites.insert("sc_once_total".to_string(), vec![(PathBuf::from("a.rs"), 4)]);
+        let mut out = Vec::new();
+        check_metric_sites(&sites, &mut out);
+        assert_eq!(out.len(), 2, "one diagnostic per duplicated site");
+        assert!(out.iter().all(|v| v.rule == "metrics"));
+        assert!(out.iter().all(|v| v.message.contains("sc_dup_total")));
     }
 
     #[test]

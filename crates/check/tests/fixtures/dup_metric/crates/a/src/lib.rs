@@ -1,0 +1,6 @@
+//! First registration site: this one owns `sc_dup_total`.
+
+pub fn record_request(r: &sc_obs::Registry) {
+    r.counter("sc_dup_total").incr();
+    r.gauge("sc_only_here").set(1.0);
+}

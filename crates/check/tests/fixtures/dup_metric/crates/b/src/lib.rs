@@ -1,0 +1,15 @@
+//! Second site re-registering the same name — the violation. The
+//! registry would silently hand back the crate-a counter, so crate-b's
+//! increments disappear into a series nobody can attribute.
+
+pub fn record_reply(r: &sc_obs::Registry) {
+    r.counter("sc_dup_total").incr();
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may re-register freely; this must not add a third site.
+    fn t(r: &sc_obs::Registry) {
+        r.counter("sc_dup_total").add(2);
+    }
+}

@@ -120,6 +120,26 @@ fn counter_arith_flagged() {
 }
 
 #[test]
+fn duplicate_metric_registration_flagged_at_both_sites() {
+    let out = run_gate(&fixture("dup_metric"));
+    assert!(!out.status.success(), "duplicate metric names must fail the gate");
+    let text = stdout(&out);
+    assert!(
+        text.contains("crates/a/src/lib.rs:4: [metrics]") && text.contains("`sc_dup_total`"),
+        "first registration site flagged:\n{text}"
+    );
+    assert!(
+        text.contains("crates/b/src/lib.rs:6: [metrics]"),
+        "second registration site flagged:\n{text}"
+    );
+    assert_eq!(
+        text.matches("[metrics]").count(),
+        2,
+        "single-site `sc_only_here` and the cfg(test) re-registration are exempt:\n{text}"
+    );
+}
+
+#[test]
 fn missing_root_is_a_usage_error() {
     let out = run_gate(Path::new("/nonexistent/definitely-not-a-repo"));
     assert_eq!(out.status.code(), Some(2), "usage errors exit 2");

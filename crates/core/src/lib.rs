@@ -28,6 +28,7 @@
 //! experiment harnesses.
 
 pub mod peer;
+pub mod probe;
 pub mod representation;
 pub mod scalability;
 pub mod summary;
@@ -35,6 +36,7 @@ pub mod update;
 pub mod wire_cost;
 
 pub use peer::{PeerId, PeerTable};
+pub use probe::{filter_candidates, SummaryProbe};
 pub use representation::{SummaryKind, SummarySnapshot};
 pub use summary::{ProxySummary, PublishOutcome};
 pub use update::UpdatePolicy;

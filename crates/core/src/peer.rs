@@ -58,11 +58,7 @@ impl PeerTable {
     /// The peers whose summaries indicate `url` might be cached there —
     /// the set the proxy actually queries.
     pub fn probe_all(&self, url: &[u8], server: &[u8]) -> Vec<PeerId> {
-        self.peers
-            .iter()
-            .filter(|(_, snap)| snap.probe(url, server))
-            .map(|(&id, _)| id)
-            .collect()
+        crate::probe::filter_candidates(self.peers.iter().map(|(&id, snap)| (id, snap)), url, server)
     }
 
     /// Total memory devoted to peer summaries — the quantity Section V-B

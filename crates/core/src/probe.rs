@@ -1,0 +1,147 @@
+//! One probe abstraction for every summary view.
+//!
+//! The protocol asks the same question in four places — "might this URL
+//! be cached at that proxy?" — of four different data structures: a
+//! peer's installed [`SummarySnapshot`], a plain Bloom filter decoded
+//! off the wire, and the live / published sides of one's own
+//! [`ProxySummary`]. [`SummaryProbe`] unifies them so the proxy query
+//! path, [`crate::PeerTable::probe_all`] and the simulators share one
+//! candidate-selection routine ([`filter_candidates`]) instead of
+//! parallel inherent methods.
+
+use crate::representation::SummarySnapshot;
+use crate::summary::ProxySummary;
+
+/// "Might `url` (with server component `server`) be cached there?"
+///
+/// `false` is definite under a fresh summary; with update delay both
+/// errors are possible and tolerated (§IV): a false hit costs a wasted
+/// query, a false miss a lost remote hit — never a wrong document.
+pub trait SummaryProbe {
+    /// Evaluate the membership probe.
+    fn probe(&self, url: &[u8], server: &[u8]) -> bool;
+}
+
+impl<T: SummaryProbe + ?Sized> SummaryProbe for &T {
+    fn probe(&self, url: &[u8], server: &[u8]) -> bool {
+        (**self).probe(url, server)
+    }
+}
+
+impl SummaryProbe for SummarySnapshot {
+    fn probe(&self, url: &[u8], server: &[u8]) -> bool {
+        SummarySnapshot::probe(self, url, server)
+    }
+}
+
+/// A raw Bloom filter (e.g. freshly decoded from a `DIRFULL` message)
+/// probes by URL alone; the server component is the snapshot-level
+/// refinement and is ignored here.
+impl SummaryProbe for sc_bloom::BloomFilter {
+    fn probe(&self, url: &[u8], _server: &[u8]) -> bool {
+        self.contains(url)
+    }
+}
+
+/// The *live* side of a [`ProxySummary`] — what a peer would learn by
+/// actually sending the query. Obtained from [`ProxySummary::live`].
+#[derive(Clone, Copy)]
+pub struct LiveView<'a>(pub(crate) &'a ProxySummary);
+
+impl SummaryProbe for LiveView<'_> {
+    fn probe(&self, url: &[u8], server: &[u8]) -> bool {
+        self.0.probe_live(url, server)
+    }
+}
+
+/// The *published* side of a [`ProxySummary`] — what peers currently
+/// believe. Obtained from [`ProxySummary::published`].
+#[derive(Clone, Copy)]
+pub struct PublishedView<'a>(pub(crate) &'a ProxySummary);
+
+impl SummaryProbe for PublishedView<'_> {
+    fn probe(&self, url: &[u8], server: &[u8]) -> bool {
+        self.0.probe_published(url, server)
+    }
+}
+
+/// The candidate-selection step every sharing scheme performs: keep the
+/// peers whose summaries answer the probe positively, in iteration
+/// order. Used by [`crate::PeerTable::probe_all`], the proxy daemon's
+/// SC-mode fan-out and the trace-driven simulators.
+pub fn filter_candidates<Id, P, I>(peers: I, url: &[u8], server: &[u8]) -> Vec<Id>
+where
+    P: SummaryProbe,
+    I: IntoIterator<Item = (Id, P)>,
+{
+    peers
+        .into_iter()
+        .filter(|(_, summary)| summary.probe(url, server))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::representation::SummaryKind;
+
+    fn summary_with(urls: &[(&[u8], &[u8])], kind: SummaryKind) -> ProxySummary {
+        let mut s = ProxySummary::new(kind, 1 << 20);
+        for (u, srv) in urls {
+            s.insert(u, srv);
+        }
+        s
+    }
+
+    #[test]
+    fn views_split_live_from_published() {
+        let mut s = summary_with(&[(b"http://a/x", b"a")], SummaryKind::recommended());
+        assert!(s.live().probe(b"http://a/x", b"a"));
+        assert!(!s.published().probe(b"http://a/x", b"a"), "not yet published");
+        s.publish();
+        assert!(s.published().probe(b"http://a/x", b"a"));
+    }
+
+    #[test]
+    fn snapshot_and_filter_probe_through_the_trait() {
+        let mut s = summary_with(&[(b"http://a/x", b"a")], SummaryKind::ExactDirectory);
+        s.publish();
+        let snap = s.snapshot_published();
+        assert!(SummaryProbe::probe(&snap, b"http://a/x", b"a"));
+        assert!(!SummaryProbe::probe(&snap, b"http://a/y", b"a"));
+
+        let mut f =
+            sc_bloom::BloomFilter::new(sc_bloom::FilterConfig::with_load_factor(64, 8, 4));
+        f.insert(b"http://a/x");
+        assert!(SummaryProbe::probe(&f, b"http://a/x", b"ignored"));
+    }
+
+    #[test]
+    fn filter_candidates_keeps_positive_peers_in_order() {
+        let mk = |u: &[u8]| {
+            let mut s = summary_with(&[(u, b"srv")], SummaryKind::ExactDirectory);
+            s.publish();
+            s.snapshot_published()
+        };
+        let a = mk(b"http://a/x");
+        let b = mk(b"http://b/y");
+        let both = {
+            let mut s = summary_with(
+                &[(b"http://a/x", b"srv"), (b"http://b/y", b"srv")],
+                SummaryKind::ExactDirectory,
+            );
+            s.publish();
+            s.snapshot_published()
+        };
+        let peers = [(1u32, &a), (2, &b), (3, &both)];
+        assert_eq!(
+            filter_candidates(peers.iter().map(|(id, s)| (*id, *s)), b"http://a/x", b"srv"),
+            vec![1, 3]
+        );
+        assert_eq!(
+            filter_candidates(peers.iter().map(|(id, s)| (*id, *s)), b"http://c/z", b"srv"),
+            Vec::<u32>::new()
+        );
+    }
+}

@@ -12,7 +12,7 @@ use std::collections::{HashMap, HashSet};
 /// What a publish produced: the wire cost and, for Bloom summaries, the
 /// content (flips or full bitmap) that would travel in the
 /// `ICP_OP_DIRUPDATE` message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PublishOutcome {
     /// Bytes on the wire *per peer* under the paper's size model.
     pub update_bytes: usize,
@@ -23,6 +23,10 @@ pub struct PublishOutcome {
     pub full_bitmap: bool,
     /// Bloom only: the flips to ship when `full_bitmap` is false.
     pub flips: Vec<Flip>,
+    /// How stale the peer-visible view was just before this publish:
+    /// the fraction of the directory not yet reflected
+    /// ([`UpdatePolicy::staleness`]), for observability gauges.
+    pub staleness: f64,
 }
 
 enum State {
@@ -212,6 +216,8 @@ impl ProxySummary {
     /// live state and report the per-peer wire cost under the paper's
     /// Section V-D size model.
     pub fn publish(&mut self) -> PublishOutcome {
+        let staleness =
+            crate::update::UpdatePolicy::staleness(self.inserts_since_publish, self.docs);
         self.inserts_since_publish = 0;
         match &mut self.state {
             State::Exact {
@@ -227,6 +233,7 @@ impl ProxySummary {
                     changes,
                     full_bitmap: false,
                     flips: Vec::new(),
+                    staleness,
                 }
             }
             State::Server { counts, published } => {
@@ -238,6 +245,7 @@ impl ProxySummary {
                     changes,
                     full_bitmap: false,
                     flips: Vec::new(),
+                    staleness,
                 }
             }
             State::Bloom { filter, baseline } => {
@@ -264,9 +272,22 @@ impl ProxySummary {
                     changes: diff.len(),
                     full_bitmap: full,
                     flips,
+                    staleness,
                 }
             }
         }
+    }
+
+    /// The live directory as a [`crate::SummaryProbe`] — what a peer
+    /// would learn by actually sending the query.
+    pub fn live(&self) -> crate::probe::LiveView<'_> {
+        crate::probe::LiveView(self)
+    }
+
+    /// The published view as a [`crate::SummaryProbe`] — the probe peers
+    /// evaluate locally before deciding to query.
+    pub fn published(&self) -> crate::probe::PublishedView<'_> {
+        crate::probe::PublishedView(self)
     }
 
     /// Materialize the currently *published* view as a shippable

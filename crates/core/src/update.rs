@@ -38,6 +38,14 @@ impl UpdatePolicy {
         UpdatePolicy::EveryFreshDocs(45)
     }
 
+    /// The fraction of the current directory not yet reflected in
+    /// peers' summaries (`fresh_docs / cached_docs`, clamped to 1) —
+    /// the quantity [`UpdatePolicy::Threshold`] compares against, and
+    /// the "summary staleness" gauge the proxy exports.
+    pub fn staleness(fresh_docs: u64, cached_docs: u64) -> f64 {
+        (fresh_docs as f64 / cached_docs.max(1) as f64).min(1.0)
+    }
+
     /// Should the proxy publish now?
     ///
     /// * `fresh_docs` — documents cached since the last publish;
@@ -110,6 +118,14 @@ mod tests {
         let p = UpdatePolicy::EveryMillis(5 * 60 * 1000);
         assert!(!p.should_publish(0, 0, 0, 299_999));
         assert!(p.should_publish(0, 0, 0, 300_000));
+    }
+
+    #[test]
+    fn staleness_is_clamped_fraction() {
+        assert_eq!(UpdatePolicy::staleness(0, 1000), 0.0);
+        assert!((UpdatePolicy::staleness(25, 1000) - 0.025).abs() < 1e-12);
+        assert_eq!(UpdatePolicy::staleness(10, 5), 1.0, "clamped");
+        assert_eq!(UpdatePolicy::staleness(3, 0), 1.0, "empty cache floored at 1 doc");
     }
 
     #[test]

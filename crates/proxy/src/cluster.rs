@@ -95,16 +95,17 @@ impl Cluster {
                 .filter(|p| p.id != id as u32)
                 .copied()
                 .collect();
-            let pc = ProxyConfig {
-                id: id as u32,
-                cache_bytes: cfg.cache_bytes,
-                expected_docs: cfg.expected_docs,
-                mode: cfg.mode,
-                peers,
-                origin: origin.addr,
-                icp_timeout_ms: cfg.icp_timeout_ms,
-                keepalive_ms: cfg.keepalive_ms,
-            };
+            let pc = ProxyConfig::builder()
+                .id(id as u32)
+                .cache_bytes(cfg.cache_bytes)
+                .expected_docs(cfg.expected_docs)
+                .mode(cfg.mode)
+                .peers(peers)
+                .origin(origin.addr)
+                .icp_timeout_ms(cfg.icp_timeout_ms)
+                .keepalive_ms(cfg.keepalive_ms)
+                .build()
+                .map_err(std::io::Error::other)?;
             daemons.push(Daemon::spawn_on(pc, listener, udp)?);
         }
         Ok(Cluster { daemons, origin })
@@ -209,7 +210,8 @@ pub struct ExperimentReport {
     pub totals: StatsSnapshot,
     /// Per-proxy counters.
     pub per_proxy: Vec<StatsSnapshot>,
-    /// Tail latency (worst proxy), filled in by harnesses that need it.
+    /// Median client latency across the cluster, milliseconds (from the
+    /// aggregated sc-obs latency distribution).
     pub latency_ms_p50: f64,
     /// 95th-percentile client latency, milliseconds.
     pub latency_ms_p95: f64,
@@ -238,16 +240,17 @@ impl ExperimentReport {
         cluster: &Cluster,
     ) -> ExperimentReport {
         let cpu = CpuTimes::now().since(cpu_start);
+        let totals = cluster.aggregate();
         ExperimentReport {
             mode: mode.label().to_string(),
             wall_seconds: wall.as_secs_f64(),
             cpu_user: cpu.user,
             cpu_system: cpu.system,
-            totals: cluster.aggregate(),
+            latency_ms_p50: totals.latency_ms(0.50),
+            latency_ms_p95: totals.latency_ms(0.95),
+            latency_ms_p99: totals.latency_ms(0.99),
+            totals,
             per_proxy: cluster.snapshots(),
-            latency_ms_p50: 0.0,
-            latency_ms_p95: 0.0,
-            latency_ms_p99: 0.0,
         }
     }
 }

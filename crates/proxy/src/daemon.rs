@@ -12,7 +12,9 @@
 //!   publishes fan out as UDP updates, exactly as the prototype of
 //!   Section VI-B ("an additional bit array is added to the data
 //!   structure for each neighbor … initialized when the first summary
-//!   update message is received").
+//!   update message is received");
+//! * an admin TCP endpoint ([`crate::admin`]) exposing the sc-obs
+//!   registry every counter below lives in.
 //!
 //! The cache stores document *metadata*; bodies are synthesized at the
 //! sizes recorded, which preserves every quantity the experiments
@@ -27,6 +29,7 @@ use crate::origin::{drain_body, write_body, ACCEPT_POLL};
 use crate::stats::ProxyStats;
 use sc_bloom::{BitVec, BloomFilter, Flip, HashSpec};
 use sc_cache::{DocMeta, Lookup, WebCache};
+use sc_obs::EventKind;
 use sc_wire::http;
 use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
 use std::collections::HashMap;
@@ -36,7 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use summary_cache_core::{ProxySummary, SummaryKind, UpdatePolicy};
+use summary_cache_core::{filter_candidates, ProxySummary, SummaryKind, UpdatePolicy};
 
 /// Max bit flips per DIRUPDATE datagram (keeps messages near one MTU,
 /// as the prototype "sends updates whenever there are enough changes to
@@ -61,6 +64,8 @@ pub struct Daemon {
     pub http_addr: SocketAddr,
     /// Bound ICP (UDP) address.
     pub icp_addr: SocketAddr,
+    /// Bound admin/observability address ([`crate::admin`]).
+    pub admin_addr: SocketAddr,
     /// Live counters.
     pub stats: Arc<ProxyStats>,
     inner: Arc<Inner>,
@@ -80,6 +85,8 @@ struct Pending {
     outstanding: usize,
     hit: Option<u32>,
     done: Option<SyncSender<Option<u32>>>,
+    /// When the queries left, for per-peer RTT histograms.
+    sent_at: Instant,
 }
 
 struct Inner {
@@ -122,7 +129,7 @@ impl Daemon {
     }
 
     /// Start the daemon on pre-bound sockets. The daemon is ready to
-    /// serve as soon as this returns.
+    /// serve (including its admin endpoint) as soon as this returns.
     pub fn spawn_on(
         cfg: ProxyConfig,
         listener: TcpListener,
@@ -130,9 +137,10 @@ impl Daemon {
     ) -> std::io::Result<Daemon> {
         let http_addr = listener.local_addr()?;
         let icp_addr = udp.local_addr()?;
-        let stats = Arc::new(ProxyStats::default());
+        let peer_ids: Vec<u32> = cfg.peers().iter().map(|p| p.id).collect();
+        let stats = Arc::new(ProxyStats::with_peers(&peer_ids));
 
-        let sc = match cfg.mode {
+        let sc = match *cfg.mode() {
             Mode::SummaryCache {
                 load_factor,
                 hashes,
@@ -143,7 +151,7 @@ impl Daemon {
                     hashes,
                 };
                 Some(Mutex::new(ScState {
-                    summary: ProxySummary::with_expected_docs(kind, cfg.expected_docs),
+                    summary: ProxySummary::with_expected_docs(kind, cfg.expected_docs()),
                     policy,
                     requests_since_publish: 0,
                     last_publish: Instant::now(),
@@ -154,14 +162,13 @@ impl Daemon {
 
         let inner = Arc::new(Inner {
             stats: stats.clone(),
-            cache: Mutex::new(WebCache::new(cfg.cache_bytes)),
+            cache: Mutex::new(WebCache::new(cfg.cache_bytes())),
             sc,
-            peer_filters: Mutex::new(HashMap::new()),
-            peer_of_addr: cfg.peers.iter().map(|p| (p.icp, p.id)).collect(),
-            peers_by_id: cfg.peers.iter().map(|p| (p.id, *p)).collect(),
+            peer_of_addr: cfg.peers().iter().map(|p| (p.icp, p.id)).collect(),
+            peers_by_id: cfg.peers().iter().map(|p| (p.id, *p)).collect(),
             pending: Mutex::new(HashMap::new()),
             liveness: Mutex::new(
-                cfg.peers
+                cfg.peers()
                     .iter()
                     .map(|p| {
                         (
@@ -174,12 +181,19 @@ impl Daemon {
                     })
                     .collect(),
             ),
+            peer_filters: Mutex::new(HashMap::new()),
             udp,
             next_reqnum: AtomicU32::new(1),
             cfg,
         });
 
         let shutdown = Arc::new(AtomicBool::new(false));
+
+        // Admin/observability endpoint (its traffic is deliberately NOT
+        // counted into the TCP byte counters the tables report).
+        let admin_listener = TcpListener::bind(SocketAddr::from(([127, 0, 0, 1], 0)))?;
+        let admin_addr = admin_listener.local_addr()?;
+        crate::admin::serve(admin_listener, stats.clone(), shutdown.clone())?;
 
         // TCP accept loop.
         {
@@ -218,7 +232,6 @@ impl Daemon {
                 while !stop.load(Ordering::Relaxed) {
                     match inner.udp.recv_from(&mut buf) {
                         Ok((n, from)) => {
-                            inner.stats.udp_in(n);
                             handle_datagram(&inner, &buf[..n], from);
                         }
                         Err(e)
@@ -234,11 +247,11 @@ impl Daemon {
 
         // Keep-alive pings (all modes; the paper's no-ICP baseline
         // traffic).
-        if inner.cfg.keepalive_ms > 0 && !inner.cfg.peers.is_empty() {
+        if inner.cfg.keepalive_ms() > 0 && !inner.cfg.peers().is_empty() {
             let inner = inner.clone();
             let stop = shutdown.clone();
             std::thread::spawn(move || {
-                let period = Duration::from_millis(inner.cfg.keepalive_ms);
+                let period = Duration::from_millis(inner.cfg.keepalive_ms());
                 loop {
                     // Sleep one period, but notice shutdown within 50 ms.
                     let mut slept = Duration::ZERO;
@@ -254,12 +267,12 @@ impl Daemon {
                         request_number: 0,
                         url: String::new(),
                     };
-                    let Ok(bytes) = msg.encode(inner.cfg.id) else {
+                    let Ok(bytes) = msg.encode(inner.cfg.id()) else {
                         continue;
                     };
-                    for peer in &inner.cfg.peers {
+                    for peer in inner.cfg.peers() {
                         if inner.udp.send_to(&bytes, peer.icp).is_ok() {
-                            inner.stats.udp_out(bytes.len());
+                            inner.stats.udp_out_to(Some(peer.id), bytes.len());
                         }
                     }
                     sweep_failed_peers(&inner);
@@ -268,9 +281,10 @@ impl Daemon {
         }
 
         Ok(Daemon {
-            id: inner.cfg.id,
+            id: inner.cfg.id(),
             http_addr,
             icp_addr,
+            admin_addr,
             stats,
             inner,
             shutdown,
@@ -379,7 +393,7 @@ fn serve_client(
     req: &http::Request,
 ) -> std::io::Result<()> {
     let t0 = Instant::now();
-    inner.stats.http_requests.fetch_add(1, Ordering::Relaxed);
+    inner.stats.http_requests.incr();
     let url = req.target.clone();
     let want = DocMeta {
         size: http::header(&req.headers, "x-doc-size")
@@ -394,7 +408,7 @@ fn serve_client(
     let lookup = lock(&inner.cache).lookup(&url, want);
     match lookup {
         Lookup::Hit => {
-            inner.stats.local_hits.fetch_add(1, Ordering::Relaxed);
+            inner.stats.local_hits.incr();
             reply_doc(inner, stream, want)?;
             finish_request(inner, t0);
             return Ok(());
@@ -409,27 +423,27 @@ fn serve_client(
     }
 
     // 2. Cooperation.
-    let fetched = match inner.cfg.mode {
+    let fetched = match inner.cfg.mode() {
         Mode::NoIcp => None,
         Mode::Icp => {
-            let all: Vec<u32> = inner.cfg.peers.iter().map(|p| p.id).collect();
+            let all: Vec<u32> = inner.cfg.peers().iter().map(|p| p.id).collect();
             query_then_fetch(inner, &url, want, &all)
         }
         Mode::SummaryCache { .. } => {
+            // Probe every installed peer-summary replica through the
+            // shared SummaryProbe path (peers without an installed
+            // replica cannot be candidates).
             let candidates: Vec<u32> = {
                 let filters = lock(&inner.peer_filters);
-                inner
-                    .cfg
-                    .peers
-                    .iter()
-                    .map(|p| p.id)
-                    .filter(|id| {
-                        filters
-                            .get(id)
-                            .map(|f| f.contains(url.as_bytes()))
-                            .unwrap_or(false)
-                    })
-                    .collect()
+                filter_candidates(
+                    inner
+                        .cfg
+                        .peers()
+                        .iter()
+                        .filter_map(|p| filters.get(&p.id).map(|f| (p.id, f))),
+                    url.as_bytes(),
+                    &[],
+                )
             };
             if candidates.is_empty() {
                 None
@@ -437,7 +451,18 @@ fn serve_client(
                 let got = query_then_fetch(inner, &url, want, &candidates);
                 if got.is_none() {
                     // Summary pointed somewhere, nobody had a usable copy.
-                    inner.stats.false_hits.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.false_hits.incr();
+                    for id in &candidates {
+                        if let Some(p) = inner.stats.peer(*id) {
+                            p.false_hits.incr();
+                            p.update_staleness();
+                        }
+                    }
+                    inner.stats.journal().record(
+                        EventKind::FalseHit,
+                        candidates.first().copied(),
+                        format!("{} candidate(s) for {url}", candidates.len()),
+                    );
                 }
                 got
             }
@@ -446,11 +471,18 @@ fn serve_client(
 
     // 3. Origin on a full miss.
     let meta = match fetched {
-        Some(meta) => {
-            inner.stats.remote_hits.fetch_add(1, Ordering::Relaxed);
+        Some((peer, meta)) => {
+            inner.stats.remote_hits.incr();
+            if let Some(p) = inner.stats.peer(peer) {
+                p.remote_hits.incr();
+            }
+            inner
+                .stats
+                .journal()
+                .record(EventKind::RemoteHit, Some(peer), url.clone());
             meta
         }
-        None => match fetch_http(inner, inner.cfg.origin, &url, want, false) {
+        None => match fetch_http(inner, inner.cfg.origin(), &url, want, false) {
             Ok(Some(meta)) => meta,
             _ => {
                 respond_empty(inner, stream, 504, "Gateway Timeout")?;
@@ -505,7 +537,7 @@ fn reply_doc(inner: &Inner, stream: &mut TcpStream, meta: DocMeta) -> std::io::R
 fn finish_request(inner: &Inner, t0: Instant) {
     inner.stats.latency(t0.elapsed().as_micros() as u64);
     let Some(sc) = &inner.sc else { return };
-    let messages: Vec<IcpMessage> = {
+    let (messages, outcome) = {
         let mut sc = lock(sc);
         sc.requests_since_publish += 1;
         let elapsed_ms = sc.last_publish.elapsed().as_millis() as u64;
@@ -520,18 +552,36 @@ fn finish_request(inner: &Inner, t0: Instant) {
         let outcome = sc.summary.publish();
         sc.requests_since_publish = 0;
         sc.last_publish = Instant::now();
-        build_update_messages(inner, &sc.summary, outcome.full_bitmap, outcome.flips)
+        let msgs =
+            build_update_messages(inner, &sc.summary, outcome.full_bitmap, outcome.flips.clone());
+        (msgs, outcome)
     };
+    inner.stats.summary_publishes.incr();
+    inner.stats.summary_staleness.set(outcome.staleness);
+    inner.stats.journal().record(
+        if outcome.full_bitmap {
+            EventKind::FullBitmapPublished
+        } else {
+            EventKind::DeltaPublished
+        },
+        None,
+        format!(
+            "staleness {:.4}, {} message(s)",
+            outcome.staleness,
+            messages.len()
+        ),
+    );
     // Fan the update out to every peer, outside the lock.
     for msg in &messages {
-        let bytes = match msg.encode(inner.cfg.id) {
+        let bytes = match msg.encode(inner.cfg.id()) {
             Ok(b) => b,
             Err(_) => continue, // oversized full bitmap: skip (documented limit)
         };
-        for peer in &inner.cfg.peers {
+        for peer in inner.cfg.peers() {
             if inner.udp.send_to(&bytes, peer.icp).is_ok() {
-                inner.stats.udp_out(bytes.len());
-                inner.stats.updates_sent.fetch_add(1, Ordering::Relaxed);
+                inner.stats.udp_out_to(Some(peer.id), bytes.len());
+                inner.stats.updates_sent.incr();
+                inner.stats.update_delta_bytes.record(bytes.len() as u64);
             }
         }
     }
@@ -551,7 +601,7 @@ fn build_update_messages(
     let reqnum = inner.next_reqnum.fetch_add(1, Ordering::Relaxed);
     let mk = |content| IcpMessage::DirUpdate {
         request_number: reqnum,
-        sender: inner.cfg.id,
+        sender: inner.cfg.id(),
         update: DirUpdate {
             function_num: spec.k(),
             function_bits: spec.function_bits(),
@@ -570,26 +620,27 @@ fn build_update_messages(
 }
 
 /// Send ICP queries to `peer_ids`; if one answers HIT, fetch the
-/// document from it. Returns the fetched metadata when it matches the
-/// requested version (a mismatch is a remote stale hit).
+/// document from it. Returns the serving peer and the fetched metadata
+/// when it matches the requested version (a mismatch is a remote stale
+/// hit).
 fn query_then_fetch(
     inner: &Inner,
     url: &str,
     want: DocMeta,
     peer_ids: &[u32],
-) -> Option<DocMeta> {
+) -> Option<(u32, DocMeta)> {
     if peer_ids.is_empty() {
         return None;
     }
     let reqnum = inner.next_reqnum.fetch_add(1, Ordering::Relaxed);
     let query = IcpMessage::Query {
         request_number: reqnum,
-        requester: inner.cfg.id,
+        requester: inner.cfg.id(),
         url: url.to_string(),
     };
     // An oversized URL cannot be queried; treat it as a miss everywhere
     // rather than taking the daemon down.
-    let bytes = query.encode(inner.cfg.id).ok()?;
+    let bytes = query.encode(inner.cfg.id()).ok()?;
     let (tx, rx) = std::sync::mpsc::sync_channel(1);
     lock(&inner.pending).insert(
         reqnum,
@@ -597,35 +648,47 @@ fn query_then_fetch(
             outstanding: peer_ids.len(),
             hit: None,
             done: Some(tx),
+            sent_at: Instant::now(),
         },
     );
     for id in peer_ids {
         if let Some(peer) = inner.peers_by_id.get(id) {
             if inner.udp.send_to(&bytes, peer.icp).is_ok() {
-                inner.stats.udp_out(bytes.len());
-                inner
-                    .stats
-                    .icp_queries_sent
-                    .fetch_add(1, Ordering::Relaxed);
+                inner.stats.udp_out_to(Some(*id), bytes.len());
+                inner.stats.icp_queries_sent.incr();
+                if let Some(p) = inner.stats.peer(*id) {
+                    p.queries_sent.incr();
+                    p.update_staleness();
+                }
             }
         }
     }
     let winner = rx
-        .recv_timeout(Duration::from_millis(inner.cfg.icp_timeout_ms))
+        .recv_timeout(Duration::from_millis(inner.cfg.icp_timeout_ms()))
         .ok()
         .flatten();
     lock(&inner.pending).remove(&reqnum);
 
-    let peer = inner.peers_by_id.get(&winner?)?;
+    let winner = winner?;
+    let peer = inner.peers_by_id.get(&winner)?;
     match fetch_http(inner, peer.http, url, want, true) {
-        Ok(Some(meta)) if meta == want => Some(meta),
+        Ok(Some(meta)) if meta == want => {
+            if let Some(p) = inner.stats.peer(winner) {
+                p.tcp_bytes_fetched.add(meta.size);
+            }
+            Some((winner, meta))
+        }
         Ok(Some(_)) | Ok(None) => {
             // Copy exists but is the wrong version, or vanished between
             // the ICP reply and the fetch.
+            inner.stats.remote_stale_hits.incr();
+            if let Some(p) = inner.stats.peer(winner) {
+                p.stale_hits.incr();
+            }
             inner
                 .stats
-                .remote_stale_hits
-                .fetch_add(1, Ordering::Relaxed);
+                .journal()
+                .record(EventKind::RemoteStaleHit, Some(winner), url.to_string());
             None
         }
         Err(_) => None,
@@ -714,14 +777,16 @@ impl Read for CountingReader<'_> {
 
 /// Handle one received ICP datagram.
 fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
+    let from_peer = inner.peer_of_addr.get(&from).copied();
+    inner.stats.udp_in_from(from_peer, data.len());
     let Ok(msg) = IcpMessage::decode(data) else {
         return; // malformed datagrams are dropped, as in Squid
     };
-    if let Some(&peer_id) = inner.peer_of_addr.get(&from) {
+    if let Some(peer_id) = from_peer {
         if mark_heard(inner, peer_id) {
             // The peer just came back: ship it a full bitmap of our own
             // directory so its replica of us reinitializes.
-            send_full_bitmap(inner, from);
+            send_full_bitmap(inner, peer_id, from);
         }
     }
     match msg {
@@ -730,10 +795,7 @@ fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
             url,
             ..
         } => {
-            inner
-                .stats
-                .icp_queries_served
-                .fetch_add(1, Ordering::Relaxed);
+            inner.stats.icp_queries_served.incr();
             let have = lock(&inner.cache).contains(&url);
             let reply = if have {
                 IcpMessage::Hit {
@@ -746,20 +808,20 @@ fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
                     url,
                 }
             };
-            if let Ok(bytes) = reply.encode(inner.cfg.id) {
+            if let Ok(bytes) = reply.encode(inner.cfg.id()) {
                 if inner.udp.send_to(&bytes, from).is_ok() {
-                    inner.stats.udp_out(bytes.len());
+                    inner.stats.udp_out_to(from_peer, bytes.len());
                 }
             }
         }
         IcpMessage::Hit { request_number, .. } => {
-            dispatch_reply(inner, request_number, inner.peer_of_addr.get(&from).copied());
+            dispatch_reply(inner, request_number, from_peer, from_peer);
         }
         IcpMessage::Miss { request_number, .. }
         | IcpMessage::MissNoFetch { request_number, .. }
         | IcpMessage::Denied { request_number, .. }
         | IcpMessage::Err { request_number, .. } => {
-            dispatch_reply(inner, request_number, None);
+            dispatch_reply(inner, request_number, None, from_peer);
         }
         IcpMessage::Secho { .. } => {
             // Keep-alive: nothing to do beyond the udp_in accounting.
@@ -771,12 +833,17 @@ fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
 }
 
 /// Route an ICP reply to the waiting query, completing it on the first
-/// HIT or once every peer has answered.
-fn dispatch_reply(inner: &Inner, reqnum: u32, hit_from: Option<u32>) {
+/// HIT or once every peer has answered. `replier` (when the source
+/// address maps to a known peer) gets the round trip recorded into its
+/// RTT histogram.
+fn dispatch_reply(inner: &Inner, reqnum: u32, hit_from: Option<u32>, replier: Option<u32>) {
     let mut pending = lock(&inner.pending);
     let Some(p) = pending.get_mut(&reqnum) else {
         return; // late reply after timeout
     };
+    if let Some(ps) = replier.and_then(|id| inner.stats.peer(id)) {
+        ps.icp_rtt_us.record(p.sent_at.elapsed().as_micros() as u64);
+    }
     p.outstanding = p.outstanding.saturating_sub(1);
     if let Some(id) = hit_from {
         p.hit = Some(id);
@@ -800,11 +867,15 @@ fn apply_update(inner: &Inner, sender: u32, update: DirUpdate) {
     ) else {
         return; // malformed spec: drop, as with any bad datagram
     };
-    inner
-        .stats
-        .updates_received
-        .fetch_add(1, Ordering::Relaxed);
+    inner.stats.updates_received.incr();
     let mut filters = lock(&inner.peer_filters);
+    if !filters.contains_key(&sender) {
+        inner.stats.journal().record(
+            EventKind::PeerSummaryInstalled,
+            Some(sender),
+            format!("{} bits", spec.table_bits()),
+        );
+    }
     let filter = filters
         .entry(sender)
         .and_modify(|f| {
@@ -858,10 +929,10 @@ fn mark_heard(inner: &Inner, peer: u32) -> bool {
 
 /// Drop the summary replicas of peers we have not heard from lately.
 fn sweep_failed_peers(inner: &Inner) {
-    if inner.cfg.keepalive_ms == 0 {
+    if inner.cfg.keepalive_ms() == 0 {
         return; // no keep-alives, no liveness signal
     }
-    let timeout = Duration::from_millis(inner.cfg.keepalive_ms)
+    let timeout = Duration::from_millis(inner.cfg.keepalive_ms())
         * FAILURE_KEEPALIVE_PERIODS;
     let now = Instant::now();
     let mut newly_failed = Vec::new();
@@ -878,14 +949,18 @@ fn sweep_failed_peers(inner: &Inner) {
         let mut filters = lock(&inner.peer_filters);
         for id in newly_failed {
             filters.remove(&id);
-            inner.stats.peer_failures.fetch_add(1, Ordering::Relaxed);
+            inner.stats.peer_failures.incr();
+            inner
+                .stats
+                .journal()
+                .record(EventKind::PeerFailed, Some(id), "summary replica dropped");
         }
     }
 }
 
 /// Send our complete current published bitmap to one peer (recovery
 /// reinitialization). No-op outside SC mode.
-fn send_full_bitmap(inner: &Inner, to: SocketAddr) {
+fn send_full_bitmap(inner: &Inner, peer_id: u32, to: SocketAddr) {
     let Some(sc) = &inner.sc else { return };
     let msg = {
         let sc = lock(sc);
@@ -895,7 +970,7 @@ fn send_full_bitmap(inner: &Inner, to: SocketAddr) {
         };
         IcpMessage::DirUpdate {
             request_number: inner.next_reqnum.fetch_add(1, Ordering::Relaxed),
-            sender: inner.cfg.id,
+            sender: inner.cfg.id(),
             update: DirUpdate {
                 function_num: spec.k(),
                 function_bits: spec.function_bits(),
@@ -904,11 +979,16 @@ fn send_full_bitmap(inner: &Inner, to: SocketAddr) {
             },
         }
     };
-    if let Ok(bytes) = msg.encode(inner.cfg.id) {
+    if let Ok(bytes) = msg.encode(inner.cfg.id()) {
         if inner.udp.send_to(&bytes, to).is_ok() {
-            inner.stats.udp_out(bytes.len());
-            inner.stats.updates_sent.fetch_add(1, Ordering::Relaxed);
-            inner.stats.peer_recoveries.fetch_add(1, Ordering::Relaxed);
+            inner.stats.udp_out_to(Some(peer_id), bytes.len());
+            inner.stats.updates_sent.incr();
+            inner.stats.peer_recoveries.incr();
+            inner.stats.journal().record(
+                EventKind::PeerRecovered,
+                Some(peer_id),
+                "full bitmap re-sent",
+            );
         }
     }
 }

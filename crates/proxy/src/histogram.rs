@@ -1,103 +1,73 @@
-//! A lock-free log-bucketed latency histogram.
+//! Latency percentile summaries — a thin façade over [`sc_obs`]'s
+//! log-bucketed histogram.
 //!
 //! The paper reports mean client latency; tail latency is where ICP's
 //! query round-trips actually hurt (a miss waits for the slowest
-//! neighbour or the timeout), so the cluster records full distributions:
-//! 1024 logarithmic buckets (16 per octave, ~4.4 % width) cover the full
-//! u64 microsecond range, each an `AtomicU64`, safe to hammer from every
-//! connection thread.
+//! neighbour or the timeout), so the cluster records full distributions.
+//! The bucket layout (1024 logarithmic buckets, 16 per octave, ~4.4 %
+//! width) lives in `sc_obs`; this module keeps the percentile-summary
+//! surface the proxy and bench binaries consume.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Buckets per power of two (16 ⇒ ~4.4 % bucket width).
-const SUBBUCKETS: u64 = 16;
-/// Total bucket count: 64 octaves × 16 sub-buckets covers the full u64
-/// microsecond range.
-const BUCKETS: usize = 1024;
+use sc_obs::{bucket_floor, Histogram, HistogramSnapshot};
 
 /// Concurrent histogram of microsecond latencies.
-#[derive(Debug)]
+///
+/// A detached [`sc_obs::Histogram`] with a percentile-oriented snapshot
+/// method; the daemon's registry-attached latency histogram produces
+/// the same summaries via [`summarize`].
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
-    /// Always exactly `BUCKETS` long.
-    buckets: Box<[AtomicU64]>,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Bucket index for a microsecond value: `SUBBUCKETS` linear slices per
-/// octave.
-fn bucket_of(us: u64) -> usize {
-    let v = us.max(1);
-    let octave = 63 - v.leading_zeros() as u64;
-    let base = octave * SUBBUCKETS;
-    let within = if octave == 0 {
-        0
-    } else {
-        // Position of v within [2^octave, 2^(octave+1)).
-        ((v - (1 << octave)) * SUBBUCKETS) >> octave
-    };
-    ((base + within) as usize).min(BUCKETS - 1)
-}
-
-/// Lower bound (µs) of a bucket, for reporting.
-fn bucket_floor(idx: usize) -> u64 {
-    let octave = idx as u64 / SUBBUCKETS;
-    let within = idx as u64 % SUBBUCKETS;
-    if octave == 0 {
-        within + 1
-    } else {
-        (1 << octave) + ((within << octave) / SUBBUCKETS)
-    }
+    inner: Histogram,
 }
 
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
         LatencyHistogram {
-            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            inner: Histogram::new(),
         }
     }
 
     /// Record one latency in microseconds.
     pub fn record(&self, us: u64) {
-        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.inner.record(us);
     }
 
     /// Freeze into a summary with the requested percentiles.
     pub fn snapshot(&self, percentiles: &[f64]) -> LatencySummary {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        let mut out = Vec::with_capacity(percentiles.len());
-        for &p in percentiles {
-            assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0,1]");
-            if total == 0 {
-                out.push((p, 0));
-                continue;
-            }
-            let target = ((p * total as f64).ceil() as u64).clamp(1, total);
-            let mut acc = 0;
-            let mut value = 0;
-            for (i, &c) in counts.iter().enumerate() {
-                acc += c;
-                if acc >= target {
-                    value = bucket_floor(i);
-                    break;
-                }
-            }
-            out.push((p, value));
+        summarize(&self.inner.snapshot(), percentiles)
+    }
+}
+
+/// Build a percentile summary from a frozen histogram.
+///
+/// Each reported value is the *floor* of the bucket holding the
+/// percentile's sample, so results under-report by at most one
+/// sub-bucket (~4.4 %). Panics if a percentile is outside `[0,1]`.
+pub fn summarize(snap: &HistogramSnapshot, percentiles: &[f64]) -> LatencySummary {
+    let total = snap.samples();
+    let mut out = Vec::with_capacity(percentiles.len());
+    for &p in percentiles {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0,1]");
+        if total == 0 {
+            out.push((p, 0));
+            continue;
         }
-        LatencySummary {
-            samples: total,
-            percentiles_us: out,
+        let target = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut acc = 0;
+        let mut value = 0;
+        for (i, &c) in snap.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                value = bucket_floor(i);
+                break;
+            }
         }
+        out.push((p, value));
+    }
+    LatencySummary {
+        samples: total,
+        percentiles_us: out,
     }
 }
 
@@ -123,6 +93,7 @@ impl LatencySummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_obs::bucket_of;
     use sc_util::prop::{check, vec_of};
 
     #[test]
@@ -155,6 +126,21 @@ mod tests {
         let p95 = s.ms(0.95).unwrap();
         assert!((900.0..1100.0).contains(&p95), "p95 {p95} ms");
         assert!(s.ms(0.89).unwrap() < 2.0);
+    }
+
+    #[test]
+    fn summarize_matches_wrapper() {
+        let h = LatencyHistogram::new();
+        let attached = Histogram::new();
+        for v in [10u64, 200, 3_000, 3_000, 40_000] {
+            h.record(v);
+            attached.record(v);
+        }
+        assert_eq!(
+            h.snapshot(&[0.5, 0.99]),
+            summarize(&attached.snapshot(), &[0.5, 0.99]),
+            "façade and registry paths summarize identically"
+        );
     }
 
     #[test]
@@ -200,7 +186,9 @@ mod tests {
             let us = rng.gen_range(1u64..1_000_000_000);
             let b = bucket_of(us);
             assert!(bucket_floor(b) <= us);
-            if b + 1 < BUCKETS {
+            // Below 2^4 an octave has fewer distinct values than
+            // sub-buckets, so adjacent buckets can share a floor.
+            if b + 1 < sc_obs::BUCKETS && us >= 16 {
                 assert!(bucket_floor(b + 1) > us, "next bucket starts past {us}");
             }
         });

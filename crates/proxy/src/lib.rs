@@ -22,14 +22,20 @@
 //!   round-robin dispatch).
 //! * [`cluster`] — spins up N proxies + an origin in-process on loopback
 //!   and runs a driver against them, collecting per-proxy statistics.
-//! * [`stats`] — atomic counters standing in for the paper's `netstat`
-//!   and CPU measurements, including `/proc/self/stat`-based CPU time.
+//! * [`stats`] — the per-daemon sc-obs registry (counters, per-peer
+//!   gauges/histograms, event journal) standing in for the paper's
+//!   `netstat` and CPU measurements, including `/proc/self/stat`-based
+//!   CPU time.
+//! * [`admin`] — a loopback observability endpoint per daemon serving
+//!   `/metrics` (Prometheus text), `/json` (registry snapshot) and
+//!   `/events` (recent protocol events).
 //!
 //! Bodies are synthesized (the cache stores metadata, not payloads):
 //! the experiments measure protocol traffic, CPU and latency, none of
 //! which depend on payload contents — only on their sizes, which are
 //! preserved exactly.
 
+pub mod admin;
 pub mod client;
 pub mod cluster;
 pub mod config;
@@ -40,6 +46,6 @@ pub mod stats;
 
 pub use client::{BenchmarkConfig, ReplayMode};
 pub use cluster::{Cluster, ClusterConfig, ExperimentReport};
-pub use config::{Mode, ProxyConfig};
+pub use config::{ConfigError, Mode, ProxyConfig, ProxyConfigBuilder};
 pub use histogram::{LatencyHistogram, LatencySummary};
-pub use stats::{CpuTimes, ProxyStats, StatsSnapshot};
+pub use stats::{CpuTimes, PeerStats, ProxyStats, StatsSnapshot};

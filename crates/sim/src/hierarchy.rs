@@ -123,9 +123,13 @@ pub fn simulate_hierarchy(trace: &Trace, cfg: &HierarchyConfig) -> HierarchyResu
         // Sibling tier (summary-cache style), if enabled.
         let mut served_by_sibling = false;
         if let Some(sc) = &cfg.sibling_sharing {
-            let candidates: Vec<usize> = (0..groups)
-                .filter(|&g| g != home && summaries[g].probe_published(&ukey, &skey))
-                .collect();
+            let candidates: Vec<usize> = summary_cache_core::filter_candidates(
+                (0..groups)
+                    .filter(|&g| g != home)
+                    .map(|g| (g, summaries[g].published())),
+                &ukey,
+                &skey,
+            );
             r_out.sibling_queries += candidates.len() as u64;
             for g in candidates {
                 if children[g].peek(&req.url) == Some(meta) {

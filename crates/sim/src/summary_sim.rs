@@ -13,7 +13,7 @@ use crate::metrics::Metrics;
 use sc_cache::{DocMeta, Lookup, WebCache};
 use sc_trace::{group_of_client, Trace};
 use std::collections::HashMap;
-use summary_cache_core::{wire_cost, ProxySummary, SummaryKind, UpdatePolicy};
+use summary_cache_core::{filter_candidates, wire_cost, ProxySummary, SummaryKind, UpdatePolicy};
 
 /// Configuration of one summary-cache simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -140,13 +140,17 @@ pub fn simulate_summary_cache(
         // Local miss: ICP would query every neighbour now.
         icp_queries += (groups - 1) as u64;
 
-        // Summary cache probes the published peer summaries instead.
-        let mut candidates: Vec<usize> = Vec::new();
-        for (g, p) in proxies.iter().enumerate() {
-            if g != home && p.summary.probe_published(&ukey, &skey) {
-                candidates.push(g);
-            }
-        }
+        // Summary cache probes the published peer summaries instead —
+        // the same candidate selection the proxy daemon runs.
+        let candidates: Vec<usize> = filter_candidates(
+            proxies
+                .iter()
+                .enumerate()
+                .filter(|&(g, _)| g != home)
+                .map(|(g, p)| (g, p.summary.published())),
+            &ukey,
+            &skey,
+        );
 
         // Send queries to the candidates; learn what they actually hold.
         let mut fresh_at_candidate = false;

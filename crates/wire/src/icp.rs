@@ -628,6 +628,118 @@ mod tests {
     }
 
     #[test]
+    fn dirupdate_roundtrips_both_variants_same_header() {
+        // The two DirContent variants carry the same self-describing
+        // filter header; both must survive the wire byte-for-byte.
+        let header = |content| DirUpdate {
+            function_num: 10,
+            function_bits: 20,
+            bit_array_size: 192, // exactly 3 words, no overhang
+            content,
+        };
+        for content in [
+            DirContent::Flips(vec![Flip::set(0), Flip::clear(191)]),
+            DirContent::Flips(Vec::new()), // empty delta is legal
+            DirContent::Bitmap(vec![1, 2, 3]),
+        ] {
+            roundtrip(IcpMessage::DirUpdate {
+                request_number: 77,
+                sender: 0xDEADBEEF,
+                update: header(content),
+            });
+        }
+    }
+
+    #[test]
+    fn truncated_dirupdate_datagrams_never_decode() {
+        // Sweep every proper prefix of valid DIRUPDATE and DIRFULL
+        // datagrams: each must be rejected (and never panic), whether or
+        // not the length field is patched to match the truncation.
+        let msgs = [
+            IcpMessage::DirUpdate {
+                request_number: 3,
+                sender: 4,
+                update: DirUpdate {
+                    function_num: 4,
+                    function_bits: 32,
+                    bit_array_size: 4096,
+                    content: DirContent::Flips(vec![Flip::set(5), Flip::clear(9), Flip::set(77)]),
+                },
+            },
+            IcpMessage::DirUpdate {
+                request_number: 3,
+                sender: 4,
+                update: DirUpdate {
+                    function_num: 4,
+                    function_bits: 32,
+                    bit_array_size: 130,
+                    content: DirContent::Bitmap(vec![7, 8, 9]),
+                },
+            },
+        ];
+        for msg in msgs {
+            let bytes = msg.encode(0).unwrap();
+            for cut in 0..bytes.len() {
+                let mut prefix = bytes[..cut].to_vec();
+                assert!(
+                    IcpMessage::decode(&prefix).is_err(),
+                    "prefix of {cut} bytes decoded"
+                );
+                // Patch the length field so header and datagram agree;
+                // the payload checks must still catch the loss.
+                if cut >= HEADER_LEN {
+                    prefix[2..4].copy_from_slice(&(cut as u16).to_be_bytes());
+                    assert!(
+                        IcpMessage::decode(&prefix).is_err(),
+                        "length-patched prefix of {cut} bytes decoded"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_word_count_must_match_bit_array_size() {
+        let msg = IcpMessage::DirUpdate {
+            request_number: 0,
+            sender: 0,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 128, // needs exactly 2 words
+                content: DirContent::Bitmap(vec![1, 2]),
+            },
+        };
+        let mut bytes = msg.encode(0).unwrap().to_vec();
+        // Claim a larger bit array than the 2 carried words cover.
+        bytes[24..28].copy_from_slice(&192u32.to_be_bytes());
+        assert_eq!(
+            IcpMessage::decode(&bytes),
+            Err(IcpError::BadDirUpdate("bitmap words vs bit array size"))
+        );
+    }
+
+    #[test]
+    fn oversized_delta_list_boundary() {
+        // The 16-bit length field caps a DIRUPDATE at
+        // (u16::MAX - headers) / 4 flips; one past that must fail at
+        // encode, the boundary itself must round-trip.
+        let max_flips = (u16::MAX as usize - HEADER_LEN - DIRUPDATE_HEADER_LEN) / 4;
+        let mk = |n: usize| IcpMessage::DirUpdate {
+            request_number: 0,
+            sender: 0,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 1 << 26,
+                content: DirContent::Flips((0..n as u32).map(Flip::set).collect()),
+            },
+        };
+        roundtrip(mk(max_flips));
+        assert!(matches!(mk(max_flips + 1).encode(0), Err(IcpError::TooLarge(_))));
+    }
+
+    #[test]
     fn prop_query_roundtrip() {
         const URL_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789:/._?&=%-";
         check("icp_query_roundtrip", 256, |rng| {

@@ -60,7 +60,9 @@ subcommands:
   proxy     --id N --http ADDR --icp ADDR --origin ADDR
             [--mode no-icp|icp|sc] [--cache-mb N] [--expected-docs N]
             [--threshold FRACTION] [--peer ID=HTTP/ICP]...
-            run one proxy daemon (EOF on stdin prints final stats)
+            run one proxy daemon (EOF on stdin prints final stats);
+            also serves an observability endpoint (/metrics, /json,
+            /events) on an ephemeral loopback port, printed at start
   gen-trace --profile NAME [--scale N] --out FILE[.jsonl|.log]
             generate a synthetic workload (DEC|UCB|UPisa|Questnet|NLANR)
   import-squid --log ACCESS_LOG --groups N --out FILE[.jsonl|.log]
@@ -182,15 +184,22 @@ fn cmd_proxy(args: &[String]) -> i32 {
     };
     let peers: Vec<PeerAddr> = flags(args, "--peer").into_iter().map(parse_peer).collect();
 
-    let cfg = ProxyConfig {
-        id,
-        cache_bytes: cache_mb << 20,
-        expected_docs,
-        mode,
-        peers,
-        origin,
-        icp_timeout_ms: 500,
-        keepalive_ms: 1_000,
+    let cfg = match ProxyConfig::builder()
+        .id(id)
+        .cache_bytes(cache_mb << 20)
+        .expected_docs(expected_docs)
+        .mode(mode)
+        .peers(peers)
+        .origin(origin)
+        .icp_timeout_ms(500)
+        .keepalive_ms(1_000)
+        .build()
+    {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("bad proxy configuration: {e}");
+            return 2;
+        }
     };
     let listener = TcpListener::bind(http).unwrap_or_else(|e| {
         eprintln!("cannot bind HTTP {http}: {e}");
@@ -207,6 +216,10 @@ fn cmd_proxy(args: &[String]) -> i32 {
         daemon.http_addr,
         daemon.icp_addr,
         flag(args, "--mode").unwrap_or("sc"),
+    );
+    println!(
+        "admin endpoint on http://{} (/metrics, /json, /events)",
+        daemon.admin_addr
     );
     // Periodic stats line; the thread dies with the process.
     let stats = daemon.stats.clone();

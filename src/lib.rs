@@ -21,7 +21,11 @@
 //!   extension, and a minimal HTTP/1.x codec;
 //! * [`sim`] — trace-driven simulators for Figs. 1–2 and 5–8;
 //! * [`proxy`] — a live threaded proxy cluster reproducing the testbed
-//!   experiments (Tables II, IV, V).
+//!   experiments (Tables II, IV, V), with a per-daemon admin endpoint
+//!   (`/metrics`, `/json`, `/events`);
+//! * [`obs`] — the std-only metrics registry / event journal every
+//!   number above flows through;
+//! * [`json`] — the hand-rolled JSON used for results and snapshots.
 //!
 //! ## Quick start
 //!
@@ -46,7 +50,9 @@
 
 pub use sc_bloom as bloom;
 pub use sc_cache as cache;
+pub use sc_json as json;
 pub use sc_md5 as md5;
+pub use sc_obs as obs;
 pub use sc_proxy as proxy;
 pub use sc_sim as sim;
 pub use sc_trace as trace;
