@@ -17,6 +17,7 @@ fn cluster_cfg(mode: Mode) -> ClusterConfig {
         origin_delay: Duration::ZERO,
         icp_timeout_ms: 200,
         keepalive_ms: 0,
+        update_loss: 0.0,
     }
 }
 

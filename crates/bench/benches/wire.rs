@@ -28,6 +28,8 @@ fn bench_icp(b: &mut Bench) {
             function_num: 4,
             function_bits: 32,
             bit_array_size: 1 << 20,
+            generation: 7,
+            seq: 42,
             content: DirContent::Flips((0..320).map(Flip::set).collect()),
         },
     };

@@ -1,6 +1,8 @@
-//! First registration site: this one owns `sc_dup_total`.
+//! First registration site: this one owns `sc_dup_total` and
+//! `sc_dup_bytes`.
 
 pub fn record_request(r: &sc_obs::Registry) {
     r.counter("sc_dup_total").incr();
     r.gauge("sc_only_here").set(1.0);
+    r.histogram("sc_dup_bytes").record(64);
 }

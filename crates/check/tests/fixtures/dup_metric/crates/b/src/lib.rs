@@ -1,15 +1,19 @@
-//! Second site re-registering the same name — the violation. The
-//! registry would silently hand back the crate-a counter, so crate-b's
-//! increments disappear into a series nobody can attribute.
+//! Second site re-registering the same names — the violation. The
+//! registry would silently hand back the crate-a instruments, so
+//! crate-b's samples disappear into a series nobody can attribute.
+//! Histograms are covered the same as counters: a size distribution
+//! split across two anonymous sites is as unattributable as a count.
 
 pub fn record_reply(r: &sc_obs::Registry) {
     r.counter("sc_dup_total").incr();
+    r.histogram("sc_dup_bytes").record(128);
 }
 
 #[cfg(test)]
 mod tests {
-    // Tests may re-register freely; this must not add a third site.
+    // Tests may re-register freely; this must not add more sites.
     fn t(r: &sc_obs::Registry) {
         r.counter("sc_dup_total").add(2);
+        r.histogram("sc_dup_bytes").record(1);
     }
 }

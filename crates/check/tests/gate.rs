@@ -125,17 +125,26 @@ fn duplicate_metric_registration_flagged_at_both_sites() {
     assert!(!out.status.success(), "duplicate metric names must fail the gate");
     let text = stdout(&out);
     assert!(
-        text.contains("crates/a/src/lib.rs:4: [metrics]") && text.contains("`sc_dup_total`"),
-        "first registration site flagged:\n{text}"
+        text.contains("crates/a/src/lib.rs:5: [metrics]") && text.contains("`sc_dup_total`"),
+        "first counter registration site flagged:\n{text}"
     );
     assert!(
-        text.contains("crates/b/src/lib.rs:6: [metrics]"),
-        "second registration site flagged:\n{text}"
+        text.contains("crates/b/src/lib.rs:8: [metrics]"),
+        "second counter registration site flagged:\n{text}"
+    );
+    // Histograms are held to the same one-owner rule as counters.
+    assert!(
+        text.contains("crates/a/src/lib.rs:7: [metrics]") && text.contains("`sc_dup_bytes`"),
+        "first histogram registration site flagged:\n{text}"
+    );
+    assert!(
+        text.contains("crates/b/src/lib.rs:9: [metrics]"),
+        "second histogram registration site flagged:\n{text}"
     );
     assert_eq!(
         text.matches("[metrics]").count(),
-        2,
-        "single-site `sc_only_here` and the cfg(test) re-registration are exempt:\n{text}"
+        4,
+        "single-site `sc_only_here` and the cfg(test) re-registrations are exempt:\n{text}"
     );
 }
 

@@ -27,6 +27,14 @@ pub struct PublishOutcome {
     /// the fraction of the directory not yet reflected
     /// ([`UpdatePolicy::staleness`]), for observability gauges.
     pub staleness: f64,
+    /// The summary's generation at publish time (see
+    /// [`ProxySummary::set_generation`]).
+    pub generation: u32,
+    /// Sequence number allocated to this publish — the first update
+    /// datagram of the batch carries it; a transport that splits the
+    /// batch allocates follow-on numbers via
+    /// [`ProxySummary::advance_seq`].
+    pub seq: u32,
 }
 
 enum State {
@@ -66,6 +74,16 @@ pub struct ProxySummary {
     state: State,
     docs: u64,
     inserts_since_publish: u64,
+    /// Lineage tag for the published bitmap; receivers discard their
+    /// replica when it changes. The owner sets it at startup
+    /// ([`set_generation`]) — the summary itself never touches clocks,
+    /// keeping this crate deterministic.
+    ///
+    /// [`set_generation`]: ProxySummary::set_generation
+    generation: u32,
+    /// Sequence number of the last update datagram allocated within the
+    /// current generation.
+    seq: u32,
 }
 
 impl ProxySummary {
@@ -108,7 +126,40 @@ impl ProxySummary {
             state,
             docs: 0,
             inserts_since_publish: 0,
+            generation: 1,
+            seq: 0,
         }
+    }
+
+    /// The current generation (defaults to 1 until the owner assigns
+    /// one).
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Sequence number of the most recently allocated update datagram.
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// Assign the bitmap lineage tag (a 0 is coerced to 1 so "no
+    /// generation seen yet" stays representable on the wire) and restart
+    /// datagram numbering.
+    pub fn set_generation(&mut self, generation: u32) {
+        self.generation = generation.max(1);
+        self.seq = 0;
+    }
+
+    /// Allocate the next update-datagram sequence number. [`publish`]
+    /// calls this once for the batch; the transport calls it again for
+    /// each additional datagram the batch is split into, and for
+    /// heartbeat (empty-delta) datagrams that let receivers detect a
+    /// lost tail.
+    ///
+    /// [`publish`]: ProxySummary::publish
+    pub fn advance_seq(&mut self) -> u32 {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
     }
 
     /// The representation in use.
@@ -219,6 +270,8 @@ impl ProxySummary {
         let staleness =
             crate::update::UpdatePolicy::staleness(self.inserts_since_publish, self.docs);
         self.inserts_since_publish = 0;
+        let generation = self.generation;
+        let seq = self.advance_seq();
         match &mut self.state {
             State::Exact {
                 pending_add,
@@ -234,6 +287,8 @@ impl ProxySummary {
                     full_bitmap: false,
                     flips: Vec::new(),
                     staleness,
+                    generation,
+                    seq,
                 }
             }
             State::Server { counts, published } => {
@@ -246,6 +301,8 @@ impl ProxySummary {
                     full_bitmap: false,
                     flips: Vec::new(),
                     staleness,
+                    generation,
+                    seq,
                 }
             }
             State::Bloom { filter, baseline } => {
@@ -273,6 +330,8 @@ impl ProxySummary {
                     full_bitmap: full,
                     flips,
                     staleness,
+                    generation,
+                    seq,
                 }
             }
         }
@@ -492,6 +551,27 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn publishes_carry_sequential_seq_within_a_generation() {
+        let mut s = ProxySummary::new(SummaryKind::recommended(), 1 << 20);
+        assert_eq!(s.generation(), 1, "usable before the owner assigns one");
+        s.set_generation(0xDEAD);
+        let (u, srv) = url(1);
+        s.insert(&u, &srv);
+        let first = s.publish();
+        assert_eq!((first.generation, first.seq), (0xDEAD, 1));
+        // Transport-allocated numbers (chunking, heartbeats) interleave.
+        assert_eq!(s.advance_seq(), 2);
+        let (u2, srv2) = url(2);
+        s.insert(&u2, &srv2);
+        let second = s.publish();
+        assert_eq!((second.generation, second.seq), (0xDEAD, 3));
+        // A new generation restarts numbering; 0 is coerced to 1.
+        s.set_generation(0);
+        assert_eq!((s.generation(), s.seq()), (1, 0));
+        assert_eq!(s.publish().seq, 1);
     }
 
     #[test]

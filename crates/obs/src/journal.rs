@@ -37,6 +37,13 @@ pub enum EventKind {
     PeerFailed,
     /// A failed peer came back.
     PeerRecovered,
+    /// A lost or reordered update datagram was detected (seq gap or
+    /// generation change); the replica was discarded pending resync.
+    UpdateGap,
+    /// A DIRREQ was sent asking a peer for its full bitmap.
+    ResyncRequested,
+    /// A peer replica was rebuilt from a received full bitmap.
+    ReplicaResynced,
 }
 
 impl EventKind {
@@ -53,6 +60,9 @@ impl EventKind {
             EventKind::PeerSummaryStale => "peer_summary_stale",
             EventKind::PeerFailed => "peer_failed",
             EventKind::PeerRecovered => "peer_recovered",
+            EventKind::UpdateGap => "update_gap",
+            EventKind::ResyncRequested => "resync_requested",
+            EventKind::ReplicaResynced => "replica_resynced",
         }
     }
 }

@@ -86,6 +86,7 @@ pub struct ProxyConfig {
     origin: SocketAddr,
     icp_timeout_ms: u64,
     keepalive_ms: u64,
+    update_loss: f64,
 }
 
 impl ProxyConfig {
@@ -136,10 +137,17 @@ impl ProxyConfig {
     pub fn keepalive_ms(&self) -> u64 {
         self.keepalive_ms
     }
+
+    /// Fault injection: fraction of outgoing directory-update datagrams
+    /// (DIRUPDATE / DIRFULL) to silently drop, emulating WAN packet
+    /// loss. 0 (the default) disables injection.
+    pub fn update_loss(&self) -> f64 {
+        self.update_loss
+    }
 }
 
 /// Why a [`ProxyConfigBuilder::build`] was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// `cache_bytes` was 0 — the daemon could cache nothing.
     ZeroCacheBytes,
@@ -155,6 +163,8 @@ pub enum ConfigError {
     /// A query mode (ICP / SC-ICP) with a zero reply timeout would
     /// treat every query as an instant miss everywhere.
     ZeroIcpTimeout,
+    /// `update_loss` outside `[0, 1)` (1 would drop every update).
+    BadUpdateLoss(f64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -169,6 +179,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::PeerIsSelf(id) => write!(f, "peer id {id} is this proxy's own id"),
             ConfigError::ZeroIcpTimeout => {
                 write!(f, "ICP / SC-ICP mode requires icp_timeout_ms > 0")
+            }
+            ConfigError::BadUpdateLoss(p) => {
+                write!(f, "update_loss {p} outside [0, 1)")
             }
         }
     }
@@ -191,6 +204,7 @@ pub struct ProxyConfigBuilder {
     origin: Option<SocketAddr>,
     icp_timeout_ms: Option<u64>,
     keepalive_ms: Option<u64>,
+    update_loss: Option<f64>,
 }
 
 impl ProxyConfigBuilder {
@@ -249,6 +263,13 @@ impl ProxyConfigBuilder {
         self
     }
 
+    /// Set the injected update-datagram loss fraction (see
+    /// [`ProxyConfig::update_loss`]).
+    pub fn update_loss(mut self, fraction: f64) -> Self {
+        self.update_loss = Some(fraction);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ProxyConfig, ConfigError> {
         let cache_bytes = self.cache_bytes.unwrap_or(75 * 1024 * 1024);
@@ -273,6 +294,10 @@ impl ProxyConfigBuilder {
         if icp_timeout_ms == 0 && !matches!(mode, Mode::NoIcp) {
             return Err(ConfigError::ZeroIcpTimeout);
         }
+        let update_loss = self.update_loss.unwrap_or(0.0);
+        if !(0.0..1.0).contains(&update_loss) {
+            return Err(ConfigError::BadUpdateLoss(update_loss));
+        }
         Ok(ProxyConfig {
             id: self.id,
             cache_bytes,
@@ -284,6 +309,7 @@ impl ProxyConfigBuilder {
             origin,
             icp_timeout_ms,
             keepalive_ms: self.keepalive_ms.unwrap_or(1000),
+            update_loss,
         })
     }
 }
@@ -324,6 +350,7 @@ mod tests {
         assert_eq!(*cfg.mode(), Mode::NoIcp);
         assert_eq!(cfg.icp_timeout_ms(), 500);
         assert_eq!(cfg.keepalive_ms(), 1000);
+        assert_eq!(cfg.update_loss(), 0.0);
         assert!(cfg.peers().is_empty());
     }
 
@@ -356,6 +383,15 @@ mod tests {
         );
         // A zero timeout is fine when nothing ever queries.
         assert!(b().icp_timeout_ms(0).build().is_ok());
+        assert_eq!(
+            b().update_loss(1.0).build().unwrap_err(),
+            ConfigError::BadUpdateLoss(1.0)
+        );
+        assert_eq!(
+            b().update_loss(-0.1).build().unwrap_err(),
+            ConfigError::BadUpdateLoss(-0.1)
+        );
+        assert!(b().update_loss(0.05).build().is_ok());
         let err = ConfigError::DuplicatePeerId(7).to_string();
         assert!(err.contains("7"), "{err}");
     }

@@ -27,9 +27,10 @@
 use crate::config::{Mode, PeerAddr, ProxyConfig};
 use crate::origin::{drain_body, write_body, ACCEPT_POLL};
 use crate::stats::ProxyStats;
-use sc_bloom::{BitVec, BloomFilter, Flip, HashSpec};
+use sc_bloom::{BitVec, BloomFilter, HashSpec};
 use sc_cache::{DocMeta, Lookup, WebCache};
 use sc_obs::EventKind;
+use sc_util::Rng;
 use sc_wire::http;
 use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
 use std::collections::HashMap;
@@ -39,7 +40,9 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use summary_cache_core::{filter_candidates, ProxySummary, SummaryKind, UpdatePolicy};
+use summary_cache_core::{
+    filter_candidates, ProxySummary, PublishOutcome, SummaryKind, UpdatePolicy,
+};
 
 /// Max bit flips per DIRUPDATE datagram (keeps messages near one MTU,
 /// as the prototype "sends updates whenever there are enough changes to
@@ -94,8 +97,11 @@ struct Inner {
     stats: Arc<ProxyStats>,
     cache: Mutex<WebCache<String>>,
     sc: Option<Mutex<ScState>>,
-    /// Local replicas of peer summaries, built from received updates.
-    peer_filters: Mutex<HashMap<u32, BloomFilter>>,
+    /// Local replicas of peer summaries and their sequencing state.
+    replicas: Mutex<HashMap<u32, ReplicaState>>,
+    /// Fault injection: decides which outgoing update datagrams the
+    /// [`ProxyConfig::update_loss`] knob silently drops.
+    loss_rng: Mutex<Rng>,
     /// ICP source address -> peer id, for dispatching replies.
     peer_of_addr: HashMap<SocketAddr, u32>,
     peers_by_id: HashMap<u32, PeerAddr>,
@@ -114,6 +120,35 @@ struct Inner {
 struct PeerLiveness {
     last_heard: Instant,
     failed: bool,
+}
+
+/// One peer's summary replica and the sequencing state guarding it.
+///
+/// A replica is only ever *installed* from a full bitmap; delta flips
+/// apply only when they carry exactly the expected `(generation, seq)`.
+/// Until a bitmap arrives (`filter` is `None`) probes treat the peer as
+/// empty — flips are never guessed onto an empty array.
+struct ReplicaState {
+    /// The installed replica; `None` on first contact or after a
+    /// detected gap discarded the previous one.
+    filter: Option<BloomFilter>,
+    /// Generation of the installed (or last seen) publisher bitmap.
+    generation: u32,
+    /// Seq the next delta from this peer must carry.
+    expected_seq: u32,
+    /// When a DIRREQ was last sent, for backoff.
+    last_resync_request: Option<Instant>,
+}
+
+impl Default for ReplicaState {
+    fn default() -> Self {
+        ReplicaState {
+            filter: None,
+            generation: 0,
+            expected_seq: 0,
+            last_resync_request: None,
+        }
+    }
 }
 
 impl Daemon {
@@ -150,8 +185,10 @@ impl Daemon {
                     load_factor,
                     hashes,
                 };
+                let mut summary = ProxySummary::with_expected_docs(kind, cfg.expected_docs());
+                summary.set_generation(fresh_generation(cfg.id()));
                 Some(Mutex::new(ScState {
-                    summary: ProxySummary::with_expected_docs(kind, cfg.expected_docs()),
+                    summary,
                     policy,
                     requests_since_publish: 0,
                     last_publish: Instant::now(),
@@ -181,7 +218,10 @@ impl Daemon {
                     })
                     .collect(),
             ),
-            peer_filters: Mutex::new(HashMap::new()),
+            replicas: Mutex::new(HashMap::new()),
+            loss_rng: Mutex::new(Rng::seed_from_u64(
+                0x5C_1C_F0_0D ^ ((cfg.id() as u64) << 32),
+            )),
             udp,
             next_reqnum: AtomicU32::new(1),
             cfg,
@@ -276,6 +316,11 @@ impl Daemon {
                         }
                     }
                     sweep_failed_peers(&inner);
+                    // SC mode: the keep-alive tick doubles as the
+                    // anti-entropy heartbeat (empty delta carrying the
+                    // current generation/seq) so a receiver that lost
+                    // the tail of the update stream detects the gap.
+                    heartbeat_update(&inner);
                 }
             });
         }
@@ -296,11 +341,36 @@ impl Daemon {
         lock(&self.inner.cache).len()
     }
 
-    /// Peer ids whose summary replicas are currently installed.
+    /// Peer ids whose summary replicas are currently installed (i.e.
+    /// synced — a bitmap has arrived and no gap has discarded it).
     pub fn replicated_peers(&self) -> Vec<u32> {
-        let mut ids: Vec<u32> = lock(&self.inner.peer_filters).keys().copied().collect();
+        let replicas = lock(&self.inner.replicas);
+        let mut ids: Vec<u32> = replicas
+            .iter()
+            .filter(|(_, st)| st.filter.is_some())
+            .map(|(&id, _)| id)
+            .collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// The bit array of the installed replica of `peer`, if synced.
+    pub fn replica_bits(&self, peer: u32) -> Option<BitVec> {
+        lock(&self.inner.replicas)
+            .get(&peer)
+            .and_then(|st| st.filter.as_ref())
+            .map(|f| f.bits().clone())
+    }
+
+    /// This daemon's own *published* summary bit array (SC mode only) —
+    /// what every in-sync peer replica of this daemon must equal.
+    pub fn published_bits(&self) -> Option<BitVec> {
+        let sc = self.inner.sc.as_ref()?;
+        let sc = lock(sc);
+        match sc.summary.snapshot_published() {
+            summary_cache_core::SummarySnapshot::Bloom { bits, .. } => Some(bits),
+            _ => None,
+        }
     }
 
     /// Stop the daemon's loops.
@@ -426,21 +496,34 @@ fn serve_client(
     let fetched = match inner.cfg.mode() {
         Mode::NoIcp => None,
         Mode::Icp => {
-            let all: Vec<u32> = inner.cfg.peers().iter().map(|p| p.id).collect();
-            query_then_fetch(inner, &url, want, &all)
+            // Query only peers not currently marked failed: a dead peer
+            // cannot answer, and every query to it makes an all-miss
+            // round wait out the full icp_timeout_ms.
+            let live: Vec<u32> = {
+                let liveness = lock(&inner.liveness);
+                inner
+                    .cfg
+                    .peers()
+                    .iter()
+                    .filter(|p| liveness.get(&p.id).is_none_or(|l| !l.failed))
+                    .map(|p| p.id)
+                    .collect()
+            };
+            query_then_fetch(inner, &url, want, &live)
         }
         Mode::SummaryCache { .. } => {
             // Probe every installed peer-summary replica through the
-            // shared SummaryProbe path (peers without an installed
-            // replica cannot be candidates).
+            // shared SummaryProbe path (peers without a synced replica
+            // cannot be candidates).
             let candidates: Vec<u32> = {
-                let filters = lock(&inner.peer_filters);
+                let replicas = lock(&inner.replicas);
                 filter_candidates(
-                    inner
-                        .cfg
-                        .peers()
-                        .iter()
-                        .filter_map(|p| filters.get(&p.id).map(|f| (p.id, f))),
+                    inner.cfg.peers().iter().filter_map(|p| {
+                        replicas
+                            .get(&p.id)
+                            .and_then(|st| st.filter.as_ref())
+                            .map(|f| (p.id, f))
+                    }),
                     url.as_bytes(),
                     &[],
                 )
@@ -501,9 +584,16 @@ fn serve_client(
     Ok(())
 }
 
-/// The server-name component of a URL (host part), for summaries.
+/// The server-name component of a URL (host part), for summaries. Any
+/// `scheme://` prefix is stripped — not just `http://` — so `https://`
+/// (or `ftp://`) URLs group under their host instead of collapsing into
+/// one bogus `"scheme:"` server entry.
 fn server_of(url: &str) -> &[u8] {
-    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let rest = match url.find("://") {
+        // Only a separator before any '/' is a scheme delimiter.
+        Some(i) if !url[..i].contains('/') => &url[i + 3..],
+        _ => url,
+    };
     let end = rest.find('/').unwrap_or(rest.len());
     &rest.as_bytes()[..end]
 }
@@ -537,7 +627,7 @@ fn reply_doc(inner: &Inner, stream: &mut TcpStream, meta: DocMeta) -> std::io::R
 fn finish_request(inner: &Inner, t0: Instant) {
     inner.stats.latency(t0.elapsed().as_micros() as u64);
     let Some(sc) = &inner.sc else { return };
-    let (messages, outcome) = {
+    let (outcome, message_count) = {
         let mut sc = lock(sc);
         sc.requests_since_publish += 1;
         let elapsed_ms = sc.last_publish.elapsed().as_millis() as u64;
@@ -552,9 +642,14 @@ fn finish_request(inner: &Inner, t0: Instant) {
         let outcome = sc.summary.publish();
         sc.requests_since_publish = 0;
         sc.last_publish = Instant::now();
-        let msgs =
-            build_update_messages(inner, &sc.summary, outcome.full_bitmap, outcome.flips.clone());
-        (msgs, outcome)
+        let messages = build_update_messages(inner, &mut sc.summary, &outcome);
+        // Fan out while still holding the lock: sequence allocation and
+        // send order must agree, or two concurrent publishes interleave
+        // on the wire and every receiver sees a phantom gap.
+        for msg in &messages {
+            fan_out_update(inner, msg, outcome.full_bitmap);
+        }
+        (outcome, messages.len())
     };
     inner.stats.summary_publishes.incr();
     inner.stats.summary_staleness.set(outcome.staleness);
@@ -566,57 +661,114 @@ fn finish_request(inner: &Inner, t0: Instant) {
         },
         None,
         format!(
-            "staleness {:.4}, {} message(s)",
-            outcome.staleness,
-            messages.len()
+            "staleness {:.4}, {} message(s), seq {}",
+            outcome.staleness, message_count, outcome.seq
         ),
     );
-    // Fan the update out to every peer, outside the lock.
-    for msg in &messages {
-        let bytes = match msg.encode(inner.cfg.id()) {
-            Ok(b) => b,
-            Err(_) => continue, // oversized full bitmap: skip (documented limit)
-        };
-        for peer in inner.cfg.peers() {
-            if inner.udp.send_to(&bytes, peer.icp).is_ok() {
-                inner.stats.udp_out_to(Some(peer.id), bytes.len());
-                inner.stats.updates_sent.incr();
-                inner.stats.update_delta_bytes.record(bytes.len() as u64);
-            }
-        }
-    }
 }
 
-/// Build the DIRUPDATE/DIRFULL message(s) for a publish.
+/// Build the DIRUPDATE/DIRFULL message(s) for a publish. The first
+/// datagram carries the seq the publish allocated; when the delta is
+/// split across datagrams, each further chunk allocates the next seq so
+/// the loss of *any* chunk is a detectable gap.
 fn build_update_messages(
     inner: &Inner,
-    summary: &ProxySummary,
-    full: bool,
-    flips: Vec<Flip>,
+    summary: &mut ProxySummary,
+    outcome: &PublishOutcome,
 ) -> Vec<IcpMessage> {
     let snapshot = summary.snapshot_published();
     let summary_cache_core::SummarySnapshot::Bloom { spec, bits } = snapshot else {
         unreachable!("SC mode always uses Bloom summaries");
     };
     let reqnum = inner.next_reqnum.fetch_add(1, Ordering::Relaxed);
-    let mk = |content| IcpMessage::DirUpdate {
+    let mk = |seq: u32, content| IcpMessage::DirUpdate {
         request_number: reqnum,
         sender: inner.cfg.id(),
         update: DirUpdate {
             function_num: spec.k(),
             function_bits: spec.function_bits(),
             bit_array_size: spec.table_bits(),
+            generation: outcome.generation,
+            seq,
             content,
         },
     };
-    if full {
-        vec![mk(DirContent::Bitmap(bits.as_words().to_vec()))]
+    if outcome.full_bitmap {
+        vec![mk(outcome.seq, DirContent::Bitmap(bits.as_words().to_vec()))]
+    } else if outcome.flips.is_empty() {
+        // The publish allocated a seq, so something must travel or the
+        // next delta reads as a gap; an empty delta is a legal no-op.
+        vec![mk(outcome.seq, DirContent::Flips(Vec::new()))]
     } else {
-        flips
+        outcome
+            .flips
             .chunks(FLIPS_PER_DATAGRAM)
-            .map(|chunk| mk(DirContent::Flips(chunk.to_vec())))
+            .enumerate()
+            .map(|(i, chunk)| {
+                let seq = if i == 0 { outcome.seq } else { summary.advance_seq() };
+                mk(seq, DirContent::Flips(chunk.to_vec()))
+            })
             .collect()
     }
+}
+
+/// Broadcast one update datagram to every peer, subject to the injected
+/// update-loss knob, recording it into the matching size histogram.
+fn fan_out_update(inner: &Inner, msg: &IcpMessage, full: bool) {
+    let bytes = match msg.encode(inner.cfg.id()) {
+        Ok(b) => b,
+        Err(_) => return, // oversized full bitmap: skip (documented limit)
+    };
+    for peer in inner.cfg.peers() {
+        if drop_update(inner) {
+            continue; // injected loss: the datagram never leaves
+        }
+        if inner.udp.send_to(&bytes, peer.icp).is_ok() {
+            inner.stats.udp_out_to(Some(peer.id), bytes.len());
+            inner.stats.updates_sent.incr();
+            if full {
+                inner.stats.update_full_bytes.record(bytes.len() as u64);
+            } else {
+                inner.stats.update_delta_bytes.record(bytes.len() as u64);
+            }
+        }
+    }
+}
+
+/// Should this outgoing update datagram be dropped by fault injection?
+fn drop_update(inner: &Inner) -> bool {
+    let loss = inner.cfg.update_loss();
+    loss > 0.0 && lock(&inner.loss_rng).gen_bool(loss)
+}
+
+/// SC-mode anti-entropy tick, run from the keep-alive thread: broadcast
+/// an empty delta carrying the current `(generation, seq)`. In-sync
+/// replicas apply it as a no-op; a receiver that lost the tail of the
+/// update stream (or never got a bitmap) sees the gap and resyncs —
+/// without this, a lost *last* delta would go undetected until the next
+/// publish.
+fn heartbeat_update(inner: &Inner) {
+    let Some(sc) = &inner.sc else { return };
+    let mut sc = lock(sc);
+    let snapshot = sc.summary.snapshot_published();
+    let summary_cache_core::SummarySnapshot::Bloom { spec, .. } = snapshot else {
+        return;
+    };
+    let generation = sc.summary.generation();
+    let seq = sc.summary.advance_seq();
+    let msg = IcpMessage::DirUpdate {
+        request_number: inner.next_reqnum.fetch_add(1, Ordering::Relaxed),
+        sender: inner.cfg.id(),
+        update: DirUpdate {
+            function_num: spec.k(),
+            function_bits: spec.function_bits(),
+            bit_array_size: spec.table_bits(),
+            generation,
+            seq,
+            content: DirContent::Flips(Vec::new()),
+        },
+    };
+    fan_out_update(inner, &msg, false);
 }
 
 /// Send ICP queries to `peer_ids`; if one answers HIT, fetch the
@@ -642,25 +794,44 @@ fn query_then_fetch(
     // rather than taking the daemon down.
     let bytes = query.encode(inner.cfg.id()).ok()?;
     let (tx, rx) = std::sync::mpsc::sync_channel(1);
-    lock(&inner.pending).insert(
-        reqnum,
-        Pending {
-            outstanding: peer_ids.len(),
-            hit: None,
-            done: Some(tx),
-            sent_at: Instant::now(),
-        },
-    );
-    for id in peer_ids {
-        if let Some(peer) = inner.peers_by_id.get(id) {
-            if inner.udp.send_to(&bytes, peer.icp).is_ok() {
-                inner.stats.udp_out_to(Some(*id), bytes.len());
-                inner.stats.icp_queries_sent.incr();
-                if let Some(p) = inner.stats.peer(*id) {
-                    p.queries_sent.incr();
-                    p.update_staleness();
+    {
+        // Hold the pending-table lock across the send loop so
+        // `outstanding` counts exactly the queries that actually left
+        // (a peer missing from the table, or a failed send, must not
+        // leave a reply slot nobody will ever fill — that made every
+        // all-miss round wait out the full icp_timeout_ms). Replies
+        // cannot race in while the lock is held.
+        let mut pending = lock(&inner.pending);
+        pending.insert(
+            reqnum,
+            Pending {
+                outstanding: 0,
+                hit: None,
+                done: Some(tx),
+                sent_at: Instant::now(),
+            },
+        );
+        let mut sent = 0usize;
+        for id in peer_ids {
+            if let Some(peer) = inner.peers_by_id.get(id) {
+                if inner.udp.send_to(&bytes, peer.icp).is_ok() {
+                    sent += 1;
+                    inner.stats.udp_out_to(Some(*id), bytes.len());
+                    inner.stats.icp_queries_sent.incr();
+                    if let Some(p) = inner.stats.peer(*id) {
+                        p.queries_sent.incr();
+                        p.update_staleness();
+                    }
                 }
             }
+        }
+        if sent == 0 {
+            // Nothing left the socket: a miss everywhere, immediately.
+            pending.remove(&reqnum);
+            return None;
+        }
+        if let Some(p) = pending.get_mut(&reqnum) {
+            p.outstanding = sent;
         }
     }
     let winner = rx
@@ -784,9 +955,20 @@ fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
     };
     if let Some(peer_id) = from_peer {
         if mark_heard(inner, peer_id) {
-            // The peer just came back: ship it a full bitmap of our own
-            // directory so its replica of us reinitializes.
+            // The peer just came back (Section VI-B): reinitialize both
+            // directions through the resync machinery — restate our
+            // bitmap so its replica of us recovers, and ask for its
+            // bitmap to rebuild the one we dropped at failure time.
+            inner.stats.peer_recoveries.incr();
+            inner.stats.journal().record(
+                EventKind::PeerRecovered,
+                Some(peer_id),
+                "bitmap re-sent, resync requested",
+            );
             send_full_bitmap(inner, peer_id, from);
+            let mut replicas = lock(&inner.replicas);
+            let st = replicas.entry(peer_id).or_default();
+            request_resync(inner, st, peer_id, from);
         }
     }
     match msg {
@@ -827,7 +1009,14 @@ fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
             // Keep-alive: nothing to do beyond the udp_in accounting.
         }
         IcpMessage::DirUpdate { sender, update, .. } => {
-            apply_update(inner, sender, update);
+            apply_update(inner, sender, update, from);
+        }
+        IcpMessage::DirReq { .. } => {
+            // A peer's replica of us is missing or gapped: restate the
+            // whole published bitmap.
+            if let Some(peer_id) = from_peer {
+                send_full_bitmap(inner, peer_id, from);
+            }
         }
     }
 }
@@ -856,10 +1045,16 @@ fn dispatch_reply(inner: &Inner, reqnum: u32, hit_from: Option<u32>, replier: Op
     }
 }
 
-/// Apply a received directory update to the sender's local replica,
-/// creating it from the self-describing header on first contact (or
-/// after a spec change, e.g. a peer restart with a new configuration).
-fn apply_update(inner: &Inner, sender: u32, update: DirUpdate) {
+/// Apply a received directory update to the sender's local replica.
+///
+/// Sequencing discipline (replaces the old "apply flips onto a freshly
+/// created empty array" behavior, which silently manufactured false
+/// misses): a replica is only ever *installed* from a full bitmap, and
+/// delta flips apply only when they carry exactly the expected
+/// `(generation, seq)`. Anything else is evidence of loss, reordering,
+/// or a publisher restart — the replica is discarded and a DIRREQ asks
+/// the publisher to restate its bitmap.
+fn apply_update(inner: &Inner, sender: u32, update: DirUpdate, from: SocketAddr) {
     let Ok(spec) = HashSpec::new(
         update.function_num,
         update.function_bits,
@@ -867,45 +1062,114 @@ fn apply_update(inner: &Inner, sender: u32, update: DirUpdate) {
     ) else {
         return; // malformed spec: drop, as with any bad datagram
     };
-    inner.stats.updates_received.incr();
-    let mut filters = lock(&inner.peer_filters);
-    if !filters.contains_key(&sender) {
-        inner.stats.journal().record(
-            EventKind::PeerSummaryInstalled,
-            Some(sender),
-            format!("{} bits", spec.table_bits()),
-        );
+    if !inner.peers_by_id.contains_key(&sender) {
+        return; // not a configured peer: no replica, no resync
     }
-    let filter = filters
-        .entry(sender)
-        .and_modify(|f| {
-            if f.spec() != spec {
-                *f = BloomFilter::from_parts(spec, BitVec::new(spec.table_bits() as usize));
-            }
-        })
-        .or_insert_with(|| {
-            BloomFilter::from_parts(spec, BitVec::new(spec.table_bits() as usize))
-        });
+    inner.stats.updates_received.incr();
+    let mut replicas = lock(&inner.replicas);
+    let st = replicas.entry(sender).or_default();
     match update.content {
-        DirContent::Flips(flips) => {
-            for f in flips {
-                if f.index() < spec.table_bits() {
-                    filter.apply_flip(f.index(), f.set_bit());
+        DirContent::Bitmap(words) => {
+            if words.len() != (spec.table_bits() as usize).div_ceil(64) {
+                return;
+            }
+            // Mask any overhang bits the sender left set.
+            let mut words = words;
+            let rem = spec.table_bits() as usize % 64;
+            if rem != 0 {
+                if let Some(last) = words.last_mut() {
+                    *last &= (1u64 << rem) - 1;
                 }
             }
+            let first_contact = st.filter.is_none();
+            st.filter = Some(BloomFilter::from_parts(
+                spec,
+                BitVec::from_words(spec.table_bits() as usize, words),
+            ));
+            st.generation = update.generation;
+            st.expected_seq = update.seq.wrapping_add(1);
+            st.last_resync_request = None;
+            inner.stats.replica_resyncs.incr();
+            inner.stats.journal().record(
+                if first_contact {
+                    EventKind::PeerSummaryInstalled
+                } else {
+                    EventKind::ReplicaResynced
+                },
+                Some(sender),
+                format!(
+                    "gen {} seq {}, {} bits",
+                    update.generation,
+                    update.seq,
+                    spec.table_bits()
+                ),
+            );
         }
-        DirContent::Bitmap(words) => {
-            if words.len() == (spec.table_bits() as usize).div_ceil(64) {
-                // Mask any overhang bits the sender left set.
-                let mut words = words;
-                let rem = spec.table_bits() as usize % 64;
-                if rem != 0 {
-                    if let Some(last) = words.last_mut() {
-                        *last &= (1u64 << rem) - 1;
+        DirContent::Flips(flips) => {
+            let in_sync = st.generation == update.generation
+                && st.filter.as_ref().is_some_and(|f| f.spec() == spec);
+            if in_sync && update.seq == st.expected_seq {
+                st.expected_seq = st.expected_seq.wrapping_add(1);
+                if let Some(filter) = st.filter.as_mut() {
+                    for f in flips {
+                        if f.index() < spec.table_bits() {
+                            filter.apply_flip(f.index(), f.set_bit());
+                        }
                     }
                 }
-                filter.replace_bits(BitVec::from_words(spec.table_bits() as usize, words));
+                return;
             }
+            if in_sync && update.seq.wrapping_sub(st.expected_seq) > u32::MAX / 2 {
+                return; // duplicate / late datagram from the past: already reflected
+            }
+            // Seq gap ahead, generation or spec change, or no replica at
+            // all (first contact / already awaiting a bitmap).
+            if st.filter.take().is_some() {
+                inner.stats.update_gaps.incr();
+                inner.stats.journal().record(
+                    EventKind::UpdateGap,
+                    Some(sender),
+                    format!(
+                        "got gen {} seq {}, expected gen {} seq {}",
+                        update.generation, update.seq, st.generation, st.expected_seq
+                    ),
+                );
+            }
+            request_resync(inner, st, sender, from);
+        }
+    }
+}
+
+/// Minimum spacing between DIRREQs to one peer: resyncs are idempotent,
+/// but a burst of gapped deltas must not become a burst of bitmap
+/// requests (each answer is a full bitmap).
+const RESYNC_BACKOFF: Duration = Duration::from_millis(150);
+
+/// Ask `peer` (reachable at `to`) to restate its full bitmap, unless a
+/// request went out within [`RESYNC_BACKOFF`]. Retries ride the next
+/// delta or heartbeat that finds the replica still missing.
+fn request_resync(inner: &Inner, st: &mut ReplicaState, peer: u32, to: SocketAddr) {
+    if st
+        .last_resync_request
+        .is_some_and(|at| at.elapsed() < RESYNC_BACKOFF)
+    {
+        return;
+    }
+    st.last_resync_request = Some(Instant::now());
+    let msg = IcpMessage::DirReq {
+        request_number: inner.next_reqnum.fetch_add(1, Ordering::Relaxed),
+        sender: inner.cfg.id(),
+        generation: st.generation,
+    };
+    if let Ok(bytes) = msg.encode(inner.cfg.id()) {
+        if inner.udp.send_to(&bytes, to).is_ok() {
+            inner.stats.udp_out_to(Some(peer), bytes.len());
+            inner.stats.resync_requests.incr();
+            inner.stats.journal().record(
+                EventKind::ResyncRequested,
+                Some(peer),
+                format!("last seen gen {}", st.generation),
+            );
         }
     }
 }
@@ -946,9 +1210,9 @@ fn sweep_failed_peers(inner: &Inner) {
         }
     }
     if !newly_failed.is_empty() {
-        let mut filters = lock(&inner.peer_filters);
+        let mut replicas = lock(&inner.replicas);
         for id in newly_failed {
-            filters.remove(&id);
+            replicas.remove(&id);
             inner.stats.peer_failures.incr();
             inner
                 .stats
@@ -958,8 +1222,13 @@ fn sweep_failed_peers(inner: &Inner) {
     }
 }
 
-/// Send our complete current published bitmap to one peer (recovery
-/// reinitialization). No-op outside SC mode.
+/// Send our complete current published bitmap to one peer (answering a
+/// DIRREQ, or reinitializing a recovered peer). No-op outside SC mode.
+///
+/// Stamps the *current* sequence number without advancing it: a unicast
+/// bitmap must not create a seq the other peers never see (they would
+/// read the skipped number as a gap). The receiver resumes expecting
+/// `seq + 1`, which is exactly the next delta we will broadcast.
 fn send_full_bitmap(inner: &Inner, peer_id: u32, to: SocketAddr) {
     let Some(sc) = &inner.sc else { return };
     let msg = {
@@ -975,22 +1244,36 @@ fn send_full_bitmap(inner: &Inner, peer_id: u32, to: SocketAddr) {
                 function_num: spec.k(),
                 function_bits: spec.function_bits(),
                 bit_array_size: spec.table_bits(),
+                generation: sc.summary.generation(),
+                seq: sc.summary.seq(),
                 content: DirContent::Bitmap(bits.as_words().to_vec()),
             },
         }
     };
+    if drop_update(inner) {
+        return; // injected loss applies to resync answers too
+    }
     if let Ok(bytes) = msg.encode(inner.cfg.id()) {
         if inner.udp.send_to(&bytes, to).is_ok() {
             inner.stats.udp_out_to(Some(peer_id), bytes.len());
             inner.stats.updates_sent.incr();
-            inner.stats.peer_recoveries.incr();
-            inner.stats.journal().record(
-                EventKind::PeerRecovered,
-                Some(peer_id),
-                "full bitmap re-sent",
-            );
+            inner.stats.update_full_bytes.record(bytes.len() as u64);
         }
     }
+}
+
+/// A generation identifier that is, with overwhelming probability,
+/// different from the one any previous incarnation of this daemon
+/// used: peers compare it to detect a restart and resync rather than
+/// applying deltas to a replica of the old lifetime's bitmap.
+fn fresh_generation(id: u32) -> u32 {
+    static SALT: AtomicU32 = AtomicU32::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    let mixed = nanos ^ ((id as u64) << 40) ^ ((SALT.fetch_add(1, Ordering::Relaxed) as u64) << 52);
+    ((mixed ^ (mixed >> 32)) as u32).max(1)
 }
 
 
@@ -1004,6 +1287,13 @@ mod tests {
         assert_eq!(server_of("http://bare"), b"bare");
         assert_eq!(server_of("no-scheme/path"), b"no-scheme");
         assert_eq!(server_of("http://h/"), b"h");
+        // Any scheme is stripped, not just http:// (the old prefix test
+        // hashed "https://h" and "ftp://h" to different servers than
+        // "http://h").
+        assert_eq!(server_of("https://h/x"), b"h");
+        assert_eq!(server_of("ftp://files.example.org/pub"), b"files.example.org");
+        // A "://" after the first '/' is path content, not a scheme.
+        assert_eq!(server_of("host/redirect?to=http://other"), b"host");
     }
 
     #[test]

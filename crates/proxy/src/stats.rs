@@ -98,6 +98,14 @@ pub struct ProxyStats {
     pub peer_failures: Counter,
     /// Peer recoveries handled (full bitmap re-sent).
     pub peer_recoveries: Counter,
+    /// Update datagrams detected lost or reordered (seq gaps, plus
+    /// generation/spec changes observed mid-stream).
+    pub update_gaps: Counter,
+    /// Peer replicas rebuilt from a full bitmap (resync completions,
+    /// including first-contact bootstraps).
+    pub replica_resyncs: Counter,
+    /// DIRREQ messages sent asking a peer for its full bitmap.
+    pub resync_requests: Counter,
     /// Full client-latency distribution (log-bucketed microseconds);
     /// its sum/count also provide the mean the paper reports.
     pub latency_hist: Histogram,
@@ -105,8 +113,11 @@ pub struct ProxyStats {
     pub summary_staleness: Gauge,
     /// Times this proxy published its summary.
     pub summary_publishes: Counter,
-    /// Per-peer wire size of each published update, bytes.
+    /// Per-peer wire size of each delta (bit-flip) update datagram,
+    /// bytes.
     pub update_delta_bytes: Histogram,
+    /// Per-peer wire size of each full-bitmap update datagram, bytes.
+    pub update_full_bytes: Histogram,
     peers: HashMap<u32, PeerStats>,
 }
 
@@ -167,10 +178,14 @@ impl ProxyStats {
             updates_received: registry.counter("sc_updates_received_total"),
             peer_failures: registry.counter("sc_peer_failures_total"),
             peer_recoveries: registry.counter("sc_peer_recoveries_total"),
+            update_gaps: registry.counter("sc_update_gaps_total"),
+            replica_resyncs: registry.counter("sc_replica_resyncs_total"),
+            resync_requests: registry.counter("sc_resync_requests_total"),
             latency_hist: registry.histogram("sc_request_latency_us"),
             summary_staleness: registry.gauge("sc_summary_staleness"),
             summary_publishes: registry.counter("sc_summary_publishes_total"),
             update_delta_bytes: registry.histogram("sc_update_delta_bytes"),
+            update_full_bytes: registry.histogram("sc_update_full_bytes"),
             peers,
             registry,
         }
@@ -289,6 +304,12 @@ pub struct StatsSnapshot {
     pub peer_failures: u64,
     /// Peer recoveries handled.
     pub peer_recoveries: u64,
+    /// Update datagrams detected lost or reordered.
+    pub update_gaps: u64,
+    /// Peer replicas rebuilt from a full bitmap.
+    pub replica_resyncs: u64,
+    /// DIRREQ resync requests sent.
+    pub resync_requests: u64,
     /// The full client-latency distribution, for tail percentiles.
     pub latency_hist: HistogramSnapshot,
 }
@@ -313,6 +334,9 @@ sc_json::json_struct!(StatsSnapshot {
     latency_count,
     peer_failures,
     peer_recoveries,
+    update_gaps,
+    replica_resyncs,
+    resync_requests,
     latency_hist
 });
 
@@ -341,6 +365,9 @@ impl StatsSnapshot {
             latency_count: hist.samples(),
             peer_failures: snap.counter_value("sc_peer_failures_total"),
             peer_recoveries: snap.counter_value("sc_peer_recoveries_total"),
+            update_gaps: snap.counter_value("sc_update_gaps_total"),
+            replica_resyncs: snap.counter_value("sc_replica_resyncs_total"),
+            resync_requests: snap.counter_value("sc_resync_requests_total"),
             latency_hist: hist,
         }
     }
@@ -412,6 +439,9 @@ impl StatsSnapshot {
             latency_count: self.latency_count + other.latency_count,
             peer_failures: self.peer_failures + other.peer_failures,
             peer_recoveries: self.peer_recoveries + other.peer_recoveries,
+            update_gaps: self.update_gaps + other.update_gaps,
+            replica_resyncs: self.replica_resyncs + other.replica_resyncs,
+            resync_requests: self.resync_requests + other.resync_requests,
             latency_hist: self.latency_hist.merged(&other.latency_hist),
         }
     }

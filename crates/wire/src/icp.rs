@@ -21,12 +21,18 @@
 //! Queries carry a requester host address and a null-terminated URL;
 //! replies carry the URL. The paper adds `ICP_OP_DIRUPDATE` whose
 //! payload is an extension header — `Function_Num` (u16),
-//! `Function_Bits` (u16), `BitArray_Size_InBits` (u32),
-//! `Number_of_Updates` (u32) — followed by one 32-bit word per bit
-//! flip: most-significant bit = new value, low 31 bits = index
-//! (Section VI-A). Because every record is absolute and every message
-//! repeats the hash spec, updates tolerate unreliable, unordered
-//! delivery.
+//! `Function_Bits` (u16), `BitArray_Size_InBits` (u32), `Generation`
+//! (u32), `Seq` (u32), `Number_of_Updates` (u32) — followed by one
+//! 32-bit word per bit flip: most-significant bit = new value, low 31
+//! bits = index (Section VI-A). Every record is absolute and every
+//! message repeats the hash spec, but deltas only compose when applied
+//! in order onto the right baseline: `Generation` names the publisher's
+//! bitmap lineage (bumped on restart or spec change) and `Seq` numbers
+//! each datagram within it, so a receiver can detect a lost or
+//! reordered datagram instead of silently drifting. On a detected gap
+//! the receiver sends `ICP_OP_DIRREQ` — a 4-byte payload carrying the
+//! generation it last saw — and the publisher answers with a DIRFULL
+//! bitmap that restates the whole array.
 
 use sc_bloom::Flip;
 
@@ -91,10 +97,14 @@ pub const ICP_VERSION: u8 = 2;
 /// Size of the fixed RFC 2186 header.
 pub const HEADER_LEN: usize = 20;
 
-/// Size of the paper's DIRUPDATE extension header.
-pub const DIRUPDATE_HEADER_LEN: usize = 12;
+/// Size of the paper's DIRUPDATE extension header (with the
+/// generation/seq pair that sequences delta delivery).
+pub const DIRUPDATE_HEADER_LEN: usize = 20;
 
-/// Message opcodes. 1–22 are RFC 2186; 32/33 are the summary-cache
+/// Size of the DIRREQ payload: the generation last seen.
+pub const DIRREQ_PAYLOAD_LEN: usize = 4;
+
+/// Message opcodes. 1–22 are RFC 2186; 32–34 are the summary-cache
 /// extension range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -118,6 +128,9 @@ pub enum Opcode {
     /// Companion full-bitmap update (bootstrap / recovery), in the
     /// spirit of Squid 1.2's cache digests.
     DirFull = 33,
+    /// Resync request: "send me your full bitmap" — emitted on first
+    /// contact or when a seq gap / generation change is detected.
+    DirReq = 34,
 }
 
 impl Opcode {
@@ -133,6 +146,7 @@ impl Opcode {
             22 => Opcode::Denied,
             32 => Opcode::DirUpdate,
             33 => Opcode::DirFull,
+            34 => Opcode::DirReq,
             _ => return None,
         })
     }
@@ -148,6 +162,14 @@ pub struct DirUpdate {
     pub function_bits: u16,
     /// `BitArray_Size_InBits`.
     pub bit_array_size: u32,
+    /// `Generation`: the publisher's bitmap lineage — bumped on daemon
+    /// restart or hash-spec change. Deltas from one generation never
+    /// apply to a replica of another.
+    pub generation: u32,
+    /// `Seq`: datagram number within the generation, strictly
+    /// sequential. A receiver expecting `n` that sees `n+2` lost a
+    /// datagram and must resync.
+    pub seq: u32,
     /// The update content.
     pub content: DirContent,
 }
@@ -224,6 +246,17 @@ pub enum IcpMessage {
         sender: u32,
         /// The update payload.
         update: DirUpdate,
+    },
+    /// Resync request: the sender's replica of the addressee is missing
+    /// or has detected a gap; please restate the full bitmap (DIRFULL).
+    DirReq {
+        /// Message id.
+        request_number: u32,
+        /// The requesting proxy's id (from the sender-host field).
+        sender: u32,
+        /// The generation the requester last saw (0 = none yet); lets
+        /// the publisher's logs distinguish bootstrap from loss.
+        generation: u32,
     },
 }
 
@@ -323,6 +356,8 @@ impl IcpMessage {
                 put_u16(&mut body, update.function_num);
                 put_u16(&mut body, update.function_bits);
                 put_u32(&mut body, update.bit_array_size);
+                put_u32(&mut body, update.generation);
+                put_u32(&mut body, update.seq);
                 let opcode = match &update.content {
                     DirContent::Flips(flips) => {
                         put_u32(&mut body, flips.len() as u32);
@@ -340,6 +375,14 @@ impl IcpMessage {
                     }
                 };
                 (opcode, *request_number, *s)
+            }
+            IcpMessage::DirReq {
+                request_number,
+                sender: s,
+                generation,
+            } => {
+                put_u32(&mut body, *generation);
+                (Opcode::DirReq, *request_number, *s)
             }
         };
         let total = HEADER_LEN + body.len();
@@ -422,6 +465,8 @@ impl IcpMessage {
                 let function_num = buf.get_u16()?;
                 let function_bits = buf.get_u16()?;
                 let bit_array_size = buf.get_u32()?;
+                let generation = buf.get_u32()?;
+                let seq = buf.get_u32()?;
                 let count = buf.get_u32()? as usize;
                 let content = if opcode == Opcode::DirUpdate {
                     if buf.remaining() != count.saturating_mul(4) {
@@ -452,8 +497,21 @@ impl IcpMessage {
                         function_num,
                         function_bits,
                         bit_array_size,
+                        generation,
+                        seq,
                         content,
                     },
+                })
+            }
+            Opcode::DirReq => {
+                if buf.remaining() != DIRREQ_PAYLOAD_LEN {
+                    return Err(IcpError::TruncatedPayload);
+                }
+                let generation = buf.get_u32()?;
+                Ok(IcpMessage::DirReq {
+                    request_number,
+                    sender: sender_host,
+                    generation,
                 })
             }
         }
@@ -525,6 +583,8 @@ mod tests {
                 function_num: 4,
                 function_bits: 32,
                 bit_array_size: 1 << 20,
+                generation: 0xA1B2C3D4,
+                seq: 17,
                 content: DirContent::Flips(vec![
                     Flip::set(0),
                     Flip::clear(12345),
@@ -534,7 +594,10 @@ mod tests {
         };
         let bytes = msg.encode(0).unwrap();
         assert_eq!(bytes[0], 32, "ICP_OP_DIRUPDATE");
-        assert_eq!(bytes.len(), 20 + 12 + 3 * 4);
+        assert_eq!(bytes.len(), 20 + 20 + 3 * 4);
+        // Generation and Seq sit between BitArray_Size and the count.
+        assert_eq!(&bytes[28..32], &0xA1B2C3D4u32.to_be_bytes());
+        assert_eq!(&bytes[32..36], &17u32.to_be_bytes());
         roundtrip(msg);
     }
 
@@ -547,12 +610,47 @@ mod tests {
                 function_num: 4,
                 function_bits: 32,
                 bit_array_size: 130, // 3 words
+                generation: 1,
+                seq: 0,
                 content: DirContent::Bitmap(vec![u64::MAX, 0, 0b11]),
             },
         };
         let bytes = msg.encode(0).unwrap();
         assert_eq!(bytes[0], 33, "DIRFULL");
         roundtrip(msg);
+    }
+
+    #[test]
+    fn dirreq_roundtrip_and_layout() {
+        let msg = IcpMessage::DirReq {
+            request_number: 55,
+            sender: 3,
+            generation: 0xFEEDFACE,
+        };
+        let bytes = msg.encode(0).unwrap();
+        assert_eq!(bytes[0], 34, "ICP_OP_DIRREQ");
+        assert_eq!(bytes.len(), HEADER_LEN + DIRREQ_PAYLOAD_LEN);
+        assert_eq!(&bytes[16..20], &3u32.to_be_bytes(), "requester id in sender-host");
+        assert_eq!(&bytes[20..24], &0xFEEDFACEu32.to_be_bytes());
+        roundtrip(msg);
+    }
+
+    #[test]
+    fn dirreq_payload_must_be_exactly_one_word() {
+        let ok = IcpMessage::DirReq {
+            request_number: 1,
+            sender: 2,
+            generation: 7,
+        }
+        .encode(0)
+        .unwrap();
+        // Trailing junk after the generation word is rejected even when
+        // the length field is consistent.
+        let mut long = ok.clone();
+        long.extend_from_slice(&[0, 0]);
+        let n = long.len() as u16;
+        long[2..4].copy_from_slice(&n.to_be_bytes());
+        assert_eq!(IcpMessage::decode(&long), Err(IcpError::TruncatedPayload));
     }
 
     #[test]
@@ -599,12 +697,14 @@ mod tests {
                 function_num: 4,
                 function_bits: 32,
                 bit_array_size: 64,
+                generation: 2,
+                seq: 3,
                 content: DirContent::Flips(vec![Flip::set(1)]),
             },
         };
         let mut bytes = msg.encode(0).unwrap().to_vec();
         // Claim two flips but carry one.
-        let off = 20 + 8; // Number_of_Updates field offset
+        let off = 20 + 16; // Number_of_Updates field offset
         bytes[off..off + 4].copy_from_slice(&2u32.to_be_bytes());
         assert!(matches!(
             IcpMessage::decode(&bytes),
@@ -621,6 +721,8 @@ mod tests {
                 function_num: 4,
                 function_bits: 32,
                 bit_array_size: 1 << 24,
+                generation: 1,
+                seq: 1,
                 content: DirContent::Flips((0..20_000).map(Flip::set).collect()),
             },
         };
@@ -635,6 +737,8 @@ mod tests {
             function_num: 10,
             function_bits: 20,
             bit_array_size: 192, // exactly 3 words, no overhang
+            generation: u32::MAX,
+            seq: u32::MAX,
             content,
         };
         for content in [
@@ -663,6 +767,8 @@ mod tests {
                     function_num: 4,
                     function_bits: 32,
                     bit_array_size: 4096,
+                    generation: 9,
+                    seq: 42,
                     content: DirContent::Flips(vec![Flip::set(5), Flip::clear(9), Flip::set(77)]),
                 },
             },
@@ -673,8 +779,15 @@ mod tests {
                     function_num: 4,
                     function_bits: 32,
                     bit_array_size: 130,
+                    generation: 9,
+                    seq: 43,
                     content: DirContent::Bitmap(vec![7, 8, 9]),
                 },
+            },
+            IcpMessage::DirReq {
+                request_number: 5,
+                sender: 6,
+                generation: 9,
             },
         ];
         for msg in msgs {
@@ -707,6 +820,8 @@ mod tests {
                 function_num: 4,
                 function_bits: 32,
                 bit_array_size: 128, // needs exactly 2 words
+                generation: 1,
+                seq: 0,
                 content: DirContent::Bitmap(vec![1, 2]),
             },
         };
@@ -732,6 +847,8 @@ mod tests {
                 function_num: 4,
                 function_bits: 32,
                 bit_array_size: 1 << 26,
+                generation: 1,
+                seq: n as u32,
                 content: DirContent::Flips((0..n as u32).map(Flip::set).collect()),
             },
         };
@@ -767,6 +884,8 @@ mod tests {
                     function_num: rng.gen_range(1u16..16),
                     function_bits: 32,
                     bit_array_size: rng.gen_range(1u32..1_000_000),
+                    generation: rng.next_u32(),
+                    seq: rng.next_u32(),
                     content: DirContent::Flips(words.into_iter().map(Flip::from_wire).collect()),
                 },
             };

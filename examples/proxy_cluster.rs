@@ -33,6 +33,7 @@ fn main() -> std::io::Result<()> {
             origin_delay: Duration::from_millis(20),
             icp_timeout_ms: 300,
             keepalive_ms: 0,
+            update_loss: 0.0,
         };
         let cluster = Cluster::start(&cfg)?;
         let wall = cluster.run_replay(&trace, 5, ReplayMode::PerClient)?;
@@ -61,6 +62,7 @@ fn main() -> std::io::Result<()> {
             origin_delay: Duration::from_millis(5),
             icp_timeout_ms: 300,
             keepalive_ms: 0,
+            update_loss: 0.0,
         };
         let cluster = Cluster::start(&cfg)?;
         cluster

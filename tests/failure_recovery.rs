@@ -27,6 +27,7 @@ fn cluster_cfg() -> ClusterConfig {
         origin_delay: Duration::from_millis(1),
         icp_timeout_ms: 200,
         keepalive_ms: 50, // failure threshold = 3 periods = 150 ms
+        update_loss: 0.0,
     }
 }
 
@@ -59,6 +60,74 @@ fn silent_peer_replica_is_evicted() {
     assert!(cluster.daemons[0].stats.snapshot().peer_failures >= 1);
     cluster.origin.shutdown();
     cluster.daemons[0].shutdown();
+}
+
+/// The tentpole acceptance scenario: a 4-proxy SC cluster whose update
+/// datagrams suffer 5% injected loss must not drift — every daemon's
+/// replica of every peer reconverges to that peer's published bitmap,
+/// because seq gaps are detected and answered with full-bitmap resyncs.
+#[test]
+fn lossy_cluster_reconverges_via_resync() {
+    let cfg = ClusterConfig {
+        proxies: 4,
+        mode: sc_mode(),
+        cache_bytes: 8 << 20,
+        expected_docs: 2_000,
+        origin_delay: Duration::from_millis(1),
+        icp_timeout_ms: 200,
+        keepalive_ms: 50, // heartbeat doubles as the gap detector
+        update_loss: 0.05,
+    };
+    let cluster = Cluster::start(&cfg).unwrap();
+
+    // Disjoint streams: each proxy caches (and publishes) 120 unique
+    // documents, so every publish is a delta some peer may lose.
+    let mut drivers = Vec::new();
+    for (pid, d) in cluster.daemons.iter().enumerate() {
+        let addr = d.http_addr;
+        let stats = d.stats.clone();
+        drivers.push(std::thread::spawn(move || {
+            let mut c = ProxyClient::connect(addr, stats).unwrap();
+            for i in 0..120 {
+                let url = format!("http://server-{pid}.trace.invalid/doc/{i}");
+                c.get(&url, DocMeta { size: 400, last_modified: 1 }).unwrap();
+            }
+        }));
+    }
+    for h in drivers {
+        h.join().unwrap();
+    }
+
+    // Traffic has stopped; only heartbeats (and resyncs they trigger)
+    // remain. Poll until every directed (observer, publisher) pair
+    // agrees bit-for-bit — transient desync windows between a lost
+    // datagram and its resync are expected, permanent drift is not.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let all_synced = cluster.daemons.iter().enumerate().all(|(i, observer)| {
+            cluster.daemons.iter().enumerate().all(|(j, publisher)| {
+                i == j
+                    || observer.replica_bits(j as u32).as_ref()
+                        == publisher.published_bits().as_ref()
+            })
+        });
+        if all_synced {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replicas drifted and never reconverged"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // 480 publishes x 3 peers at 5% loss: gaps were certainly seen, and
+    // every gap must have ended in a resync.
+    let totals = cluster.aggregate();
+    assert!(totals.update_gaps > 0, "loss produced no detected gaps: {totals:?}");
+    assert!(totals.replica_resyncs > 0, "no replica was ever resynced: {totals:?}");
+    assert!(totals.resync_requests > 0, "no DIRREQ was ever sent: {totals:?}");
+    cluster.shutdown();
 }
 
 #[test]

@@ -16,6 +16,7 @@ fn cfg(proxies: u32, mode: Mode) -> ClusterConfig {
         origin_delay: Duration::from_millis(10),
         icp_timeout_ms: 400,
         keepalive_ms: 0,
+        update_loss: 0.0,
     }
 }
 
@@ -107,6 +108,81 @@ fn remote_stale_hit_falls_through_to_origin() {
     assert_eq!(s1.remote_stale_hits, 1, "{s1:?}");
     assert_eq!(s1.remote_hits, 0);
     cluster.shutdown();
+}
+
+/// Regression: an all-miss ICP round must resolve as soon as the last
+/// MISS reply lands, not sit out the timeout. The old accounting set
+/// `outstanding` to the configured peer count before sending, so any
+/// datagram that failed to send (or raced the replies) left the waiter
+/// pinned until `icp_timeout_ms`.
+#[test]
+fn all_miss_icp_round_beats_the_timeout() {
+    let mut config = cfg(3, Mode::Icp);
+    config.icp_timeout_ms = 2_000;
+    config.origin_delay = Duration::from_millis(10);
+    let cluster = Cluster::start(&config).unwrap();
+    let mut c0 =
+        ProxyClient::connect(cluster.daemons[0].http_addr, cluster.daemons[0].stats.clone())
+            .unwrap();
+    // Warm one request through so sockets and threads are all up.
+    c0.get(
+        "http://server-0.trace.invalid/warm",
+        DocMeta { size: 100, last_modified: 1 },
+    )
+    .unwrap();
+    let t0 = std::time::Instant::now();
+    for i in 0..5 {
+        let url = format!("http://server-0.trace.invalid/unique/{i}");
+        // Nobody has these: both peers answer MISS, then origin serves.
+        c0.get(&url, DocMeta { size: 100, last_modified: 1 }).unwrap();
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(1_000),
+        "5 all-miss rounds took {elapsed:?}; a single 2s timeout would dwarf this"
+    );
+    let s0 = cluster.daemons[0].stats.snapshot();
+    assert_eq!(s0.remote_hits, 0);
+    assert!(s0.icp_queries_sent >= 12, "queries did go out: {s0:?}");
+    cluster.shutdown();
+}
+
+/// Regression: once peers are detected as failed, ICP mode must stop
+/// querying them entirely — a request should cost origin latency, not
+/// `icp_timeout_ms` waiting on replies that can never come.
+#[test]
+fn failed_peers_are_not_queried_in_icp_mode() {
+    let mut config = cfg(3, Mode::Icp);
+    config.icp_timeout_ms = 2_000;
+    config.keepalive_ms = 50; // failure threshold = 150 ms
+    config.origin_delay = Duration::from_millis(10);
+    let cluster = Cluster::start(&config).unwrap();
+    cluster.daemons[1].shutdown();
+    cluster.daemons[2].shutdown();
+    std::thread::sleep(Duration::from_millis(500));
+    let d0 = &cluster.daemons[0];
+    assert!(d0.stats.snapshot().peer_failures >= 2, "both peers declared dead");
+
+    let sent_before = d0.stats.snapshot().icp_queries_sent;
+    let mut c0 = ProxyClient::connect(d0.http_addr, d0.stats.clone()).unwrap();
+    let t0 = std::time::Instant::now();
+    c0.get(
+        "http://server-0.trace.invalid/after-failure",
+        DocMeta { size: 100, last_modified: 1 },
+    )
+    .unwrap();
+    let elapsed = t0.elapsed();
+    let s0 = d0.stats.snapshot();
+    assert_eq!(
+        s0.icp_queries_sent, sent_before,
+        "no queries to peers known dead"
+    );
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "request went straight to origin, got {elapsed:?}"
+    );
+    cluster.origin.shutdown();
+    d0.shutdown();
 }
 
 /// Keep-alives flow in every mode — the paper's no-ICP baseline has

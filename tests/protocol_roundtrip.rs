@@ -15,12 +15,14 @@ fn url(i: u32) -> (String, String) {
     )
 }
 
-/// Encode one publish as DIRUPDATE datagrams (mirroring the daemon).
+/// Encode one publish as DIRUPDATE datagrams (mirroring the daemon):
+/// the publish's own seq goes on the first datagram and each extra
+/// chunk takes the next consecutive one.
 fn encode_publish(summary: &ProxySummary, full: bool, flips: Vec<summary_cache::bloom::Flip>) -> Vec<Vec<u8>> {
     let SummarySnapshot::Bloom { spec, bits } = summary.snapshot_published() else {
         panic!("bloom summaries only");
     };
-    let mk = |content| {
+    let mk = |seq: u32, content| {
         IcpMessage::DirUpdate {
             request_number: 1,
             sender: 9,
@@ -28,6 +30,8 @@ fn encode_publish(summary: &ProxySummary, full: bool, flips: Vec<summary_cache::
                 function_num: spec.k(),
                 function_bits: spec.function_bits(),
                 bit_array_size: spec.table_bits(),
+                generation: summary.generation(),
+                seq,
                 content,
             },
         }
@@ -36,11 +40,12 @@ fn encode_publish(summary: &ProxySummary, full: bool, flips: Vec<summary_cache::
         .to_vec()
     };
     if full {
-        vec![mk(DirContent::Bitmap(bits.as_words().to_vec()))]
+        vec![mk(summary.seq(), DirContent::Bitmap(bits.as_words().to_vec()))]
     } else {
         flips
             .chunks(300)
-            .map(|c| mk(DirContent::Flips(c.to_vec())))
+            .enumerate()
+            .map(|(i, c)| mk(summary.seq().wrapping_add(i as u32), DirContent::Flips(c.to_vec())))
             .collect()
     }
 }
@@ -149,7 +154,10 @@ fn full_bitmap_recovers_from_lost_updates() {
 #[test]
 fn redundant_and_reordered_deltas_are_harmless() {
     // Absolute flips: applying a datagram twice, or applying the same
-    // round's datagrams in any order, yields the same replica.
+    // round's datagrams in any order, yields the same replica. (The
+    // daemon itself now refuses out-of-sequence deltas and resyncs
+    // instead; this pins the *encoding* property that makes a resync
+    // merely wasteful, never corrupting.)
     let kind = SummaryKind::Bloom { load_factor: 16, hashes: 4 };
     // 400 inserts into a 64000-bit filter: ~1500 flips, so the delta
     // (~6 KB) still beats the full bitmap (8 KB) and spans several
@@ -179,6 +187,74 @@ fn redundant_and_reordered_deltas_are_harmless() {
     assert_eq!(forward.as_ref().unwrap().bits(), reversed.as_ref().unwrap().bits());
     assert_eq!(forward.as_ref().unwrap().bits(), doubled.as_ref().unwrap().bits());
     assert_replica_matches(&summary, forward.as_ref().unwrap(), 2_200);
+}
+
+#[test]
+fn sequenced_update_and_dirreq_datagrams_roundtrip_and_reject_truncation() {
+    use summary_cache::bloom::Flip;
+
+    // Every shape the resync handshake puts on the wire: a delta with a
+    // mid-stream (generation, seq), an empty heartbeat delta, a full
+    // bitmap answer, and the DIRREQ that asks for one.
+    let messages = vec![
+        IcpMessage::DirUpdate {
+            request_number: 11,
+            sender: 3,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 4_096,
+                generation: 0xDEAD_BEEF,
+                seq: u32::MAX, // about to wrap: the compare is modular
+                content: DirContent::Flips(vec![Flip::set(1), Flip::clear(4_095)]),
+            },
+        },
+        IcpMessage::DirUpdate {
+            request_number: 12,
+            sender: 3,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 4_096,
+                generation: 1,
+                seq: 0,
+                content: DirContent::Flips(Vec::new()), // heartbeat
+            },
+        },
+        IcpMessage::DirUpdate {
+            request_number: 13,
+            sender: 3,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 128,
+                generation: 9,
+                seq: 77,
+                content: DirContent::Bitmap(vec![!0u64, 1]),
+            },
+        },
+        IcpMessage::DirReq {
+            request_number: 14,
+            sender: 3,
+            generation: 0xDEAD_BEEF,
+        },
+    ];
+    for msg in messages {
+        let bytes = msg.encode(3).expect("encodes");
+        let back = IcpMessage::decode(&bytes).expect("decodes");
+        assert_eq!(back, msg, "lossless roundtrip");
+        // A datagram cut anywhere — mid-header, mid-extension-header,
+        // mid-payload — must be rejected, never misread as a shorter
+        // valid message (a truncated bitmap silently installed as a
+        // replica would be exactly the drift this protocol kills).
+        for cut in 0..bytes.len() {
+            assert!(
+                IcpMessage::decode(&bytes[..cut]).is_err(),
+                "truncation at {cut}/{} must not decode",
+                bytes.len()
+            );
+        }
+    }
 }
 
 #[test]
