@@ -364,6 +364,77 @@ mod tests {
         });
     }
 
+    /// Reference-multiset model, including the saturation path the test
+    /// above bails on. A tiny table forces counters to clamp; the model
+    /// mirrors the paper's exact rule (increment sticks at max, decrement
+    /// of a clamped counter still decrements) per index, and the filter
+    /// must agree with it counter-for-counter — with zero underflows for
+    /// as long as only live keys are removed.
+    #[test]
+    fn prop_counters_match_reference_model_through_saturation() {
+        check("cbf_reference_model", 256, |rng| {
+            let width = rng.gen_range(2u8..=4);
+            let bits = rng.gen_range(4u32..=16); // tiny: collisions everywhere
+            let config = FilterConfig { bits, hashes: 2, function_bits: 32 };
+            let mut f = CountingBloomFilter::with_counter_bits(config, width);
+            let max = (1u16 << width) as u8 - 1;
+            let spec = f.spec();
+
+            // The model: true per-index reference counts with the paper's
+            // clamp, plus the live-key multiset driving them.
+            let mut model = vec![0u8; bits as usize];
+            let mut model_saturations = 0u64;
+            let mut model_underflows = 0u64;
+            let mut live: Vec<u32> = Vec::new();
+
+            for _ in 0..rng.gen_range(20..300usize) {
+                let insert = live.is_empty() || rng.gen_bool(0.55);
+                if insert {
+                    let key = rng.gen_range(0u32..32);
+                    f.insert(&url(key));
+                    for &i in &spec.indices(&url(key)) {
+                        let c = &mut model[i as usize];
+                        if *c == max {
+                            model_saturations += 1;
+                        } else {
+                            *c += 1;
+                        }
+                    }
+                    live.push(key);
+                } else {
+                    let pos = rng.gen_range(0..live.len());
+                    let key = live.swap_remove(pos);
+                    f.remove(&url(key));
+                    for &i in &spec.indices(&url(key)) {
+                        let c = &mut model[i as usize];
+                        // Clamped counters still decrement — the paper's
+                        // accepted false-negative path — and a counter a
+                        // past clamp drained to zero early underflows.
+                        if *c == 0 {
+                            model_underflows += 1;
+                        } else {
+                            *c -= 1;
+                        }
+                    }
+                }
+                for (i, &c) in model.iter().enumerate() {
+                    assert_eq!(f.count(i), c, "counter {i} diverged from model");
+                    assert_eq!(f.bits().get(i), c > 0, "bit {i} != (count > 0)");
+                }
+                assert_eq!(f.saturations(), model_saturations);
+                assert_eq!(f.underflows(), model_underflows);
+                if model_saturations == 0 {
+                    assert_eq!(
+                        f.underflows(),
+                        0,
+                        "without clamping, removing only live keys never underflows"
+                    );
+                }
+                assert_eq!(f.len(), live.len() as u64);
+            }
+        });
+    }
+
     /// Packed counter storage: set_count/count round-trips at every
     /// width and position, without disturbing neighbours.
     #[test]

@@ -24,12 +24,21 @@
 //!    site silently shares (or, on a kind clash, detaches from) the
 //!    first — exposition stays ambiguous instead of failing. One site
 //!    per name keeps every exposition line attributable.
+//! 6. **Sans-I/O boundary** (`sans_io`): the protocol machine and its
+//!    simulation harness (`proxy/src/machine.rs`, `proxy/src/simnet.rs`)
+//!    must not touch `std::net`, `Instant::now`, or `thread::sleep`.
+//!    Every seeded-simulation guarantee — bit-for-bit replay, the
+//!    one-line failure repro — rests on those modules seeing only
+//!    `VirtualTime` and in-memory datagrams; one stray socket or wall
+//!    clock silently reintroduces the flakiness the harness exists to
+//!    kill.
 //!
 //! Everything here is hand-rolled on `std` — a line-oriented
 //! TOML-subset reader and a lexical Rust scanner, no `syn`, no
 //! dependencies — so the gate itself can never break the firewall it
-//! enforces. `#[cfg(test)]` items are exempt from rules 2–4: tests may
-//! unwrap.
+//! enforces. `#[cfg(test)]` items are exempt from rules 2–4 and 6:
+//! tests may unwrap (and a machine test may name a banned token in an
+//! assertion).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -38,7 +47,8 @@ use std::path::{Path, PathBuf};
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Short rule name: `deps`, `panic`, `determinism`, `counters`.
+    /// Short rule name: `deps`, `panic`, `determinism`, `counters`,
+    /// `metrics`, `sans_io`.
     pub rule: &'static str,
     /// File the violation is in, relative to the checked root.
     pub file: PathBuf,
@@ -509,6 +519,11 @@ const DETERMINISM_TOKENS: [&str; 5] = [
     "getrandom",
     "RandomState::new",
 ];
+/// Exact files (relative, `/`-separated) rule 6 applies to: the
+/// sans-I/O protocol machine and the deterministic simnet built on it.
+const SANS_IO_SCOPES: [&str; 2] = ["crates/proxy/src/machine.rs", "crates/proxy/src/simnet.rs"];
+/// Transport/clock tokens rule 6 forbids in those files.
+const SANS_IO_TOKENS: [&str; 3] = ["std::net", "Instant::now", "thread::sleep"];
 
 fn check_source(root: &Path, path: &Path, out: &mut Vec<Violation>) {
     let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
@@ -519,8 +534,9 @@ fn check_source(root: &Path, path: &Path, out: &mut Vec<Violation>) {
         .join("/");
     let in_panic_scope = PANIC_SCOPES.iter().any(|s| unix.starts_with(s));
     let in_det_scope = DETERMINISM_SCOPES.iter().any(|s| unix.starts_with(s));
+    let in_sans_io_scope = SANS_IO_SCOPES.contains(&unix.as_str());
     let is_counting = unix.ends_with("bloom/src/counting.rs");
-    if !in_panic_scope && !in_det_scope && !is_counting {
+    if !in_panic_scope && !in_det_scope && !in_sans_io_scope && !is_counting {
         return;
     }
     let Ok(src) = std::fs::read_to_string(path) else {
@@ -552,6 +568,20 @@ fn check_source(root: &Path, path: &Path, out: &mut Vec<Violation>) {
                     line,
                     message: format!(
                         "`{token}` introduces ambient nondeterminism; drive time/entropy from the trace or a seeded Rng"
+                    ),
+                });
+            }
+        }
+    }
+    if in_sans_io_scope {
+        for token in SANS_IO_TOKENS {
+            for line in token_lines(&stripped, &regions, token) {
+                out.push(Violation {
+                    rule: "sans_io",
+                    file: rel.clone(),
+                    line,
+                    message: format!(
+                        "`{token}` in a sans-I/O protocol module; sockets, wall clocks and sleeps belong to the daemon shell or the simnet scheduler"
                     ),
                 });
             }

@@ -1,16 +1,34 @@
-//! CLI for the static-analysis gate: `cargo run -p sc-check [ROOT]`
+//! CLI for the static-analysis gate: `cargo run -p sc-check [--soak] [ROOT]`
 //! (or `cargo check-repo` via the workspace alias). Prints one
 //! `file:line: [rule] message` diagnostic per violation and exits
 //! nonzero if any were found.
+//!
+//! `--soak` additionally runs the simnet property suite over an
+//! extended seed range (default 1000 seeds; override with
+//! `SC_SIM_SEEDS`, or replay one failing seed with `SC_SIM_SEED`)
+//! after a clean gate pass.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Seeds the soak sweeps when `SC_SIM_SEEDS` is not already set —
+/// 5x the in-repo default, still well inside a CI minute.
+const SOAK_SEEDS: &str = "1000";
+
 fn main() -> ExitCode {
-    let root = std::env::args_os()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+    let mut soak = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args_os().skip(1) {
+        if arg == "--soak" {
+            soak = true;
+        } else if root.is_none() {
+            root = Some(PathBuf::from(arg));
+        } else {
+            eprintln!("sc-check: usage: sc-check [--soak] [ROOT]");
+            return ExitCode::from(2);
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
     let report = match sc_check::check_repo(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -21,19 +39,58 @@ fn main() -> ExitCode {
     for v in &report.violations {
         println!("{v}");
     }
-    if report.violations.is_empty() {
-        eprintln!(
-            "sc-check: ok ({} manifests, {} source files, 0 violations)",
-            report.manifests, report.sources
-        );
-        ExitCode::SUCCESS
-    } else {
+    if !report.violations.is_empty() {
         eprintln!(
             "sc-check: {} violation(s) across {} manifests and {} source files",
             report.violations.len(),
             report.manifests,
             report.sources
         );
-        ExitCode::FAILURE
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "sc-check: ok ({} manifests, {} source files, 0 violations)",
+        report.manifests, report.sources
+    );
+    if soak {
+        return run_soak(&root);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Run the seeded simnet soak in the checked workspace. The seed count
+/// flows through the same `SC_SIM_SEEDS` env the test reads directly,
+/// so an operator override wins over our extended default.
+fn run_soak(root: &std::path::Path) -> ExitCode {
+    let seeds =
+        std::env::var("SC_SIM_SEEDS").unwrap_or_else(|_| SOAK_SEEDS.to_string());
+    eprintln!("sc-check: soak — simnet property suite over {seeds} seeds");
+    let status = std::process::Command::new("cargo")
+        .args([
+            "test",
+            "-q",
+            "--offline",
+            "--test",
+            "simnet_properties",
+            "seeded_soak",
+            "--",
+            "--nocapture",
+        ])
+        .env("SC_SIM_SEEDS", &seeds)
+        .current_dir(root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {
+            eprintln!("sc-check: soak ok ({seeds} seeds)");
+            ExitCode::SUCCESS
+        }
+        Ok(_) => {
+            eprintln!("sc-check: soak FAILED — see the repro line above");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("sc-check: could not spawn cargo for the soak: {e}");
+            ExitCode::from(2)
+        }
     }
 }

@@ -149,6 +149,33 @@ fn duplicate_metric_registration_flagged_at_both_sites() {
 }
 
 #[test]
+fn net_in_machine_flagged_tests_exempt() {
+    let out = run_gate(&fixture("net_in_machine"));
+    assert!(
+        !out.status.success(),
+        "transport/clock use in the protocol machine must fail the gate"
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("machine.rs:4: [sans_io]") && text.contains("std::net"),
+        "std::net import flagged:\n{text}"
+    );
+    assert!(
+        text.contains("machine.rs:7: [sans_io]") && text.contains("Instant::now"),
+        "wall-clock read flagged:\n{text}"
+    );
+    assert!(
+        text.contains("machine.rs:8: [sans_io]") && text.contains("thread::sleep"),
+        "sleep flagged:\n{text}"
+    );
+    assert_eq!(
+        text.matches("[sans_io]").count(),
+        3,
+        "the cfg(test) uses are exempt:\n{text}"
+    );
+}
+
+#[test]
 fn missing_root_is_a_usage_error() {
     let out = run_gate(Path::new("/nonexistent/definitely-not-a-repo"));
     assert_eq!(out.status.code(), Some(2), "usage errors exit 2");

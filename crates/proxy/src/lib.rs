@@ -6,12 +6,22 @@
 //!
 //! The pieces:
 //!
+//! * [`machine`] — the sans-I/O protocol state machine: every
+//!   replication/ICP decision (query answering, replica sequencing,
+//!   gap-triggered resync, failure detection, publish fan-out) as a
+//!   pure function of `(virtual time, event)` — no sockets, no clocks,
+//!   no sleeps.
 //! * [`daemon`] — the proxy itself: an HTTP front end with a
-//!   metadata-only document cache, a UDP ICP endpoint, and three peering
-//!   modes ([`config::Mode`]): no cooperation, classic ICP (query every
-//!   neighbour on every miss), and summary-cache enhanced ICP (probe
-//!   local Bloom replicas of peer directories, query only candidates,
-//!   ship `ICP_OP_DIRUPDATE` deltas).
+//!   metadata-only document cache, a UDP ICP endpoint feeding the
+//!   machine, and three peering modes ([`config::Mode`]): no
+//!   cooperation, classic ICP (query every neighbour on every miss),
+//!   and summary-cache enhanced ICP (probe local Bloom replicas of peer
+//!   directories, query only candidates, ship `ICP_OP_DIRUPDATE`
+//!   deltas).
+//! * [`simnet`] — the deterministic simulation harness: N machines, a
+//!   virtual clock, one event priority-queue, and a seeded fault plan
+//!   (loss, duplication, reordering, crash+restart, partitions) for
+//!   replayable protocol soak tests.
 //! * [`origin`] — the origin-server emulator: answers every GET with the
 //!   size the URL's headers request, after a configurable artificial
 //!   delay (the benchmark's stand-in for Internet latency, Section IV).
@@ -41,7 +51,9 @@ pub mod cluster;
 pub mod config;
 pub mod daemon;
 pub mod histogram;
+pub mod machine;
 pub mod origin;
+pub mod simnet;
 pub mod stats;
 
 pub use client::{BenchmarkConfig, ReplayMode};

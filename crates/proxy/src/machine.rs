@@ -1,0 +1,1062 @@
+//! The replication/ICP protocol as a **sans-I/O state machine**.
+//!
+//! Everything the daemon *decides* — how to answer a query, when a
+//! delta applies to a replica and when it forces a resync, which peers
+//! are alive, what a keep-alive tick broadcasts, when the summary
+//! publishes — lives here, as a pure function of
+//! `(now: VirtualTime, event)`:
+//!
+//! * **inputs** are an incoming datagram, a timer tick, a local cache
+//!   insert/evict, or a completed client request;
+//! * **outputs** are a list of `(dest, datagram)` sends plus
+//!   journal/metric [`Effect`]s.
+//!
+//! There are no sockets, no `Instant::now()`, and no sleeps in this
+//! module (the sc-check `sans_io` rule enforces exactly that): the live
+//! daemon feeds the machine from its real UDP socket and clock, and the
+//! deterministic [`crate::simnet`] harness feeds it from a virtual
+//! clock and a seeded fault plan. Both drive the *same* decision logic,
+//! which is what makes a simnet seed a faithful protocol schedule.
+//!
+//! Time enters only as [`VirtualTime`] values the caller supplies;
+//! durations (resync backoff, failure timeout) are plain arithmetic on
+//! those values. Randomness never enters at all — loss injection and
+//! generation freshness are the *caller's* business (the daemon uses
+//! its seeded loss RNG and the wall clock; the simnet uses its fault
+//! plan and deterministic generation numbers).
+
+use sc_bloom::{BitVec, BloomFilter, HashSpec};
+use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
+use std::collections::HashMap;
+use std::time::Duration;
+use summary_cache_core::{filter_candidates, ProxySummary, PublishOutcome, UpdatePolicy};
+
+/// Max bit flips per DIRUPDATE datagram (keeps messages near one MTU,
+/// as the prototype "sends updates whenever there are enough changes to
+/// fill an IP packet").
+pub const FLIPS_PER_DATAGRAM: usize = 320;
+
+/// Minimum spacing between DIRREQs to one peer: resyncs are idempotent,
+/// but a burst of gapped deltas must not become a burst of bitmap
+/// requests (each answer is a full bitmap).
+pub const RESYNC_BACKOFF: Duration = Duration::from_millis(150);
+
+/// Failure timeout: a peer silent for this many keep-alive periods is
+/// considered failed and its summary replica is dropped (probes then
+/// treat it as empty — no candidates, no queries).
+pub const FAILURE_KEEPALIVE_PERIODS: u32 = 3;
+
+/// A point on the machine's clock: microseconds since an arbitrary
+/// epoch chosen by the driver (daemon start, simulation start). The
+/// machine only ever *subtracts* two of these — absolute values carry
+/// no meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The driver's epoch.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// A time `us` microseconds past the epoch.
+    pub fn from_micros(us: u64) -> VirtualTime {
+        VirtualTime(us)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This time advanced by `d` (saturating).
+    pub fn saturating_add(self, d: Duration) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(d.as_micros() as u64))
+    }
+
+    /// Elapsed duration since `earlier` (zero if `earlier` is later).
+    pub fn saturating_since(self, earlier: VirtualTime) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+}
+
+/// One input to the machine.
+#[derive(Debug, Clone, Copy)]
+pub enum Event<'a> {
+    /// A datagram arrived. `from` is the sending peer's id when the
+    /// source address maps to a configured peer (replies to unknown
+    /// sources are still served, but carry no liveness or replica
+    /// meaning).
+    Datagram {
+        /// Sending peer, if the source address is a configured peer.
+        from: Option<u32>,
+        /// The raw datagram bytes (decoded inside the machine).
+        data: &'a [u8],
+    },
+    /// One keep-alive period elapsed: ping peers, sweep liveness, and
+    /// (SC mode) broadcast the anti-entropy heartbeat.
+    Tick,
+    /// A document was stored in the local cache, evicting `evicted`.
+    Stored {
+        /// URL now cached.
+        url: &'a str,
+        /// Victims the store pushed out.
+        evicted: &'a [String],
+    },
+    /// A stale local copy was purged from the cache.
+    Purged {
+        /// URL no longer cached.
+        url: &'a str,
+    },
+    /// A client request finished (drives the update publish policy).
+    RequestDone,
+}
+
+/// Where a datagram goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// One configured peer, by id.
+    Peer(u32),
+    /// Every configured peer (the driver encodes once and fans out).
+    AllPeers,
+    /// Reply to the source of the datagram currently being handled.
+    Sender,
+}
+
+/// What a send *is*, so the driver can apply the right accounting (and
+/// the update-loss fault knob, which only ever drops updates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendKind {
+    /// HIT/MISS answer to an ICP query.
+    QueryReply,
+    /// SECHO keep-alive ping.
+    Keepalive,
+    /// Delta (bit-flip) DIRUPDATE — includes the empty heartbeat delta.
+    UpdateDelta,
+    /// Full-bitmap DIRUPDATE (broadcast publish or unicast resync
+    /// answer / recovery reinitialization).
+    UpdateFull,
+    /// DIRREQ asking `peer` to restate its bitmap.
+    Resync {
+        /// The publisher being asked.
+        peer: u32,
+        /// The generation last seen from it (0 = none), for the journal.
+        last_generation: u32,
+    },
+}
+
+impl SendKind {
+    /// Is this datagram subject to the injected update-loss knob?
+    pub fn is_update(self) -> bool {
+        matches!(self, SendKind::UpdateDelta | SendKind::UpdateFull)
+    }
+}
+
+/// One datagram the driver must put on the wire.
+#[derive(Debug, Clone)]
+pub struct Send {
+    /// Destination.
+    pub to: Dest,
+    /// The message (the driver encodes it; an oversized encode is
+    /// silently skipped, the documented full-bitmap size limit).
+    pub msg: IcpMessage,
+    /// Accounting class.
+    pub kind: SendKind,
+}
+
+/// A journal/metric effect the driver must apply. Each variant maps
+/// onto exactly the counters and journal records the pre-refactor
+/// daemon emitted inline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// A directory update from a configured peer was accepted for
+    /// processing (`sc_updates_received_total`).
+    UpdateReceived,
+    /// An ICP query was answered (`sc_icp_queries_served_total`).
+    QueryServed,
+    /// A replica was (re)installed from a full bitmap.
+    ReplicaInstalled {
+        /// The publisher.
+        peer: u32,
+        /// True when no replica existed before (first contact).
+        first_contact: bool,
+        /// Installed generation.
+        generation: u32,
+        /// Seq the bitmap was stamped with.
+        seq: u32,
+        /// Filter size in bits.
+        bits: u32,
+    },
+    /// A lost/reordered update was detected and an installed replica
+    /// was discarded pending resync.
+    UpdateGap {
+        /// The publisher whose replica was discarded.
+        peer: u32,
+        /// Generation the offending datagram carried.
+        got_generation: u32,
+        /// Seq the offending datagram carried.
+        got_seq: u32,
+        /// Generation the replica was installed under.
+        expected_generation: u32,
+        /// Seq the replica expected next.
+        expected_seq: u32,
+    },
+    /// A peer went silent past the failure timeout; its replica (if
+    /// any) was dropped.
+    PeerFailed {
+        /// The silent peer.
+        peer: u32,
+    },
+    /// A failed peer was heard again; reinitialization sends follow in
+    /// the same output batch.
+    PeerRecovered {
+        /// The returning peer.
+        peer: u32,
+    },
+    /// The local summary published an update.
+    Published {
+        /// Full bitmap (true) or delta (false).
+        full_bitmap: bool,
+        /// Staleness at publish time.
+        staleness: f64,
+        /// Datagrams the publish was split into.
+        messages: usize,
+        /// Seq of the first datagram.
+        seq: u32,
+    },
+    /// An ICP reply arrived for an outstanding query; the driver owns
+    /// the waiting-request table and must dispatch it.
+    ReplyReceived {
+        /// The query's request number.
+        request_number: u32,
+        /// `Some(peer)` on a HIT from a configured peer.
+        hit_from: Option<u32>,
+        /// The replying peer (for RTT attribution), when known.
+        replier: Option<u32>,
+    },
+}
+
+/// One machine output: a send or an effect, in the order the old
+/// inline code performed them.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// Put a datagram on the wire.
+    Send(Send),
+    /// Apply a journal/metric effect.
+    Effect(Effect),
+}
+
+/// The machine's read-only view of the local cache directory, used to
+/// answer ICP queries. The daemon backs this with the real
+/// [`sc_cache::WebCache`]; the simnet backs it with a set model.
+pub trait DirectoryView {
+    /// Is `url` currently cached locally?
+    fn contains(&self, url: &str) -> bool;
+}
+
+/// Summary-cache mode state.
+struct ScCore {
+    summary: ProxySummary,
+    policy: UpdatePolicy,
+    requests_since_publish: u64,
+    last_publish: VirtualTime,
+}
+
+/// Failure-detection state for one peer (Section VI-B: the prototype
+/// "leverages Squid's built-in support to detect failure and recovery
+/// of neighbor proxies, and reinitializes a failed neighbor's bit array
+/// when it recovers").
+struct PeerLiveness {
+    last_heard: VirtualTime,
+    failed: bool,
+}
+
+/// One peer's summary replica and the sequencing state guarding it.
+///
+/// A replica is only ever *installed* from a full bitmap; delta flips
+/// apply only when they carry exactly the expected `(generation, seq)`.
+/// Until a bitmap arrives (`filter` is `None`) probes treat the peer as
+/// empty — flips are never guessed onto an empty array.
+struct ReplicaState {
+    /// The installed replica; `None` on first contact or after a
+    /// detected gap discarded the previous one.
+    filter: Option<BloomFilter>,
+    /// Generation of the installed (or last seen) publisher bitmap.
+    generation: u32,
+    /// Seq the next delta from this peer must carry.
+    expected_seq: u32,
+    /// When a DIRREQ was last sent, for backoff.
+    last_resync_request: Option<VirtualTime>,
+}
+
+impl Default for ReplicaState {
+    fn default() -> Self {
+        ReplicaState {
+            filter: None,
+            generation: 0,
+            expected_seq: 0,
+            last_resync_request: None,
+        }
+    }
+}
+
+/// The protocol state machine for one proxy.
+pub struct Machine {
+    id: u32,
+    peers: Vec<u32>,
+    keepalive_ms: u64,
+    sc: Option<ScCore>,
+    replicas: HashMap<u32, ReplicaState>,
+    liveness: HashMap<u32, PeerLiveness>,
+    next_reqnum: u32,
+}
+
+impl Machine {
+    /// A machine for proxy `id` peering with `peers`. `sc` carries the
+    /// summary (with its generation already set by the driver — fresh
+    /// randomness is I/O) and publish policy in summary-cache mode.
+    /// `now` initializes every peer's last-heard time.
+    pub fn new(
+        id: u32,
+        peers: Vec<u32>,
+        keepalive_ms: u64,
+        sc: Option<(ProxySummary, UpdatePolicy)>,
+        now: VirtualTime,
+    ) -> Machine {
+        let liveness = peers
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    PeerLiveness {
+                        last_heard: now,
+                        failed: false,
+                    },
+                )
+            })
+            .collect();
+        Machine {
+            id,
+            peers,
+            keepalive_ms,
+            sc: sc.map(|(summary, policy)| ScCore {
+                summary,
+                policy,
+                requests_since_publish: 0,
+                last_publish: now,
+            }),
+            replicas: HashMap::new(),
+            liveness,
+            next_reqnum: 1,
+        }
+    }
+
+    /// This proxy's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Feed one event; returns the sends and effects it decided on, in
+    /// order.
+    pub fn handle(&mut self, now: VirtualTime, event: Event<'_>, dir: &dyn DirectoryView) -> Vec<Output> {
+        let mut out = Vec::new();
+        match event {
+            Event::Datagram { from, data } => self.on_datagram(now, from, data, dir, &mut out),
+            Event::Tick => self.on_tick(now, &mut out),
+            Event::Stored { url, evicted } => {
+                if let Some(sc) = self.sc.as_mut() {
+                    sc.summary.insert(url.as_bytes(), server_of(url));
+                    for victim in evicted {
+                        sc.summary.remove(victim.as_bytes(), server_of(victim));
+                    }
+                }
+            }
+            Event::Purged { url } => {
+                if let Some(sc) = self.sc.as_mut() {
+                    sc.summary.remove(url.as_bytes(), server_of(url));
+                }
+            }
+            Event::RequestDone => self.on_request_done(now, &mut out),
+        }
+        out
+    }
+
+    // -- read-only views the driver needs ---------------------------------
+
+    /// Peers not currently marked failed (what ICP mode queries).
+    pub fn live_peers(&self) -> Vec<u32> {
+        self.peers
+            .iter()
+            .filter(|p| self.liveness.get(p).is_none_or(|l| !l.failed))
+            .copied()
+            .collect()
+    }
+
+    /// Peers whose installed summary replica advertises `url`, probed
+    /// through the shared `SummaryProbe` path (peers without a synced
+    /// replica cannot be candidates).
+    pub fn candidates(&self, url: &[u8]) -> Vec<u32> {
+        filter_candidates(
+            self.peers.iter().filter_map(|&p| {
+                self.replicas
+                    .get(&p)
+                    .and_then(|st| st.filter.as_ref())
+                    .map(|f| (p, f))
+            }),
+            url,
+            &[],
+        )
+    }
+
+    /// Peer ids whose summary replicas are currently installed (i.e.
+    /// synced — a bitmap has arrived and no gap has discarded it).
+    pub fn replicated_peers(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .replicas
+            .iter()
+            .filter(|(_, st)| st.filter.is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Is a replica of `peer` currently installed?
+    pub fn replica_installed(&self, peer: u32) -> bool {
+        self.replicas
+            .get(&peer)
+            .is_some_and(|st| st.filter.is_some())
+    }
+
+    /// The bit array of the installed replica of `peer`, if synced.
+    pub fn replica_bits(&self, peer: u32) -> Option<BitVec> {
+        self.replicas
+            .get(&peer)
+            .and_then(|st| st.filter.as_ref())
+            .map(|f| f.bits().clone())
+    }
+
+    /// This proxy's own *published* summary bit array (SC mode only) —
+    /// what every in-sync peer replica of this proxy must equal.
+    pub fn published_bits(&self) -> Option<BitVec> {
+        let sc = self.sc.as_ref()?;
+        match sc.summary.snapshot_published() {
+            summary_cache_core::SummarySnapshot::Bloom { bits, .. } => Some(bits),
+            _ => None,
+        }
+    }
+
+    /// The summary's current generation (SC mode only).
+    pub fn generation(&self) -> Option<u32> {
+        self.sc.as_ref().map(|sc| sc.summary.generation())
+    }
+
+    // -- event handlers ---------------------------------------------------
+
+    fn on_datagram(
+        &mut self,
+        now: VirtualTime,
+        from: Option<u32>,
+        data: &[u8],
+        dir: &dyn DirectoryView,
+        out: &mut Vec<Output>,
+    ) {
+        let Ok(msg) = IcpMessage::decode(data) else {
+            return; // malformed datagrams are dropped, as in Squid
+        };
+        if let Some(peer_id) = from {
+            if self.mark_heard(now, peer_id) {
+                // The peer just came back (Section VI-B): reinitialize
+                // both directions through the resync machinery —
+                // restate our bitmap so its replica of us recovers, and
+                // ask for its bitmap to rebuild the one we dropped at
+                // failure time.
+                out.push(Output::Effect(Effect::PeerRecovered { peer: peer_id }));
+                self.send_full_bitmap(Dest::Sender, out);
+                let st = self.replicas.entry(peer_id).or_default();
+                Self::request_resync(st, now, &mut self.next_reqnum, self.id, peer_id, out);
+            }
+        }
+        match msg {
+            IcpMessage::Query {
+                request_number,
+                url,
+                ..
+            } => {
+                out.push(Output::Effect(Effect::QueryServed));
+                let have = dir.contains(&url);
+                let reply = if have {
+                    IcpMessage::Hit {
+                        request_number,
+                        url,
+                    }
+                } else {
+                    IcpMessage::Miss {
+                        request_number,
+                        url,
+                    }
+                };
+                out.push(Output::Send(Send {
+                    to: Dest::Sender,
+                    msg: reply,
+                    kind: SendKind::QueryReply,
+                }));
+            }
+            IcpMessage::Hit { request_number, .. } => {
+                out.push(Output::Effect(Effect::ReplyReceived {
+                    request_number,
+                    hit_from: from,
+                    replier: from,
+                }));
+            }
+            IcpMessage::Miss { request_number, .. }
+            | IcpMessage::MissNoFetch { request_number, .. }
+            | IcpMessage::Denied { request_number, .. }
+            | IcpMessage::Err { request_number, .. } => {
+                out.push(Output::Effect(Effect::ReplyReceived {
+                    request_number,
+                    hit_from: None,
+                    replier: from,
+                }));
+            }
+            IcpMessage::Secho { .. } => {
+                // Keep-alive: nothing beyond the liveness marking above.
+            }
+            IcpMessage::DirUpdate { sender, update, .. } => {
+                self.apply_update(now, sender, update, out);
+            }
+            IcpMessage::DirReq { .. } => {
+                // A peer's replica of us is missing or gapped: restate
+                // the whole published bitmap.
+                if from.is_some() {
+                    self.send_full_bitmap(Dest::Sender, out);
+                }
+            }
+        }
+    }
+
+    /// Apply a received directory update to the sender's local replica.
+    ///
+    /// Sequencing discipline: a replica is only ever *installed* from a
+    /// full bitmap, and delta flips apply only when they carry exactly
+    /// the expected `(generation, seq)`. Anything else is evidence of
+    /// loss, reordering, or a publisher restart — the replica is
+    /// discarded and a DIRREQ asks the publisher to restate its bitmap.
+    fn apply_update(&mut self, now: VirtualTime, sender: u32, update: DirUpdate, out: &mut Vec<Output>) {
+        let Ok(spec) = HashSpec::new(
+            update.function_num,
+            update.function_bits,
+            update.bit_array_size,
+        ) else {
+            return; // malformed spec: drop, as with any bad datagram
+        };
+        if !self.peers.contains(&sender) {
+            return; // not a configured peer: no replica, no resync
+        }
+        out.push(Output::Effect(Effect::UpdateReceived));
+        let st = self.replicas.entry(sender).or_default();
+        match update.content {
+            DirContent::Bitmap(words) => {
+                if words.len() != (spec.table_bits() as usize).div_ceil(64) {
+                    return;
+                }
+                // Mask any overhang bits the sender left set.
+                let mut words = words;
+                let rem = spec.table_bits() as usize % 64;
+                if rem != 0 {
+                    if let Some(last) = words.last_mut() {
+                        *last &= (1u64 << rem) - 1;
+                    }
+                }
+                let first_contact = st.filter.is_none();
+                st.filter = Some(BloomFilter::from_parts(
+                    spec,
+                    BitVec::from_words(spec.table_bits() as usize, words),
+                ));
+                st.generation = update.generation;
+                st.expected_seq = update.seq.wrapping_add(1);
+                st.last_resync_request = None;
+                out.push(Output::Effect(Effect::ReplicaInstalled {
+                    peer: sender,
+                    first_contact,
+                    generation: update.generation,
+                    seq: update.seq,
+                    bits: spec.table_bits(),
+                }));
+            }
+            DirContent::Flips(flips) => {
+                let in_sync = st.generation == update.generation
+                    && st.filter.as_ref().is_some_and(|f| f.spec() == spec);
+                if in_sync && update.seq == st.expected_seq {
+                    st.expected_seq = st.expected_seq.wrapping_add(1);
+                    if let Some(filter) = st.filter.as_mut() {
+                        for f in flips {
+                            if f.index() < spec.table_bits() {
+                                filter.apply_flip(f.index(), f.set_bit());
+                            }
+                        }
+                    }
+                    return;
+                }
+                if in_sync && update.seq.wrapping_sub(st.expected_seq) > u32::MAX / 2 {
+                    return; // duplicate / late datagram from the past: already reflected
+                }
+                // Seq gap ahead, generation or spec change, or no
+                // replica at all (first contact / awaiting a bitmap).
+                if st.filter.take().is_some() {
+                    out.push(Output::Effect(Effect::UpdateGap {
+                        peer: sender,
+                        got_generation: update.generation,
+                        got_seq: update.seq,
+                        expected_generation: st.generation,
+                        expected_seq: st.expected_seq,
+                    }));
+                }
+                Self::request_resync(st, now, &mut self.next_reqnum, self.id, sender, out);
+            }
+        }
+    }
+
+    /// Ask `peer` (reachable as the current datagram's sender) to
+    /// restate its full bitmap, unless a request went out within
+    /// [`RESYNC_BACKOFF`]. Retries ride the next delta or heartbeat
+    /// that finds the replica still missing.
+    fn request_resync(
+        st: &mut ReplicaState,
+        now: VirtualTime,
+        next_reqnum: &mut u32,
+        my_id: u32,
+        peer: u32,
+        out: &mut Vec<Output>,
+    ) {
+        if st
+            .last_resync_request
+            .is_some_and(|at| now.saturating_since(at) < RESYNC_BACKOFF)
+        {
+            return;
+        }
+        st.last_resync_request = Some(now);
+        let request_number = *next_reqnum;
+        *next_reqnum = next_reqnum.wrapping_add(1);
+        out.push(Output::Send(Send {
+            to: Dest::Sender,
+            msg: IcpMessage::DirReq {
+                request_number,
+                sender: my_id,
+                generation: st.generation,
+            },
+            kind: SendKind::Resync {
+                peer,
+                last_generation: st.generation,
+            },
+        }));
+    }
+
+    /// Our complete current published bitmap, unicast (answering a
+    /// DIRREQ, or reinitializing a recovered peer). No-op outside SC
+    /// mode.
+    ///
+    /// Stamps the *current* sequence number without advancing it: a
+    /// unicast bitmap must not create a seq the other peers never see
+    /// (they would read the skipped number as a gap). The receiver
+    /// resumes expecting `seq + 1`, which is exactly the next delta we
+    /// will broadcast.
+    fn send_full_bitmap(&mut self, to: Dest, out: &mut Vec<Output>) {
+        let Some(sc) = self.sc.as_ref() else { return };
+        let snapshot = sc.summary.snapshot_published();
+        let summary_cache_core::SummarySnapshot::Bloom { spec, bits } = snapshot else {
+            return;
+        };
+        let request_number = self.next_reqnum;
+        self.next_reqnum = self.next_reqnum.wrapping_add(1);
+        out.push(Output::Send(Send {
+            to,
+            msg: IcpMessage::DirUpdate {
+                request_number,
+                sender: self.id,
+                update: DirUpdate {
+                    function_num: spec.k(),
+                    function_bits: spec.function_bits(),
+                    bit_array_size: spec.table_bits(),
+                    generation: sc.summary.generation(),
+                    seq: sc.summary.seq(),
+                    content: DirContent::Bitmap(bits.as_words().to_vec()),
+                },
+            },
+            kind: SendKind::UpdateFull,
+        }));
+    }
+
+    /// Mark `peer` as heard-from now. Returns `true` if this is a
+    /// recovery (the peer was marked failed).
+    fn mark_heard(&mut self, now: VirtualTime, peer: u32) -> bool {
+        let Some(l) = self.liveness.get_mut(&peer) else {
+            return false;
+        };
+        l.last_heard = now;
+        std::mem::replace(&mut l.failed, false)
+    }
+
+    fn on_tick(&mut self, now: VirtualTime, out: &mut Vec<Output>) {
+        if !self.peers.is_empty() {
+            out.push(Output::Send(Send {
+                to: Dest::AllPeers,
+                msg: IcpMessage::Secho {
+                    request_number: 0,
+                    url: String::new(),
+                },
+                kind: SendKind::Keepalive,
+            }));
+        }
+        self.sweep_failed_peers(now, out);
+        self.heartbeat(out);
+    }
+
+    /// Drop the summary replicas of peers we have not heard from lately.
+    fn sweep_failed_peers(&mut self, now: VirtualTime, out: &mut Vec<Output>) {
+        if self.keepalive_ms == 0 {
+            return; // no keep-alives, no liveness signal
+        }
+        let timeout = Duration::from_millis(self.keepalive_ms) * FAILURE_KEEPALIVE_PERIODS;
+        let mut newly_failed = Vec::new();
+        for (&id, l) in self.liveness.iter_mut() {
+            if !l.failed && now.saturating_since(l.last_heard) > timeout {
+                l.failed = true;
+                newly_failed.push(id);
+            }
+        }
+        newly_failed.sort_unstable(); // HashMap order must not leak into output order
+        for id in newly_failed {
+            self.replicas.remove(&id);
+            out.push(Output::Effect(Effect::PeerFailed { peer: id }));
+        }
+    }
+
+    /// SC-mode anti-entropy heartbeat, part of every tick: broadcast an
+    /// empty delta carrying the current `(generation, seq)`. In-sync
+    /// replicas apply it as a no-op; a receiver that lost the tail of
+    /// the update stream (or never got a bitmap) sees the gap and
+    /// resyncs — without this, a lost *last* delta would go undetected
+    /// until the next publish.
+    fn heartbeat(&mut self, out: &mut Vec<Output>) {
+        let Some(sc) = self.sc.as_mut() else { return };
+        let snapshot = sc.summary.snapshot_published();
+        let summary_cache_core::SummarySnapshot::Bloom { spec, .. } = snapshot else {
+            return;
+        };
+        let generation = sc.summary.generation();
+        let seq = sc.summary.advance_seq();
+        let request_number = self.next_reqnum;
+        self.next_reqnum = self.next_reqnum.wrapping_add(1);
+        out.push(Output::Send(Send {
+            to: Dest::AllPeers,
+            msg: IcpMessage::DirUpdate {
+                request_number,
+                sender: self.id,
+                update: DirUpdate {
+                    function_num: spec.k(),
+                    function_bits: spec.function_bits(),
+                    bit_array_size: spec.table_bits(),
+                    generation,
+                    seq,
+                    content: DirContent::Flips(Vec::new()),
+                },
+            },
+            kind: SendKind::UpdateDelta,
+        }));
+    }
+
+    /// Post-request publish check (SC mode): when the policy says so,
+    /// publish and fan the update out. The first datagram carries the
+    /// seq the publish allocated; when the delta is split across
+    /// datagrams, each further chunk allocates the next seq so the loss
+    /// of *any* chunk is a detectable gap.
+    fn on_request_done(&mut self, now: VirtualTime, out: &mut Vec<Output>) {
+        let Some(sc) = self.sc.as_mut() else { return };
+        sc.requests_since_publish += 1;
+        let elapsed_ms = now.saturating_since(sc.last_publish).as_millis() as u64;
+        if !sc.policy.should_publish(
+            sc.summary.fresh_docs(),
+            sc.summary.docs(),
+            sc.requests_since_publish,
+            elapsed_ms,
+        ) {
+            return;
+        }
+        let outcome = sc.summary.publish();
+        sc.requests_since_publish = 0;
+        sc.last_publish = now;
+        let messages = Self::build_update_messages(
+            &mut sc.summary,
+            &outcome,
+            self.id,
+            &mut self.next_reqnum,
+        );
+        let count = messages.len();
+        let kind = if outcome.full_bitmap {
+            SendKind::UpdateFull
+        } else {
+            SendKind::UpdateDelta
+        };
+        for msg in messages {
+            out.push(Output::Send(Send {
+                to: Dest::AllPeers,
+                msg,
+                kind,
+            }));
+        }
+        out.push(Output::Effect(Effect::Published {
+            full_bitmap: outcome.full_bitmap,
+            staleness: outcome.staleness,
+            messages: count,
+            seq: outcome.seq,
+        }));
+    }
+
+    /// Build the DIRUPDATE/DIRFULL message(s) for a publish.
+    fn build_update_messages(
+        summary: &mut ProxySummary,
+        outcome: &PublishOutcome,
+        my_id: u32,
+        next_reqnum: &mut u32,
+    ) -> Vec<IcpMessage> {
+        let snapshot = summary.snapshot_published();
+        let summary_cache_core::SummarySnapshot::Bloom { spec, bits } = snapshot else {
+            unreachable!("SC mode always uses Bloom summaries");
+        };
+        let reqnum = *next_reqnum;
+        *next_reqnum = next_reqnum.wrapping_add(1);
+        let mk = |seq: u32, content| IcpMessage::DirUpdate {
+            request_number: reqnum,
+            sender: my_id,
+            update: DirUpdate {
+                function_num: spec.k(),
+                function_bits: spec.function_bits(),
+                bit_array_size: spec.table_bits(),
+                generation: outcome.generation,
+                seq,
+                content,
+            },
+        };
+        if outcome.full_bitmap {
+            vec![mk(outcome.seq, DirContent::Bitmap(bits.as_words().to_vec()))]
+        } else if outcome.flips.is_empty() {
+            // The publish allocated a seq, so something must travel or
+            // the next delta reads as a gap; an empty delta is a legal
+            // no-op.
+            vec![mk(outcome.seq, DirContent::Flips(Vec::new()))]
+        } else {
+            outcome
+                .flips
+                .chunks(FLIPS_PER_DATAGRAM)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let seq = if i == 0 { outcome.seq } else { summary.advance_seq() };
+                    mk(seq, DirContent::Flips(chunk.to_vec()))
+                })
+                .collect()
+        }
+    }
+}
+
+/// The server-name component of a URL (host part), for summaries. Any
+/// `scheme://` prefix is stripped — not just `http://` — so `https://`
+/// (or `ftp://`) URLs group under their host instead of collapsing into
+/// one bogus `"scheme:"` server entry.
+pub fn server_of(url: &str) -> &[u8] {
+    let rest = match url.find("://") {
+        // Only a separator before any '/' is a scheme delimiter.
+        Some(i) if !url[..i].contains('/') => &url[i + 3..],
+        _ => url,
+    };
+    let end = rest.find('/').unwrap_or(rest.len());
+    &rest.as_bytes()[..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summary_cache_core::SummaryKind;
+
+    struct NoDocs;
+    impl DirectoryView for NoDocs {
+        fn contains(&self, _url: &str) -> bool {
+            false
+        }
+    }
+
+    fn sc_machine(id: u32, peers: Vec<u32>, generation: u32) -> Machine {
+        let kind = SummaryKind::Bloom { load_factor: 8, hashes: 4 };
+        let mut summary = ProxySummary::with_expected_docs(kind, 64);
+        summary.set_generation(generation);
+        Machine::new(
+            id,
+            peers,
+            50,
+            Some((summary, UpdatePolicy::Threshold(0.0))),
+            VirtualTime::ZERO,
+        )
+    }
+
+    fn sends(outputs: &[Output]) -> Vec<&Send> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Send(s) => Some(s),
+                Output::Effect(_) => None,
+            })
+            .collect()
+    }
+
+    fn at(ms: u64) -> VirtualTime {
+        VirtualTime::from_micros(ms * 1000)
+    }
+
+    #[test]
+    fn server_of_extracts_host() {
+        assert_eq!(server_of("http://a.example.com/x/y"), b"a.example.com");
+        assert_eq!(server_of("http://bare"), b"bare");
+        assert_eq!(server_of("no-scheme/path"), b"no-scheme");
+        assert_eq!(server_of("http://h/"), b"h");
+        assert_eq!(server_of("https://h/x"), b"h");
+        assert_eq!(server_of("ftp://files.example.org/pub"), b"files.example.org");
+        assert_eq!(server_of("host/redirect?to=http://other"), b"host");
+    }
+
+    #[test]
+    fn flips_chunking_constant_fits_a_packet() {
+        // 320 flips x 4 bytes + 32 bytes of headers stays under the
+        // typical 1500-byte MTU, per the prototype's packet-fill intent.
+        const { assert!(FLIPS_PER_DATAGRAM * 4 + 32 < 1500) };
+    }
+
+    #[test]
+    fn delta_to_fresh_machine_requests_resync_not_install() {
+        let mut publisher = sc_machine(1, vec![2], 7);
+        let mut receiver = sc_machine(2, vec![1], 8);
+        // Publisher stores a doc and publishes a delta.
+        let evicted: Vec<String> = Vec::new();
+        publisher.handle(
+            at(1),
+            Event::Stored { url: "http://s/a", evicted: &evicted },
+            &NoDocs,
+        );
+        let outs = publisher.handle(at(1), Event::RequestDone, &NoDocs);
+        let update_bytes = sends(&outs)
+            .iter()
+            .find(|s| s.kind == SendKind::UpdateDelta)
+            .map(|s| s.msg.encode(1).expect("encodes"))
+            .expect("a delta was published");
+        // The receiver must NOT install from the delta: replica stays
+        // absent and a DIRREQ goes out.
+        let outs = receiver.handle(
+            at(2),
+            Event::Datagram { from: Some(1), data: &update_bytes },
+            &NoDocs,
+        );
+        assert!(!receiver.replica_installed(1), "no install from a delta alone");
+        assert!(
+            sends(&outs)
+                .iter()
+                .any(|s| matches!(s.kind, SendKind::Resync { peer: 1, .. })),
+            "gapless first contact still resyncs: {outs:?}"
+        );
+    }
+
+    #[test]
+    fn resync_backoff_limits_dirreqs() {
+        let mut receiver = sc_machine(2, vec![1], 8);
+        let publisher = {
+            let mut m = sc_machine(1, vec![2], 7);
+            let evicted: Vec<String> = Vec::new();
+            m.handle(at(0), Event::Stored { url: "http://s/a", evicted: &evicted }, &NoDocs);
+            m
+        };
+        let _ = publisher;
+        let delta = IcpMessage::DirUpdate {
+            request_number: 9,
+            sender: 1,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 512,
+                generation: 7,
+                seq: 3,
+                content: DirContent::Flips(Vec::new()),
+            },
+        }
+        .encode(1)
+        .expect("encodes");
+        let first = receiver.handle(at(10), Event::Datagram { from: Some(1), data: &delta }, &NoDocs);
+        assert_eq!(sends(&first).len(), 1, "first gap asks for a bitmap");
+        let again = receiver.handle(at(20), Event::Datagram { from: Some(1), data: &delta }, &NoDocs);
+        assert!(sends(&again).is_empty(), "within backoff: no second DIRREQ");
+        let later = receiver.handle(at(300), Event::Datagram { from: Some(1), data: &delta }, &NoDocs);
+        assert_eq!(sends(&later).len(), 1, "after backoff the retry rides the next delta");
+    }
+
+    #[test]
+    fn tick_sweeps_silent_peers_and_heartbeats() {
+        let mut m = sc_machine(1, vec![2, 3], 5);
+        // First tick at t=10ms: nobody has timed out (threshold 150ms).
+        let outs = m.handle(at(10), Event::Tick, &NoDocs);
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Send(Send { kind: SendKind::Keepalive, .. })
+        )));
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            Output::Send(Send { kind: SendKind::UpdateDelta, .. })
+        )));
+        assert!(!outs.iter().any(|o| matches!(o, Output::Effect(Effect::PeerFailed { .. }))));
+        // Hear from peer 2 only; at t=200ms peer 3 fails.
+        let secho = IcpMessage::Secho { request_number: 0, url: String::new() }
+            .encode(2)
+            .expect("encodes");
+        m.handle(at(100), Event::Datagram { from: Some(2), data: &secho }, &NoDocs);
+        let outs = m.handle(at(220), Event::Tick, &NoDocs);
+        let failed: Vec<u32> = outs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Effect(Effect::PeerFailed { peer }) => Some(*peer),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failed, vec![3]);
+        assert_eq!(m.live_peers(), vec![2]);
+        // Peer 3 speaks again: recovery restates our bitmap and DIRREQs theirs.
+        let outs = m.handle(at(230), Event::Datagram { from: Some(3), data: &secho }, &NoDocs);
+        assert!(outs.iter().any(|o| matches!(o, Output::Effect(Effect::PeerRecovered { peer: 3 }))));
+        let kinds: Vec<_> = sends(&outs).iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SendKind::UpdateFull));
+        assert!(kinds.iter().any(|k| matches!(k, SendKind::Resync { peer: 3, .. })));
+    }
+
+    #[test]
+    fn queries_answered_from_directory_view() {
+        struct OneDoc;
+        impl DirectoryView for OneDoc {
+            fn contains(&self, url: &str) -> bool {
+                url == "http://s/have"
+            }
+        }
+        let mut m = Machine::new(1, vec![2], 0, None, VirtualTime::ZERO);
+        let q = |url: &str| {
+            IcpMessage::Query {
+                request_number: 77,
+                requester: 2,
+                url: url.to_string(),
+            }
+            .encode(2)
+            .expect("encodes")
+        };
+        let outs = m.handle(at(1), Event::Datagram { from: Some(2), data: &q("http://s/have") }, &OneDoc);
+        assert!(matches!(
+            sends(&outs)[0].msg,
+            IcpMessage::Hit { request_number: 77, .. }
+        ));
+        let outs = m.handle(at(1), Event::Datagram { from: Some(2), data: &q("http://s/miss") }, &OneDoc);
+        assert!(matches!(
+            sends(&outs)[0].msg,
+            IcpMessage::Miss { request_number: 77, .. }
+        ));
+    }
+}

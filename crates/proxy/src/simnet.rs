@@ -1,0 +1,705 @@
+//! Deterministic simulation of a summary-cache cluster — FoundationDB
+//! style: N [`crate::machine::Machine`]s, one virtual clock, one event
+//! priority-queue, and a seeded fault plan. Nothing here touches a
+//! socket or the wall clock (the sc-check `sans_io` rule enforces it),
+//! so a seed *is* a schedule: the same seed always produces the same
+//! event journal, byte-for-byte, and any failure replays exactly.
+//!
+//! The fault plan injects, all from one [`sc_util::Rng`]:
+//!
+//! * **loss** — any datagram (including keep-alives, which exercises
+//!   failure detection) vanishes with probability `loss`;
+//! * **duplication** — a second copy is delivered with an independent
+//!   delay with probability `duplicate`;
+//! * **reordering** — every delivery draws a random delay, so datagrams
+//!   overtake each other;
+//! * **crash + restart** — a proxy goes silent, then comes back with a
+//!   fresh generation and an empty cache, forcing peers through the
+//!   restart-resync path;
+//! * **partition + heal** — the cluster splits in two; cross-partition
+//!   datagrams are dropped until the heal.
+//!
+//! After the fault window, faults stop and the run enters a *settle*
+//! phase driven by [`sc_util::poll::converge`]: keep-alive ticks keep
+//! firing until every live proxy's replica of every other proxy matches
+//! the owner's published filter **bit for bit** (or a step budget runs
+//! out, which fails the run).
+//!
+//! While the simulation runs it checks, on every output batch, the
+//! protocol's safety invariants:
+//!
+//! * a replica is only ever present after a full-bitmap install — never
+//!   conjured from a delta alone;
+//! * a detected seq gap produces *exactly one* DIRREQ, unless a DIRREQ
+//!   to that publisher is still inside [`RESYNC_BACKOFF`], in which case
+//!   it produces none.
+
+use crate::machine::{
+    Dest, DirectoryView, Effect, Event, Machine, Output, SendKind, VirtualTime, RESYNC_BACKOFF,
+};
+use sc_util::Rng;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use summary_cache_core::{ProxySummary, SummaryKind, UpdatePolicy};
+
+/// Knobs for one simulation run. The defaults describe an aggressive
+/// schedule — every fault class enabled — that still converges.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of simulated proxies (ids `0..proxies`).
+    pub proxies: usize,
+    /// Local cache-insert operations scheduled across the fault window
+    /// (each triggers a publish under the threshold-0 policy).
+    pub local_ops: usize,
+    /// Length of the fault window in virtual milliseconds.
+    pub horizon_ms: u64,
+    /// Keep-alive / heartbeat period (virtual milliseconds).
+    pub keepalive_ms: u64,
+    /// Per-proxy document capacity of the model cache; small enough
+    /// that inserts cause evictions (exercising summary removals).
+    pub cache_docs: usize,
+    /// Expected documents for summary sizing (small keeps filters tiny
+    /// and runs fast).
+    pub expected_docs: u64,
+    /// Bloom load factor (bits per document).
+    pub load_factor: u32,
+    /// Bloom hash count.
+    pub hashes: u16,
+    /// Probability an in-flight datagram is dropped (fault window only).
+    pub loss: f64,
+    /// Probability a datagram is delivered twice (fault window only).
+    pub duplicate: f64,
+    /// Delivery delay range in virtual microseconds; the spread is what
+    /// produces reordering. Outside the fault window every delivery
+    /// takes `delay_us.0` (FIFO, so settling is fast).
+    pub delay_us: (u64, u64),
+    /// Number of distinct proxies to crash and restart.
+    pub crashes: usize,
+    /// Number of partition windows to schedule.
+    pub partitions: usize,
+    /// Settle budget: keep-alive windows to run after the fault window
+    /// before declaring the cluster non-convergent.
+    pub settle_ticks: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            proxies: 4,
+            local_ops: 240,
+            horizon_ms: 2_000,
+            keepalive_ms: 50,
+            cache_docs: 48,
+            expected_docs: 64,
+            load_factor: 8,
+            hashes: 4,
+            loss: 0.12,
+            duplicate: 0.08,
+            delay_us: (200, 40_000),
+            crashes: 2,
+            partitions: 2,
+            settle_ticks: 400,
+        }
+    }
+}
+
+/// What one run produced.
+#[derive(Debug)]
+pub struct SimReport {
+    /// The seed the run was built from.
+    pub seed: u64,
+    /// Total events popped off the priority queue (deliveries, ticks,
+    /// local ops, crashes, restarts, partition edges).
+    pub events_processed: u64,
+    /// Did every live (observer, publisher) pair converge bit-for-bit?
+    pub converged: bool,
+    /// Settle keep-alive windows consumed before convergence (`None`
+    /// when the budget ran out).
+    pub settle_steps: Option<usize>,
+    /// The deterministic event journal (one line per send, delivery,
+    /// effect, and fault-plan action, each stamped with virtual time).
+    pub journal: Vec<String>,
+    /// Seq gaps detected across all proxies.
+    pub gaps_seen: u64,
+    /// DIRREQs sent across all proxies.
+    pub resyncs_requested: u64,
+    /// Full-bitmap replica installs across all proxies.
+    pub replicas_installed: u64,
+    /// Datagrams the fault plan dropped (loss + partition cuts + down
+    /// receivers).
+    pub datagrams_dropped: u64,
+    /// Datagrams the fault plan duplicated.
+    pub datagrams_duplicated: u64,
+    /// Peer-failure declarations across all proxies.
+    pub failures: u64,
+    /// Peer-recovery detections across all proxies.
+    pub recoveries: u64,
+}
+
+enum SimEvent {
+    /// A datagram arrives at `to`.
+    Deliver { to: usize, from: usize, bytes: Vec<u8> },
+    /// `node`'s keep-alive timer fires (self-rescheduling).
+    Tick { node: usize },
+    /// A local client stores a fresh document at `node`.
+    Insert { node: usize },
+    /// `node` crashes (drops off the network, loses all state).
+    Crash { node: usize },
+    /// `node` restarts with a fresh generation and empty cache.
+    Restart { node: usize },
+    /// The network splits; `sides[i]` says which half node `i` is in.
+    PartitionStart { sides: Vec<bool> },
+    /// The partition heals.
+    PartitionHeal,
+}
+
+struct QueueEntry {
+    at: u64,
+    order: u64,
+    ev: SimEvent,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.order == other.order
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first,
+        // with the scheduling order as a deterministic tie-break.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.order.cmp(&self.order))
+    }
+}
+
+/// The model cache directory: which URLs a node currently holds.
+struct SetView<'a>(&'a HashSet<String>);
+
+impl DirectoryView for SetView<'_> {
+    fn contains(&self, url: &str) -> bool {
+        self.0.contains(url)
+    }
+}
+
+struct Node {
+    machine: Machine,
+    /// Insertion-ordered model cache (FIFO eviction at `cache_docs`).
+    docs: VecDeque<String>,
+    /// Membership view of `docs` for query answering.
+    dir: HashSet<String>,
+    up: bool,
+    incarnation: u32,
+}
+
+/// One deterministic simulation. Build with [`Sim::new`], execute with
+/// [`Sim::run`].
+pub struct Sim {
+    cfg: SimConfig,
+    seed: u64,
+    rng: Rng,
+    now: u64,
+    order: u64,
+    queue: BinaryHeap<QueueEntry>,
+    nodes: Vec<Node>,
+    partition: Option<Vec<bool>>,
+    faults: bool,
+    next_doc: u64,
+    journal: Vec<String>,
+    events_processed: u64,
+    /// Mirror of "node i has an installed replica of peer j", maintained
+    /// purely from ReplicaInstalled/UpdateGap/PeerFailed effects — the
+    /// machine's actual replica presence must never diverge from it
+    /// (that divergence would mean a replica appeared without a bitmap).
+    installed: Vec<Vec<bool>>,
+    /// When node i last sent a DIRREQ to peer j, mirroring the
+    /// machine's backoff stamp, for the exactly-one-DIRREQ invariant.
+    last_dirreq: Vec<Vec<Option<u64>>>,
+    gaps_seen: u64,
+    resyncs_requested: u64,
+    replicas_installed: u64,
+    datagrams_dropped: u64,
+    datagrams_duplicated: u64,
+    failures: u64,
+    recoveries: u64,
+}
+
+/// Deterministic per-incarnation generation number: what the daemon
+/// derives from the wall clock, the simulation derives from identity.
+fn generation_for(node: usize, incarnation: u32) -> u32 {
+    (node as u32 + 1) * 100_000 + incarnation + 1
+}
+
+impl Sim {
+    /// Build a simulation: construct the machines and schedule the whole
+    /// fault plan (local ops, ticks, crashes, partitions) up front from
+    /// `seed`.
+    pub fn new(cfg: SimConfig, seed: u64) -> Sim {
+        assert!(cfg.proxies >= 2, "a cluster needs at least two proxies");
+        assert!(cfg.crashes < cfg.proxies, "leave at least one proxy standing");
+        assert!(cfg.keepalive_ms > 0, "the heartbeat drives anti-entropy");
+        assert!(cfg.delay_us.0 < cfg.delay_us.1, "delay range must be non-empty");
+        let rng = Rng::seed_from_u64(seed ^ 0x5EED_CAFE_F00D_D00D);
+        let n = cfg.proxies;
+        let nodes: Vec<Node> = (0..n)
+            .map(|i| Node {
+                machine: fresh_machine(&cfg, i, 0),
+                docs: VecDeque::new(),
+                dir: HashSet::new(),
+                up: true,
+                incarnation: 0,
+            })
+            .collect();
+        let mut sim = Sim {
+            seed,
+            rng,
+            now: 0,
+            order: 0,
+            queue: BinaryHeap::new(),
+            nodes,
+            partition: None,
+            faults: true,
+            next_doc: 0,
+            journal: Vec::new(),
+            events_processed: 0,
+            installed: vec![vec![false; n]; n],
+            last_dirreq: vec![vec![None; n]; n],
+            gaps_seen: 0,
+            resyncs_requested: 0,
+            replicas_installed: 0,
+            datagrams_dropped: 0,
+            datagrams_duplicated: 0,
+            failures: 0,
+            recoveries: 0,
+            cfg,
+        };
+        let horizon = sim.cfg.horizon_ms * 1_000;
+        let ka = sim.cfg.keepalive_ms * 1_000;
+        // Staggered self-rescheduling ticks.
+        for i in 0..n {
+            let phase = (i as u64 + 1) * ka / (n as u64 + 1);
+            sim.schedule(phase, SimEvent::Tick { node: i });
+        }
+        // Local inserts, uniform over the fault window.
+        for _ in 0..sim.cfg.local_ops {
+            let at = sim.rng.gen_range(0..horizon);
+            let node = sim.rng.gen_range(0..n);
+            sim.schedule(at, SimEvent::Insert { node });
+        }
+        // Crash plan: distinct nodes, mid-window, each restarting.
+        let mut victims: Vec<usize> = (0..n).collect();
+        sim.rng.shuffle(&mut victims);
+        for &node in victims.iter().take(sim.cfg.crashes) {
+            let crash_at = sim.rng.gen_range(horizon / 4..horizon * 3 / 4);
+            let down_for = sim.rng.gen_range(100_000..400_000u64);
+            sim.schedule(crash_at, SimEvent::Crash { node });
+            sim.schedule(crash_at + down_for, SimEvent::Restart { node });
+        }
+        // Partition plan: random two-coloring, never trivial.
+        for _ in 0..sim.cfg.partitions {
+            let start = sim.rng.gen_range(0..horizon * 3 / 4);
+            let width = sim.rng.gen_range(200_000..600_000u64);
+            let mut sides: Vec<bool> = (0..n).map(|_| sim.rng.gen_bool(0.5)).collect();
+            if sides.iter().all(|&s| s == sides[0]) {
+                sides[0] = !sides[0];
+            }
+            sim.schedule(start, SimEvent::PartitionStart { sides });
+            sim.schedule(start + width, SimEvent::PartitionHeal);
+        }
+        sim
+    }
+
+    fn schedule(&mut self, at: u64, ev: SimEvent) {
+        let order = self.order;
+        self.order += 1;
+        self.queue.push(QueueEntry { at, order, ev });
+    }
+
+    /// Run the fault window, then settle; returns the report. Panics
+    /// (with the offending virtual time and nodes) if a safety
+    /// invariant breaks mid-run.
+    pub fn run(mut self) -> SimReport {
+        let horizon = self.cfg.horizon_ms * 1_000;
+        self.advance(horizon);
+        // Fault window over: heal everything and let the protocol's own
+        // machinery (heartbeats, gap detection, DIRREQ resync) converge
+        // the replicas.
+        self.faults = false;
+        self.partition = None;
+        let note = format!("{}us -- settle: faults off --", self.now);
+        self.journal.push(note);
+        let ka = self.cfg.keepalive_ms * 1_000;
+        let budget = self.cfg.settle_ticks;
+        let settle_steps = sc_util::poll::converge(
+            &mut self,
+            budget,
+            |s| {
+                let t = s.now + ka;
+                s.advance(t);
+            },
+            |s| s.converged(),
+        );
+        SimReport {
+            seed: self.seed,
+            events_processed: self.events_processed,
+            converged: settle_steps.is_some(),
+            settle_steps,
+            journal: self.journal,
+            gaps_seen: self.gaps_seen,
+            resyncs_requested: self.resyncs_requested,
+            replicas_installed: self.replicas_installed,
+            datagrams_dropped: self.datagrams_dropped,
+            datagrams_duplicated: self.datagrams_duplicated,
+            failures: self.failures,
+            recoveries: self.recoveries,
+        }
+    }
+
+    /// Has every live (observer, publisher) pair converged bit-for-bit?
+    fn converged(&self) -> bool {
+        (0..self.nodes.len()).all(|i| {
+            !self.nodes[i].up
+                || (0..self.nodes.len()).all(|j| {
+                    i == j
+                        || !self.nodes[j].up
+                        || self.nodes[i].machine.replica_bits(j as u32)
+                            == self.nodes[j].machine.published_bits()
+                })
+        })
+    }
+
+    /// Process every queued event with `at <= until`, then move the
+    /// clock to `until`.
+    fn advance(&mut self, until: u64) {
+        while self.queue.peek().is_some_and(|e| e.at <= until) {
+            let Some(entry) = self.queue.pop() else { break };
+            self.now = self.now.max(entry.at);
+            self.events_processed += 1;
+            self.process(entry.ev);
+        }
+        self.now = self.now.max(until);
+    }
+
+    fn process(&mut self, ev: SimEvent) {
+        match ev {
+            SimEvent::Deliver { to, from, bytes } => {
+                if !self.nodes[to].up {
+                    self.datagrams_dropped += 1;
+                    return;
+                }
+                self.journal
+                    .push(format!("{}us n{to} <- n{from} {}B", self.now, bytes.len()));
+                let node = &mut self.nodes[to];
+                let outputs = node.machine.handle(
+                    VirtualTime::from_micros(self.now),
+                    Event::Datagram {
+                        from: Some(from as u32),
+                        data: &bytes,
+                    },
+                    &SetView(&node.dir),
+                );
+                self.dispatch(to, Some(from), outputs);
+            }
+            SimEvent::Tick { node } => {
+                let ka = self.cfg.keepalive_ms * 1_000;
+                self.schedule(self.now + ka, SimEvent::Tick { node });
+                if !self.nodes[node].up {
+                    return;
+                }
+                let n = &mut self.nodes[node];
+                let outputs = n.machine.handle(
+                    VirtualTime::from_micros(self.now),
+                    Event::Tick,
+                    &SetView(&n.dir),
+                );
+                self.dispatch(node, None, outputs);
+            }
+            SimEvent::Insert { node } => {
+                if !self.nodes[node].up {
+                    return;
+                }
+                let url = format!("http://server-{node}.sim.invalid/doc/{}", self.next_doc);
+                self.next_doc += 1;
+                let cap = self.cfg.cache_docs;
+                let n = &mut self.nodes[node];
+                n.docs.push_back(url.clone());
+                n.dir.insert(url.clone());
+                let mut evicted = Vec::new();
+                while n.docs.len() > cap {
+                    if let Some(victim) = n.docs.pop_front() {
+                        n.dir.remove(&victim);
+                        evicted.push(victim);
+                    }
+                }
+                self.journal.push(format!(
+                    "{}us n{node} insert {url} (evicting {})",
+                    self.now,
+                    evicted.len()
+                ));
+                let now = VirtualTime::from_micros(self.now);
+                let n = &mut self.nodes[node];
+                let stored = n.machine.handle(
+                    now,
+                    Event::Stored {
+                        url: &url,
+                        evicted: &evicted,
+                    },
+                    &SetView(&n.dir),
+                );
+                self.dispatch(node, None, stored);
+                let n = &mut self.nodes[node];
+                let published = n
+                    .machine
+                    .handle(now, Event::RequestDone, &SetView(&n.dir));
+                self.dispatch(node, None, published);
+            }
+            SimEvent::Crash { node } => {
+                self.journal.push(format!("{}us n{node} CRASH", self.now));
+                self.nodes[node].up = false;
+            }
+            SimEvent::Restart { node } => {
+                let inc = self.nodes[node].incarnation + 1;
+                self.journal.push(format!(
+                    "{}us n{node} RESTART gen {}",
+                    self.now,
+                    generation_for(node, inc)
+                ));
+                let n = &mut self.nodes[node];
+                n.up = true;
+                n.incarnation = inc;
+                n.machine = fresh_machine(&self.cfg, node, inc);
+                n.docs.clear();
+                n.dir.clear();
+                // All replica/backoff state died with the process.
+                for j in 0..self.nodes.len() {
+                    self.installed[node][j] = false;
+                    self.last_dirreq[node][j] = None;
+                }
+            }
+            SimEvent::PartitionStart { sides } => {
+                let a: Vec<usize> = (0..sides.len()).filter(|&i| sides[i]).collect();
+                self.journal
+                    .push(format!("{}us PARTITION {a:?} | rest", self.now));
+                self.partition = Some(sides);
+            }
+            SimEvent::PartitionHeal => {
+                self.journal.push(format!("{}us HEAL", self.now));
+                self.partition = None;
+            }
+        }
+    }
+
+    /// Carry out a batch of machine outputs from `node`, checking the
+    /// batch-level invariants first.
+    fn dispatch(&mut self, node: usize, sender: Option<usize>, outputs: Vec<Output>) {
+        // Invariant: a detected gap yields exactly one DIRREQ, or zero
+        // when a DIRREQ to that publisher is still inside the backoff.
+        for output in &outputs {
+            let Output::Effect(Effect::UpdateGap { peer, .. }) = output else {
+                continue;
+            };
+            let sent = outputs
+                .iter()
+                .filter(|o| {
+                    matches!(
+                        o,
+                        Output::Send(s) if matches!(s.kind, SendKind::Resync { peer: p, .. } if p == *peer)
+                    )
+                })
+                .count();
+            let within_backoff = self.last_dirreq[node][*peer as usize]
+                .is_some_and(|at| self.now - at < RESYNC_BACKOFF.as_micros() as u64);
+            let expected = usize::from(!within_backoff);
+            assert!(
+                sent == expected,
+                "invariant violated at {}us: node {node} detected a gap from peer {peer} \
+                 and sent {sent} DIRREQ(s), expected {expected} (backoff {})",
+                self.now,
+                if within_backoff { "active" } else { "clear" },
+            );
+        }
+        for output in outputs {
+            match output {
+                Output::Effect(effect) => self.observe_effect(node, effect),
+                Output::Send(send) => {
+                    let node_id = self.nodes[node].machine.id();
+                    let Ok(bytes) = send.msg.encode(node_id) else {
+                        continue;
+                    };
+                    if let SendKind::Resync { peer, .. } = send.kind {
+                        self.last_dirreq[node][peer as usize] = Some(self.now);
+                        self.resyncs_requested += 1;
+                    }
+                    self.journal.push(format!(
+                        "{}us n{node} send {:?} -> {:?} {}B",
+                        self.now,
+                        send.kind,
+                        send.to,
+                        bytes.len()
+                    ));
+                    let targets: Vec<usize> = match send.to {
+                        Dest::Peer(id) => vec![id as usize],
+                        Dest::AllPeers => {
+                            (0..self.nodes.len()).filter(|&j| j != node).collect()
+                        }
+                        Dest::Sender => match sender {
+                            Some(s) => vec![s],
+                            None => Vec::new(),
+                        },
+                    };
+                    for to in targets {
+                        self.transmit(node, to, &bytes);
+                    }
+                }
+            }
+        }
+        // Invariant: replica presence in the machine must match the
+        // bitmap-install accounting — a mismatch means a replica was
+        // conjured from a delta (or survived a gap/failure drop).
+        for j in 0..self.nodes.len() {
+            if j == node {
+                continue;
+            }
+            let present = self.nodes[node].machine.replica_installed(j as u32);
+            assert!(
+                present == self.installed[node][j],
+                "invariant violated at {}us: node {node}'s replica of peer {j} is {} \
+                 but only bitmap installs may create replicas (tracker says {})",
+                self.now,
+                if present { "present" } else { "absent" },
+                self.installed[node][j],
+            );
+        }
+    }
+
+    fn observe_effect(&mut self, node: usize, effect: Effect) {
+        self.journal
+            .push(format!("{}us n{node} {effect:?}", self.now));
+        match effect {
+            Effect::ReplicaInstalled { peer, .. } => {
+                self.installed[node][peer as usize] = true;
+                // A bitmap install clears the machine's backoff stamp.
+                self.last_dirreq[node][peer as usize] = None;
+                self.replicas_installed += 1;
+            }
+            Effect::UpdateGap { peer, .. } => {
+                self.installed[node][peer as usize] = false;
+                self.gaps_seen += 1;
+            }
+            Effect::PeerFailed { peer } => {
+                self.installed[node][peer as usize] = false;
+                // The replica entry (and its backoff stamp) was dropped.
+                self.last_dirreq[node][peer as usize] = None;
+                self.failures += 1;
+            }
+            Effect::PeerRecovered { .. } => self.recoveries += 1,
+            _ => {}
+        }
+    }
+
+    /// Put a datagram on the virtual wire, subject to the fault plan.
+    fn transmit(&mut self, from: usize, to: usize, bytes: &[u8]) {
+        if self.faults {
+            if let Some(sides) = &self.partition {
+                if sides[from] != sides[to] {
+                    self.datagrams_dropped += 1;
+                    return;
+                }
+            }
+            if self.rng.gen_bool(self.cfg.loss) {
+                self.datagrams_dropped += 1;
+                return;
+            }
+        }
+        let (lo, hi) = self.cfg.delay_us;
+        let delay = if self.faults { self.rng.gen_range(lo..hi) } else { lo };
+        self.schedule(
+            self.now + delay,
+            SimEvent::Deliver {
+                to,
+                from,
+                bytes: bytes.to_vec(),
+            },
+        );
+        if self.faults && self.rng.gen_bool(self.cfg.duplicate) {
+            let delay = self.rng.gen_range(lo..hi);
+            self.datagrams_duplicated += 1;
+            self.schedule(
+                self.now + delay,
+                SimEvent::Deliver {
+                    to,
+                    from,
+                    bytes: bytes.to_vec(),
+                },
+            );
+        }
+    }
+}
+
+fn fresh_machine(cfg: &SimConfig, node: usize, incarnation: u32) -> Machine {
+    let kind = SummaryKind::Bloom {
+        load_factor: cfg.load_factor,
+        hashes: cfg.hashes,
+    };
+    let mut summary = ProxySummary::with_expected_docs(kind, cfg.expected_docs);
+    summary.set_generation(generation_for(node, incarnation));
+    let peers: Vec<u32> = (0..cfg.proxies as u32)
+        .filter(|&p| p != node as u32)
+        .collect();
+    Machine::new(
+        node as u32,
+        peers,
+        cfg.keepalive_ms,
+        Some((summary, UpdatePolicy::Threshold(0.0))),
+        VirtualTime::ZERO,
+    )
+}
+
+/// Convenience: build and run one simulation with the default config.
+pub fn run_seed(seed: u64) -> SimReport {
+    Sim::new(SimConfig::default(), seed).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_quiet_cluster_converges_trivially() {
+        let cfg = SimConfig {
+            local_ops: 12,
+            horizon_ms: 500,
+            loss: 0.0,
+            duplicate: 0.0,
+            crashes: 0,
+            partitions: 0,
+            delay_us: (200, 2_000),
+            ..SimConfig::default()
+        };
+        let report = Sim::new(cfg, 42).run();
+        assert!(report.converged, "no faults, no excuses: {report:?}");
+        assert!(report.replicas_installed > 0);
+    }
+
+    #[test]
+    fn default_plan_processes_thousands_of_events_and_converges() {
+        let report = run_seed(7);
+        assert!(report.converged, "seed 7 must converge: {report:?}");
+        assert!(
+            report.events_processed >= 1_000,
+            "schedule too small: {} events",
+            report.events_processed
+        );
+        assert!(report.datagrams_dropped > 0, "loss plan was exercised");
+        assert!(report.datagrams_duplicated > 0, "duplication plan was exercised");
+        assert!(report.gaps_seen > 0, "loss produced detectable gaps");
+        assert!(report.resyncs_requested > 0, "gaps produced DIRREQs");
+    }
+}

@@ -12,9 +12,13 @@
 //! * [`prop`] — a minimal property-test harness replacing `proptest`
 //!   (seeded cases, shrink-free, failure messages name the failing seed);
 //! * [`bench`] — a minimal wall-clock micro-benchmark harness replacing
-//!   `criterion` (used by the `harness = false` bench targets).
+//!   `criterion` (used by the `harness = false` bench targets);
+//! * [`poll`] — a shared convergence loop: virtual-clock stepping for
+//!   the deterministic simnet, real-clock deadline polling for live
+//!   integration tests.
 
 pub mod bench;
+pub mod poll;
 pub mod prop;
 pub mod rng;
 

@@ -1,0 +1,101 @@
+//! Deadline polling: drive a step function until a predicate holds.
+//!
+//! One convergence loop serves two very different drivers:
+//!
+//! * the deterministic simnet ([`converge`]) steps a *virtual* clock —
+//!   each step advances the simulation one keep-alive window and the
+//!   predicate checks protocol quiescence;
+//! * the live integration tests ([`wait_until`]) step the *real* clock —
+//!   each step sleeps a short interval and the predicate re-reads a
+//!   stats snapshot, replacing the fixed `thread::sleep` waits that made
+//!   those tests flaky on slow machines and slow on fast ones.
+
+use std::time::Duration;
+
+/// Run `step` on `state` until `done` holds, at most `max_steps` times.
+///
+/// `done` is checked before the first step (already-converged systems
+/// take zero steps). Returns `Some(steps_taken)` on success, `None` if
+/// the budget ran out with the predicate still false.
+pub fn converge<S>(
+    state: &mut S,
+    max_steps: usize,
+    mut step: impl FnMut(&mut S),
+    mut done: impl FnMut(&mut S) -> bool,
+) -> Option<usize> {
+    if done(state) {
+        return Some(0);
+    }
+    for taken in 1..=max_steps {
+        step(state);
+        if done(state) {
+            return Some(taken);
+        }
+    }
+    None
+}
+
+/// Poll `pred` every `interval` of real time until it holds or
+/// `timeout` elapses. Returns whether the predicate ever held.
+///
+/// This is [`converge`] with a sleeping step function — the shared
+/// deadline-polling helper for live-cluster tests.
+pub fn wait_until(timeout: Duration, interval: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let interval = interval.max(Duration::from_millis(1));
+    let steps = (timeout.as_micros() / interval.as_micros()).max(1) as usize;
+    converge(
+        &mut (),
+        steps,
+        |_| std::thread::sleep(interval),
+        |_| pred(),
+    )
+    .is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converge_checks_before_stepping() {
+        let mut steps = 0;
+        let r = converge(&mut steps, 10, |s| *s += 1, |_| true);
+        assert_eq!(r, Some(0));
+        assert_eq!(steps, 0, "already-done systems take no steps");
+    }
+
+    #[test]
+    fn converge_counts_steps() {
+        let mut v = 0;
+        let r = converge(&mut v, 10, |s| *s += 1, |s| *s >= 3);
+        assert_eq!(r, Some(3));
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn converge_exhausts_budget() {
+        let mut v = 0;
+        let r = converge(&mut v, 5, |s| *s += 1, |_| false);
+        assert_eq!(r, None);
+        assert_eq!(v, 5, "every budgeted step ran");
+    }
+
+    #[test]
+    fn wait_until_observes_a_flipping_predicate() {
+        let t0 = std::time::Instant::now();
+        let ok = wait_until(Duration::from_secs(2), Duration::from_millis(1), || {
+            t0.elapsed() >= Duration::from_millis(5)
+        });
+        assert!(ok);
+        assert!(t0.elapsed() < Duration::from_secs(2), "returned well before timeout");
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        assert!(!wait_until(
+            Duration::from_millis(10),
+            Duration::from_millis(2),
+            || false
+        ));
+    }
+}

@@ -6,8 +6,20 @@
 # step here ever touches the network.
 #
 #   scripts/check.sh            # from the workspace root
+#   scripts/check.sh --soak     # + simnet property suite over an
+#                               #   extended seed range (SC_SIM_SEEDS,
+#                               #   default 1000; SC_SIM_SEED replays
+#                               #   one seed)
 #
 set -eu
+
+SOAK=0
+for arg in "$@"; do
+    case "$arg" in
+        --soak) SOAK=1 ;;
+        *) echo "usage: scripts/check.sh [--soak]" >&2; exit 2 ;;
+    esac
+done
 
 cd "$(dirname "$0")/.."
 
@@ -22,5 +34,12 @@ cargo test --workspace -q --offline
 
 echo "==> sc-check (static-analysis gate)"
 cargo run -p sc-check --offline --quiet
+
+if [ "$SOAK" = 1 ]; then
+    SC_SIM_SEEDS="${SC_SIM_SEEDS:-1000}"
+    export SC_SIM_SEEDS
+    echo "==> seeded soak (simnet property suite, $SC_SIM_SEEDS seeds)"
+    cargo test -q --offline --test simnet_properties seeded_soak -- --nocapture
+fi
 
 echo "==> all checks passed"

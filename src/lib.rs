@@ -25,7 +25,9 @@
 //!   (`/metrics`, `/json`, `/events`);
 //! * [`obs`] — the std-only metrics registry / event journal every
 //!   number above flows through;
-//! * [`json`] — the hand-rolled JSON used for results and snapshots.
+//! * [`json`] — the hand-rolled JSON used for results and snapshots;
+//! * [`util`] — seeded RNG, property-test harness, bench harness, and
+//!   the shared convergence/deadline-polling helper.
 //!
 //! ## Quick start
 //!
@@ -56,5 +58,6 @@ pub use sc_obs as obs;
 pub use sc_proxy as proxy;
 pub use sc_sim as sim;
 pub use sc_trace as trace;
+pub use sc_util as util;
 pub use sc_wire as wire;
 pub use summary_cache_core as core;

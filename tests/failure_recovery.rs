@@ -43,21 +43,22 @@ fn silent_peer_replica_is_evicted() {
         DocMeta { size: 500, last_modified: 1 },
     )
     .unwrap();
-    std::thread::sleep(Duration::from_millis(120));
-    assert_eq!(
-        cluster.daemons[0].replicated_peers(),
-        vec![1],
+    assert!(
+        sc_util::poll::wait_until(Duration::from_secs(5), Duration::from_millis(10), || {
+            cluster.daemons[0].replicated_peers() == vec![1]
+        }),
         "proxy 0 replicated proxy 1's summary"
     );
 
     // Proxy 1 dies; after >3 keep-alive periods proxy 0 must drop it.
     cluster.daemons[1].shutdown();
-    std::thread::sleep(Duration::from_millis(500));
     assert!(
-        cluster.daemons[0].replicated_peers().is_empty(),
+        sc_util::poll::wait_until(Duration::from_secs(5), Duration::from_millis(10), || {
+            cluster.daemons[0].replicated_peers().is_empty()
+                && cluster.daemons[0].stats.snapshot().peer_failures >= 1
+        }),
         "failed peer's replica evicted"
     );
-    assert!(cluster.daemons[0].stats.snapshot().peer_failures >= 1);
     cluster.origin.shutdown();
     cluster.daemons[0].shutdown();
 }
@@ -102,24 +103,19 @@ fn lossy_cluster_reconverges_via_resync() {
     // remain. Poll until every directed (observer, publisher) pair
     // agrees bit-for-bit — transient desync windows between a lost
     // datagram and its resync are expected, permanent drift is not.
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        let all_synced = cluster.daemons.iter().enumerate().all(|(i, observer)| {
-            cluster.daemons.iter().enumerate().all(|(j, publisher)| {
-                i == j
-                    || observer.replica_bits(j as u32).as_ref()
-                        == publisher.published_bits().as_ref()
+    // (This is the live twin of the simnet's quiescence check.)
+    assert!(
+        sc_util::poll::wait_until(Duration::from_secs(10), Duration::from_millis(20), || {
+            cluster.daemons.iter().enumerate().all(|(i, observer)| {
+                cluster.daemons.iter().enumerate().all(|(j, publisher)| {
+                    i == j
+                        || observer.replica_bits(j as u32).as_ref()
+                            == publisher.published_bits().as_ref()
+                })
             })
-        });
-        if all_synced {
-            break;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "replicas drifted and never reconverged"
-        );
-        std::thread::sleep(Duration::from_millis(20));
-    }
+        }),
+        "replicas drifted and never reconverged"
+    );
 
     // 480 publishes x 3 peers at 5% loss: gaps were certainly seen, and
     // every gap must have ended in a resync.
@@ -152,8 +148,12 @@ fn recovered_peer_receives_full_bitmap() {
     // failed.
     d1.shutdown();
     drop(d1);
-    std::thread::sleep(Duration::from_millis(500));
-    assert!(d0.stats.snapshot().peer_failures >= 1);
+    assert!(
+        sc_util::poll::wait_until(Duration::from_secs(5), Duration::from_millis(10), || {
+            d0.stats.snapshot().peer_failures >= 1
+        }),
+        "peer 1 declared failed"
+    );
 
     // "Restart" proxy 1: bind a fresh socket on its old ICP port and
     // send a keep-alive. Proxy 0 must answer with a DIRFULL
@@ -199,15 +199,12 @@ fn recovered_peer_receives_full_bitmap() {
     );
     // The datagram can outrun the sender's own counter update by a few
     // instructions; give the accounting a moment.
-    let counted = (0..100).any(|_| {
-        if d0.stats.snapshot().peer_recoveries >= 1 {
-            true
-        } else {
-            std::thread::sleep(Duration::from_millis(5));
-            false
-        }
-    });
-    assert!(counted, "recovery was counted");
+    assert!(
+        sc_util::poll::wait_until(Duration::from_secs(2), Duration::from_millis(5), || {
+            d0.stats.snapshot().peer_recoveries >= 1
+        }),
+        "recovery was counted"
+    );
     cluster.origin.shutdown();
     d0.shutdown();
 }

@@ -159,9 +159,13 @@ fn failed_peers_are_not_queried_in_icp_mode() {
     let cluster = Cluster::start(&config).unwrap();
     cluster.daemons[1].shutdown();
     cluster.daemons[2].shutdown();
-    std::thread::sleep(Duration::from_millis(500));
     let d0 = &cluster.daemons[0];
-    assert!(d0.stats.snapshot().peer_failures >= 2, "both peers declared dead");
+    assert!(
+        sc_util::poll::wait_until(Duration::from_secs(5), Duration::from_millis(10), || {
+            d0.stats.snapshot().peer_failures >= 2
+        }),
+        "both peers declared dead"
+    );
 
     let sent_before = d0.stats.snapshot().icp_queries_sent;
     let mut c0 = ProxyClient::connect(d0.http_addr, d0.stats.clone()).unwrap();
@@ -192,13 +196,14 @@ fn keepalives_are_the_no_icp_baseline() {
     let mut config = cfg(3, Mode::NoIcp);
     config.keepalive_ms = 50;
     let cluster = Cluster::start(&config).unwrap();
-    std::thread::sleep(Duration::from_millis(400));
-    let totals = cluster.aggregate();
     assert!(
-        totals.udp_sent >= 3 * 2 * 3, // 3 proxies x 2 peers x >=3 ticks
-        "keepalives flowed: {totals:?}"
+        sc_util::poll::wait_until(Duration::from_secs(5), Duration::from_millis(10), || {
+            cluster.aggregate().udp_sent >= 3 * 2 * 3 // 3 proxies x 2 peers x >=3 ticks
+        }),
+        "keepalives flowed: {:?}",
+        cluster.aggregate()
     );
-    assert_eq!(totals.icp_queries_sent, 0);
+    assert_eq!(cluster.aggregate().icp_queries_sent, 0);
     cluster.shutdown();
 }
 

@@ -127,13 +127,18 @@ fn json_and_event_routes_reflect_the_run() {
         .expect("sc_http_requests_total instrument");
     assert!(reqs > 0.0, "daemon served requests: {reqs}");
 
-    let events = admin::fetch(d.admin_addr, "/events").expect("fetch /events");
-    match Value::parse(&events).expect("valid events json") {
-        Value::Array(items) => {
-            assert!(!items.is_empty(), "an SC run journals events");
-        }
-        other => panic!("/events must be an array, got {other:?}"),
-    }
+    // Journal writes trail the replies that caused them; poll instead
+    // of assuming the run's last event already landed.
+    assert!(
+        sc_util::poll::wait_until(Duration::from_secs(5), Duration::from_millis(10), || {
+            let events = admin::fetch(d.admin_addr, "/events").expect("fetch /events");
+            match Value::parse(&events).expect("valid events json") {
+                Value::Array(items) => !items.is_empty(),
+                other => panic!("/events must be an array, got {other:?}"),
+            }
+        }),
+        "an SC run journals events"
+    );
 
     cluster.shutdown();
 }

@@ -257,6 +257,99 @@ fn sequenced_update_and_dirreq_datagrams_roundtrip_and_reject_truncation() {
     }
 }
 
+/// Robustness: the decoder must never panic, whatever bytes arrive.
+/// Two seeded sweeps — pure random byte strings of every small length,
+/// and valid DIRUPDATE/DIRREQ/query datagrams with random mutations
+/// (flipped bytes, truncations, extensions) — exercise the length and
+/// tag checks on every path. Decode may return `Err` as much as it
+/// likes; it may not crash the daemon thread.
+#[test]
+fn decode_never_panics_on_arbitrary_bytes() {
+    use summary_cache::bloom::Flip;
+
+    let mut rng = sc_util::Rng::seed_from_u64(0xD1_5EA5E);
+
+    // Sweep 1: unstructured noise at every length up to a few MTUs.
+    for round in 0..2_000u32 {
+        let len = (round as usize % 200) * 8 + rng.gen_range(0..8usize);
+        let data: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+        let _ = IcpMessage::decode(&data); // must return, not panic
+    }
+
+    // Sweep 2: start from valid datagrams of every message shape and
+    // mutate them — this reaches deep parser states (extension headers,
+    // flip lists, bitmap word counts) that noise almost never enters.
+    let seeds: Vec<Vec<u8>> = vec![
+        IcpMessage::Query {
+            request_number: 1,
+            requester: 1,
+            url: "http://h.invalid/x".into(),
+        }
+        .encode(1)
+        .unwrap(),
+        IcpMessage::Hit { request_number: 2, url: "http://h.invalid/x".into() }
+            .encode(1)
+            .unwrap(),
+        IcpMessage::Secho { request_number: 0, url: String::new() }.encode(1).unwrap(),
+        IcpMessage::DirReq { request_number: 3, sender: 1, generation: 77 }
+            .encode(1)
+            .unwrap(),
+        IcpMessage::DirUpdate {
+            request_number: 4,
+            sender: 1,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 4_096,
+                generation: 5,
+                seq: 6,
+                content: DirContent::Flips(vec![Flip::set(1), Flip::clear(100)]),
+            },
+        }
+        .encode(1)
+        .unwrap(),
+        IcpMessage::DirUpdate {
+            request_number: 5,
+            sender: 1,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 256,
+                generation: 5,
+                seq: 7,
+                content: DirContent::Bitmap(vec![!0u64; 4]),
+            },
+        }
+        .encode(1)
+        .unwrap(),
+    ];
+    for _ in 0..3_000u32 {
+        let mut bytes = seeds[rng.gen_range(0..seeds.len())].to_vec();
+        match rng.gen_range(0u32..4) {
+            // Flip a handful of bytes in place.
+            0 => {
+                for _ in 0..rng.gen_range(1..6usize) {
+                    let i = rng.gen_range(0..bytes.len());
+                    bytes[i] ^= rng.next_u32() as u8;
+                }
+            }
+            // Truncate at a random point.
+            1 => bytes.truncate(rng.gen_range(0..bytes.len())),
+            // Extend with trailing garbage.
+            2 => bytes.extend((0..rng.gen_range(1..64usize)).map(|_| rng.next_u32() as u8)),
+            // Corrupt the declared-length / count fields specifically.
+            _ => {
+                for i in 2..bytes.len().min(24) {
+                    if rng.gen_bool(0.3) {
+                        bytes[i] ^= rng.next_u32() as u8;
+                    }
+                }
+            }
+        }
+        let _ = IcpMessage::decode(&bytes); // must return, not panic
+    }
+}
+
 #[test]
 fn spec_change_reinitializes_replica() {
     // A peer that restarts with a different filter size announces it in
