@@ -1,0 +1,150 @@
+//! The tracked hot-path benchmark suite: every stage of the hash-once
+//! probe pipeline, from the raw MD5 digest to end-to-end simnet request
+//! throughput.
+//!
+//! Run via `scripts/bench.sh`, which sets `SC_BENCH_MS` for a real
+//! measurement window and `SC_BENCH_JSON` to write the tracked
+//! `BENCH_hotpath.json` at the repo root. Under plain `cargo test` the
+//! suite runs with a tiny window and writes no file.
+
+use sc_json::Value;
+use sc_proxy::simnet::{Sim, SimConfig};
+use sc_util::bench::{black_box, Bench};
+use summary_cache_core::{PeerTable, ProxySummary, SummaryKind, UrlKey};
+
+fn url(i: u32) -> Vec<u8> {
+    format!("http://server-{}.trace.invalid/doc/{}", i / 12, i).into_bytes()
+}
+
+fn server(i: u32) -> Vec<u8> {
+    format!("server-{}.trace.invalid", i / 12).into_bytes()
+}
+
+/// A peer table of `n` Bloom summaries, each holding 200 documents.
+fn table_with_peers(n: u32) -> PeerTable {
+    let mut table = PeerTable::new();
+    for id in 0..n {
+        let mut s = ProxySummary::with_expected_docs(SummaryKind::recommended(), 256);
+        for j in 0..200u32 {
+            let doc = id * 1_000 + j;
+            s.insert(&url(doc), &server(doc));
+        }
+        s.publish();
+        table.install(id, s.snapshot_published());
+    }
+    table
+}
+
+fn bench_md5(b: &mut Bench, results: &mut Vec<(String, Value)>) {
+    let key = url(123_456);
+    let ns = b.bench("md5/url-digest", || {
+        black_box(sc_md5::md5(black_box(&key)));
+    });
+    results.push(("md5/url-digest".into(), Value::Float(ns)));
+}
+
+fn bench_indices(b: &mut Bench, results: &mut Vec<(String, Value)>) {
+    let key = url(123_456);
+    let spec = sc_bloom::HashSpec::paper_default(4, 1 << 20).expect("valid spec");
+
+    let ns = b.bench("indices/alloc", || {
+        black_box(spec.indices(black_box(&key)));
+    });
+    results.push(("indices/alloc".into(), Value::Float(ns)));
+
+    let mut buf = Vec::new();
+    let ns = b.bench("indices/into", || {
+        spec.indices_into(black_box(&key), &mut buf);
+        black_box(&buf);
+    });
+    results.push(("indices/into".into(), Value::Float(ns)));
+
+    let ukey = UrlKey::new(&key);
+    let ns = b.bench("indices/urlkey-memoized", || {
+        ukey.with_indices(&spec, |idx| {
+            black_box(idx);
+        });
+    });
+    results.push(("indices/urlkey-memoized".into(), Value::Float(ns)));
+}
+
+fn bench_probe_all(b: &mut Bench, results: &mut Vec<(String, Value)>) {
+    for peers in [4u32, 8, 16] {
+        let table = table_with_peers(peers);
+        let probe_url = url(3_007); // in peer 3's directory
+        let probe_server = server(3_007);
+
+        let ns = b.bench(&format!("probe-all/{peers}-peers/bytes"), || {
+            black_box(table.probe_all(black_box(&probe_url), black_box(&probe_server)));
+        });
+        results.push((format!("probe-all/{peers}-peers/bytes"), Value::Float(ns)));
+
+        // The key path includes key construction each iteration: this is
+        // the full per-request cost, hashed once and probed everywhere.
+        let ns = b.bench(&format!("probe-all/{peers}-peers/urlkey"), || {
+            let uk = UrlKey::new(black_box(&probe_url));
+            let sk = UrlKey::new(black_box(&probe_server));
+            black_box(table.probe_all_key(&uk, &sk));
+        });
+        results.push((format!("probe-all/{peers}-peers/urlkey"), Value::Float(ns)));
+    }
+}
+
+/// End-to-end: a quiet (fault-free) deterministic simnet run, reported
+/// as ns per client request. Exercises the whole stack — machine event
+/// handling, hash-once summary maintenance, candidate probes, delta
+/// publish fan-out, wire encode/decode.
+fn bench_simnet(b: &mut Bench, results: &mut Vec<(String, Value)>) {
+    let cfg = SimConfig {
+        proxies: 4,
+        local_ops: 200,
+        horizon_ms: 500,
+        keepalive_ms: 50,
+        loss: 0.0,
+        duplicate: 0.0,
+        delay_us: (200, 2_000),
+        crashes: 0,
+        partitions: 0,
+        ..SimConfig::default()
+    };
+    let local_ops = cfg.local_ops as u64;
+    let mut seed = 1u64;
+    let ns_per_run = b.bench("e2e/simnet-run", || {
+        let report = Sim::new(cfg.clone(), seed).run();
+        assert!(report.converged, "quiet simnet must converge");
+        black_box(report.events_processed);
+        seed = seed.wrapping_add(1);
+    });
+    let ns_per_request = ns_per_run / local_ops as f64;
+    println!(
+        "hotpath/e2e/simnet ns-per-request: {ns_per_request:.0} ({local_ops} requests/run)"
+    );
+    results.push(("e2e/simnet-run".into(), Value::Float(ns_per_run)));
+    results.push(("e2e/ns-per-request".into(), Value::Float(ns_per_request)));
+}
+
+fn main() {
+    let mut b = Bench::new("hotpath");
+    let mut results: Vec<(String, Value)> = Vec::new();
+    bench_md5(&mut b, &mut results);
+    bench_indices(&mut b, &mut results);
+    bench_probe_all(&mut b, &mut results);
+    bench_simnet(&mut b, &mut results);
+
+    // Tracked JSON output: only when the driver asks for it
+    // (`scripts/bench.sh` sets SC_BENCH_JSON to the repo-root path), so
+    // `cargo test` runs never dirty the tree.
+    if let Ok(path) = std::env::var("SC_BENCH_JSON") {
+        let doc = Value::Object(vec![
+            ("suite".into(), Value::Str("hotpath".into())),
+            ("unit".into(), Value::Str("ns/op".into())),
+            (
+                "window_ms".into(),
+                Value::UInt(sc_util::bench::window_ms()),
+            ),
+            ("results".into(), Value::Object(results)),
+        ]);
+        std::fs::write(&path, doc.to_pretty() + "\n").expect("write SC_BENCH_JSON");
+        println!("wrote {path}");
+    }
+}

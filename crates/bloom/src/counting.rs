@@ -18,6 +18,7 @@ use crate::bits::BitVec;
 use crate::delta::Flip;
 use crate::filter::FilterConfig;
 use crate::hashing::HashSpec;
+use crate::key::UrlKey;
 
 /// Default counter width from the paper: "4 bits per count would be amply
 /// sufficient".
@@ -109,8 +110,19 @@ impl CountingBloomFilter {
     /// The flips are what the owning proxy appends to its
     /// [`crate::DeltaLog`] for the next directory-update message.
     pub fn insert(&mut self, key: &[u8]) -> Vec<Flip> {
+        let idx = self.spec.indices(key);
+        self.insert_at(&idx)
+    }
+
+    /// Insert a pre-hashed key; see [`insert`](Self::insert).
+    pub fn insert_key(&mut self, key: &UrlKey) -> Vec<Flip> {
+        let spec = self.spec;
+        key.with_indices(&spec, |idx| self.insert_at(idx))
+    }
+
+    fn insert_at(&mut self, indices: &[u32]) -> Vec<Flip> {
         let mut flips = Vec::new();
-        for i in self.spec.indices(key) {
+        for &i in indices {
             let i = i as usize;
             let c = self.count(i);
             if c == self.max_count {
@@ -133,8 +145,19 @@ impl CountingBloomFilter {
     /// as in the paper's Squid prototype; an underflow (decrement of a
     /// zero counter) is recorded and skipped rather than wrapping.
     pub fn remove(&mut self, key: &[u8]) -> Vec<Flip> {
+        let idx = self.spec.indices(key);
+        self.remove_at(&idx)
+    }
+
+    /// Remove a pre-hashed key; see [`remove`](Self::remove).
+    pub fn remove_key(&mut self, key: &UrlKey) -> Vec<Flip> {
+        let spec = self.spec;
+        key.with_indices(&spec, |idx| self.remove_at(idx))
+    }
+
+    fn remove_at(&mut self, indices: &[u32]) -> Vec<Flip> {
         let mut flips = Vec::new();
-        for i in self.spec.indices(key) {
+        for &i in indices {
             let i = i as usize;
             let c = self.count(i);
             if c == 0 {
@@ -154,6 +177,14 @@ impl CountingBloomFilter {
     /// Membership query against the derived bit vector.
     pub fn contains(&self, key: &[u8]) -> bool {
         self.spec.indices(key).iter().all(|&i| self.bits.get(i as usize))
+    }
+
+    /// Membership query with a pre-hashed key; zero MD5 work when the
+    /// key already memoized this filter's spec.
+    pub fn contains_key(&self, key: &UrlKey) -> bool {
+        key.with_indices(&self.spec, |idx| {
+            idx.iter().all(|&i| self.bits.get(i as usize))
+        })
     }
 
     /// The exported plain-Bloom-filter view (what peers receive).

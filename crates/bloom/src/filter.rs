@@ -2,6 +2,7 @@
 
 use crate::bits::BitVec;
 use crate::hashing::{HashSpec, HashSpecError};
+use crate::key::UrlKey;
 
 /// Sizing and hashing parameters for a Bloom filter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,9 +91,29 @@ impl BloomFilter {
         self.inserted += 1;
     }
 
+    /// Insert a pre-hashed key; duplicate inserts are harmless.
+    pub fn insert_key(&mut self, key: &UrlKey) {
+        let spec = self.spec;
+        key.with_indices(&spec, |idx| {
+            for &i in idx {
+                self.bits.set(i as usize, true);
+            }
+        });
+        self.inserted += 1;
+    }
+
     /// Membership query: `false` is definite, `true` means "probably".
     pub fn contains(&self, key: &[u8]) -> bool {
         self.spec.indices(key).iter().all(|&i| self.bits.get(i as usize))
+    }
+
+    /// Membership query against a pre-hashed key. When the key already
+    /// memoized this filter's spec (the hash-once probe pipeline), this
+    /// performs zero MD5 work.
+    pub fn contains_key(&self, key: &UrlKey) -> bool {
+        key.with_indices(&self.spec, |idx| {
+            idx.iter().all(|&i| self.bits.get(i as usize))
+        })
     }
 
     /// Apply one absolute bit assignment (from a `DIRUPDATE` record).

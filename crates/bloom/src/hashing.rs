@@ -111,12 +111,58 @@ impl HashSpec {
     /// land on the same bit, and the counting filter then counts it twice.
     pub fn indices(&self, key: &[u8]) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.function_num as usize);
-        let mut stream = DigestBitStream::new(key);
-        for _ in 0..self.function_num {
-            let raw = stream.take(self.function_bits as u32);
-            out.push((raw % self.table_bits as u64) as u32);
-        }
+        self.indices_into(key, &mut out);
         out
+    }
+
+    /// Fill `out` with the `k` bit positions addressed by `key`, reusing
+    /// the caller's buffer (cleared first).
+    ///
+    /// For the paper's default `w = 32` family this takes a word-wise fast
+    /// path — index `i` is big-endian word `i mod 4` of
+    /// `MD5(key‖…‖key)` with `i/4 + 1` copies, read as one `u32` load
+    /// instead of 32 single-bit extractions. Narrower widths fall back to
+    /// the bit-by-bit digest stream, which is the semantic reference.
+    pub fn indices_into(&self, key: &[u8], out: &mut Vec<u32>) {
+        let first = md5_repeated(key, 1);
+        self.indices_with_digest(key, &first, out);
+    }
+
+    /// Like [`indices_into`](Self::indices_into), but with `MD5(key)`
+    /// supplied by the caller so a key hashed once (a `UrlKey`) never pays
+    /// for the first digest again. Overflow digests (`> 128` bits of
+    /// demand) are still derived from `key` itself.
+    pub(crate) fn indices_with_digest(&self, key: &[u8], first: &Digest, out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.function_num as usize);
+        let m = self.table_bits as u64;
+        if self.function_bits == MAX_FUNCTION_BITS {
+            // Word-wise fast path: 32-bit groups align exactly with the
+            // digest's four big-endian words, so no group ever straddles a
+            // digest boundary.
+            let mut digest = *first;
+            let mut copies = 1usize;
+            for i in 0..self.function_num as usize {
+                let word = i % 4;
+                if word == 0 && i > 0 {
+                    copies += 1;
+                    digest = md5_repeated(key, copies);
+                }
+                let raw = u32::from_be_bytes([
+                    digest[word * 4],
+                    digest[word * 4 + 1],
+                    digest[word * 4 + 2],
+                    digest[word * 4 + 3],
+                ]);
+                out.push((raw as u64 % m) as u32);
+            }
+        } else {
+            let mut stream = DigestBitStream::with_first_digest(key, *first);
+            for _ in 0..self.function_num {
+                let raw = stream.take(self.function_bits as u32);
+                out.push((raw % m) as u32);
+            }
+        }
     }
 }
 
@@ -132,10 +178,16 @@ struct DigestBitStream<'k> {
 }
 
 impl<'k> DigestBitStream<'k> {
+    #[cfg(test)]
     fn new(key: &'k [u8]) -> Self {
+        Self::with_first_digest(key, md5_repeated(key, 1))
+    }
+
+    /// Start the stream from an already-computed `MD5(key)`.
+    fn with_first_digest(key: &'k [u8], first: Digest) -> Self {
         DigestBitStream {
             key,
-            digest: md5_repeated(key, 1),
+            digest: first,
             copies: 1,
             cursor: 0,
         }
@@ -237,5 +289,64 @@ mod tests {
         let a = spec.indices(b"http://a.example/");
         let b = spec.indices(b"http://b.example/");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indices_into_reuses_and_clears_the_buffer() {
+        let spec = HashSpec::paper_default(4, 1 << 16).unwrap();
+        let mut buf = vec![0xdead_beef_u32; 9];
+        spec.indices_into(b"http://a.example/", &mut buf);
+        assert_eq!(buf, spec.indices(b"http://a.example/"));
+        spec.indices_into(b"http://b.example/", &mut buf);
+        assert_eq!(buf, spec.indices(b"http://b.example/"));
+    }
+
+    /// Bit-group extraction written independently of `DigestBitStream`:
+    /// materialize the concatenated digest stream as individual bits, then
+    /// read each group big-endian. The semantic reference for both the
+    /// bit-by-bit stream and the `w = 32` word-wise fast path.
+    fn reference_indices(spec: &HashSpec, key: &[u8]) -> Vec<u32> {
+        let k = spec.k() as usize;
+        let w = spec.function_bits() as usize;
+        let digests_needed = (k * w).div_ceil(128);
+        let mut bits: Vec<u8> = Vec::with_capacity(digests_needed * 128);
+        for copies in 1..=digests_needed {
+            for byte in md5_repeated(key, copies) {
+                for b in (0..8).rev() {
+                    bits.push((byte >> b) & 1);
+                }
+            }
+        }
+        (0..k)
+            .map(|i| {
+                let raw = bits[i * w..(i + 1) * w]
+                    .iter()
+                    .fold(0u64, |acc, &b| (acc << 1) | b as u64);
+                (raw % spec.table_bits() as u64) as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prop_indices_match_bitwise_reference() {
+        // Random families across the full width range, including w < 32
+        // (groups straddling digest boundaries) and overflow demand
+        // (k*w > 128), checked against the independent reference and
+        // against the take()-based stream.
+        sc_util::prop::check("indices_match_bitwise_reference", 200, |rng| {
+            let k = rng.gen_range(1u32..=20) as u16;
+            let w = rng.gen_range(1u32..=32) as u16;
+            let m = rng.gen_range(1u32..=1 << 20);
+            let len = rng.gen_range(0u32..=80) as usize;
+            let key: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..=255) as u8).collect();
+            let spec = HashSpec::new(k, w, m).unwrap();
+            let want = reference_indices(&spec, &key);
+            assert_eq!(spec.indices(&key), want, "k={k} w={w} m={m}");
+            let mut stream = DigestBitStream::new(&key);
+            let streamed: Vec<u32> = (0..k)
+                .map(|_| (stream.take(w as u32) % m as u64) as u32)
+                .collect();
+            assert_eq!(streamed, want, "stream disagrees: k={k} w={w} m={m}");
+        });
     }
 }

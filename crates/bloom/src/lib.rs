@@ -53,6 +53,7 @@ pub mod counting;
 pub mod delta;
 pub mod filter;
 pub mod hashing;
+pub mod key;
 pub mod rabin;
 
 pub use bits::BitVec;
@@ -61,3 +62,4 @@ pub use counting::CountingBloomFilter;
 pub use delta::{DeltaLog, Flip};
 pub use filter::{BloomFilter, FilterConfig};
 pub use hashing::HashSpec;
+pub use key::UrlKey;

@@ -1,6 +1,6 @@
 //! `sc-check` — the workspace's static-analysis gate.
 //!
-//! Five rules, each guarding an invariant the reproduction depends on:
+//! Seven rules, each guarding an invariant the reproduction depends on:
 //!
 //! 1. **Dependency firewall** (`deps`): every `Cargo.toml` may only
 //!    reference path-local workspace crates. No registry crates means
@@ -32,11 +32,18 @@
 //!    `VirtualTime` and in-memory datagrams; one stray socket or wall
 //!    clock silently reintroduces the flakiness the harness exists to
 //!    kill.
+//! 7. **Hash-once probe pipeline** (`hash_once`): the probe-path files
+//!    (`core/src/probe.rs`, `bloom/src/filter.rs`, `bloom/src/counting.rs`)
+//!    must not call `md5(` / `md5_repeated(` directly. URL digests are
+//!    computed exactly once, at `UrlKey` construction (`bloom/src/key.rs`)
+//!    or inside `HashSpec` (`bloom/src/hashing.rs`); a direct call on
+//!    the probe path silently reintroduces the `2 × k × peers`
+//!    per-request hashing cost the pipeline exists to eliminate.
 //!
 //! Everything here is hand-rolled on `std` — a line-oriented
 //! TOML-subset reader and a lexical Rust scanner, no `syn`, no
 //! dependencies — so the gate itself can never break the firewall it
-//! enforces. `#[cfg(test)]` items are exempt from rules 2–4 and 6:
+//! enforces. `#[cfg(test)]` items are exempt from rules 2–4, 6 and 7:
 //! tests may unwrap (and a machine test may name a banned token in an
 //! assertion).
 
@@ -48,7 +55,7 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Short rule name: `deps`, `panic`, `determinism`, `counters`,
-    /// `metrics`, `sans_io`.
+    /// `metrics`, `sans_io`, `hash_once`.
     pub rule: &'static str,
     /// File the violation is in, relative to the checked root.
     pub file: PathBuf,
@@ -524,6 +531,16 @@ const DETERMINISM_TOKENS: [&str; 5] = [
 const SANS_IO_SCOPES: [&str; 2] = ["crates/proxy/src/machine.rs", "crates/proxy/src/simnet.rs"];
 /// Transport/clock tokens rule 6 forbids in those files.
 const SANS_IO_TOKENS: [&str; 3] = ["std::net", "Instant::now", "thread::sleep"];
+/// Exact files (relative, `/`-separated) rule 7 applies to: the probe
+/// path, where every digest must come through a `UrlKey` or `HashSpec`.
+const HASH_ONCE_SCOPES: [&str; 3] = [
+    "crates/core/src/probe.rs",
+    "crates/bloom/src/filter.rs",
+    "crates/bloom/src/counting.rs",
+];
+/// Direct digest calls rule 7 forbids in those files. (`md5(` does not
+/// match `md5_repeated(`, hence both tokens.)
+const HASH_ONCE_TOKENS: [&str; 2] = ["md5(", "md5_repeated("];
 
 fn check_source(root: &Path, path: &Path, out: &mut Vec<Violation>) {
     let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
@@ -535,8 +552,10 @@ fn check_source(root: &Path, path: &Path, out: &mut Vec<Violation>) {
     let in_panic_scope = PANIC_SCOPES.iter().any(|s| unix.starts_with(s));
     let in_det_scope = DETERMINISM_SCOPES.iter().any(|s| unix.starts_with(s));
     let in_sans_io_scope = SANS_IO_SCOPES.contains(&unix.as_str());
+    let in_hash_once_scope = HASH_ONCE_SCOPES.contains(&unix.as_str());
     let is_counting = unix.ends_with("bloom/src/counting.rs");
-    if !in_panic_scope && !in_det_scope && !in_sans_io_scope && !is_counting {
+    if !in_panic_scope && !in_det_scope && !in_sans_io_scope && !in_hash_once_scope && !is_counting
+    {
         return;
     }
     let Ok(src) = std::fs::read_to_string(path) else {
@@ -582,6 +601,20 @@ fn check_source(root: &Path, path: &Path, out: &mut Vec<Violation>) {
                     line,
                     message: format!(
                         "`{token}` in a sans-I/O protocol module; sockets, wall clocks and sleeps belong to the daemon shell or the simnet scheduler"
+                    ),
+                });
+            }
+        }
+    }
+    if in_hash_once_scope {
+        for token in HASH_ONCE_TOKENS {
+            for line in token_lines(&stripped, &regions, token) {
+                out.push(Violation {
+                    rule: "hash_once",
+                    file: rel.clone(),
+                    line,
+                    message: format!(
+                        "direct `{token}…)` on the probe path; digests are computed once at UrlKey construction or inside HashSpec — probe via the key/indices APIs"
                     ),
                 });
             }

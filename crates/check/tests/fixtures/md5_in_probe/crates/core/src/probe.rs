@@ -1,0 +1,17 @@
+//! Seeded violations: each banned digest call once in runtime code,
+//! plus one inside `#[cfg(test)]` that must NOT be flagged.
+
+pub fn probe(url: &[u8]) -> bool {
+    let digest = sc_md5::md5(url); // line 5: [hash_once] md5(
+    let again = sc_md5::md5_repeated(url, 2); // line 6: [hash_once] md5_repeated(
+    digest[0] == again[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        // Test code may digest directly to build expectations.
+        let _ = sc_md5::md5(b"key");
+    }
+}

@@ -176,6 +176,29 @@ fn net_in_machine_flagged_tests_exempt() {
 }
 
 #[test]
+fn md5_in_probe_flagged_tests_exempt() {
+    let out = run_gate(&fixture("md5_in_probe"));
+    assert!(
+        !out.status.success(),
+        "direct digest calls on the probe path must fail the gate"
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("probe.rs:5: [hash_once]") && text.contains("md5("),
+        "md5( call flagged:\n{text}"
+    );
+    assert!(
+        text.contains("probe.rs:6: [hash_once]") && text.contains("md5_repeated("),
+        "md5_repeated( call flagged:\n{text}"
+    );
+    assert_eq!(
+        text.matches("[hash_once]").count(),
+        2,
+        "the cfg(test) digest is exempt:\n{text}"
+    );
+}
+
+#[test]
 fn missing_root_is_a_usage_error() {
     let out = run_gate(Path::new("/nonexistent/definitely-not-a-repo"));
     assert_eq!(out.status.code(), Some(2), "usage errors exit 2");

@@ -36,10 +36,14 @@ pub mod update;
 pub mod wire_cost;
 
 pub use peer::{PeerId, PeerTable};
-pub use probe::{filter_candidates, SummaryProbe};
+pub use probe::{filter_candidates, filter_candidates_key, SummaryProbe};
 pub use representation::{SummaryKind, SummarySnapshot};
 pub use summary::{ProxySummary, PublishOutcome};
 pub use update::UpdatePolicy;
+
+// Re-exported so consumers of the hash-once probe pipeline (daemon,
+// simulators) need not depend on sc-bloom directly.
+pub use sc_bloom::UrlKey;
 
 /// The paper's working assumption for sizing Bloom summaries: "The
 /// average number of documents is calculated by dividing the cache size

@@ -61,6 +61,17 @@ impl PeerTable {
         crate::probe::filter_candidates(self.peers.iter().map(|(&id, snap)| (id, snap)), url, server)
     }
 
+    /// [`probe_all`](Self::probe_all) with pre-hashed keys: the URL is
+    /// hashed once and every peer's snapshot reuses the digest/memoized
+    /// indices.
+    pub fn probe_all_key(&self, url: &sc_bloom::UrlKey, server: &sc_bloom::UrlKey) -> Vec<PeerId> {
+        crate::probe::filter_candidates_key(
+            self.peers.iter().map(|(&id, snap)| (id, snap)),
+            url,
+            server,
+        )
+    }
+
     /// Total memory devoted to peer summaries — the quantity Section V-B
     /// warns "grows linearly with the number of proxies".
     pub fn memory_bytes(&self) -> usize {

@@ -11,6 +11,7 @@
 
 use crate::representation::SummarySnapshot;
 use crate::summary::ProxySummary;
+use sc_bloom::UrlKey;
 
 /// "Might `url` (with server component `server`) be cached there?"
 ///
@@ -20,17 +21,33 @@ use crate::summary::ProxySummary;
 pub trait SummaryProbe {
     /// Evaluate the membership probe.
     fn probe(&self, url: &[u8], server: &[u8]) -> bool;
+
+    /// Evaluate the probe with pre-hashed keys — the hash-once entry
+    /// point. Implementations that can exploit the key's digest and
+    /// memoized index set override this; the default falls back to the
+    /// byte path (correct, but rehashes).
+    fn probe_key(&self, url: &UrlKey, server: &UrlKey) -> bool {
+        self.probe(url.bytes(), server.bytes())
+    }
 }
 
 impl<T: SummaryProbe + ?Sized> SummaryProbe for &T {
     fn probe(&self, url: &[u8], server: &[u8]) -> bool {
         (**self).probe(url, server)
     }
+
+    fn probe_key(&self, url: &UrlKey, server: &UrlKey) -> bool {
+        (**self).probe_key(url, server)
+    }
 }
 
 impl SummaryProbe for SummarySnapshot {
     fn probe(&self, url: &[u8], server: &[u8]) -> bool {
         SummarySnapshot::probe(self, url, server)
+    }
+
+    fn probe_key(&self, url: &UrlKey, server: &UrlKey) -> bool {
+        SummarySnapshot::probe_key(self, url, server)
     }
 }
 
@@ -40,6 +57,10 @@ impl SummaryProbe for SummarySnapshot {
 impl SummaryProbe for sc_bloom::BloomFilter {
     fn probe(&self, url: &[u8], _server: &[u8]) -> bool {
         self.contains(url)
+    }
+
+    fn probe_key(&self, url: &UrlKey, _server: &UrlKey) -> bool {
+        self.contains_key(url)
     }
 }
 
@@ -52,6 +73,10 @@ impl SummaryProbe for LiveView<'_> {
     fn probe(&self, url: &[u8], server: &[u8]) -> bool {
         self.0.probe_live(url, server)
     }
+
+    fn probe_key(&self, url: &UrlKey, server: &UrlKey) -> bool {
+        self.0.probe_live_key(url, server)
+    }
 }
 
 /// The *published* side of a [`ProxySummary`] — what peers currently
@@ -62,6 +87,10 @@ pub struct PublishedView<'a>(pub(crate) &'a ProxySummary);
 impl SummaryProbe for PublishedView<'_> {
     fn probe(&self, url: &[u8], server: &[u8]) -> bool {
         self.0.probe_published(url, server)
+    }
+
+    fn probe_key(&self, url: &UrlKey, server: &UrlKey) -> bool {
+        self.0.probe_published_key(url, server)
     }
 }
 
@@ -77,6 +106,22 @@ where
     peers
         .into_iter()
         .filter(|(_, summary)| summary.probe(url, server))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// [`filter_candidates`] with pre-hashed keys: the URL is hashed once
+/// when the request is admitted, and every peer probe reuses the key's
+/// digest and memoized index set — `1` MD5 derivation per request
+/// instead of `2 × k × peers`.
+pub fn filter_candidates_key<Id, P, I>(peers: I, url: &UrlKey, server: &UrlKey) -> Vec<Id>
+where
+    P: SummaryProbe,
+    I: IntoIterator<Item = (Id, P)>,
+{
+    peers
+        .into_iter()
+        .filter(|(_, summary)| summary.probe_key(url, server))
         .map(|(id, _)| id)
         .collect()
 }
@@ -115,6 +160,97 @@ mod tests {
             sc_bloom::BloomFilter::new(sc_bloom::FilterConfig::with_load_factor(64, 8, 4));
         f.insert(b"http://a/x");
         assert!(SummaryProbe::probe(&f, b"http://a/x", b"ignored"));
+    }
+
+    /// Key-based candidate selection agrees with the byte path across
+    /// every probe implementation, and at mixed representations.
+    #[test]
+    fn filter_candidates_key_matches_byte_path() {
+        let kinds = [
+            SummaryKind::ExactDirectory,
+            SummaryKind::ServerName,
+            SummaryKind::recommended(),
+        ];
+        let snaps: Vec<_> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                let urls: Vec<(Vec<u8>, Vec<u8>)> = (0..20)
+                    .map(|j| {
+                        (
+                            format!("http://s{}/d{}", (i + j) % 4, j).into_bytes(),
+                            format!("s{}", (i + j) % 4).into_bytes(),
+                        )
+                    })
+                    .collect();
+                let refs: Vec<(&[u8], &[u8])> =
+                    urls.iter().map(|(u, s)| (u.as_slice(), s.as_slice())).collect();
+                let mut s = summary_with(&refs, kind);
+                s.publish();
+                s.snapshot_published()
+            })
+            .collect();
+        for j in 0..30 {
+            let url = format!("http://s{}/d{}", j % 4, j).into_bytes();
+            let server = format!("s{}", j % 4).into_bytes();
+            let (uk, sk) = (sc_bloom::UrlKey::new(&url), sc_bloom::UrlKey::new(&server));
+            let by_bytes = filter_candidates(
+                snaps.iter().enumerate().map(|(id, s)| (id, s)),
+                &url,
+                &server,
+            );
+            let by_key =
+                filter_candidates_key(snaps.iter().enumerate().map(|(id, s)| (id, s)), &uk, &sk);
+            assert_eq!(by_bytes, by_key, "probe {j}");
+        }
+    }
+
+    /// The ISSUE's acceptance bar: probing 8 Bloom peers through the
+    /// hash-once pipeline must cost ≥ 3× fewer MD5 block compressions
+    /// per request than the byte-slice path, counted via the sc-md5 test
+    /// hook rather than wall clock. With k=4, w=32 each byte-slice peer
+    /// probe digests the URL once (8 blocks total at 8 peers); the key
+    /// path pays 2 blocks (URL + server key construction) and probes for
+    /// free.
+    #[test]
+    fn key_probe_all_at_8_peers_cuts_md5_blocks_3x() {
+        let mut table = crate::PeerTable::new();
+        for id in 0..8u32 {
+            let urls: Vec<(Vec<u8>, Vec<u8>)> = (0..10)
+                .map(|j| {
+                    (
+                        format!("http://peer{id}/doc{j}").into_bytes(),
+                        format!("peer{id}").into_bytes(),
+                    )
+                })
+                .collect();
+            let refs: Vec<(&[u8], &[u8])> =
+                urls.iter().map(|(u, s)| (u.as_slice(), s.as_slice())).collect();
+            let mut s = summary_with(&refs, SummaryKind::recommended());
+            s.publish();
+            table.install(id, s.snapshot_published());
+        }
+        let url = b"http://peer3/doc7"; // short: one MD5 block per digest
+        let server = b"peer3";
+
+        let before = sc_md5::blocks_hashed();
+        let by_bytes = table.probe_all(url, server);
+        let byte_blocks = sc_md5::blocks_hashed() - before;
+
+        let before = sc_md5::blocks_hashed();
+        let uk = sc_bloom::UrlKey::new(url);
+        let sk = sc_bloom::UrlKey::new(server);
+        let by_key = table.probe_all_key(&uk, &sk);
+        let key_blocks = sc_md5::blocks_hashed() - before;
+
+        assert_eq!(by_bytes, by_key);
+        assert!(by_key.contains(&3));
+        assert_eq!(byte_blocks, 8, "one digest per Bloom peer on the byte path");
+        assert_eq!(key_blocks, 2, "URL + server key construction, probes free");
+        assert!(
+            byte_blocks >= 3 * key_blocks,
+            "hash-once pipeline must cut MD5 blocks ≥ 3×: {byte_blocks} vs {key_blocks}"
+        );
     }
 
     #[test]

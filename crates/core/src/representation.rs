@@ -1,7 +1,7 @@
 //! The three summary representations of Section V-B/V-D and the
 //! published snapshots peers probe.
 
-use sc_bloom::{BitVec, HashSpec};
+use sc_bloom::{BitVec, HashSpec, UrlKey};
 use sc_md5::{md5, Digest};
 use std::collections::HashSet;
 
@@ -73,6 +73,20 @@ impl SummarySnapshot {
                 .indices(url)
                 .iter()
                 .all(|&i| bits.get(i as usize)),
+        }
+    }
+
+    /// [`probe`](Self::probe) with pre-hashed keys: exact and server
+    /// snapshots compare the digest computed at key construction, and
+    /// Bloom snapshots reuse the key's memoized index set — no MD5 work
+    /// per probe.
+    pub fn probe_key(&self, url: &UrlKey, server: &UrlKey) -> bool {
+        match self {
+            SummarySnapshot::Exact(set) => set.contains(url.digest()),
+            SummarySnapshot::Server(set) => set.contains(server.digest()),
+            SummarySnapshot::Bloom { spec, bits } => {
+                url.with_indices(spec, |idx| idx.iter().all(|&i| bits.get(i as usize)))
+            }
         }
     }
 

@@ -5,7 +5,7 @@
 use crate::representation::{bloom_bits, SummaryKind, SummarySnapshot};
 use crate::wire_cost;
 use crate::{expected_docs, AVG_DOC_BYTES};
-use sc_bloom::{BitVec, CountingBloomFilter, FilterConfig, Flip};
+use sc_bloom::{BitVec, CountingBloomFilter, FilterConfig, Flip, UrlKey};
 use sc_md5::{md5, Digest};
 use std::collections::{HashMap, HashSet};
 
@@ -203,6 +203,34 @@ impl ProxySummary {
         self.inserts_since_publish += 1;
     }
 
+    /// [`insert`](Self::insert) with pre-hashed keys: the digests come
+    /// from key construction and Bloom indices from the key's memo, so a
+    /// request that already built its keys for probing pays no further
+    /// MD5 work to store.
+    pub fn insert_key(&mut self, url: &UrlKey, server: &UrlKey) {
+        match &mut self.state {
+            State::Exact {
+                set,
+                pending_add,
+                pending_remove,
+            } => {
+                let d = *url.digest();
+                if set.insert(d)
+                    && !pending_remove.remove(&d) {
+                        pending_add.insert(d);
+                    }
+            }
+            State::Server { counts, .. } => {
+                *counts.entry(*server.digest()).or_insert(0) += 1;
+            }
+            State::Bloom { filter, .. } => {
+                filter.insert_key(url);
+            }
+        }
+        self.docs += 1;
+        self.inserts_since_publish += 1;
+    }
+
     /// A document was evicted from (or invalidated in) the local cache.
     pub fn remove(&mut self, url: &[u8], server: &[u8]) {
         match &mut self.state {
@@ -232,6 +260,35 @@ impl ProxySummary {
         self.docs = self.docs.saturating_sub(1);
     }
 
+    /// [`remove`](Self::remove) with pre-hashed keys.
+    pub fn remove_key(&mut self, url: &UrlKey, server: &UrlKey) {
+        match &mut self.state {
+            State::Exact {
+                set,
+                pending_add,
+                pending_remove,
+            } => {
+                let d = *url.digest();
+                if set.remove(&d) && !pending_add.remove(&d) {
+                    pending_remove.insert(d);
+                }
+            }
+            State::Server { counts, .. } => {
+                let d = *server.digest();
+                if let Some(c) = counts.get_mut(&d) {
+                    *c -= 1;
+                    if *c == 0 {
+                        counts.remove(&d);
+                    }
+                }
+            }
+            State::Bloom { filter, .. } => {
+                filter.remove_key(url);
+            }
+        }
+        self.docs = self.docs.saturating_sub(1);
+    }
+
     /// Does the *live* directory contain `url`? (What a peer would learn
     /// by actually sending the query.)
     pub fn probe_live(&self, url: &[u8], server: &[u8]) -> bool {
@@ -239,6 +296,15 @@ impl ProxySummary {
             State::Exact { set, .. } => set.contains(&md5(url)),
             State::Server { counts, .. } => counts.contains_key(&md5(server)),
             State::Bloom { filter, .. } => filter.contains(url),
+        }
+    }
+
+    /// [`probe_live`](Self::probe_live) with pre-hashed keys.
+    pub fn probe_live_key(&self, url: &UrlKey, server: &UrlKey) -> bool {
+        match &self.state {
+            State::Exact { set, .. } => set.contains(url.digest()),
+            State::Server { counts, .. } => counts.contains_key(server.digest()),
+            State::Bloom { filter, .. } => filter.contains_key(url),
         }
     }
 
@@ -259,6 +325,27 @@ impl ProxySummary {
             State::Bloom { filter, baseline } => {
                 let spec = filter.spec();
                 spec.indices(url).iter().all(|&i| baseline.get(i as usize))
+            }
+        }
+    }
+
+    /// [`probe_published`](Self::probe_published) with pre-hashed keys.
+    pub fn probe_published_key(&self, url: &UrlKey, server: &UrlKey) -> bool {
+        match &self.state {
+            State::Exact {
+                set,
+                pending_add,
+                pending_remove,
+            } => {
+                let d = url.digest();
+                (set.contains(d) && !pending_add.contains(d)) || pending_remove.contains(d)
+            }
+            State::Server { published, .. } => published.contains(server.digest()),
+            State::Bloom { filter, baseline } => {
+                let spec = filter.spec();
+                url.with_indices(&spec, |idx| {
+                    idx.iter().all(|&i| baseline.get(i as usize))
+                })
             }
         }
     }
@@ -572,6 +659,59 @@ mod tests {
         s.set_generation(0);
         assert_eq!((s.generation(), s.seq()), (1, 0));
         assert_eq!(s.publish().seq, 1);
+    }
+
+    /// Key-based insert/remove/probe must track the byte-based paths
+    /// exactly for every representation, through publish boundaries and
+    /// the pending-add/pending-remove bookkeeping.
+    #[test]
+    fn key_ops_equal_byte_ops_for_all_kinds() {
+        for kind in all_kinds() {
+            let mut by_bytes = ProxySummary::new(kind, 1 << 20);
+            let mut by_key = ProxySummary::new(kind, 1 << 20);
+            let step = |s: &mut ProxySummary, key: bool, op: u8, i: u32| {
+                let (u, srv) = url(i);
+                let (uk, sk) = (UrlKey::new(&u), UrlKey::new(&srv));
+                match (op, key) {
+                    (0, false) => s.insert(&u, &srv),
+                    (0, true) => s.insert_key(&uk, &sk),
+                    (_, false) => s.remove(&u, &srv),
+                    (_, true) => s.remove_key(&uk, &sk),
+                }
+            };
+            // insert 0..30, publish, remove evens, insert 40..50,
+            // re-insert 2 (exercises pending cancellation), publish.
+            let script: Vec<(u8, u32)> = (0..30)
+                .map(|i| (0u8, i))
+                .chain((0..30).step_by(2).map(|i| (1u8, i)))
+                .chain((40..50).map(|i| (0u8, i)))
+                .chain([(0u8, 2)])
+                .collect();
+            for (n, &(op, i)) in script.iter().enumerate() {
+                step(&mut by_bytes, false, op, i);
+                step(&mut by_key, true, op, i);
+                if n == 29 {
+                    assert_eq!(by_bytes.publish(), by_key.publish(), "{kind:?}");
+                }
+            }
+            assert_eq!(by_bytes.publish(), by_key.publish(), "{kind:?}");
+            assert_eq!(by_bytes.docs(), by_key.docs(), "{kind:?}");
+            for i in 0..60 {
+                let (u, srv) = url(i);
+                let (uk, sk) = (UrlKey::new(&u), UrlKey::new(&srv));
+                assert_eq!(
+                    by_bytes.probe_live(&u, &srv),
+                    by_key.probe_live_key(&uk, &sk),
+                    "{kind:?} live doc {i}"
+                );
+                assert_eq!(
+                    by_bytes.probe_published(&u, &srv),
+                    by_key.probe_published_key(&uk, &sk),
+                    "{kind:?} published doc {i}"
+                );
+            }
+            assert_eq!(by_bytes.snapshot_published(), by_key.snapshot_published());
+        }
     }
 
     #[test]

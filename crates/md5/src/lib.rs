@@ -24,7 +24,7 @@ mod digest;
 mod stream;
 
 pub use digest::{md5, Digest, DIGEST_LEN};
-pub use stream::Md5;
+pub use stream::{blocks_hashed, Md5};
 
 /// Render a digest (or any byte slice) as lowercase hexadecimal.
 pub fn to_hex(bytes: &[u8]) -> String {
@@ -72,5 +72,34 @@ mod tests {
     #[test]
     fn repeated_zero_times_is_empty_digest() {
         assert_eq!(md5_repeated(b"anything", 0), md5(b""));
+    }
+
+    #[test]
+    fn repeated_matches_manual_concatenation_at_many_copies() {
+        // Copy counts ≥ 4 cross several 64-byte block boundaries for a
+        // typical URL; the streaming context must agree with hashing the
+        // materialized key‖key‖… buffer at every count.
+        let url = b"http://www.cs.wisc.edu/~cao/papers/summary-cache/";
+        for copies in [4usize, 5, 7, 16] {
+            let manual: Vec<u8> = url
+                .iter()
+                .cycle()
+                .take(url.len() * copies)
+                .copied()
+                .collect();
+            assert_eq!(md5_repeated(url, copies), md5(&manual), "copies {copies}");
+        }
+    }
+
+    #[test]
+    fn blocks_hashed_counts_per_thread_compressions() {
+        // One short digest = exactly one 64-byte block (padding included);
+        // a 100-byte message pads to two blocks.
+        let before = blocks_hashed();
+        let _ = md5(b"abc");
+        assert_eq!(blocks_hashed() - before, 1);
+        let before = blocks_hashed();
+        let _ = md5(&[0u8; 100]);
+        assert_eq!(blocks_hashed() - before, 2);
     }
 }

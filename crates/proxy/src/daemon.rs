@@ -33,21 +33,22 @@ use crate::machine::{
     Dest, DirectoryView, Effect, Event, Machine, Output, SendKind, VirtualTime,
 };
 use crate::origin::{drain_body, write_body, ACCEPT_POLL};
+use crate::replica::ReplicaCell;
 use crate::stats::ProxyStats;
 use sc_bloom::BitVec;
 use sc_cache::{DocMeta, Lookup, WebCache};
 use sc_obs::EventKind;
+use sc_util::fxhash::FxHashMap;
 use sc_util::Rng;
 use sc_wire::http;
 use sc_wire::icp::IcpMessage;
-use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
-use summary_cache_core::{ProxySummary, SummaryKind};
+use summary_cache_core::{ProxySummary, SummaryKind, UrlKey};
 
 /// How long the UDP loop blocks per receive before re-checking shutdown.
 const UDP_POLL: Duration = Duration::from_millis(50);
@@ -90,15 +91,19 @@ struct Inner {
     cache: Mutex<WebCache<String>>,
     /// The sans-I/O protocol machine — all replication/ICP decisions.
     machine: Mutex<Machine>,
+    /// Lock-free read path: the machine publishes replica snapshots
+    /// here; SC-mode candidate selection reads them without touching
+    /// the machine lock.
+    replicas: Arc<ReplicaCell>,
     /// Wall-clock origin of the machine's [`VirtualTime`] axis.
     epoch: Instant,
     /// Fault injection: decides which outgoing update datagrams the
     /// [`ProxyConfig::update_loss`] knob silently drops.
     loss_rng: Mutex<Rng>,
     /// ICP source address -> peer id, for dispatching replies.
-    peer_of_addr: HashMap<SocketAddr, u32>,
-    peers_by_id: HashMap<u32, PeerAddr>,
-    pending: Mutex<HashMap<u32, Pending>>,
+    peer_of_addr: FxHashMap<SocketAddr, u32>,
+    peers_by_id: FxHashMap<u32, PeerAddr>,
+    pending: Mutex<FxHashMap<u32, Pending>>,
     udp: UdpSocket,
     next_reqnum: AtomicU32,
 }
@@ -168,14 +173,16 @@ impl Daemon {
             VirtualTime::ZERO,
         );
 
+        let replicas = machine.replica_cell();
         let inner = Arc::new(Inner {
             stats: stats.clone(),
             cache: Mutex::new(WebCache::new(cfg.cache_bytes())),
             machine: Mutex::new(machine),
+            replicas,
             epoch: Instant::now(),
             peer_of_addr: cfg.peers().iter().map(|p| (p.icp, p.id)).collect(),
             peers_by_id: cfg.peers().iter().map(|p| (p.id, *p)).collect(),
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::new(FxHashMap::default()),
             loss_rng: Mutex::new(Rng::seed_from_u64(
                 0x5C_1C_F0_0D ^ ((cfg.id() as u64) << 32),
             )),
@@ -586,10 +593,13 @@ fn serve_client(
             query_then_fetch(inner, &url, want, &live)
         }
         Mode::SummaryCache { .. } => {
-            // Probe every installed peer-summary replica through the
-            // shared SummaryProbe path (peers without a synced replica
-            // cannot be candidates).
-            let candidates = lock(&inner.machine).candidates(url.as_bytes());
+            // Probe every installed peer-summary replica via the
+            // lock-free snapshot cell: the URL is hashed once into a
+            // UrlKey and tested against each replica's memoized index
+            // set, with no `Mutex<Machine>` acquisition on this path
+            // (peers without a synced replica cannot be candidates).
+            let ukey = UrlKey::new(url.as_bytes());
+            let candidates = inner.replicas.load().candidates_key(&ukey);
             if candidates.is_empty() {
                 None
             } else {

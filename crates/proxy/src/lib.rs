@@ -18,6 +18,10 @@
 //!   and summary-cache enhanced ICP (probe local Bloom replicas of peer
 //!   directories, query only candidates, ship `ICP_OP_DIRUPDATE`
 //!   deltas).
+//! * [`replica`] — the lock-free read path: the machine publishes
+//!   immutable peer-replica snapshots into an epoch-swapped cell, and
+//!   SC-mode candidate selection reads them (via the hash-once
+//!   `UrlKey` probe) without ever taking the machine lock.
 //! * [`simnet`] — the deterministic simulation harness: N machines, a
 //!   virtual clock, one event priority-queue, and a seeded fault plan
 //!   (loss, duplication, reordering, crash+restart, partitions) for
@@ -53,6 +57,7 @@ pub mod daemon;
 pub mod histogram;
 pub mod machine;
 pub mod origin;
+pub mod replica;
 pub mod simnet;
 pub mod stats;
 

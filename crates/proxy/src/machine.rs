@@ -25,9 +25,11 @@
 //! its seeded loss RNG and the wall clock; the simnet uses its fault
 //! plan and deterministic generation numbers).
 
+use crate::replica::{ReplicaCell, ReplicaSnapshot};
 use sc_bloom::{BitVec, BloomFilter, HashSpec};
+use sc_util::fxhash::FxHashMap;
 use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
-use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 use summary_cache_core::{filter_candidates, ProxySummary, PublishOutcome, UpdatePolicy};
 
@@ -277,8 +279,10 @@ struct PeerLiveness {
 /// empty — flips are never guessed onto an empty array.
 struct ReplicaState {
     /// The installed replica; `None` on first contact or after a
-    /// detected gap discarded the previous one.
-    filter: Option<BloomFilter>,
+    /// detected gap discarded the previous one. Shared by `Arc` with
+    /// the published [`ReplicaSnapshot`]s; delta flips copy-on-write
+    /// (`Arc::make_mut`) only while a reader holds an old snapshot.
+    filter: Option<Arc<BloomFilter>>,
     /// Generation of the installed (or last seen) publisher bitmap.
     generation: u32,
     /// Seq the next delta from this peer must carry.
@@ -304,8 +308,12 @@ pub struct Machine {
     peers: Vec<u32>,
     keepalive_ms: u64,
     sc: Option<ScCore>,
-    replicas: HashMap<u32, ReplicaState>,
-    liveness: HashMap<u32, PeerLiveness>,
+    replicas: FxHashMap<u32, ReplicaState>,
+    liveness: FxHashMap<u32, PeerLiveness>,
+    /// The lock-free read-path cell: after every replica mutation the
+    /// machine publishes an immutable snapshot here, so SC-mode
+    /// candidate selection never takes the machine lock.
+    cell: Arc<ReplicaCell>,
     next_reqnum: u32,
 }
 
@@ -343,8 +351,9 @@ impl Machine {
                 requests_since_publish: 0,
                 last_publish: now,
             }),
-            replicas: HashMap::new(),
+            replicas: FxHashMap::default(),
             liveness,
+            cell: ReplicaCell::new(),
             next_reqnum: 1,
         }
     }
@@ -352,6 +361,30 @@ impl Machine {
     /// This proxy's id.
     pub fn id(&self) -> u32 {
         self.id
+    }
+
+    /// The shared replica-snapshot cell. The driver clones this once at
+    /// startup and serves SC-mode candidate selection from it without
+    /// ever locking the machine.
+    pub fn replica_cell(&self) -> Arc<ReplicaCell> {
+        self.cell.clone()
+    }
+
+    /// Publish the current replica set as an immutable snapshot (in
+    /// configured peer order, matching [`Machine::candidates`]'s probe
+    /// order). Called after every mutation of `replicas`.
+    fn publish_replicas(&self) {
+        let peers = self
+            .peers
+            .iter()
+            .filter_map(|&p| {
+                self.replicas
+                    .get(&p)
+                    .and_then(|st| st.filter.as_ref())
+                    .map(|f| (p, f.clone()))
+            })
+            .collect();
+        self.cell.swap(Arc::new(ReplicaSnapshot::new(peers)));
     }
 
     /// Feed one event; returns the sends and effects it decided on, in
@@ -398,7 +431,7 @@ impl Machine {
             self.peers.iter().filter_map(|&p| {
                 self.replicas
                     .get(&p)
-                    .and_then(|st| st.filter.as_ref())
+                    .and_then(|st| st.filter.as_deref())
                     .map(|f| (p, f))
             }),
             url,
@@ -430,7 +463,7 @@ impl Machine {
     pub fn replica_bits(&self, peer: u32) -> Option<BitVec> {
         self.replicas
             .get(&peer)
-            .and_then(|st| st.filter.as_ref())
+            .and_then(|st| st.filter.as_deref())
             .map(|f| f.bits().clone())
     }
 
@@ -553,6 +586,9 @@ impl Machine {
         }
         out.push(Output::Effect(Effect::UpdateReceived));
         let st = self.replicas.entry(sender).or_default();
+        // Did this update change the replica set? Republish the
+        // lock-free snapshot afterwards if so.
+        let mut replicas_changed = false;
         match update.content {
             DirContent::Bitmap(words) => {
                 if words.len() != (spec.table_bits() as usize).div_ceil(64) {
@@ -567,13 +603,14 @@ impl Machine {
                     }
                 }
                 let first_contact = st.filter.is_none();
-                st.filter = Some(BloomFilter::from_parts(
+                st.filter = Some(Arc::new(BloomFilter::from_parts(
                     spec,
                     BitVec::from_words(spec.table_bits() as usize, words),
-                ));
+                )));
                 st.generation = update.generation;
                 st.expected_seq = update.seq.wrapping_add(1);
                 st.last_resync_request = None;
+                replicas_changed = true;
                 out.push(Output::Effect(Effect::ReplicaInstalled {
                     peer: sender,
                     first_contact,
@@ -584,34 +621,43 @@ impl Machine {
             }
             DirContent::Flips(flips) => {
                 let in_sync = st.generation == update.generation
-                    && st.filter.as_ref().is_some_and(|f| f.spec() == spec);
+                    && st.filter.as_deref().is_some_and(|f| f.spec() == spec);
                 if in_sync && update.seq == st.expected_seq {
                     st.expected_seq = st.expected_seq.wrapping_add(1);
                     if let Some(filter) = st.filter.as_mut() {
-                        for f in flips {
-                            if f.index() < spec.table_bits() {
-                                filter.apply_flip(f.index(), f.set_bit());
+                        if !flips.is_empty() {
+                            // Copy-on-write: clones the filter only if a
+                            // reader still holds an older snapshot.
+                            let filter = Arc::make_mut(filter);
+                            for f in flips {
+                                if f.index() < spec.table_bits() {
+                                    filter.apply_flip(f.index(), f.set_bit());
+                                }
                             }
+                            replicas_changed = true;
                         }
                     }
-                    return;
+                } else if in_sync && update.seq.wrapping_sub(st.expected_seq) > u32::MAX / 2 {
+                    // duplicate / late datagram from the past: already reflected
+                } else {
+                    // Seq gap ahead, generation or spec change, or no
+                    // replica at all (first contact / awaiting a bitmap).
+                    if st.filter.take().is_some() {
+                        replicas_changed = true;
+                        out.push(Output::Effect(Effect::UpdateGap {
+                            peer: sender,
+                            got_generation: update.generation,
+                            got_seq: update.seq,
+                            expected_generation: st.generation,
+                            expected_seq: st.expected_seq,
+                        }));
+                    }
+                    Self::request_resync(st, now, &mut self.next_reqnum, self.id, sender, out);
                 }
-                if in_sync && update.seq.wrapping_sub(st.expected_seq) > u32::MAX / 2 {
-                    return; // duplicate / late datagram from the past: already reflected
-                }
-                // Seq gap ahead, generation or spec change, or no
-                // replica at all (first contact / awaiting a bitmap).
-                if st.filter.take().is_some() {
-                    out.push(Output::Effect(Effect::UpdateGap {
-                        peer: sender,
-                        got_generation: update.generation,
-                        got_seq: update.seq,
-                        expected_generation: st.generation,
-                        expected_seq: st.expected_seq,
-                    }));
-                }
-                Self::request_resync(st, now, &mut self.next_reqnum, self.id, sender, out);
             }
+        }
+        if replicas_changed {
+            self.publish_replicas();
         }
     }
 
@@ -724,9 +770,16 @@ impl Machine {
             }
         }
         newly_failed.sort_unstable(); // HashMap order must not leak into output order
+        let mut replicas_dropped = false;
         for id in newly_failed {
-            self.replicas.remove(&id);
+            replicas_dropped |= self
+                .replicas
+                .remove(&id)
+                .is_some_and(|st| st.filter.is_some());
             out.push(Output::Effect(Effect::PeerFailed { peer: id }));
+        }
+        if replicas_dropped {
+            self.publish_replicas();
         }
     }
 

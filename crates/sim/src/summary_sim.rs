@@ -13,7 +13,9 @@ use crate::metrics::Metrics;
 use sc_cache::{DocMeta, Lookup, WebCache};
 use sc_trace::{group_of_client, Trace};
 use std::collections::HashMap;
-use summary_cache_core::{filter_candidates, wire_cost, ProxySummary, SummaryKind, UpdatePolicy};
+use summary_cache_core::{
+    filter_candidates_key, wire_cost, ProxySummary, SummaryKind, UpdatePolicy, UrlKey,
+};
 
 /// Configuration of one summary-cache simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -115,8 +117,10 @@ pub fn simulate_summary_cache(
         m.requested_bytes += r.size;
         server_of.entry(r.url).or_insert(r.server);
         let home = group_of_client(r.client, trace.groups) as usize;
-        let ukey = url_key(r.url);
-        let skey = server_key(r.server);
+        // Hash-once pipeline: one UrlKey per request; every peer probe,
+        // the stale purge and the store below reuse its digest/indices.
+        let ukey = UrlKey::new(&url_key(r.url));
+        let skey = UrlKey::new(&server_key(r.server));
 
         let mut local_stale = false;
         match proxies[home].cache.lookup(&r.url, meta(r)) {
@@ -134,7 +138,7 @@ pub fn simulate_summary_cache(
         }
         if local_stale {
             // lookup() purged the stale copy; keep the summary in sync.
-            proxies[home].summary.remove(&ukey, &skey);
+            proxies[home].summary.remove_key(&ukey, &skey);
         }
 
         // Local miss: ICP would query every neighbour now.
@@ -142,7 +146,7 @@ pub fn simulate_summary_cache(
 
         // Summary cache probes the published peer summaries instead —
         // the same candidate selection the proxy daemon runs.
-        let candidates: Vec<usize> = filter_candidates(
+        let candidates: Vec<usize> = filter_candidates_key(
             proxies
                 .iter()
                 .enumerate()
@@ -188,10 +192,12 @@ pub fn simulate_summary_cache(
         // (fetched from the peer on a remote hit, from the server
         // otherwise) — ICP-style simple sharing.
         if let Some(evicted) = proxies[home].cache.store(r.url, meta(r)) {
-            proxies[home].summary.insert(&ukey, &skey);
+            proxies[home].summary.insert_key(&ukey, &skey);
             for victim in evicted {
                 let vs = server_key(*server_of.get(&victim).expect("victim was inserted"));
-                proxies[home].summary.remove(&url_key(victim), &vs);
+                proxies[home]
+                    .summary
+                    .remove_key(&UrlKey::new(&url_key(victim)), &UrlKey::new(&vs));
             }
         }
 

@@ -15,9 +15,13 @@
 //!   `criterion` (used by the `harness = false` bench targets);
 //! * [`poll`] — a shared convergence loop: virtual-clock stepping for
 //!   the deterministic simnet, real-clock deadline polling for live
-//!   integration tests.
+//!   integration tests;
+//! * [`fxhash`] — a fast seed-free multiply-xor hasher for internal maps
+//!   keyed by trusted values (peer ids, digests), where SipHash's DoS
+//!   resistance buys nothing.
 
 pub mod bench;
+pub mod fxhash;
 pub mod poll;
 pub mod prop;
 pub mod rng;

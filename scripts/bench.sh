@@ -1,0 +1,23 @@
+#!/bin/sh
+# Hot-path benchmark run: measure the hash-once probe pipeline and
+# refresh the tracked BENCH_hotpath.json at the repo root.
+#
+#   scripts/bench.sh                 # default 200 ms window per case
+#   SC_BENCH_MS=1000 scripts/bench.sh  # longer window, steadier numbers
+#
+# Runs offline (the workspace has zero registry dependencies). Plain
+# `cargo test` / `cargo bench` runs never write the JSON — only this
+# script sets SC_BENCH_JSON, so the tracked file changes exactly when a
+# measurement run is intended.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SC_BENCH_MS="${SC_BENCH_MS:-200}"
+SC_BENCH_JSON="$PWD/BENCH_hotpath.json"
+export SC_BENCH_MS SC_BENCH_JSON
+
+echo "==> hotpath bench (window ${SC_BENCH_MS} ms/case)"
+cargo bench --offline -p sc-bench --bench hotpath
+
+echo "==> wrote $SC_BENCH_JSON"
