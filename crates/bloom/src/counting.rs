@@ -60,6 +60,7 @@ impl CountingBloomFilter {
         CountingBloomFilter {
             spec,
             bits: BitVec::new(m),
+            // sc-check: allow(alloc) — one-time construction.
             counters: vec![0; packed_len],
             counter_bits,
             max_count: if counter_bits == 8 {
@@ -121,7 +122,7 @@ impl CountingBloomFilter {
     }
 
     fn insert_at(&mut self, indices: &[u32]) -> Vec<Flip> {
-        let mut flips = Vec::new();
+        let mut flips = Vec::with_capacity(indices.len());
         for &i in indices {
             let i = i as usize;
             let c = self.count(i);
@@ -156,7 +157,7 @@ impl CountingBloomFilter {
     }
 
     fn remove_at(&mut self, indices: &[u32]) -> Vec<Flip> {
-        let mut flips = Vec::new();
+        let mut flips = Vec::with_capacity(indices.len());
         for &i in indices {
             let i = i as usize;
             let c = self.count(i);

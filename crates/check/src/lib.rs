@@ -1,67 +1,77 @@
-//! `sc-check` — the workspace's static-analysis gate.
+//! `sc-check` — the repo's own invariant gate.
 //!
-//! Seven rules, each guarding an invariant the reproduction depends on:
+//! A scope-aware static-analysis engine (see [`lexer`] and [`engine`])
+//! enforcing ten rules that encode this codebase's architectural
+//! contract with the paper:
 //!
-//! 1. **Dependency firewall** (`deps`): every `Cargo.toml` may only
-//!    reference path-local workspace crates. No registry crates means
-//!    the build needs zero network — the property that makes tier-1
-//!    verification reproducible anywhere.
-//! 2. **Panic hygiene** (`panic`): no `.unwrap()` / `.expect(` in the
-//!    runtime paths of `crates/proxy` and `crates/wire`. A malformed
-//!    ICP datagram or a peer hangup must degrade gracefully (the
-//!    paper's false-hit handling argument), never take the daemon down.
-//! 3. **Determinism** (`determinism`): no `Instant::now` /
-//!    `SystemTime::now` / ambient entropy inside `crates/sim`,
-//!    `crates/core`, `crates/bloom`. Simulated time comes from the
-//!    trace; hashing comes from MD5 — results must replay bit-for-bit.
-//! 4. **Counter safety** (`counters`): all 4-bit counter arithmetic in
-//!    `bloom/counting.rs` uses `saturating_*` / `checked_*` ops
-//!    (Section V-C bounds overflow probability assuming counters pin at
-//!    their maximum instead of wrapping).
-//! 5. **Metric registry hygiene** (`metrics`): every sc-obs metric name
-//!    is registered at exactly one source site across the workspace.
-//!    The registry get-or-creates by name, so a second registration
-//!    site silently shares (or, on a kind clash, detaches from) the
-//!    first — exposition stays ambiguous instead of failing. One site
-//!    per name keeps every exposition line attributable.
-//! 6. **Sans-I/O boundary** (`sans_io`): the protocol machine and its
-//!    simulation harness (`proxy/src/machine.rs`, `proxy/src/simnet.rs`)
-//!    must not touch `std::net`, `Instant::now`, or `thread::sleep`.
-//!    Every seeded-simulation guarantee — bit-for-bit replay, the
-//!    one-line failure repro — rests on those modules seeing only
-//!    `VirtualTime` and in-memory datagrams; one stray socket or wall
-//!    clock silently reintroduces the flakiness the harness exists to
-//!    kill.
-//! 7. **Hash-once probe pipeline** (`hash_once`): the probe-path files
-//!    (`core/src/probe.rs`, `bloom/src/filter.rs`, `bloom/src/counting.rs`)
-//!    must not call `md5(` / `md5_repeated(` directly. URL digests are
-//!    computed exactly once, at `UrlKey` construction (`bloom/src/key.rs`)
-//!    or inside `HashSpec` (`bloom/src/hashing.rs`); a direct call on
-//!    the probe path silently reintroduces the `2 × k × peers`
-//!    per-request hashing cost the pipeline exists to eliminate.
+//! 1. **deps** — every dependency in every `Cargo.toml` is path-local;
+//!    no registry crates, so tier-1 verification needs zero network
+//!    ([`manifest`]).
+//! 2. **panic** — no `.unwrap()` / `.expect(` in `crates/proxy/src` or
+//!    `crates/wire/src` runtime paths; a malformed ICP datagram or a
+//!    peer hangup must degrade gracefully, never kill the daemon.
+//! 3. **determinism** — no ambient time or entropy (`Instant::now`,
+//!    `SystemTime::now`, `rand::`, …) in `crates/sim`, `crates/core`,
+//!    `crates/bloom`; simulations replay bit-for-bit from traces and
+//!    seeds.
+//! 4. **counters** — `crates/bloom/src/counting.rs` must not use
+//!    wrapping or bare `+`/`-` arithmetic on the 4-bit counters
+//!    (paper §V-C: saturate, never wrap).
+//! 5. **metrics** — a metric name is registered at exactly one source
+//!    site across the workspace; the registry get-or-creates by name,
+//!    so a second site silently aliases.
+//! 6. **sans_io** — `machine.rs` / `simnet.rs` stay free of `std::net`,
+//!    wall clocks and sleeps; I/O belongs to the daemon shell and the
+//!    simnet scheduler.
+//! 7. **hash_once** — no direct `md5(` / `md5_repeated(` on the probe
+//!    path; URL digests happen once, at `UrlKey` construction or inside
+//!    `HashSpec`.
+//! 8. **locks** — in `crates/proxy/src`, no `MutexGuard` live across
+//!    `thread::sleep`, channel send/recv, socket I/O, a re-acquisition
+//!    of the same lock, or an acquisition order inverting one recorded
+//!    elsewhere. Guard liveness is scope-based: binding → end of the
+//!    enclosing block, truncated by an explicit `drop(guard)`.
+//! 9. **alloc** — the probe hot-path files (`core/src/probe.rs`,
+//!    `bloom/src/{filter,counting,key,hashing}.rs`,
+//!    `proxy/src/replica.rs`) do not allocate per call: no `Vec::new`,
+//!    `vec![`, `.to_string()`, `format!`, `Box::new`, `.clone()`.
+//!    Setup/COW sites opt out with `// sc-check: allow(alloc)`;
+//!    refcount bumps are written `Arc::clone(&x)`.
+//! 10. **wire** — every `ICP_OP_*` constant in `crates/wire/src/icp.rs`
+//!     appears in an encode-side match arm, a decode-side match arm,
+//!     and at least one test, so an opcode cannot ship half-wired.
 //!
-//! Everything here is hand-rolled on `std` — a line-oriented
-//! TOML-subset reader and a lexical Rust scanner, no `syn`, no
-//! dependencies — so the gate itself can never break the firewall it
-//! enforces. `#[cfg(test)]` items are exempt from rules 2–4, 6 and 7:
-//! tests may unwrap (and a machine test may name a banned token in an
-//! assertion).
+//! Everything is hand-rolled on `std` (plus the path-local `sc-json`
+//! for `--json` output) — no `syn`, no registry crates — so the gate
+//! itself can never break the firewall it enforces. Test context
+//! (resolved from real item structure: `#[cfg(test)]`,
+//! `cfg(all(test, …))`, `#[test]` fns, un-attributed `mod tests`, and
+//! whole `tests/`/`benches/`/`examples/` files) is exempt from the
+//! source rules.
+//!
+//! Any rule can be silenced at a specific site with a
+//! `// sc-check: allow(rule)` comment on (or directly above) the
+//! offending line; a suppression that never fires is itself reported
+//! (rule id `suppression`), so allows cannot go stale.
 
-use std::collections::BTreeMap;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Short rule name: `deps`, `panic`, `determinism`, `counters`,
-    /// `metrics`, `sans_io`, `hash_once`.
+    /// Short rule name (`deps`, `panic`, …, `wire`, `suppression`).
     pub rule: &'static str,
     /// File the violation is in, relative to the checked root.
     pub file: PathBuf,
     /// 1-based line number.
     pub line: usize,
-    /// Human-readable explanation.
+    /// Human-readable explanation with the fix direction.
     pub message: String,
 }
 
@@ -78,683 +88,123 @@ impl fmt::Display for Violation {
     }
 }
 
-/// What a full run looked at and found.
-#[derive(Debug)]
+/// The outcome of checking a tree.
 pub struct Report {
-    /// `Cargo.toml` files scanned.
+    /// Number of `Cargo.toml` manifests scanned.
     pub manifests: usize,
-    /// `.rs` files scanned.
+    /// Number of `.rs` sources scanned.
     pub sources: usize,
-    /// Everything the rules flagged.
+    /// All violations, in deterministic order.
     pub violations: Vec<Violation>,
 }
 
-/// Directory names never descended into.
-fn skip_dir(name: &str) -> bool {
-    matches!(name, "target" | ".git" | "fixtures" | "results" | ".cargo")
+impl Report {
+    /// Machine-readable form for CI annotation (`sc-check --json`).
+    pub fn to_json(&self) -> sc_json::Value {
+        use sc_json::Value;
+        let violations = self
+            .violations
+            .iter()
+            .map(|v| {
+                let unix = v
+                    .file
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                Value::Object(vec![
+                    ("rule".to_string(), Value::Str(v.rule.to_string())),
+                    ("file".to_string(), Value::Str(unix)),
+                    ("line".to_string(), Value::UInt(v.line as u64)),
+                    ("message".to_string(), Value::Str(v.message.clone())),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("ok".to_string(), Value::Bool(self.violations.is_empty())),
+            ("manifests".to_string(), Value::UInt(self.manifests as u64)),
+            ("sources".to_string(), Value::UInt(self.sources as u64)),
+            ("violations".to_string(), Value::Array(violations)),
+        ])
+    }
 }
 
-/// Recursively collect files under `root` matching `want`, skipping
-/// build/VCS/fixture trees, in sorted order for stable output.
-fn collect(root: &Path, want: &dyn Fn(&Path) -> bool, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(root) else {
-        return;
-    };
-    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if !skip_dir(name) {
-                collect(&path, want, out);
+/// Should a directory be skipped entirely?
+///
+/// By *name* anywhere: build output and VCS metadata. By *exact
+/// relative path*: the gate's own violation fixtures and the repo-root
+/// `results/` corpus — scoped precisely so a future source directory
+/// that happens to be called `fixtures` or `results` is still scanned.
+fn skip_dir(rel_unix: &str, name: &str) -> bool {
+    matches!(name, "target" | ".git" | ".cargo")
+        || matches!(rel_unix, "crates/check/tests/fixtures" | "results")
+}
+
+/// Recursively collect manifests and sources under `dir`, tracking the
+/// `/`-separated path relative to the scanned root.
+fn collect(
+    dir: &Path,
+    rel: &str,
+    manifests: &mut Vec<PathBuf>,
+    sources: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.filter_map(|e| e.ok()).collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let child_rel = if rel.is_empty() {
+            name.clone()
+        } else {
+            format!("{rel}/{name}")
+        };
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if skip_dir(&child_rel, &name) {
+                continue;
             }
-        } else if want(&path) {
-            out.push(path);
+            collect(&path, &child_rel, manifests, sources)?;
+        } else if name == "Cargo.toml" {
+            manifests.push(path);
+        } else if name.ends_with(".rs") {
+            sources.push(path);
         }
     }
+    Ok(())
 }
 
-/// Run every rule against the workspace at `root`. Returns all
-/// violations, manifest rules first, then source rules in path order.
-pub fn check_repo(root: &Path) -> Result<Report, String> {
-    if !root.join("Cargo.toml").is_file() {
-        return Err(format!(
-            "{} does not look like a workspace root (no Cargo.toml)",
-            root.display()
-        ));
-    }
+/// Check the workspace rooted at `root` against all ten rules.
+pub fn check_repo(root: &Path) -> std::io::Result<Report> {
     let mut manifests = Vec::new();
-    collect(
-        root,
-        &|p| p.file_name().is_some_and(|n| n == "Cargo.toml"),
-        &mut manifests,
-    );
-    let mut sources = Vec::new();
-    collect(
-        root,
-        &|p| p.extension().is_some_and(|e| e == "rs"),
-        &mut sources,
-    );
+    let mut source_paths = Vec::new();
+    collect(root, "", &mut manifests, &mut source_paths)?;
 
     let mut violations = Vec::new();
     for m in &manifests {
-        check_manifest(root, m, &mut violations);
+        manifest::check_manifest(root, m, &mut violations);
     }
-    // Rule 5 accumulates registration sites across every file and is
-    // judged after the whole tree has been walked.
-    let mut metric_sites: BTreeMap<String, Vec<(PathBuf, usize)>> = BTreeMap::new();
-    for s in &sources {
-        check_source(root, s, &mut violations);
-        collect_metric_sites(root, s, &mut metric_sites);
+
+    let mut files = Vec::new();
+    for path in &source_paths {
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        files.push(engine::SourceFile::parse(rel, src));
     }
-    check_metric_sites(&metric_sites, &mut violations);
+
+    let mut cross = rules::CrossFile::default();
+    for f in &files {
+        rules::check_file(f, &mut violations, &mut cross);
+    }
+    rules::finish(&files, &cross, &mut violations);
+    rules::check_suppressions(&files, &mut violations);
+
     Ok(Report {
         manifests: manifests.len(),
-        sources: sources.len(),
+        sources: files.len(),
         violations,
     })
-}
-
-// ---------------------------------------------------------------------------
-// Rule 1: dependency firewall
-// ---------------------------------------------------------------------------
-
-/// Which kind of dependency table a `[section]` header opens, if any.
-///
-/// Covers `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
-/// `[workspace.dependencies]`, `[target.'…'.dependencies]`, and their
-/// single-dependency dotted forms (`[dependencies.foo]`).
-fn dep_section(header: &str) -> Option<DepSection> {
-    let h = header.trim();
-    for kind in ["dependencies", "dev-dependencies", "build-dependencies"] {
-        if let Some(pos) = h.find(kind) {
-            let before_ok = pos == 0 || h.as_bytes()[pos - 1] == b'.';
-            let after = &h[pos + kind.len()..];
-            if before_ok && after.is_empty() {
-                return Some(DepSection::Table);
-            }
-            if before_ok && after.starts_with('.') {
-                return Some(DepSection::Single(after[1..].to_string()));
-            }
-        }
-    }
-    None
-}
-
-enum DepSection {
-    /// `[dependencies]`-style: each `name = …` line is one dependency.
-    Table,
-    /// `[dependencies.foo]`-style: the whole section is one dependency.
-    Single(String),
-}
-
-/// Is a single dependency value (the right-hand side of `name = …`)
-/// path-local? Accepts inline tables carrying a `path` key and
-/// `{ workspace = true }` references. Bare version strings and inline
-/// tables with only `version`/`features` are registry pulls.
-fn value_is_local(value: &str) -> bool {
-    let v = value.trim();
-    if !v.starts_with('{') {
-        return false;
-    }
-    inline_table_keys(v)
-        .iter()
-        .any(|(k, val)| k == "path" || (k == "workspace" && val.trim() == "true"))
-}
-
-/// Split a single-line inline table `{ a = 1, b = "x" }` into
-/// (key, value) pairs. Good enough for Cargo manifests: values never
-/// contain top-level commas except inside `[…]` arrays or strings.
-fn inline_table_keys(v: &str) -> Vec<(String, String)> {
-    let inner = v
-        .trim()
-        .trim_start_matches('{')
-        .trim_end_matches('}')
-        .trim();
-    let mut pairs = Vec::new();
-    let mut depth = 0i32;
-    let mut in_str = false;
-    let mut cur = String::new();
-    for c in inner.chars() {
-        match c {
-            '"' => {
-                in_str = !in_str;
-                cur.push(c);
-            }
-            '[' | '{' if !in_str => {
-                depth += 1;
-                cur.push(c);
-            }
-            ']' | '}' if !in_str => {
-                depth -= 1;
-                cur.push(c);
-            }
-            ',' if !in_str && depth == 0 => {
-                push_pair(&mut pairs, &cur);
-                cur.clear();
-            }
-            _ => cur.push(c),
-        }
-    }
-    push_pair(&mut pairs, &cur);
-    pairs
-}
-
-fn push_pair(pairs: &mut Vec<(String, String)>, entry: &str) {
-    if let Some((k, val)) = entry.split_once('=') {
-        pairs.push((k.trim().to_string(), val.trim().to_string()));
-    }
-}
-
-fn check_manifest(root: &Path, path: &Path, out: &mut Vec<Violation>) {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return;
-    };
-    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
-    let mut in_deps: Option<DepSection> = None;
-    // For `[dependencies.foo]` single-dep tables: (name, header line,
-    // proven-local yet).
-    let mut single: Option<(String, usize, bool)> = None;
-
-    fn flush_single(
-        rel: &Path,
-        single: &mut Option<(String, usize, bool)>,
-        out: &mut Vec<Violation>,
-    ) {
-        if let Some((name, line, is_local)) = single.take() {
-            if !is_local {
-                out.push(Violation {
-                    rule: "deps",
-                    file: rel.to_path_buf(),
-                    line,
-                    message: format!(
-                        "dependency `{name}` is not path-local (add `path = …` or `workspace = true`)"
-                    ),
-                });
-            }
-        }
-    }
-
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        if line.starts_with('[') && line.ends_with(']') {
-            flush_single(&rel, &mut single, out);
-            let header = &line[1..line.len() - 1];
-            in_deps = dep_section(header);
-            if let Some(DepSection::Single(name)) = &in_deps {
-                single = Some((name.clone(), line_no, false));
-            }
-            continue;
-        }
-        match &in_deps {
-            None => {}
-            Some(DepSection::Table) => {
-                let Some((key, value)) = line.split_once('=') else {
-                    continue;
-                };
-                let key = key.trim();
-                // `name.workspace = true` key form is a local reference.
-                if key.ends_with(".workspace") && value.trim() == "true" {
-                    continue;
-                }
-                if !value_is_local(value) {
-                    out.push(Violation {
-                        rule: "deps",
-                        file: rel.clone(),
-                        line: line_no,
-                        message: format!(
-                            "dependency `{key}` is not path-local (add `path = …` or `workspace = true`)"
-                        ),
-                    });
-                }
-            }
-            Some(DepSection::Single(_)) => {
-                if let Some((key, value)) = line.split_once('=') {
-                    let key = key.trim();
-                    if key == "path" || (key == "workspace" && value.trim() == "true") {
-                        if let Some(s) = &mut single {
-                            s.2 = true;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    flush_single(&rel, &mut single, out);
-}
-
-// ---------------------------------------------------------------------------
-// Lexical Rust scanning shared by rules 2–4
-// ---------------------------------------------------------------------------
-
-/// Blank out comments and the contents of string/char literals,
-/// preserving newlines (and byte positions for ASCII source), so token
-/// searches cannot false-positive inside text.
-pub fn strip_code(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                while i < b.len() && b[i] != b'\n' {
-                    out.push(b' ');
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                let mut depth = 1;
-                out.push(b' ');
-                out.push(b' ');
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        depth += 1;
-                        out.push(b' ');
-                        out.push(b' ');
-                        i += 2;
-                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        depth -= 1;
-                        out.push(b' ');
-                        out.push(b' ');
-                        i += 2;
-                    } else {
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
-                // Raw string: r"…" or r#"…"# (any hash count). `r#foo`
-                // raw identifiers fall through to the plain-byte arm.
-                let mut j = i + 1;
-                let mut hashes = 0usize;
-                while j < b.len() && b[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < b.len() && b[j] == b'"' {
-                    out.push(b'r');
-                    out.extend(std::iter::repeat(b' ').take(hashes));
-                    out.push(b'"');
-                    j += 1;
-                    while j < b.len() {
-                        if b[j] == b'"' {
-                            let mut k = j + 1;
-                            let mut h = 0;
-                            while k < b.len() && b[k] == b'#' && h < hashes {
-                                h += 1;
-                                k += 1;
-                            }
-                            if h == hashes {
-                                out.push(b'"');
-                                out.extend(std::iter::repeat(b' ').take(hashes));
-                                j = k;
-                                break;
-                            }
-                        }
-                        out.push(if b[j] == b'\n' { b'\n' } else { b' ' });
-                        j += 1;
-                    }
-                    i = j;
-                } else {
-                    out.push(b'r');
-                    i += 1;
-                }
-            }
-            b'"' => {
-                out.push(b'"');
-                i += 1;
-                while i < b.len() {
-                    if b[i] == b'\\' && i + 1 < b.len() {
-                        out.push(b' ');
-                        out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
-                        i += 2;
-                    } else if b[i] == b'"' {
-                        out.push(b'"');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
-                        i += 1;
-                    }
-                }
-            }
-            b'\'' => {
-                // Char literal or lifetime: a literal closes within a
-                // few bytes, a lifetime has no nearby closing quote.
-                let close = if i + 1 < b.len() && b[i + 1] == b'\\' {
-                    // '\n', '\u{41}' — find the closing quote.
-                    (i + 2..(i + 12).min(b.len())).find(|&k| b[k] == b'\'')
-                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
-                    Some(i + 2)
-                } else {
-                    None
-                };
-                if let Some(c) = close {
-                    out.push(b'\'');
-                    out.extend(std::iter::repeat(b' ').take(c - i - 1));
-                    out.push(b'\'');
-                    i = c + 1;
-                } else {
-                    out.push(b'\''); // lifetime
-                    i += 1;
-                }
-            }
-            c => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-/// 1-based inclusive line ranges covered by `#[cfg(test)]`-gated items
-/// (modules or functions), computed on stripped source by brace
-/// matching.
-pub fn test_regions(stripped: &str) -> Vec<(usize, usize)> {
-    let lines: Vec<&str> = stripped.lines().collect();
-    let mut regions = Vec::new();
-    let mut i = 0;
-    while i < lines.len() {
-        if !lines[i].trim_start().starts_with("#[cfg(test)]") {
-            i += 1;
-            continue;
-        }
-        // Find the gated item's opening brace, then match it. A gated
-        // item with no body (`use`, `struct X;`) ends at the `;`.
-        let mut depth = 0i32;
-        let mut opened = false;
-        let mut j = i + 1;
-        'item: while j < lines.len() {
-            for ch in lines[j].chars() {
-                match ch {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => {
-                        depth -= 1;
-                        if opened && depth == 0 {
-                            break 'item;
-                        }
-                    }
-                    ';' if !opened && depth == 0 => break 'item,
-                    _ => {}
-                }
-            }
-            j += 1;
-        }
-        regions.push((i + 1, (j + 1).min(lines.len())));
-        i = j + 1;
-    }
-    regions
-}
-
-fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
-    regions.iter().any(|&(a, b)| line >= a && line <= b)
-}
-
-/// 1-based lines of non-test stripped code containing `token`.
-fn token_lines(stripped: &str, regions: &[(usize, usize)], token: &str) -> Vec<usize> {
-    stripped
-        .lines()
-        .enumerate()
-        .filter(|(idx, line)| !in_regions(regions, idx + 1) && line.contains(token))
-        .map(|(idx, _)| idx + 1)
-        .collect()
-}
-
-// ---------------------------------------------------------------------------
-// Rules 2–4: source rules
-// ---------------------------------------------------------------------------
-
-/// Path prefixes (relative, `/`-separated) rule 2 applies to.
-const PANIC_SCOPES: [&str; 2] = ["crates/proxy/src", "crates/wire/src"];
-/// Path prefixes rule 3 applies to.
-const DETERMINISM_SCOPES: [&str; 3] = ["crates/sim/src", "crates/core/src", "crates/bloom/src"];
-/// Ambient time / entropy tokens rule 3 forbids.
-const DETERMINISM_TOKENS: [&str; 5] = [
-    "Instant::now",
-    "SystemTime::now",
-    "rand::",
-    "getrandom",
-    "RandomState::new",
-];
-/// Exact files (relative, `/`-separated) rule 6 applies to: the
-/// sans-I/O protocol machine and the deterministic simnet built on it.
-const SANS_IO_SCOPES: [&str; 2] = ["crates/proxy/src/machine.rs", "crates/proxy/src/simnet.rs"];
-/// Transport/clock tokens rule 6 forbids in those files.
-const SANS_IO_TOKENS: [&str; 3] = ["std::net", "Instant::now", "thread::sleep"];
-/// Exact files (relative, `/`-separated) rule 7 applies to: the probe
-/// path, where every digest must come through a `UrlKey` or `HashSpec`.
-const HASH_ONCE_SCOPES: [&str; 3] = [
-    "crates/core/src/probe.rs",
-    "crates/bloom/src/filter.rs",
-    "crates/bloom/src/counting.rs",
-];
-/// Direct digest calls rule 7 forbids in those files. (`md5(` does not
-/// match `md5_repeated(`, hence both tokens.)
-const HASH_ONCE_TOKENS: [&str; 2] = ["md5(", "md5_repeated("];
-
-fn check_source(root: &Path, path: &Path, out: &mut Vec<Violation>) {
-    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
-    let unix = rel
-        .components()
-        .map(|c| c.as_os_str().to_string_lossy())
-        .collect::<Vec<_>>()
-        .join("/");
-    let in_panic_scope = PANIC_SCOPES.iter().any(|s| unix.starts_with(s));
-    let in_det_scope = DETERMINISM_SCOPES.iter().any(|s| unix.starts_with(s));
-    let in_sans_io_scope = SANS_IO_SCOPES.contains(&unix.as_str());
-    let in_hash_once_scope = HASH_ONCE_SCOPES.contains(&unix.as_str());
-    let is_counting = unix.ends_with("bloom/src/counting.rs");
-    if !in_panic_scope && !in_det_scope && !in_sans_io_scope && !in_hash_once_scope && !is_counting
-    {
-        return;
-    }
-    let Ok(src) = std::fs::read_to_string(path) else {
-        return;
-    };
-    let stripped = strip_code(&src);
-    let regions = test_regions(&stripped);
-
-    if in_panic_scope {
-        for token in [".unwrap()", ".expect("] {
-            for line in token_lines(&stripped, &regions, token) {
-                out.push(Violation {
-                    rule: "panic",
-                    file: rel.clone(),
-                    line,
-                    message: format!(
-                        "`{token}` in a runtime path; propagate a Result (a bad datagram must not kill the daemon)"
-                    ),
-                });
-            }
-        }
-    }
-    if in_det_scope {
-        for token in DETERMINISM_TOKENS {
-            for line in token_lines(&stripped, &regions, token) {
-                out.push(Violation {
-                    rule: "determinism",
-                    file: rel.clone(),
-                    line,
-                    message: format!(
-                        "`{token}` introduces ambient nondeterminism; drive time/entropy from the trace or a seeded Rng"
-                    ),
-                });
-            }
-        }
-    }
-    if in_sans_io_scope {
-        for token in SANS_IO_TOKENS {
-            for line in token_lines(&stripped, &regions, token) {
-                out.push(Violation {
-                    rule: "sans_io",
-                    file: rel.clone(),
-                    line,
-                    message: format!(
-                        "`{token}` in a sans-I/O protocol module; sockets, wall clocks and sleeps belong to the daemon shell or the simnet scheduler"
-                    ),
-                });
-            }
-        }
-    }
-    if in_hash_once_scope {
-        for token in HASH_ONCE_TOKENS {
-            for line in token_lines(&stripped, &regions, token) {
-                out.push(Violation {
-                    rule: "hash_once",
-                    file: rel.clone(),
-                    line,
-                    message: format!(
-                        "direct `{token}…)` on the probe path; digests are computed once at UrlKey construction or inside HashSpec — probe via the key/indices APIs"
-                    ),
-                });
-            }
-        }
-    }
-    if is_counting {
-        for token in ["wrapping_add(", "wrapping_sub("] {
-            for line in token_lines(&stripped, &regions, token) {
-                out.push(Violation {
-                    rule: "counters",
-                    file: rel.clone(),
-                    line,
-                    message: format!(
-                        "`{token}…)` on a 4-bit counter wraps silently; use saturating_*/checked_* (Section V-C)"
-                    ),
-                });
-            }
-        }
-        // Counter updates fed by bare infix +/- must instead go through
-        // a bounded op.
-        for (idx, line) in stripped.lines().enumerate() {
-            let line_no = idx + 1;
-            if in_regions(&regions, line_no) {
-                continue;
-            }
-            let Some(pos) = line.find("set_count(") else {
-                continue;
-            };
-            let args = &line[pos + "set_count(".len()..];
-            let bounded = args.contains("saturating_") || args.contains("checked_");
-            let bytes = args.as_bytes();
-            let bare_arith = bytes.iter().enumerate().any(|(k, &c)| {
-                (c == b'+' || c == b'-')
-                    && bytes.get(k + 1) != Some(&c)
-                    && bytes.get(k + 1) != Some(&b'=')
-                    && bytes.get(k + 1) != Some(&b'>') // `->` is not arithmetic
-                    && (k == 0 || bytes[k - 1] != c)
-            });
-            if bare_arith && !bounded {
-                out.push(Violation {
-                    rule: "counters",
-                    file: rel.clone(),
-                    line: line_no,
-                    message:
-                        "bare +/- arithmetic feeding set_count; use saturating_*/checked_* (Section V-C)"
-                            .to_string(),
-                });
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule 5: metric registry hygiene
-// ---------------------------------------------------------------------------
-
-/// Registration call tokens: a metric is born where one of these is
-/// applied to a name literal. Snapshot *reads* use `counter_value` /
-/// `gauge_value` / `histogram_value` and never match.
-const METRIC_TOKENS: [&str; 6] = [
-    ".counter(\"",
-    ".counter_with(\"",
-    ".gauge(\"",
-    ".gauge_with(\"",
-    ".histogram(\"",
-    ".histogram_with(\"",
-];
-
-/// Record every metric name this file registers (outside test code)
-/// into `sites`. Token positions come from the stripped text — so a
-/// registration quoted in a comment or doc string is ignored — but the
-/// name itself is read from the original line, where literal contents
-/// survive (byte positions are preserved by `strip_code`).
-fn collect_metric_sites(
-    root: &Path,
-    path: &Path,
-    sites: &mut BTreeMap<String, Vec<(PathBuf, usize)>>,
-) {
-    let Ok(src) = std::fs::read_to_string(path) else {
-        return;
-    };
-    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
-    for (name, line_no) in metric_registrations(&src) {
-        sites.entry(name).or_default().push((rel.clone(), line_no));
-    }
-}
-
-/// All `(metric name, 1-based line)` registrations in one source text,
-/// test regions excluded.
-pub fn metric_registrations(src: &str) -> Vec<(String, usize)> {
-    let stripped = strip_code(src);
-    let regions = test_regions(&stripped);
-    let mut found = Vec::new();
-    for (idx, (stripped_line, original)) in stripped.lines().zip(src.lines()).enumerate() {
-        let line_no = idx + 1;
-        if in_regions(&regions, line_no) {
-            continue;
-        }
-        for token in METRIC_TOKENS {
-            let mut from = 0;
-            while let Some(pos) = stripped_line[from..].find(token) {
-                let name_start = from + pos + token.len();
-                if let Some(name) = original
-                    .get(name_start..)
-                    .and_then(|rest| rest.split('"').next())
-                {
-                    if !name.is_empty() {
-                        found.push((name.to_string(), line_no));
-                    }
-                }
-                from = name_start;
-            }
-        }
-    }
-    found
-}
-
-/// Flag every name registered at more than one distinct source site.
-/// Each site of a duplicated name gets its own diagnostic so the fix
-/// locations are all visible.
-fn check_metric_sites(
-    sites: &BTreeMap<String, Vec<(PathBuf, usize)>>,
-    out: &mut Vec<Violation>,
-) {
-    for (name, at) in sites {
-        if at.len() < 2 {
-            continue;
-        }
-        for (file, line) in at {
-            out.push(Violation {
-                rule: "metrics",
-                file: file.clone(),
-                line: *line,
-                message: format!(
-                    "metric `{name}` is registered at {} sites; register once and share the handle (the registry get-or-creates by name)",
-                    at.len()
-                ),
-            });
-        }
-    }
 }
 
 #[cfg(test)]
@@ -762,112 +212,50 @@ mod tests {
     use super::*;
 
     #[test]
-    fn strip_blanks_comments_and_strings() {
-        let src = "let a = \"x.unwrap()\"; // .unwrap()\nlet b = 1; /* .expect( */\n";
-        let s = strip_code(src);
-        assert!(!s.contains(".unwrap()"));
-        assert!(!s.contains(".expect("));
-        assert_eq!(s.lines().count(), src.lines().count());
+    fn skip_is_scoped_to_exact_paths() {
+        assert!(skip_dir("crates/check/tests/fixtures", "fixtures"));
+        assert!(skip_dir("results", "results"));
+        // The same names elsewhere are scanned (the old scanner skipped
+        // any dir called fixtures/results anywhere in the tree).
+        assert!(!skip_dir("crates/proxy/src/fixtures", "fixtures"));
+        assert!(!skip_dir("crates/sim/results", "results"));
+        // Build output and VCS dirs are skipped at any depth.
+        assert!(skip_dir("target", "target"));
+        assert!(skip_dir("crates/x/target", "target"));
+        assert!(skip_dir(".git", ".git"));
     }
 
     #[test]
-    fn strip_keeps_positions() {
-        let src = "ab\"cd\"ef\n";
-        let s = strip_code(src);
-        assert_eq!(s.len(), src.len());
-        assert!(s.starts_with("ab\""));
-        assert!(s.contains("\"ef"));
+    fn report_serializes_to_sc_json() {
+        let report = Report {
+            manifests: 3,
+            sources: 7,
+            violations: vec![Violation {
+                rule: "panic",
+                file: PathBuf::from("crates/proxy/src/daemon.rs"),
+                line: 42,
+                message: "boom".to_string(),
+            }],
+        };
+        let text = report.to_json().to_compact();
+        let back = sc_json::Value::parse(&text).expect("round-trips");
+        assert_eq!(back.get("ok").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(back.get("manifests").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(back.get("sources").and_then(|v| v.as_u64()), Some(7));
+        let vs = back.get("violations").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].get("rule").and_then(|v| v.as_str()), Some("panic"));
+        assert_eq!(vs[0].get("line").and_then(|v| v.as_u64()), Some(42));
     }
 
     #[test]
-    fn strip_handles_raw_strings_chars_lifetimes() {
-        let src = "r#\"has .unwrap() inside\"#; let c = '\\n'; let l: &'static str = x;";
-        let s = strip_code(src);
-        assert!(!s.contains(".unwrap()"));
-        assert!(s.contains("&'static str"), "lifetime untouched: {s}");
-    }
-
-    #[test]
-    fn strip_handles_nested_block_comments() {
-        let src = "/* outer /* inner .unwrap() */ still out */ code()";
-        let s = strip_code(src);
-        assert!(!s.contains(".unwrap()"));
-        assert!(s.contains("code()"));
-    }
-
-    #[test]
-    fn test_regions_cover_cfg_test_mod() {
-        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn b() { y.unwrap(); }\n}\nfn c() {}\n";
-        let stripped = strip_code(src);
-        let regions = test_regions(&stripped);
-        assert_eq!(regions, vec![(2, 5)]);
-        let lines = token_lines(&stripped, &regions, ".unwrap()");
-        assert_eq!(lines, vec![1], "only the non-test unwrap is flagged");
-    }
-
-    #[test]
-    fn metric_registrations_found_outside_tests_only() {
-        let src = concat!(
-            "fn wire(r: &Registry) {\n",
-            "    r.counter(\"sc_a_total\").incr();\n",
-            "    let g = r.gauge_with(\"sc_stale\", &[(\"peer\", \"1\")]);\n",
-            "    // a comment naming .counter(\"sc_ghost_total\") is not a site\n",
-            "    let doc = \"reads use .histogram(\\\"sc_ghost2\\\") too\";\n",
-            "    let v = snap.counter_value(\"sc_a_total\");\n",
-            "}\n",
-            "#[cfg(test)]\n",
-            "mod tests {\n",
-            "    fn t(r: &Registry) { r.counter(\"sc_a_total\").incr(); }\n",
-            "}\n",
-        );
-        let got = metric_registrations(src);
-        assert_eq!(
-            got,
-            vec![("sc_a_total".to_string(), 2), ("sc_stale".to_string(), 3)],
-            "comments, string contents, reads and test code are not sites"
-        );
-    }
-
-    #[test]
-    fn duplicate_metric_sites_flagged_at_each_site() {
-        let mut sites = BTreeMap::new();
-        sites.insert(
-            "sc_dup_total".to_string(),
-            vec![(PathBuf::from("a.rs"), 3), (PathBuf::from("b.rs"), 9)],
-        );
-        sites.insert("sc_once_total".to_string(), vec![(PathBuf::from("a.rs"), 4)]);
-        let mut out = Vec::new();
-        check_metric_sites(&sites, &mut out);
-        assert_eq!(out.len(), 2, "one diagnostic per duplicated site");
-        assert!(out.iter().all(|v| v.rule == "metrics"));
-        assert!(out.iter().all(|v| v.message.contains("sc_dup_total")));
-    }
-
-    #[test]
-    fn dep_sections_recognized() {
-        assert!(matches!(dep_section("dependencies"), Some(DepSection::Table)));
-        assert!(matches!(dep_section("dev-dependencies"), Some(DepSection::Table)));
-        assert!(matches!(
-            dep_section("workspace.dependencies"),
-            Some(DepSection::Table)
-        ));
-        assert!(matches!(
-            dep_section("dependencies.serde"),
-            Some(DepSection::Single(n)) if n == "serde"
-        ));
-        assert!(dep_section("package").is_none());
-        assert!(dep_section("features").is_none());
-        assert!(dep_section("profile.release").is_none());
-    }
-
-    #[test]
-    fn local_values_pass_registry_values_fail() {
-        assert!(value_is_local("{ path = \"../md5\" }"));
-        assert!(value_is_local("{ workspace = true }"));
-        assert!(value_is_local("{ path = \"../core\", package = \"summary-cache-core\" }"));
-        assert!(!value_is_local("\"1.0\""));
-        assert!(!value_is_local("{ version = \"1\", features = [\"derive\"] }"));
-        // A `features = ["path"]` array must not count as a path key.
-        assert!(!value_is_local("{ version = \"1\", features = [\"path\"] }"));
+    fn violation_display_is_stable() {
+        let v = Violation {
+            rule: "alloc",
+            file: PathBuf::from("crates/bloom/src/key.rs"),
+            line: 7,
+            message: "msg".to_string(),
+        };
+        assert_eq!(v.to_string(), "crates/bloom/src/key.rs:7: [alloc] msg");
     }
 }

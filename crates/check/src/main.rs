@@ -1,7 +1,13 @@
-//! CLI for the static-analysis gate: `cargo run -p sc-check [--soak] [ROOT]`
-//! (or `cargo check-repo` via the workspace alias). Prints one
-//! `file:line: [rule] message` diagnostic per violation and exits
-//! nonzero if any were found.
+//! CLI for the static-analysis gate:
+//! `cargo run -p sc-check [--soak] [--json] [ROOT]` (or
+//! `cargo check-repo` via the workspace alias).
+//!
+//! Default output is one `file:line: [rule] message` diagnostic per
+//! violation, a summary on stderr, and a `sc-check: ok (N manifests,
+//! M source files)` line on stdout for a clean run. `--json` instead
+//! prints a single sc-json object (`{ok, manifests, sources,
+//! violations}`) to stdout for CI annotation. Unknown `--flags` are
+//! rejected (exit 2) rather than being misread as ROOT.
 //!
 //! `--soak` additionally runs the simnet property suite over an
 //! extended seed range (default 1000 seeds; override with
@@ -17,14 +23,23 @@ const SOAK_SEEDS: &str = "1000";
 
 fn main() -> ExitCode {
     let mut soak = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args_os().skip(1) {
         if arg == "--soak" {
             soak = true;
+        } else if arg == "--json" {
+            json = true;
+        } else if arg.to_string_lossy().starts_with('-') {
+            eprintln!(
+                "sc-check: unknown flag {:?}\nusage: sc-check [--soak] [--json] [ROOT]",
+                arg.to_string_lossy()
+            );
+            return ExitCode::from(2);
         } else if root.is_none() {
             root = Some(PathBuf::from(arg));
         } else {
-            eprintln!("sc-check: usage: sc-check [--soak] [ROOT]");
+            eprintln!("sc-check: usage: sc-check [--soak] [--json] [ROOT]");
             return ExitCode::from(2);
         }
     }
@@ -36,22 +51,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for v in &report.violations {
-        println!("{v}");
-    }
-    if !report.violations.is_empty() {
-        eprintln!(
-            "sc-check: {} violation(s) across {} manifests and {} source files",
-            report.violations.len(),
-            report.manifests,
-            report.sources
+    if json {
+        println!("{}", report.to_json().to_pretty());
+        if !report.violations.is_empty() {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        for v in &report.violations {
+            println!("{v}");
+        }
+        if !report.violations.is_empty() {
+            eprintln!(
+                "sc-check: {} violation(s) across {} manifests and {} source files",
+                report.violations.len(),
+                report.manifests,
+                report.sources
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "sc-check: ok ({} manifests, {} source files, 0 violations)",
+            report.manifests, report.sources
         );
-        return ExitCode::FAILURE;
     }
-    eprintln!(
-        "sc-check: ok ({} manifests, {} source files, 0 violations)",
-        report.manifests, report.sources
-    );
     if soak {
         return run_soak(&root);
     }

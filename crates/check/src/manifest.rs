@@ -1,0 +1,344 @@
+//! Rule 1 (`deps`): the dependency firewall over a TOML-subset reader.
+//!
+//! Every dependency in every `Cargo.toml` must be path-local (`path =
+//! …` or `{ workspace = true }` / `name.workspace = true`). No registry
+//! crates means the build needs zero network — the property that makes
+//! tier-1 verification reproducible anywhere.
+//!
+//! The reader understands exactly the TOML shapes Cargo manifests use:
+//! `[section]` headers (including dotted `[dependencies.foo]`),
+//! `key = value` entries with inline tables and arrays, `#` comments
+//! (string-aware, so `path = "a#b"` survives), and **multi-line
+//! values** — an entry whose brackets stay open is joined with the
+//! following physical lines into one logical line, reported at the line
+//! the entry started on.
+
+use crate::Violation;
+use std::path::Path;
+
+/// Which kind of dependency table a `[section]` header opens, if any.
+///
+/// Covers `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]`, `[target.'…'.dependencies]`, and their
+/// single-dependency dotted forms (`[dependencies.foo]`).
+pub fn dep_section(header: &str) -> Option<DepSection> {
+    let h = header.trim();
+    for kind in ["dependencies", "dev-dependencies", "build-dependencies"] {
+        if let Some(pos) = h.find(kind) {
+            let before_ok = pos == 0 || h.as_bytes()[pos - 1] == b'.';
+            let after = &h[pos + kind.len()..];
+            if before_ok && after.is_empty() {
+                return Some(DepSection::Table);
+            }
+            if before_ok && after.starts_with('.') {
+                return Some(DepSection::Single(after[1..].to_string()));
+            }
+        }
+    }
+    None
+}
+
+/// The two shapes of dependency section.
+pub enum DepSection {
+    /// `[dependencies]`-style: each `name = …` line is one dependency.
+    Table,
+    /// `[dependencies.foo]`-style: the whole section is one dependency.
+    Single(String),
+}
+
+/// Is a single dependency value (the right-hand side of `name = …`)
+/// path-local? Accepts inline tables carrying a `path` key and
+/// `{ workspace = true }` references. Bare version strings and inline
+/// tables with only `version`/`features` are registry pulls.
+pub fn value_is_local(value: &str) -> bool {
+    let v = value.trim();
+    if !v.starts_with('{') {
+        return false;
+    }
+    inline_table_keys(v)
+        .iter()
+        .any(|(k, val)| k == "path" || (k == "workspace" && val.trim() == "true"))
+}
+
+/// Split an inline table `{ a = 1, b = "x" }` into (key, value) pairs.
+/// Good enough for Cargo manifests: values never contain top-level
+/// commas except inside `[…]` arrays or strings.
+pub fn inline_table_keys(v: &str) -> Vec<(String, String)> {
+    let inner = v
+        .trim()
+        .trim_start_matches('{')
+        .trim_end_matches('}')
+        .trim();
+    let mut pairs = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut cur = String::new();
+    for c in inner.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '[' | '{' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' | '}' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                push_pair(&mut pairs, &cur);
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    push_pair(&mut pairs, &cur);
+    pairs
+}
+
+fn push_pair(pairs: &mut Vec<(String, String)>, entry: &str) {
+    if let Some((k, val)) = entry.split_once('=') {
+        pairs.push((k.trim().to_string(), val.trim().to_string()));
+    }
+}
+
+/// Strip a `#` comment from one physical line, ignoring `#` inside
+/// strings. Returns the retained prefix.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Join physical lines into logical `(start_line, text)` entries: a
+/// line whose `[`/`{` nesting (outside strings) stays open swallows the
+/// following lines until balanced. Comments are stripped per physical
+/// line, so a `# trailing comment` inside a multi-line array is fine.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut open = 0i32;
+    for (idx, raw) in text.lines().enumerate() {
+        let piece = strip_comment(raw);
+        let mut in_str = false;
+        let mut delta = 0i32;
+        for c in piece.chars() {
+            match c {
+                '"' => in_str = !in_str,
+                '[' | '{' if !in_str => delta += 1,
+                ']' | '}' if !in_str => delta -= 1,
+                _ => {}
+            }
+        }
+        if open > 0 {
+            if let Some(last) = out.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(piece.trim());
+            }
+        } else if !piece.trim().is_empty() {
+            out.push((idx + 1, piece.trim().to_string()));
+        }
+        open = (open + delta).max(0);
+    }
+    out
+}
+
+/// Check one manifest, appending `deps` violations.
+pub fn check_manifest(root: &Path, path: &Path, out: &mut Vec<Violation>) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    let mut in_deps: Option<DepSection> = None;
+    // For `[dependencies.foo]` single-dep tables: (name, header line,
+    // proven-local yet).
+    let mut single: Option<(String, usize, bool)> = None;
+
+    fn flush_single(
+        rel: &Path,
+        single: &mut Option<(String, usize, bool)>,
+        out: &mut Vec<Violation>,
+    ) {
+        if let Some((name, line, is_local)) = single.take() {
+            if !is_local {
+                out.push(Violation {
+                    rule: "deps",
+                    file: rel.to_path_buf(),
+                    line,
+                    message: format!(
+                        "dependency `{name}` is not path-local (add `path = …` or `workspace = true`)"
+                    ),
+                });
+            }
+        }
+    }
+
+    for (line_no, line) in logical_lines(&text) {
+        // A `[header]` line: section headers never continue, so the
+        // logical line *is* the physical line.
+        if line.starts_with('[') && line.ends_with(']') && !line.contains('=') {
+            flush_single(&rel, &mut single, out);
+            let header = &line[1..line.len() - 1];
+            in_deps = dep_section(header);
+            if let Some(DepSection::Single(name)) = &in_deps {
+                single = Some((name.clone(), line_no, false));
+            }
+            continue;
+        }
+        match &in_deps {
+            None => {}
+            Some(DepSection::Table) => {
+                let Some((key, value)) = line.split_once('=') else {
+                    continue;
+                };
+                let key = key.trim();
+                // `name.workspace = true` key form is a local reference.
+                if key.ends_with(".workspace") && value.trim() == "true" {
+                    continue;
+                }
+                if !value_is_local(value) {
+                    out.push(Violation {
+                        rule: "deps",
+                        file: rel.clone(),
+                        line: line_no,
+                        message: format!(
+                            "dependency `{key}` is not path-local (add `path = …` or `workspace = true`)"
+                        ),
+                    });
+                }
+            }
+            Some(DepSection::Single(_)) => {
+                if let Some((key, value)) = line.split_once('=') {
+                    let key = key.trim();
+                    if key == "path" || (key == "workspace" && value.trim() == "true") {
+                        if let Some(s) = &mut single {
+                            s.2 = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flush_single(&rel, &mut single, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(toml: &str) -> Vec<Violation> {
+        let dir = std::env::temp_dir().join(format!(
+            "sc-check-manifest-{}-{}",
+            std::process::id(),
+            toml.len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("Cargo.toml");
+        std::fs::write(&path, toml).unwrap();
+        let mut out = Vec::new();
+        check_manifest(&dir, &path, &mut out);
+        std::fs::remove_dir_all(&dir).ok();
+        out
+    }
+
+    #[test]
+    fn dep_sections_recognized() {
+        assert!(matches!(dep_section("dependencies"), Some(DepSection::Table)));
+        assert!(matches!(dep_section("dev-dependencies"), Some(DepSection::Table)));
+        assert!(matches!(
+            dep_section("workspace.dependencies"),
+            Some(DepSection::Table)
+        ));
+        assert!(matches!(
+            dep_section("dependencies.serde"),
+            Some(DepSection::Single(n)) if n == "serde"
+        ));
+        assert!(dep_section("package").is_none());
+        assert!(dep_section("features").is_none());
+        assert!(dep_section("profile.release").is_none());
+    }
+
+    #[test]
+    fn local_values_pass_registry_values_fail() {
+        assert!(value_is_local("{ path = \"../md5\" }"));
+        assert!(value_is_local("{ workspace = true }"));
+        assert!(value_is_local("{ path = \"../core\", package = \"summary-cache-core\" }"));
+        assert!(!value_is_local("\"1.0\""));
+        assert!(!value_is_local("{ version = \"1\", features = [\"derive\"] }"));
+        // A `features = ["path"]` array must not count as a path key.
+        assert!(!value_is_local("{ version = \"1\", features = [\"path\"] }"));
+    }
+
+    #[test]
+    fn comments_after_values_do_not_confuse_the_reader() {
+        let out = violations(
+            "[dependencies]\n\
+             good = { path = \"../good\" } # registry-sounding comment: serde = \"1\"\n\
+             bad = \"1.0\" # trailing note\n",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("`bad`"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let out = violations(
+            "[dependencies]\n\
+             odd = { path = \"../with#hash\" }\n",
+        );
+        assert!(out.is_empty(), "a # inside a string survives: {out:?}");
+    }
+
+    #[test]
+    fn multiline_dependency_values_join_into_one_logical_line() {
+        let out = violations(
+            "[dependencies]\n\
+             spread = { version = \"1\", features = [\n\
+                 \"alpha\", # per-feature comment\n\
+                 \"beta\",\n\
+             ] }\n\
+             local-spread = { path = \"../x\", features = [\n\
+                 \"gamma\",\n\
+             ] }\n",
+        );
+        assert_eq!(out.len(), 1, "only the registry dep is flagged: {out:?}");
+        assert_eq!(out[0].line, 2, "flagged at the entry's first line");
+        assert!(out[0].message.contains("`spread`"));
+    }
+
+    #[test]
+    fn inline_tables_and_dotted_single_sections() {
+        let out = violations(
+            "[dependencies.alpha]\n\
+             version = \"1\"\n\
+             [dependencies.beta]\n\
+             path = \"../beta\"\n\
+             [dependencies]\n\
+             gamma = { workspace = true }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 1, "single-dep section flagged at its header");
+        assert!(out[0].message.contains("`alpha`"));
+    }
+
+    #[test]
+    fn dev_dependencies_registry_crate_still_violates() {
+        let out = violations(
+            "[package]\n\
+             name = \"x\"\n\
+             [dev-dependencies]\n\
+             proptest = \"1\"\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("`proptest`"));
+    }
+}

@@ -1,0 +1,60 @@
+//! A probe path that allocates per call — every banned token once.
+
+pub struct Key {
+    bytes: Vec<u8>,
+}
+
+impl Key {
+    pub fn probe(&self) -> usize {
+        let mut scratch = Vec::new();
+        scratch.extend_from_slice(&self.bytes);
+        let spare = vec![0u8; 4];
+        let label = "k".to_string();
+        let msg = format!("{label}{}", spare.len());
+        let boxed = Box::new(self.bytes.len());
+        let copy = self.bytes.clone();
+        msg.len() + *boxed + copy.len() + scratch.len()
+    }
+
+    pub fn setup() -> Key {
+        // sc-check: allow(alloc) — construction is off the hot path.
+        Key { bytes: Vec::new() }
+    }
+
+    pub fn grow(&mut self) {
+        // BitVec::new is not Vec::new — word boundaries matter.
+        self.bytes.push(BitVec::new(8).len() as u8);
+    }
+}
+
+pub struct BitVec(usize);
+
+impl BitVec {
+    pub fn new(n: usize) -> BitVec {
+        BitVec(n)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(all(test, feature = "extra"))]
+mod harness {
+    pub fn scratch() -> Vec<u8> {
+        let mut v = Vec::new();
+        v.push(1);
+        v
+    }
+}
+
+mod tests {
+    // Un-attributed `mod tests` is still test context.
+    pub fn helper() -> String {
+        "t".to_string()
+    }
+}

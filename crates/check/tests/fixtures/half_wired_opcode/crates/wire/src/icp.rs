@@ -1,0 +1,32 @@
+//! Three opcode constants: one fully wired, one absent from the encode
+//! side, one never named in a test.
+
+pub const ICP_OP_QUERY: u8 = 1;
+pub const ICP_OP_HIT: u8 = 2;
+pub const ICP_OP_SECHO: u8 = 10;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    Query,
+    Hit,
+    Secho,
+}
+
+impl Opcode {
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => ICP_OP_QUERY,
+            Opcode::Hit => 2,
+            Opcode::Secho => ICP_OP_SECHO,
+        }
+    }
+
+    pub fn from_u8(v: u8) -> Option<Opcode> {
+        match v {
+            ICP_OP_QUERY => Some(Opcode::Query),
+            ICP_OP_HIT => Some(Opcode::Hit),
+            ICP_OP_SECHO => Some(Opcode::Secho),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Covers Query and Hit — Secho is deliberately never named here.
+
+#[test]
+fn query_and_hit_covered() {
+    assert_eq!(half_wired::Opcode::from_u8(half_wired::ICP_OP_QUERY).is_some(), true);
+    assert_eq!(half_wired::Opcode::from_u8(half_wired::ICP_OP_HIT).is_some(), true);
+}

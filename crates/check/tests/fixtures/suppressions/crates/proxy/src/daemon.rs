@@ -1,0 +1,11 @@
+//! Suppressions that should themselves be diagnostics.
+
+pub fn tidy(v: &[u8]) -> u8 {
+    // sc-check: allow(panic) — stale: nothing below can panic.
+    v.first().copied().unwrap_or(0)
+}
+
+pub fn also(v: &[u8]) -> u8 {
+    // sc-check: allow(nosuchrule)
+    v.len() as u8
+}

@@ -1,0 +1,6 @@
+//! Lives under a source directory named `fixtures` — the skip list is
+//! scoped to the gate's own fixture tree, so this file IS scanned.
+
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

@@ -31,7 +31,15 @@ fn clean_fixture_passes() {
         "clean fixture must pass, got:\n{}",
         stdout(&out)
     );
-    assert!(stdout(&out).is_empty(), "no diagnostics on a clean tree");
+    let text = stdout(&out);
+    assert!(
+        !text.contains("[") && text.contains("sc-check: ok ("),
+        "a clean tree prints only the ok/count line:\n{text}"
+    );
+    assert!(
+        text.contains("manifests") && text.contains("source files"),
+        "success reports scanned counts:\n{text}"
+    );
 }
 
 #[test]
@@ -202,4 +210,167 @@ fn md5_in_probe_flagged_tests_exempt() {
 fn missing_root_is_a_usage_error() {
     let out = run_gate(Path::new("/nonexistent/definitely-not-a-repo"));
     assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+}
+
+#[test]
+fn unknown_flag_is_rejected_not_treated_as_root() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sc-check"))
+        .arg("--bogus")
+        .arg(fixture("clean"))
+        .output()
+        .expect("spawn sc-check");
+    assert_eq!(out.status.code(), Some(2), "unknown flags exit 2");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        err.contains("unknown flag") && err.contains("--bogus") && err.contains("usage:"),
+        "the error names the flag and prints usage:\n{err}"
+    );
+}
+
+#[test]
+fn lock_discipline_flagged_with_drop_and_scope_negatives() {
+    let out = run_gate(&fixture("lock_discipline"));
+    assert!(!out.status.success(), "guards across blocking calls must fail");
+    let text = stdout(&out);
+    assert!(
+        text.contains("daemon.rs:17: [locks]") && text.contains("thread::sleep"),
+        "sleep under a live guard flagged:\n{text}"
+    );
+    assert!(
+        text.contains("daemon.rs:24: [locks]") && text.contains(".send("),
+        "channel send under a live guard flagged (drop_hint must not truncate):\n{text}"
+    );
+    assert!(
+        text.contains("daemon.rs:31: [locks]") && text.contains("self-deadlock"),
+        "re-acquiring the held lock flagged:\n{text}"
+    );
+    assert!(
+        text.contains("daemon.rs:37: [locks]")
+            && text.contains("daemon.rs:43: [locks]")
+            && text.matches("inversion").count() == 2,
+        "the a→b / b→a inversion is flagged at both sites:\n{text}"
+    );
+    assert_eq!(
+        text.matches("[locks]").count(),
+        5,
+        "drop(), block scoping, the allow(locks) hold and the test module are all clean:\n{text}"
+    );
+    assert!(
+        !text.contains("[suppression]"),
+        "the allow(locks) suppression fired, so it is not stale:\n{text}"
+    );
+}
+
+#[test]
+fn alloc_in_probe_flagged_with_boundary_and_cfg_negatives() {
+    let out = run_gate(&fixture("alloc_in_probe"));
+    assert!(!out.status.success(), "hot-path allocations must fail");
+    let text = stdout(&out);
+    for (line, token) in [
+        (9, "Vec::new("),
+        (11, "vec!["),
+        (12, ".to_string()"),
+        (13, "format!("),
+        (14, "Box::new("),
+        (15, ".clone()"),
+    ] {
+        assert!(
+            text.contains(&format!("key.rs:{line}: [alloc]")) && text.contains(token),
+            "`{token}` flagged at line {line}:\n{text}"
+        );
+    }
+    assert_eq!(
+        text.matches("[alloc]").count(),
+        6,
+        "allow(alloc) setup, BitVec::new word boundary, cfg(all(test,…)) and bare mod tests are clean:\n{text}"
+    );
+}
+
+#[test]
+fn half_wired_opcode_flagged_per_missing_side() {
+    let out = run_gate(&fixture("half_wired_opcode"));
+    assert!(!out.status.success(), "half-wired opcodes must fail");
+    let text = stdout(&out);
+    assert!(
+        text.contains("icp.rs:5: [wire]")
+            && text.contains("ICP_OP_HIT")
+            && text.contains("encode-side"),
+        "constant missing from the encode match flagged:\n{text}"
+    );
+    assert!(
+        text.contains("icp.rs:6: [wire]")
+            && text.contains("ICP_OP_SECHO")
+            && text.contains("any test"),
+        "constant never named in a test flagged:\n{text}"
+    );
+    assert_eq!(
+        text.matches("[wire]").count(),
+        2,
+        "the fully wired ICP_OP_QUERY is clean:\n{text}"
+    );
+}
+
+#[test]
+fn stale_suppressions_flagged_and_nested_fixtures_dir_scanned() {
+    let out = run_gate(&fixture("suppressions"));
+    assert!(!out.status.success(), "stale suppressions must fail");
+    let text = stdout(&out);
+    assert!(
+        text.contains("daemon.rs:4: [suppression]") && text.contains("never fired"),
+        "unused allow(panic) flagged:\n{text}"
+    );
+    assert!(
+        text.contains("daemon.rs:9: [suppression]") && text.contains("unknown rule `nosuchrule`"),
+        "unknown rule name flagged:\n{text}"
+    );
+    // The satellite-1 regression: a *source* directory named `fixtures`
+    // is scanned (the old scanner skipped any dir with that name).
+    assert!(
+        text.contains("fixtures/helper.rs:5: [panic]"),
+        "code under crates/proxy/src/fixtures must still be checked:\n{text}"
+    );
+}
+
+#[test]
+fn json_output_is_valid_sc_json() {
+    let out = Command::new(env!("CARGO_BIN_EXE_sc-check"))
+        .arg("--json")
+        .arg(fixture("lock_discipline"))
+        .output()
+        .expect("spawn sc-check");
+    assert!(!out.status.success(), "violations still fail in --json mode");
+    let text = stdout(&out);
+    let v = sc_json::Value::parse(&text).expect("stdout parses as sc-json");
+    assert_eq!(v.get("ok").and_then(|x| x.as_bool()), Some(false));
+    assert_eq!(v.get("manifests").and_then(|x| x.as_u64()), Some(1));
+    assert!(v.get("sources").and_then(|x| x.as_u64()).unwrap_or(0) >= 1);
+    let violations = v
+        .get("violations")
+        .and_then(|x| x.as_array())
+        .expect("violations array");
+    assert_eq!(violations.len(), 5, "same count as the human output");
+    for item in violations {
+        assert_eq!(item.get("rule").and_then(|x| x.as_str()), Some("locks"));
+        assert_eq!(
+            item.get("file").and_then(|x| x.as_str()),
+            Some("crates/proxy/src/daemon.rs"),
+            "file paths are /-separated in JSON"
+        );
+        assert!(item.get("line").and_then(|x| x.as_u64()).is_some());
+        assert!(item.get("message").and_then(|x| x.as_str()).is_some());
+    }
+
+    // A clean tree: ok=true, empty violations, exit 0, still valid JSON.
+    let out = Command::new(env!("CARGO_BIN_EXE_sc-check"))
+        .arg("--json")
+        .arg(fixture("clean"))
+        .output()
+        .expect("spawn sc-check");
+    assert!(out.status.success());
+    let v = sc_json::Value::parse(&stdout(&out)).expect("clean JSON parses");
+    assert_eq!(v.get("ok").and_then(|x| x.as_bool()), Some(true));
+    assert_eq!(
+        v.get("violations").and_then(|x| x.as_array()).map(<[_]>::len),
+        Some(0)
+    );
 }

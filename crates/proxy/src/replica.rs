@@ -49,6 +49,7 @@ impl ReplicaSnapshot {
     /// A snapshot advertising no peers (daemon start, or no replica
     /// synced yet).
     pub fn empty() -> ReplicaSnapshot {
+        // sc-check: allow(alloc) — construction, not the probe path.
         ReplicaSnapshot { peers: Vec::new() }
     }
 
@@ -94,6 +95,7 @@ thread_local! {
     /// thread talks to a handful of cells (usually one), and entries
     /// are three words each.
     static SNAPSHOT_CACHE: RefCell<Vec<(u64, u64, Arc<ReplicaSnapshot>)>> =
+        // sc-check: allow(alloc) — once-per-thread initializer.
         const { RefCell::new(Vec::new()) };
 }
 
@@ -134,15 +136,15 @@ impl ReplicaCell {
             let mut cache = c.borrow_mut();
             if let Some(entry) = cache.iter_mut().find(|(id, _, _)| *id == self.id) {
                 if entry.1 == epoch {
-                    return entry.2.clone();
+                    return Arc::clone(&entry.2);
                 }
                 let (snap, e) = self.load_slow();
                 entry.1 = e;
-                entry.2 = snap.clone();
+                entry.2 = Arc::clone(&snap);
                 return snap;
             }
             let (snap, e) = self.load_slow();
-            cache.push((self.id, e, snap.clone()));
+            cache.push((self.id, e, Arc::clone(&snap)));
             snap
         })
     }
@@ -154,7 +156,7 @@ impl ReplicaCell {
     fn load_slow(&self) -> (Arc<ReplicaSnapshot>, u64) {
         let guard = lock(&self.current);
         let epoch = self.epoch.load(Ordering::Acquire);
-        (guard.clone(), epoch)
+        (Arc::clone(&guard), epoch)
     }
 
     /// Install a new snapshot (writer side; called by the machine after

@@ -104,49 +104,88 @@ pub const DIRUPDATE_HEADER_LEN: usize = 20;
 /// Size of the DIRREQ payload: the generation last seen.
 pub const DIRREQ_PAYLOAD_LEN: usize = 4;
 
+/// Wire byte for [`Opcode::Query`] (RFC 2186).
+pub const ICP_OP_QUERY: u8 = 1;
+/// Wire byte for [`Opcode::Hit`] (RFC 2186).
+pub const ICP_OP_HIT: u8 = 2;
+/// Wire byte for [`Opcode::Miss`] (RFC 2186).
+pub const ICP_OP_MISS: u8 = 3;
+/// Wire byte for [`Opcode::Err`] (RFC 2186).
+pub const ICP_OP_ERR: u8 = 4;
+/// Wire byte for [`Opcode::Secho`] (RFC 2186).
+pub const ICP_OP_SECHO: u8 = 10;
+/// Wire byte for [`Opcode::MissNoFetch`] (RFC 2186).
+pub const ICP_OP_MISS_NOFETCH: u8 = 21;
+/// Wire byte for [`Opcode::Denied`] (RFC 2186).
+pub const ICP_OP_DENIED: u8 = 22;
+/// Wire byte for [`Opcode::DirUpdate`] (summary-cache extension).
+pub const ICP_OP_DIRUPDATE: u8 = 32;
+/// Wire byte for [`Opcode::DirFull`] (summary-cache extension).
+pub const ICP_OP_DIRFULL: u8 = 33;
+/// Wire byte for [`Opcode::DirReq`] (summary-cache extension).
+pub const ICP_OP_DIRREQ: u8 = 34;
+
 /// Message opcodes. 1–22 are RFC 2186; 32–34 are the summary-cache
-/// extension range.
+/// extension range. The wire bytes live in the `ICP_OP_*` constants,
+/// which the gate's wire-exhaustiveness rule requires to appear in both
+/// [`Opcode::to_u8`] and [`Opcode::from_u8`] and in at least one test —
+/// a new opcode cannot ship half-wired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(u8)]
 pub enum Opcode {
     /// Membership query for a URL.
-    Query = 1,
+    Query,
     /// Fresh copy present.
-    Hit = 2,
+    Hit,
     /// Not cached.
-    Miss = 3,
+    Miss,
     /// Protocol error.
-    Err = 4,
+    Err,
     /// Source echo — the keep-alive Squid peers exchange.
-    Secho = 10,
+    Secho,
     /// Not cached, and the responder declines to fetch it.
-    MissNoFetch = 21,
+    MissNoFetch,
     /// Request refused.
-    Denied = 22,
+    Denied,
     /// Paper Section VI-A: incremental directory update (bit flips).
-    DirUpdate = 32,
+    DirUpdate,
     /// Companion full-bitmap update (bootstrap / recovery), in the
     /// spirit of Squid 1.2's cache digests.
-    DirFull = 33,
+    DirFull,
     /// Resync request: "send me your full bitmap" — emitted on first
     /// contact or when a seq gap / generation change is detected.
-    DirReq = 34,
+    DirReq,
 }
 
 impl Opcode {
+    /// Encode this opcode as its wire byte.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => ICP_OP_QUERY,
+            Opcode::Hit => ICP_OP_HIT,
+            Opcode::Miss => ICP_OP_MISS,
+            Opcode::Err => ICP_OP_ERR,
+            Opcode::Secho => ICP_OP_SECHO,
+            Opcode::MissNoFetch => ICP_OP_MISS_NOFETCH,
+            Opcode::Denied => ICP_OP_DENIED,
+            Opcode::DirUpdate => ICP_OP_DIRUPDATE,
+            Opcode::DirFull => ICP_OP_DIRFULL,
+            Opcode::DirReq => ICP_OP_DIRREQ,
+        }
+    }
+
     /// Decode an opcode byte.
     pub fn from_u8(v: u8) -> Option<Opcode> {
         Some(match v {
-            1 => Opcode::Query,
-            2 => Opcode::Hit,
-            3 => Opcode::Miss,
-            4 => Opcode::Err,
-            10 => Opcode::Secho,
-            21 => Opcode::MissNoFetch,
-            22 => Opcode::Denied,
-            32 => Opcode::DirUpdate,
-            33 => Opcode::DirFull,
-            34 => Opcode::DirReq,
+            ICP_OP_QUERY => Opcode::Query,
+            ICP_OP_HIT => Opcode::Hit,
+            ICP_OP_MISS => Opcode::Miss,
+            ICP_OP_ERR => Opcode::Err,
+            ICP_OP_SECHO => Opcode::Secho,
+            ICP_OP_MISS_NOFETCH => Opcode::MissNoFetch,
+            ICP_OP_DENIED => Opcode::Denied,
+            ICP_OP_DIRUPDATE => Opcode::DirUpdate,
+            ICP_OP_DIRFULL => Opcode::DirFull,
+            ICP_OP_DIRREQ => Opcode::DirReq,
             _ => return None,
         })
     }
@@ -390,7 +429,7 @@ impl IcpMessage {
             return Err(IcpError::TooLarge(total));
         }
         let mut out = Vec::with_capacity(total);
-        put_u8(&mut out, opcode as u8);
+        put_u8(&mut out, opcode.to_u8());
         put_u8(&mut out, ICP_VERSION);
         put_u16(&mut out, total as u16);
         put_u32(&mut out, request_number);
@@ -542,6 +581,32 @@ mod tests {
         let bytes = msg.encode(0xC0A80001).unwrap();
         let back = IcpMessage::decode(&bytes).unwrap();
         assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn every_opcode_constant_roundtrips_through_both_sides() {
+        for (op, byte) in [
+            (Opcode::Query, ICP_OP_QUERY),
+            (Opcode::Hit, ICP_OP_HIT),
+            (Opcode::Miss, ICP_OP_MISS),
+            (Opcode::Err, ICP_OP_ERR),
+            (Opcode::Secho, ICP_OP_SECHO),
+            (Opcode::MissNoFetch, ICP_OP_MISS_NOFETCH),
+            (Opcode::Denied, ICP_OP_DENIED),
+            (Opcode::DirUpdate, ICP_OP_DIRUPDATE),
+            (Opcode::DirFull, ICP_OP_DIRFULL),
+            (Opcode::DirReq, ICP_OP_DIRREQ),
+        ] {
+            assert_eq!(op.to_u8(), byte);
+            assert_eq!(Opcode::from_u8(byte), Some(op));
+        }
+        // The RFC 2186 / summary-cache extension values are wire
+        // contract, not implementation detail.
+        assert_eq!(ICP_OP_QUERY, 1);
+        assert_eq!(ICP_OP_DIRUPDATE, 32);
+        for unused in [0u8, 5, 9, 23, 31, 35, 255] {
+            assert_eq!(Opcode::from_u8(unused), None);
+        }
     }
 
     #[test]

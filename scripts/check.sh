@@ -32,6 +32,9 @@ cargo test -q --offline
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q --offline
 
+echo "==> cargo test -p sc-check (the gate gating itself)"
+cargo test -p sc-check -q --offline
+
 echo "==> sc-check (static-analysis gate)"
 cargo run -p sc-check --offline --quiet
 

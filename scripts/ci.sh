@@ -1,0 +1,20 @@
+#!/bin/sh
+# One-command local CI: build → test → gate → bench smoke.
+#
+#   scripts/ci.sh
+#
+# Chains the tier-1 verification (scripts/check.sh, which builds,
+# runs every test suite including sc-check's own, and then the gate)
+# with a short benchmark smoke run (SC_BENCH_MS=25 per case) that
+# proves the hotpath bench harness still runs end-to-end without
+# paying the full measurement budget. Everything is offline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+scripts/check.sh
+
+echo "==> bench smoke (SC_BENCH_MS=${SC_BENCH_MS:-25})"
+SC_BENCH_MS="${SC_BENCH_MS:-25}" scripts/bench.sh
+
+echo "==> ci passed"
