@@ -1,0 +1,18 @@
+//! Seeded violations: each banned lock type once in runtime code, plus
+//! uses inside `#[cfg(test)]` that must NOT be flagged.
+
+pub struct Shard {
+    dir: std::sync::Mutex<u64>, // line 5: [shards] Mutex
+    replicas: std::sync::RwLock<u64>, // line 6: [shards] RwLock
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        // Test code may stage shared state behind Mutex / RwLock.
+        let m = std::sync::Mutex::new(0u64);
+        let r = std::sync::RwLock::new(0u64);
+        let _ = (*m.lock().unwrap(), *r.read().unwrap());
+    }
+}

@@ -87,6 +87,7 @@ pub struct ProxyConfig {
     icp_timeout_ms: u64,
     keepalive_ms: u64,
     update_loss: f64,
+    shards: usize,
 }
 
 impl ProxyConfig {
@@ -144,6 +145,13 @@ impl ProxyConfig {
     pub fn update_loss(&self) -> f64 {
         self.update_loss
     }
+
+    /// Shard lanes the runtime partitions the directory, cache, and
+    /// peer-replica space over (never 0; defaults to the machine's
+    /// available parallelism).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
 }
 
 /// Why a [`ProxyConfigBuilder::build`] was rejected.
@@ -165,6 +173,8 @@ pub enum ConfigError {
     ZeroIcpTimeout,
     /// `update_loss` outside `[0, 1)` (1 would drop every update).
     BadUpdateLoss(f64),
+    /// `shards(0)` — the runtime needs at least one lane.
+    ZeroShards,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -183,6 +193,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadUpdateLoss(p) => {
                 write!(f, "update_loss {p} outside [0, 1)")
             }
+            ConfigError::ZeroShards => write!(f, "shards must be > 0"),
         }
     }
 }
@@ -205,6 +216,7 @@ pub struct ProxyConfigBuilder {
     icp_timeout_ms: Option<u64>,
     keepalive_ms: Option<u64>,
     update_loss: Option<f64>,
+    shards: Option<usize>,
 }
 
 impl ProxyConfigBuilder {
@@ -270,6 +282,16 @@ impl ProxyConfigBuilder {
         self
     }
 
+    /// Set the shard-lane count for the runtime (see
+    /// [`ProxyConfig::shards`]). 0 is rejected at [`build`]; unset
+    /// defaults to `std::thread::available_parallelism`.
+    ///
+    /// [`build`]: ProxyConfigBuilder::build
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ProxyConfig, ConfigError> {
         let cache_bytes = self.cache_bytes.unwrap_or(75 * 1024 * 1024);
@@ -298,6 +320,11 @@ impl ProxyConfigBuilder {
         if !(0.0..1.0).contains(&update_loss) {
             return Err(ConfigError::BadUpdateLoss(update_loss));
         }
+        let shards = match self.shards {
+            Some(0) => return Err(ConfigError::ZeroShards),
+            Some(n) => n,
+            None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        };
         Ok(ProxyConfig {
             id: self.id,
             cache_bytes,
@@ -310,6 +337,7 @@ impl ProxyConfigBuilder {
             icp_timeout_ms,
             keepalive_ms: self.keepalive_ms.unwrap_or(1000),
             update_loss,
+            shards,
         })
     }
 }
@@ -392,6 +420,9 @@ mod tests {
             ConfigError::BadUpdateLoss(-0.1)
         );
         assert!(b().update_loss(0.05).build().is_ok());
+        assert_eq!(b().shards(0).build().unwrap_err(), ConfigError::ZeroShards);
+        assert_eq!(b().shards(4).build().expect("valid").shards(), 4);
+        assert!(b().build().expect("valid").shards() >= 1, "default is available parallelism");
         let err = ConfigError::DuplicatePeerId(7).to_string();
         assert!(err.contains("7"), "{err}");
     }

@@ -2,23 +2,34 @@
 //! the summary-cache machinery of Section VI-B.
 //!
 //! Since the sans-I/O refactor, every protocol *decision* lives in
-//! [`crate::machine`]: the daemon is a thin I/O shell that feeds the
-//! [`Machine`] real datagrams, real timer ticks, and real cache events,
-//! then carries out the sends and journal/metric effects it returns.
-//! The deterministic [`crate::simnet`] harness drives the very same
-//! machine from a virtual clock, so a simulation schedule is a faithful
-//! protocol schedule.
+//! [`crate::shard`] + [`crate::router`]: the daemon is a thin I/O shell
+//! that feeds the [`Router`] real datagrams, real timer ticks, and real
+//! cache events, then carries out the sends and journal/metric effects
+//! it returns. The deterministic [`crate::simnet`] harness drives the
+//! very same router from a virtual clock, so a simulation schedule is a
+//! faithful protocol schedule.
 //!
 //! One daemon = a small thread group sharing an internal state block:
 //!
-//! * a TCP accept loop serving clients (and peers fetching remote hits),
-//!   one thread per connection;
-//! * a UDP loop speaking ICP: each datagram becomes an
-//!   [`Event::Datagram`] fed to the machine;
+//! * a TCP accept loop serving clients (and peers fetching remote
+//!   hits), one thread per connection;
+//! * a UDP **ingest** thread: receives ICP datagrams and queues them on
+//!   a bounded channel (back-pressure, never unbounded growth);
+//! * a **protocol** thread: drains the ingest queue in batches, locks
+//!   the router once per batch, and turns each datagram into routed
+//!   events — one lock acquisition amortized over the whole batch;
+//! * an **egress** thread: drains the bounded send queue the protocol
+//!   side fills, puts datagrams on the wire, and does the per-kind
+//!   byte/journal accounting off the router lock;
 //! * a keep-alive thread whose period becomes [`Event::Tick`]
 //!   (SECHO pings, failure sweep, anti-entropy heartbeat);
 //! * an admin TCP endpoint ([`crate::admin`]) exposing the sc-obs
 //!   registry every counter below lives in.
+//!
+//! The document cache is striped by the same `UrlKey` space the router
+//! shards on ([`crate::router::stripe_of`]): a shard's directory slice
+//! and its documents live on the same lane, and cache-lock contention
+//! splits [`ProxyConfig::shards`] ways.
 //!
 //! The cache stores document *metadata*; bodies are synthesized at the
 //! sizes recorded, which preserves every quantity the experiments
@@ -29,11 +40,10 @@
 //! it that way.
 
 use crate::config::{Mode, PeerAddr, ProxyConfig};
-use crate::machine::{
-    Dest, DirectoryView, Effect, Event, Machine, Output, SendKind, VirtualTime,
-};
+use crate::machine::{Dest, DirectoryView, Effect, Event, Output, SendKind, VirtualTime};
 use crate::origin::{drain_body, write_body, ACCEPT_POLL};
 use crate::replica::ReplicaCell;
+use crate::router::{DirectoryInspect, Router};
 use crate::stats::ProxyStats;
 use sc_bloom::BitVec;
 use sc_cache::{DocMeta, Lookup, WebCache};
@@ -45,13 +55,22 @@ use sc_wire::icp::IcpMessage;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::mpsc::SyncSender;
+use std::sync::mpsc::{RecvTimeoutError, SyncSender, TryRecvError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use summary_cache_core::{ProxySummary, SummaryKind, UrlKey};
 
 /// How long the UDP loop blocks per receive before re-checking shutdown.
 const UDP_POLL: Duration = Duration::from_millis(50);
+/// Bound of the ingest queue (received, not yet processed datagrams).
+/// When the protocol thread falls behind, the ingest thread blocks and
+/// the kernel socket buffer absorbs (then drops) the excess — ICP is
+/// datagram traffic, loss is survivable, unbounded queues are not.
+const INGRESS_QUEUE: usize = 1024;
+/// Most datagrams the protocol thread folds into one router lock hold.
+const INGRESS_BATCH: usize = 64;
+/// Bound of the egress queue (decided, not yet transmitted datagrams).
+const EGRESS_QUEUE: usize = 1024;
 
 /// Lock a mutex, tolerating poisoning: a panicking connection thread
 /// must not wedge the whole daemon, and every structure guarded here is
@@ -85,39 +104,94 @@ struct Pending {
     sent_at: Instant,
 }
 
+/// One received datagram queued for the protocol thread.
+struct Ingress {
+    data: Vec<u8>,
+    from: SocketAddr,
+}
+
+/// One encoded datagram queued for the egress thread, with everything
+/// the per-kind accounting needs. The bytes are shared, not copied: a
+/// broadcast enqueues one buffer N times.
+struct Egress {
+    bytes: Arc<Vec<u8>>,
+    addr: SocketAddr,
+    /// Destination peer id when known, for per-peer byte counters.
+    peer: Option<u32>,
+    kind: SendKind,
+}
+
 struct Inner {
     cfg: ProxyConfig,
     stats: Arc<ProxyStats>,
-    cache: Mutex<WebCache<String>>,
-    /// The sans-I/O protocol machine — all replication/ICP decisions.
-    machine: Mutex<Machine>,
-    /// Lock-free read path: the machine publishes replica snapshots
+    /// The document cache, striped by the router's `UrlKey` space.
+    cache: CacheStripes,
+    /// The sharded sans-I/O protocol runtime — all replication/ICP
+    /// decisions.
+    router: Mutex<Router>,
+    /// Lock-free read path: the router publishes replica snapshots
     /// here; SC-mode candidate selection reads them without touching
-    /// the machine lock.
+    /// the router lock.
     replicas: Arc<ReplicaCell>,
-    /// Wall-clock origin of the machine's [`VirtualTime`] axis.
+    /// Wall-clock origin of the router's [`VirtualTime`] axis.
     epoch: Instant,
     /// Fault injection: decides which outgoing update datagrams the
-    /// [`ProxyConfig::update_loss`] knob silently drops.
+    /// [`ProxyConfig::update_loss`] knob silently drops. The decision
+    /// is made at *enqueue* time (under the router lock), so the drop
+    /// sequence is a function of the protocol schedule alone.
     loss_rng: Mutex<Rng>,
     /// ICP source address -> peer id, for dispatching replies.
     peer_of_addr: FxHashMap<SocketAddr, u32>,
     peers_by_id: FxHashMap<u32, PeerAddr>,
     pending: Mutex<FxHashMap<u32, Pending>>,
     udp: UdpSocket,
+    /// Producer side of the bounded egress queue.
+    egress: SyncSender<Egress>,
     next_reqnum: AtomicU32,
 }
 
-/// The machine's query-answering view over the real document cache.
-struct CacheView<'a>(&'a Mutex<WebCache<String>>);
+/// The document cache split into [`ProxyConfig::shards`] stripes along
+/// the router's `UrlKey` partition: stripe *i* holds exactly the URLs
+/// whose directory bits live in shard *i*, so a store and its summary
+/// insert touch the same lane and independent lanes never contend.
+struct CacheStripes {
+    stripes: Vec<Mutex<WebCache<String>>>,
+}
 
-impl DirectoryView for CacheView<'_> {
-    fn contains(&self, url: &str) -> bool {
-        lock(self.0).contains(&url.to_string())
+impl CacheStripes {
+    /// `n` stripes splitting `capacity` bytes evenly (each stripe keeps
+    /// at least one byte so a tiny capacity still admits metadata).
+    fn new(capacity: u64, n: usize) -> CacheStripes {
+        let n = n.max(1);
+        let per = (capacity / n as u64).max(1);
+        CacheStripes {
+            stripes: (0..n).map(|_| Mutex::new(WebCache::new(per))).collect(),
+        }
+    }
+
+    /// The stripe owning `url` (a single stripe skips the key hash).
+    fn stripe(&self, url: &str) -> &Mutex<WebCache<String>> {
+        &self.stripes[crate::router::stripe_of(url, self.stripes.len())]
+    }
+
+    /// Documents across all stripes. Stripes are locked one at a time
+    /// in index order (never nested), so this cannot invert with any
+    /// other acquisition.
+    fn len(&self) -> usize {
+        self.stripes.iter().map(|s| lock(s).len()).sum()
     }
 }
 
-/// The current position on the machine's virtual clock: microseconds of
+/// The router's query-answering view over the real document cache.
+struct CacheView<'a>(&'a CacheStripes);
+
+impl DirectoryView for CacheView<'_> {
+    fn contains(&self, url: &str) -> bool {
+        lock(self.0.stripe(url)).contains(&url.to_string())
+    }
+}
+
+/// The current position on the router's virtual clock: microseconds of
 /// real time since the daemon started.
 fn now(inner: &Inner) -> VirtualTime {
     VirtualTime::from_micros(inner.epoch.elapsed().as_micros() as u64)
@@ -158,26 +232,28 @@ impl Daemon {
                     hashes,
                 };
                 let mut summary = ProxySummary::with_expected_docs(kind, cfg.expected_docs());
-                // Generation freshness is the shell's job: the machine
+                // Generation freshness is the shell's job: the router
                 // never touches the wall clock.
                 summary.set_generation(fresh_generation(cfg.id()));
                 Some((summary, policy))
             }
             _ => None,
         };
-        let machine = Machine::new(
+        let router = Router::new(
             cfg.id(),
             peer_ids,
             cfg.keepalive_ms(),
+            cfg.shards(),
             sc,
             VirtualTime::ZERO,
         );
 
-        let replicas = machine.replica_cell();
+        let replicas = router.replica_cell();
+        let (egress_tx, egress_rx) = std::sync::mpsc::sync_channel::<Egress>(EGRESS_QUEUE);
         let inner = Arc::new(Inner {
             stats: stats.clone(),
-            cache: Mutex::new(WebCache::new(cfg.cache_bytes())),
-            machine: Mutex::new(machine),
+            cache: CacheStripes::new(cfg.cache_bytes(), cfg.shards()),
+            router: Mutex::new(router),
             replicas,
             epoch: Instant::now(),
             peer_of_addr: cfg.peers().iter().map(|p| (p.icp, p.id)).collect(),
@@ -187,6 +263,7 @@ impl Daemon {
                 0x5C_1C_F0_0D ^ ((cfg.id() as u64) << 32),
             )),
             udp,
+            egress: egress_tx,
             next_reqnum: AtomicU32::new(1),
             cfg,
         });
@@ -226,7 +303,25 @@ impl Daemon {
             });
         }
 
-        // UDP (ICP) loop: datagram in -> machine -> sends/effects out.
+        // Egress: drain the bounded send queue, transmit, account.
+        {
+            let inner = inner.clone();
+            let stop = shutdown.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match egress_rx.recv_timeout(UDP_POLL) {
+                        Ok(item) => transmit(&inner, item),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            });
+        }
+
+        // UDP ingest: datagram in -> bounded queue. The protocol thread
+        // owns the router; this thread only receives and accounts, so a
+        // burst never stalls behind a publish fan-out.
+        let (ingress_tx, ingress_rx) = std::sync::mpsc::sync_channel::<Ingress>(INGRESS_QUEUE);
         {
             let inner = inner.clone();
             let stop = shutdown.clone();
@@ -236,7 +331,17 @@ impl Daemon {
                 while !stop.load(Ordering::Relaxed) {
                     match inner.udp.recv_from(&mut buf) {
                         Ok((n, from)) => {
-                            handle_datagram(&inner, &buf[..n], from);
+                            let from_peer = inner.peer_of_addr.get(&from).copied();
+                            inner.stats.udp_in_from(from_peer, n);
+                            if ingress_tx
+                                .send(Ingress {
+                                    data: buf[..n].to_vec(),
+                                    from,
+                                })
+                                .is_err()
+                            {
+                                break; // protocol thread gone: shutting down
+                            }
                         }
                         Err(e)
                             if matches!(
@@ -249,8 +354,32 @@ impl Daemon {
             });
         }
 
+        // Protocol: batch the ingest queue through the router. One lock
+        // acquisition covers a whole batch of datagrams.
+        {
+            let inner = inner.clone();
+            let stop = shutdown.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let first = match ingress_rx.recv_timeout(UDP_POLL) {
+                        Ok(d) => d,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    };
+                    let mut batch = vec![first];
+                    while batch.len() < INGRESS_BATCH {
+                        match ingress_rx.try_recv() {
+                            Ok(d) => batch.push(d),
+                            Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    handle_batch(&inner, batch);
+                }
+            });
+        }
+
         // Keep-alive ticks (all modes; the paper's no-ICP baseline
-        // traffic). The machine turns each tick into SECHO pings, the
+        // traffic). The router turns each tick into SECHO pings, the
         // failure sweep, and (SC mode) the anti-entropy heartbeat.
         if inner.cfg.keepalive_ms() > 0 && !inner.cfg.peers().is_empty() {
             let inner = inner.clone();
@@ -268,10 +397,10 @@ impl Daemon {
                         std::thread::sleep(step);
                         slept += step;
                     }
-                    let mut machine = lock(&inner.machine);
-                    let outputs = machine.handle(now(&inner), Event::Tick, &CacheView(&inner.cache));
+                    let mut router = lock(&inner.router);
+                    let outputs = router.handle(now(&inner), Event::Tick, &CacheView(&inner.cache));
                     apply_outputs(&inner, None, outputs);
-                    drop(machine);
+                    drop(router);
                 }
             });
         }
@@ -287,31 +416,33 @@ impl Daemon {
         })
     }
 
-    /// Number of documents currently cached.
-    pub fn cached_docs(&self) -> usize {
-        lock(&self.inner.cache).len()
-    }
-
-    /// Peer ids whose summary replicas are currently installed (i.e.
-    /// synced — a bitmap has arrived and no gap has discarded it).
-    pub fn replicated_peers(&self) -> Vec<u32> {
-        lock(&self.inner.machine).replicated_peers()
-    }
-
-    /// The bit array of the installed replica of `peer`, if synced.
-    pub fn replica_bits(&self, peer: u32) -> Option<BitVec> {
-        lock(&self.inner.machine).replica_bits(peer)
-    }
-
-    /// This daemon's own *published* summary bit array (SC mode only) —
-    /// what every in-sync peer replica of this daemon must equal.
-    pub fn published_bits(&self) -> Option<BitVec> {
-        lock(&self.inner.machine).published_bits()
-    }
-
     /// Stop the daemon's loops.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The daemon's introspection surface is the same trait the router and
+/// the `Machine` facade implement: tests and tools speak one
+/// vocabulary, whichever layer they hold.
+impl DirectoryInspect for Daemon {
+    fn replicated_peers(&self) -> Vec<u32> {
+        lock(&self.inner.router).replicated_peers()
+    }
+
+    fn replica_bits(&self, peer: u32) -> Option<BitVec> {
+        lock(&self.inner.router).replica_bits(peer)
+    }
+
+    fn published_bits(&self) -> Option<BitVec> {
+        lock(&self.inner.router).published_bits()
+    }
+
+    /// Documents currently cached, summed across the stripes (the
+    /// stripes are the ground truth; the router's ledger count lags by
+    /// whatever events are still in flight).
+    fn cached_docs(&self) -> u64 {
+        self.inner.cache.len() as u64
     }
 }
 
@@ -321,14 +452,35 @@ impl Drop for Daemon {
     }
 }
 
-/// Carry out a batch of machine outputs: encode and transmit the sends
-/// (with per-kind accounting and the update-loss fault knob) and apply
-/// the journal/metric effects.
+/// Feed one batch of received datagrams through the router under a
+/// single lock hold, queuing the decided sends for the egress thread.
+fn handle_batch(inner: &Arc<Inner>, batch: Vec<Ingress>) {
+    let mut router = lock(&inner.router);
+    for item in batch {
+        let from_peer = inner.peer_of_addr.get(&item.from).copied();
+        let outputs = router.handle(
+            now(inner),
+            Event::Datagram {
+                from: from_peer,
+                data: &item.data,
+            },
+            &CacheView(&inner.cache),
+        );
+        apply_outputs(inner, Some(item.from), outputs);
+    }
+    drop(router);
+}
+
+/// Carry out a batch of router outputs: encode the sends once, decide
+/// fault-injection drops, and queue the survivors for the egress
+/// thread; apply the journal/metric effects inline.
 ///
-/// Callers keep the machine lock held across this call whenever the
-/// batch may contain update datagrams: sequence allocation and send
-/// order must agree, or two concurrent publishes interleave on the wire
-/// and every receiver sees a phantom gap.
+/// Callers keep the router lock held across this call whenever the
+/// batch may contain update datagrams: sequence allocation and *queue*
+/// order must agree, or two concurrent publishes interleave and every
+/// receiver sees a phantom gap (the egress queue then preserves that
+/// order on the wire). Queuing parks only when the bounded egress
+/// queue is full — back-pressure from the socket, by design.
 fn apply_outputs(inner: &Inner, sender_addr: Option<SocketAddr>, outputs: Vec<Output>) {
     for output in outputs {
         match output {
@@ -336,6 +488,7 @@ fn apply_outputs(inner: &Inner, sender_addr: Option<SocketAddr>, outputs: Vec<Ou
                 let Ok(bytes) = send.msg.encode(inner.cfg.id()) else {
                     continue; // oversized full bitmap: skip (documented limit)
                 };
+                let bytes = Arc::new(bytes);
                 let targets: Vec<(Option<u32>, SocketAddr)> = match send.to {
                     Dest::Peer(id) => match inner.peers_by_id.get(&id) {
                         Some(p) => vec![(Some(id), p.icp)],
@@ -356,36 +509,13 @@ fn apply_outputs(inner: &Inner, sender_addr: Option<SocketAddr>, outputs: Vec<Ou
                     if send.kind.is_update() && drop_update(inner) {
                         continue; // injected loss: the datagram never leaves
                     }
-                    if inner.udp.send_to(&bytes, addr).is_err() {
-                        continue;
-                    }
-                    match send.kind {
-                        SendKind::QueryReply | SendKind::Keepalive => {
-                            inner.stats.udp_out_to(peer, bytes.len());
-                        }
-                        SendKind::UpdateDelta => {
-                            inner.stats.udp_out_to(peer, bytes.len());
-                            inner.stats.updates_sent.incr();
-                            inner.stats.update_delta_bytes.record(bytes.len() as u64);
-                        }
-                        SendKind::UpdateFull => {
-                            inner.stats.udp_out_to(peer, bytes.len());
-                            inner.stats.updates_sent.incr();
-                            inner.stats.update_full_bytes.record(bytes.len() as u64);
-                        }
-                        SendKind::Resync {
-                            peer: publisher,
-                            last_generation,
-                        } => {
-                            inner.stats.udp_out_to(Some(publisher), bytes.len());
-                            inner.stats.resync_requests.incr();
-                            inner.stats.journal().record(
-                                EventKind::ResyncRequested,
-                                Some(publisher),
-                                format!("last seen gen {last_generation}"),
-                            );
-                        }
-                    }
+                    let item = Egress {
+                        bytes: bytes.clone(),
+                        addr,
+                        peer,
+                        kind: send.kind,
+                    };
+                    let _ = inner.egress.send(item);
                 }
             }
             Output::Effect(effect) => apply_effect(inner, effect),
@@ -393,7 +523,49 @@ fn apply_outputs(inner: &Inner, sender_addr: Option<SocketAddr>, outputs: Vec<Ou
     }
 }
 
-/// Apply one machine effect to the sc-obs registry (and, for ICP
+/// Put one queued datagram on the wire and account it (egress thread).
+/// A failed send is not accounted, exactly as when the protocol path
+/// transmitted inline.
+fn transmit(inner: &Inner, item: Egress) {
+    let Egress {
+        bytes,
+        addr,
+        peer,
+        kind,
+    } = item;
+    if inner.udp.send_to(&bytes, addr).is_err() {
+        return;
+    }
+    match kind {
+        SendKind::QueryReply | SendKind::Keepalive => {
+            inner.stats.udp_out_to(peer, bytes.len());
+        }
+        SendKind::UpdateDelta => {
+            inner.stats.udp_out_to(peer, bytes.len());
+            inner.stats.updates_sent.incr();
+            inner.stats.update_delta_bytes.record(bytes.len() as u64);
+        }
+        SendKind::UpdateFull => {
+            inner.stats.udp_out_to(peer, bytes.len());
+            inner.stats.updates_sent.incr();
+            inner.stats.update_full_bytes.record(bytes.len() as u64);
+        }
+        SendKind::Resync {
+            peer: publisher,
+            last_generation,
+        } => {
+            inner.stats.udp_out_to(Some(publisher), bytes.len());
+            inner.stats.resync_requests.incr();
+            inner.stats.journal().record(
+                EventKind::ResyncRequested,
+                Some(publisher),
+                format!("last seen gen {last_generation}"),
+            );
+        }
+    }
+}
+
+/// Apply one router effect to the sc-obs registry (and, for ICP
 /// replies, the waiting-request table).
 fn apply_effect(inner: &Inner, effect: Effect) {
     match effect {
@@ -525,7 +697,7 @@ fn serve_peer_fetch(
     stream: &mut TcpStream,
     req: &http::Request,
 ) -> std::io::Result<()> {
-    let cached = lock(&inner.cache).peek(&req.target);
+    let cached = lock(inner.cache.stripe(&req.target)).peek(&req.target);
     match cached {
         Some(meta) => {
             let head = http::build_response(
@@ -563,8 +735,8 @@ fn serve_client(
             .unwrap_or(0),
     };
 
-    // 1. Local cache.
-    let lookup = lock(&inner.cache).lookup(&url, want);
+    // 1. Local cache (the stripe owning this URL).
+    let lookup = lock(inner.cache.stripe(&url)).lookup(&url, want);
     match lookup {
         Lookup::Hit => {
             inner.stats.local_hits.incr();
@@ -574,9 +746,9 @@ fn serve_client(
         }
         Lookup::StaleHit => {
             // Purged by lookup(); keep the summary in sync.
-            let mut machine = lock(&inner.machine);
+            let mut router = lock(&inner.router);
             let outputs =
-                machine.handle(now(inner), Event::Purged { url: &url }, &CacheView(&inner.cache));
+                router.handle(now(inner), Event::Purged { url: &url }, &CacheView(&inner.cache));
             apply_outputs(inner, None, outputs);
         }
         Lookup::Miss => {}
@@ -589,15 +761,15 @@ fn serve_client(
             // Query only peers not currently marked failed: a dead peer
             // cannot answer, and every query to it makes an all-miss
             // round wait out the full icp_timeout_ms.
-            let live = lock(&inner.machine).live_peers();
+            let live = lock(&inner.router).live_peers();
             query_then_fetch(inner, &url, want, &live)
         }
         Mode::SummaryCache { .. } => {
             // Probe every installed peer-summary replica via the
             // lock-free snapshot cell: the URL is hashed once into a
             // UrlKey and tested against each replica's memoized index
-            // set, with no `Mutex<Machine>` acquisition on this path
-            // (peers without a synced replica cannot be candidates).
+            // set, with no router-lock acquisition on this path (peers
+            // without a synced replica cannot be candidates).
             let ukey = UrlKey::new(url.as_bytes());
             let candidates = inner.replicas.load().candidates_key(&ukey);
             if candidates.is_empty() {
@@ -657,10 +829,12 @@ fn serve_client(
 }
 
 fn store_document(inner: &Inner, url: &str, meta: DocMeta) {
-    let evicted = lock(&inner.cache).store(url.to_string(), meta);
+    // Evictions come out of the same stripe the URL goes into — the
+    // stripes partition the same key space the directory shards do.
+    let evicted = lock(inner.cache.stripe(url)).store(url.to_string(), meta);
     if let Some(evicted) = evicted {
-        let mut machine = lock(&inner.machine);
-        let outputs = machine.handle(
+        let mut router = lock(&inner.router);
+        let outputs = router.handle(
             now(inner),
             Event::Stored {
                 url,
@@ -687,14 +861,14 @@ fn reply_doc(inner: &Inner, stream: &mut TcpStream, meta: DocMeta) -> std::io::R
 }
 
 /// Post-request bookkeeping: latency and (SC mode) update publishing.
-/// The machine lock is held across the whole publish fan-out so
-/// sequence allocation and send order agree on the wire.
+/// The router lock is held across the whole publish fan-out so
+/// sequence allocation and egress-queue order agree.
 fn finish_request(inner: &Inner, t0: Instant) {
     inner.stats.latency(t0.elapsed().as_micros() as u64);
-    let mut machine = lock(&inner.machine);
-    let outputs = machine.handle(now(inner), Event::RequestDone, &CacheView(&inner.cache));
+    let mut router = lock(&inner.router);
+    let outputs = router.handle(now(inner), Event::RequestDone, &CacheView(&inner.cache));
     apply_outputs(inner, None, outputs);
-    drop(machine);
+    drop(router);
 }
 
 /// Should this outgoing update datagram be dropped by fault injection?
@@ -732,7 +906,10 @@ fn query_then_fetch(
         // (a peer missing from the table, or a failed send, must not
         // leave a reply slot nobody will ever fill — that made every
         // all-miss round wait out the full icp_timeout_ms). Replies
-        // cannot race in while the lock is held.
+        // cannot race in while the lock is held. The inline sends are
+        // deliberate: a UDP send_to never parks the thread, and routing
+        // them through the egress queue would decouple `outstanding`
+        // from what actually left the socket.
         let mut pending = lock(&inner.pending);
         pending.insert(
             reqnum,
@@ -746,6 +923,7 @@ fn query_then_fetch(
         let mut sent = 0usize;
         for id in peer_ids {
             if let Some(peer) = inner.peers_by_id.get(id) {
+                // sc-check: allow(locks) — non-parking UDP send; see above.
                 if inner.udp.send_to(&bytes, peer.icp).is_ok() {
                     sent += 1;
                     inner.stats.udp_out_to(Some(*id), bytes.len());
@@ -878,24 +1056,6 @@ impl Read for CountingReader<'_> {
     }
 }
 
-/// Handle one received ICP datagram: account it, feed it to the machine,
-/// carry out the resulting sends and effects.
-fn handle_datagram(inner: &Arc<Inner>, data: &[u8], from: SocketAddr) {
-    let from_peer = inner.peer_of_addr.get(&from).copied();
-    inner.stats.udp_in_from(from_peer, data.len());
-    let mut machine = lock(&inner.machine);
-    let outputs = machine.handle(
-        now(inner),
-        Event::Datagram {
-            from: from_peer,
-            data,
-        },
-        &CacheView(&inner.cache),
-    );
-    apply_outputs(inner, Some(from), outputs);
-    drop(machine);
-}
-
 /// Route an ICP reply to the waiting query, completing it on the first
 /// HIT or once every peer has answered. `replier` (when the source
 /// address maps to a known peer) gets the round trip recorded into its
@@ -950,5 +1110,31 @@ mod tests {
         // The salt alone guarantees consecutive calls differ even within
         // one nanosecond tick.
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cache_stripes_partition_and_count() {
+        let stripes = CacheStripes::new(1 << 20, 4);
+        let urls: Vec<String> = (0..32).map(|i| format!("http://s/{i}")).collect();
+        let meta = DocMeta {
+            size: 100,
+            last_modified: 1,
+        };
+        for url in &urls {
+            lock(stripes.stripe(url)).store(url.clone(), meta);
+        }
+        assert_eq!(stripes.len(), urls.len());
+        for url in &urls {
+            assert!(
+                lock(stripes.stripe(url)).contains(url),
+                "{url} on its stripe"
+            );
+        }
+        let used = stripes
+            .stripes
+            .iter()
+            .filter(|s| lock(s).len() > 0)
+            .count();
+        assert!(used > 1, "32 URLs spread over >1 of 4 stripes");
     }
 }

@@ -6,11 +6,17 @@
 //!
 //! The pieces:
 //!
-//! * [`machine`] — the sans-I/O protocol state machine: every
-//!   replication/ICP decision (query answering, replica sequencing,
-//!   gap-triggered resync, failure detection, publish fan-out) as a
-//!   pure function of `(virtual time, event)` — no sockets, no clocks,
-//!   no sleeps.
+//! * [`machine`] — the sans-I/O protocol vocabulary (events, outputs,
+//!   effects, virtual time) and the single-shard `Machine` facade:
+//!   every replication/ICP decision (query answering, replica
+//!   sequencing, gap-triggered resync, failure detection, publish
+//!   fan-out) as a pure function of `(virtual time, event)` — no
+//!   sockets, no clocks, no sleeps.
+//! * [`shard`] + [`router`] — the shard-per-core runtime behind that
+//!   facade: N lock-free shards partition the local directory and the
+//!   peer-replica space by `UrlKey` digest, the router owns the
+//!   control plane (liveness, request numbering, the publish ledger)
+//!   and turns cross-shard concerns into explicit merge steps.
 //! * [`daemon`] — the proxy itself: an HTTP front end with a
 //!   metadata-only document cache, a UDP ICP endpoint feeding the
 //!   machine, and three peering modes ([`config::Mode`]): no
@@ -58,6 +64,8 @@ pub mod histogram;
 pub mod machine;
 pub mod origin;
 pub mod replica;
+pub mod router;
+pub mod shard;
 pub mod simnet;
 pub mod stats;
 

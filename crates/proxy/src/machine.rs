@@ -18,6 +18,13 @@
 //! clock and a seeded fault plan. Both drive the *same* decision logic,
 //! which is what makes a simnet seed a faithful protocol schedule.
 //!
+//! Since the shard-per-core redesign the decision logic itself lives in
+//! [`crate::shard`] (partitioned directory + replica state) and
+//! [`crate::router`] (control plane, cross-shard merges); this module
+//! keeps the shared protocol vocabulary — [`Event`], [`Output`],
+//! [`Effect`], [`VirtualTime`], the wire constants — and [`Machine`],
+//! the single-shard facade over a [`Router`].
+//!
 //! Time enters only as [`VirtualTime`] values the caller supplies;
 //! durations (resync backoff, failure timeout) are plain arithmetic on
 //! those values. Randomness never enters at all — loss injection and
@@ -25,13 +32,13 @@
 //! its seeded loss RNG and the wall clock; the simnet uses its fault
 //! plan and deterministic generation numbers).
 
-use crate::replica::{ReplicaCell, ReplicaSnapshot};
-use sc_bloom::{BitVec, BloomFilter, HashSpec};
-use sc_util::fxhash::FxHashMap;
-use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
+use crate::replica::ReplicaCell;
+use crate::router::{DirectoryInspect, Router};
+use sc_bloom::BitVec;
+use sc_wire::icp::IcpMessage;
 use std::sync::Arc;
 use std::time::Duration;
-use summary_cache_core::{filter_candidates, ProxySummary, PublishOutcome, UpdatePolicy};
+use summary_cache_core::{ProxySummary, UpdatePolicy};
 
 /// Max bit flips per DIRUPDATE datagram (keeps messages near one MTU,
 /// as the prototype "sends updates whenever there are enough changes to
@@ -254,67 +261,13 @@ pub trait DirectoryView {
     fn contains(&self, url: &str) -> bool;
 }
 
-/// Summary-cache mode state.
-struct ScCore {
-    summary: ProxySummary,
-    policy: UpdatePolicy,
-    requests_since_publish: u64,
-    last_publish: VirtualTime,
-}
-
-/// Failure-detection state for one peer (Section VI-B: the prototype
-/// "leverages Squid's built-in support to detect failure and recovery
-/// of neighbor proxies, and reinitializes a failed neighbor's bit array
-/// when it recovers").
-struct PeerLiveness {
-    last_heard: VirtualTime,
-    failed: bool,
-}
-
-/// One peer's summary replica and the sequencing state guarding it.
-///
-/// A replica is only ever *installed* from a full bitmap; delta flips
-/// apply only when they carry exactly the expected `(generation, seq)`.
-/// Until a bitmap arrives (`filter` is `None`) probes treat the peer as
-/// empty — flips are never guessed onto an empty array.
-struct ReplicaState {
-    /// The installed replica; `None` on first contact or after a
-    /// detected gap discarded the previous one. Shared by `Arc` with
-    /// the published [`ReplicaSnapshot`]s; delta flips copy-on-write
-    /// (`Arc::make_mut`) only while a reader holds an old snapshot.
-    filter: Option<Arc<BloomFilter>>,
-    /// Generation of the installed (or last seen) publisher bitmap.
-    generation: u32,
-    /// Seq the next delta from this peer must carry.
-    expected_seq: u32,
-    /// When a DIRREQ was last sent, for backoff.
-    last_resync_request: Option<VirtualTime>,
-}
-
-impl Default for ReplicaState {
-    fn default() -> Self {
-        ReplicaState {
-            filter: None,
-            generation: 0,
-            expected_seq: 0,
-            last_resync_request: None,
-        }
-    }
-}
-
-/// The protocol state machine for one proxy.
+/// The protocol state machine for one proxy — since the shard-per-core
+/// redesign, a thin facade over a single-shard [`Router`]. The routed
+/// runtime ([`crate::shard`] + [`crate::router`]) carries all the
+/// decision logic; this type pins the historical single-shard API (and
+/// its unit tests pin the ported semantics).
 pub struct Machine {
-    id: u32,
-    peers: Vec<u32>,
-    keepalive_ms: u64,
-    sc: Option<ScCore>,
-    replicas: FxHashMap<u32, ReplicaState>,
-    liveness: FxHashMap<u32, PeerLiveness>,
-    /// The lock-free read-path cell: after every replica mutation the
-    /// machine publishes an immutable snapshot here, so SC-mode
-    /// candidate selection never takes the machine lock.
-    cell: Arc<ReplicaCell>,
-    next_reqnum: u32,
+    router: Router,
 }
 
 impl Machine {
@@ -329,584 +282,69 @@ impl Machine {
         sc: Option<(ProxySummary, UpdatePolicy)>,
         now: VirtualTime,
     ) -> Machine {
-        let liveness = peers
-            .iter()
-            .map(|&p| {
-                (
-                    p,
-                    PeerLiveness {
-                        last_heard: now,
-                        failed: false,
-                    },
-                )
-            })
-            .collect();
         Machine {
-            id,
-            peers,
-            keepalive_ms,
-            sc: sc.map(|(summary, policy)| ScCore {
-                summary,
-                policy,
-                requests_since_publish: 0,
-                last_publish: now,
-            }),
-            replicas: FxHashMap::default(),
-            liveness,
-            cell: ReplicaCell::new(),
-            next_reqnum: 1,
+            router: Router::new(id, peers, keepalive_ms, 1, sc, now),
         }
     }
 
     /// This proxy's id.
     pub fn id(&self) -> u32 {
-        self.id
+        self.router.id()
     }
 
     /// The shared replica-snapshot cell. The driver clones this once at
     /// startup and serves SC-mode candidate selection from it without
     /// ever locking the machine.
     pub fn replica_cell(&self) -> Arc<ReplicaCell> {
-        self.cell.clone()
-    }
-
-    /// Publish the current replica set as an immutable snapshot (in
-    /// configured peer order, matching [`Machine::candidates`]'s probe
-    /// order). Called after every mutation of `replicas`.
-    fn publish_replicas(&self) {
-        let peers = self
-            .peers
-            .iter()
-            .filter_map(|&p| {
-                self.replicas
-                    .get(&p)
-                    .and_then(|st| st.filter.as_ref())
-                    .map(|f| (p, f.clone()))
-            })
-            .collect();
-        self.cell.swap(Arc::new(ReplicaSnapshot::new(peers)));
+        self.router.replica_cell()
     }
 
     /// Feed one event; returns the sends and effects it decided on, in
     /// order.
     pub fn handle(&mut self, now: VirtualTime, event: Event<'_>, dir: &dyn DirectoryView) -> Vec<Output> {
-        let mut out = Vec::new();
-        match event {
-            Event::Datagram { from, data } => self.on_datagram(now, from, data, dir, &mut out),
-            Event::Tick => self.on_tick(now, &mut out),
-            Event::Stored { url, evicted } => {
-                if let Some(sc) = self.sc.as_mut() {
-                    sc.summary.insert(url.as_bytes(), server_of(url));
-                    for victim in evicted {
-                        sc.summary.remove(victim.as_bytes(), server_of(victim));
-                    }
-                }
-            }
-            Event::Purged { url } => {
-                if let Some(sc) = self.sc.as_mut() {
-                    sc.summary.remove(url.as_bytes(), server_of(url));
-                }
-            }
-            Event::RequestDone => self.on_request_done(now, &mut out),
-        }
-        out
+        self.router.handle(now, event, dir)
     }
 
     // -- read-only views the driver needs ---------------------------------
 
     /// Peers not currently marked failed (what ICP mode queries).
     pub fn live_peers(&self) -> Vec<u32> {
-        self.peers
-            .iter()
-            .filter(|p| self.liveness.get(p).is_none_or(|l| !l.failed))
-            .copied()
-            .collect()
+        self.router.live_peers()
     }
 
     /// Peers whose installed summary replica advertises `url`, probed
     /// through the shared `SummaryProbe` path (peers without a synced
     /// replica cannot be candidates).
     pub fn candidates(&self, url: &[u8]) -> Vec<u32> {
-        filter_candidates(
-            self.peers.iter().filter_map(|&p| {
-                self.replicas
-                    .get(&p)
-                    .and_then(|st| st.filter.as_deref())
-                    .map(|f| (p, f))
-            }),
-            url,
-            &[],
-        )
-    }
-
-    /// Peer ids whose summary replicas are currently installed (i.e.
-    /// synced — a bitmap has arrived and no gap has discarded it).
-    pub fn replicated_peers(&self) -> Vec<u32> {
-        let mut ids: Vec<u32> = self
-            .replicas
-            .iter()
-            .filter(|(_, st)| st.filter.is_some())
-            .map(|(&id, _)| id)
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.router.candidates(url)
     }
 
     /// Is a replica of `peer` currently installed?
     pub fn replica_installed(&self, peer: u32) -> bool {
-        self.replicas
-            .get(&peer)
-            .is_some_and(|st| st.filter.is_some())
-    }
-
-    /// The bit array of the installed replica of `peer`, if synced.
-    pub fn replica_bits(&self, peer: u32) -> Option<BitVec> {
-        self.replicas
-            .get(&peer)
-            .and_then(|st| st.filter.as_deref())
-            .map(|f| f.bits().clone())
-    }
-
-    /// This proxy's own *published* summary bit array (SC mode only) —
-    /// what every in-sync peer replica of this proxy must equal.
-    pub fn published_bits(&self) -> Option<BitVec> {
-        let sc = self.sc.as_ref()?;
-        match sc.summary.snapshot_published() {
-            summary_cache_core::SummarySnapshot::Bloom { bits, .. } => Some(bits),
-            _ => None,
-        }
+        self.router.replica_installed(peer)
     }
 
     /// The summary's current generation (SC mode only).
     pub fn generation(&self) -> Option<u32> {
-        self.sc.as_ref().map(|sc| sc.summary.generation())
+        self.router.generation()
+    }
+}
+
+impl DirectoryInspect for Machine {
+    fn replicated_peers(&self) -> Vec<u32> {
+        self.router.replicated_peers()
     }
 
-    // -- event handlers ---------------------------------------------------
-
-    fn on_datagram(
-        &mut self,
-        now: VirtualTime,
-        from: Option<u32>,
-        data: &[u8],
-        dir: &dyn DirectoryView,
-        out: &mut Vec<Output>,
-    ) {
-        let Ok(msg) = IcpMessage::decode(data) else {
-            return; // malformed datagrams are dropped, as in Squid
-        };
-        if let Some(peer_id) = from {
-            if self.mark_heard(now, peer_id) {
-                // The peer just came back (Section VI-B): reinitialize
-                // both directions through the resync machinery —
-                // restate our bitmap so its replica of us recovers, and
-                // ask for its bitmap to rebuild the one we dropped at
-                // failure time.
-                out.push(Output::Effect(Effect::PeerRecovered { peer: peer_id }));
-                self.send_full_bitmap(Dest::Sender, out);
-                let st = self.replicas.entry(peer_id).or_default();
-                Self::request_resync(st, now, &mut self.next_reqnum, self.id, peer_id, out);
-            }
-        }
-        match msg {
-            IcpMessage::Query {
-                request_number,
-                url,
-                ..
-            } => {
-                out.push(Output::Effect(Effect::QueryServed));
-                let have = dir.contains(&url);
-                let reply = if have {
-                    IcpMessage::Hit {
-                        request_number,
-                        url,
-                    }
-                } else {
-                    IcpMessage::Miss {
-                        request_number,
-                        url,
-                    }
-                };
-                out.push(Output::Send(Send {
-                    to: Dest::Sender,
-                    msg: reply,
-                    kind: SendKind::QueryReply,
-                }));
-            }
-            IcpMessage::Hit { request_number, .. } => {
-                out.push(Output::Effect(Effect::ReplyReceived {
-                    request_number,
-                    hit_from: from,
-                    replier: from,
-                }));
-            }
-            IcpMessage::Miss { request_number, .. }
-            | IcpMessage::MissNoFetch { request_number, .. }
-            | IcpMessage::Denied { request_number, .. }
-            | IcpMessage::Err { request_number, .. } => {
-                out.push(Output::Effect(Effect::ReplyReceived {
-                    request_number,
-                    hit_from: None,
-                    replier: from,
-                }));
-            }
-            IcpMessage::Secho { .. } => {
-                // Keep-alive: nothing beyond the liveness marking above.
-            }
-            IcpMessage::DirUpdate { sender, update, .. } => {
-                self.apply_update(now, sender, update, out);
-            }
-            IcpMessage::DirReq { .. } => {
-                // A peer's replica of us is missing or gapped: restate
-                // the whole published bitmap.
-                if from.is_some() {
-                    self.send_full_bitmap(Dest::Sender, out);
-                }
-            }
-        }
+    fn replica_bits(&self, peer: u32) -> Option<BitVec> {
+        self.router.replica_bits(peer)
     }
 
-    /// Apply a received directory update to the sender's local replica.
-    ///
-    /// Sequencing discipline: a replica is only ever *installed* from a
-    /// full bitmap, and delta flips apply only when they carry exactly
-    /// the expected `(generation, seq)`. Anything else is evidence of
-    /// loss, reordering, or a publisher restart — the replica is
-    /// discarded and a DIRREQ asks the publisher to restate its bitmap.
-    fn apply_update(&mut self, now: VirtualTime, sender: u32, update: DirUpdate, out: &mut Vec<Output>) {
-        let Ok(spec) = HashSpec::new(
-            update.function_num,
-            update.function_bits,
-            update.bit_array_size,
-        ) else {
-            return; // malformed spec: drop, as with any bad datagram
-        };
-        if !self.peers.contains(&sender) {
-            return; // not a configured peer: no replica, no resync
-        }
-        out.push(Output::Effect(Effect::UpdateReceived));
-        let st = self.replicas.entry(sender).or_default();
-        // Did this update change the replica set? Republish the
-        // lock-free snapshot afterwards if so.
-        let mut replicas_changed = false;
-        match update.content {
-            DirContent::Bitmap(words) => {
-                if words.len() != (spec.table_bits() as usize).div_ceil(64) {
-                    return;
-                }
-                // Mask any overhang bits the sender left set.
-                let mut words = words;
-                let rem = spec.table_bits() as usize % 64;
-                if rem != 0 {
-                    if let Some(last) = words.last_mut() {
-                        *last &= (1u64 << rem) - 1;
-                    }
-                }
-                let first_contact = st.filter.is_none();
-                st.filter = Some(Arc::new(BloomFilter::from_parts(
-                    spec,
-                    BitVec::from_words(spec.table_bits() as usize, words),
-                )));
-                st.generation = update.generation;
-                st.expected_seq = update.seq.wrapping_add(1);
-                st.last_resync_request = None;
-                replicas_changed = true;
-                out.push(Output::Effect(Effect::ReplicaInstalled {
-                    peer: sender,
-                    first_contact,
-                    generation: update.generation,
-                    seq: update.seq,
-                    bits: spec.table_bits(),
-                }));
-            }
-            DirContent::Flips(flips) => {
-                let in_sync = st.generation == update.generation
-                    && st.filter.as_deref().is_some_and(|f| f.spec() == spec);
-                if in_sync && update.seq == st.expected_seq {
-                    st.expected_seq = st.expected_seq.wrapping_add(1);
-                    if let Some(filter) = st.filter.as_mut() {
-                        if !flips.is_empty() {
-                            // Copy-on-write: clones the filter only if a
-                            // reader still holds an older snapshot.
-                            let filter = Arc::make_mut(filter);
-                            for f in flips {
-                                if f.index() < spec.table_bits() {
-                                    filter.apply_flip(f.index(), f.set_bit());
-                                }
-                            }
-                            replicas_changed = true;
-                        }
-                    }
-                } else if in_sync && update.seq.wrapping_sub(st.expected_seq) > u32::MAX / 2 {
-                    // duplicate / late datagram from the past: already reflected
-                } else {
-                    // Seq gap ahead, generation or spec change, or no
-                    // replica at all (first contact / awaiting a bitmap).
-                    if st.filter.take().is_some() {
-                        replicas_changed = true;
-                        out.push(Output::Effect(Effect::UpdateGap {
-                            peer: sender,
-                            got_generation: update.generation,
-                            got_seq: update.seq,
-                            expected_generation: st.generation,
-                            expected_seq: st.expected_seq,
-                        }));
-                    }
-                    Self::request_resync(st, now, &mut self.next_reqnum, self.id, sender, out);
-                }
-            }
-        }
-        if replicas_changed {
-            self.publish_replicas();
-        }
+    fn published_bits(&self) -> Option<BitVec> {
+        self.router.published_bits()
     }
 
-    /// Ask `peer` (reachable as the current datagram's sender) to
-    /// restate its full bitmap, unless a request went out within
-    /// [`RESYNC_BACKOFF`]. Retries ride the next delta or heartbeat
-    /// that finds the replica still missing.
-    fn request_resync(
-        st: &mut ReplicaState,
-        now: VirtualTime,
-        next_reqnum: &mut u32,
-        my_id: u32,
-        peer: u32,
-        out: &mut Vec<Output>,
-    ) {
-        if st
-            .last_resync_request
-            .is_some_and(|at| now.saturating_since(at) < RESYNC_BACKOFF)
-        {
-            return;
-        }
-        st.last_resync_request = Some(now);
-        let request_number = *next_reqnum;
-        *next_reqnum = next_reqnum.wrapping_add(1);
-        out.push(Output::Send(Send {
-            to: Dest::Sender,
-            msg: IcpMessage::DirReq {
-                request_number,
-                sender: my_id,
-                generation: st.generation,
-            },
-            kind: SendKind::Resync {
-                peer,
-                last_generation: st.generation,
-            },
-        }));
-    }
-
-    /// Our complete current published bitmap, unicast (answering a
-    /// DIRREQ, or reinitializing a recovered peer). No-op outside SC
-    /// mode.
-    ///
-    /// Stamps the *current* sequence number without advancing it: a
-    /// unicast bitmap must not create a seq the other peers never see
-    /// (they would read the skipped number as a gap). The receiver
-    /// resumes expecting `seq + 1`, which is exactly the next delta we
-    /// will broadcast.
-    fn send_full_bitmap(&mut self, to: Dest, out: &mut Vec<Output>) {
-        let Some(sc) = self.sc.as_ref() else { return };
-        let snapshot = sc.summary.snapshot_published();
-        let summary_cache_core::SummarySnapshot::Bloom { spec, bits } = snapshot else {
-            return;
-        };
-        let request_number = self.next_reqnum;
-        self.next_reqnum = self.next_reqnum.wrapping_add(1);
-        out.push(Output::Send(Send {
-            to,
-            msg: IcpMessage::DirUpdate {
-                request_number,
-                sender: self.id,
-                update: DirUpdate {
-                    function_num: spec.k(),
-                    function_bits: spec.function_bits(),
-                    bit_array_size: spec.table_bits(),
-                    generation: sc.summary.generation(),
-                    seq: sc.summary.seq(),
-                    content: DirContent::Bitmap(bits.as_words().to_vec()),
-                },
-            },
-            kind: SendKind::UpdateFull,
-        }));
-    }
-
-    /// Mark `peer` as heard-from now. Returns `true` if this is a
-    /// recovery (the peer was marked failed).
-    fn mark_heard(&mut self, now: VirtualTime, peer: u32) -> bool {
-        let Some(l) = self.liveness.get_mut(&peer) else {
-            return false;
-        };
-        l.last_heard = now;
-        std::mem::replace(&mut l.failed, false)
-    }
-
-    fn on_tick(&mut self, now: VirtualTime, out: &mut Vec<Output>) {
-        if !self.peers.is_empty() {
-            out.push(Output::Send(Send {
-                to: Dest::AllPeers,
-                msg: IcpMessage::Secho {
-                    request_number: 0,
-                    url: String::new(),
-                },
-                kind: SendKind::Keepalive,
-            }));
-        }
-        self.sweep_failed_peers(now, out);
-        self.heartbeat(out);
-    }
-
-    /// Drop the summary replicas of peers we have not heard from lately.
-    fn sweep_failed_peers(&mut self, now: VirtualTime, out: &mut Vec<Output>) {
-        if self.keepalive_ms == 0 {
-            return; // no keep-alives, no liveness signal
-        }
-        let timeout = Duration::from_millis(self.keepalive_ms) * FAILURE_KEEPALIVE_PERIODS;
-        let mut newly_failed = Vec::new();
-        for (&id, l) in self.liveness.iter_mut() {
-            if !l.failed && now.saturating_since(l.last_heard) > timeout {
-                l.failed = true;
-                newly_failed.push(id);
-            }
-        }
-        newly_failed.sort_unstable(); // HashMap order must not leak into output order
-        let mut replicas_dropped = false;
-        for id in newly_failed {
-            replicas_dropped |= self
-                .replicas
-                .remove(&id)
-                .is_some_and(|st| st.filter.is_some());
-            out.push(Output::Effect(Effect::PeerFailed { peer: id }));
-        }
-        if replicas_dropped {
-            self.publish_replicas();
-        }
-    }
-
-    /// SC-mode anti-entropy heartbeat, part of every tick: broadcast an
-    /// empty delta carrying the current `(generation, seq)`. In-sync
-    /// replicas apply it as a no-op; a receiver that lost the tail of
-    /// the update stream (or never got a bitmap) sees the gap and
-    /// resyncs — without this, a lost *last* delta would go undetected
-    /// until the next publish.
-    fn heartbeat(&mut self, out: &mut Vec<Output>) {
-        let Some(sc) = self.sc.as_mut() else { return };
-        let snapshot = sc.summary.snapshot_published();
-        let summary_cache_core::SummarySnapshot::Bloom { spec, .. } = snapshot else {
-            return;
-        };
-        let generation = sc.summary.generation();
-        let seq = sc.summary.advance_seq();
-        let request_number = self.next_reqnum;
-        self.next_reqnum = self.next_reqnum.wrapping_add(1);
-        out.push(Output::Send(Send {
-            to: Dest::AllPeers,
-            msg: IcpMessage::DirUpdate {
-                request_number,
-                sender: self.id,
-                update: DirUpdate {
-                    function_num: spec.k(),
-                    function_bits: spec.function_bits(),
-                    bit_array_size: spec.table_bits(),
-                    generation,
-                    seq,
-                    content: DirContent::Flips(Vec::new()),
-                },
-            },
-            kind: SendKind::UpdateDelta,
-        }));
-    }
-
-    /// Post-request publish check (SC mode): when the policy says so,
-    /// publish and fan the update out. The first datagram carries the
-    /// seq the publish allocated; when the delta is split across
-    /// datagrams, each further chunk allocates the next seq so the loss
-    /// of *any* chunk is a detectable gap.
-    fn on_request_done(&mut self, now: VirtualTime, out: &mut Vec<Output>) {
-        let Some(sc) = self.sc.as_mut() else { return };
-        sc.requests_since_publish += 1;
-        let elapsed_ms = now.saturating_since(sc.last_publish).as_millis() as u64;
-        if !sc.policy.should_publish(
-            sc.summary.fresh_docs(),
-            sc.summary.docs(),
-            sc.requests_since_publish,
-            elapsed_ms,
-        ) {
-            return;
-        }
-        let outcome = sc.summary.publish();
-        sc.requests_since_publish = 0;
-        sc.last_publish = now;
-        let messages = Self::build_update_messages(
-            &mut sc.summary,
-            &outcome,
-            self.id,
-            &mut self.next_reqnum,
-        );
-        let count = messages.len();
-        let kind = if outcome.full_bitmap {
-            SendKind::UpdateFull
-        } else {
-            SendKind::UpdateDelta
-        };
-        for msg in messages {
-            out.push(Output::Send(Send {
-                to: Dest::AllPeers,
-                msg,
-                kind,
-            }));
-        }
-        out.push(Output::Effect(Effect::Published {
-            full_bitmap: outcome.full_bitmap,
-            staleness: outcome.staleness,
-            messages: count,
-            seq: outcome.seq,
-        }));
-    }
-
-    /// Build the DIRUPDATE/DIRFULL message(s) for a publish.
-    fn build_update_messages(
-        summary: &mut ProxySummary,
-        outcome: &PublishOutcome,
-        my_id: u32,
-        next_reqnum: &mut u32,
-    ) -> Vec<IcpMessage> {
-        let snapshot = summary.snapshot_published();
-        let summary_cache_core::SummarySnapshot::Bloom { spec, bits } = snapshot else {
-            unreachable!("SC mode always uses Bloom summaries");
-        };
-        let reqnum = *next_reqnum;
-        *next_reqnum = next_reqnum.wrapping_add(1);
-        let mk = |seq: u32, content| IcpMessage::DirUpdate {
-            request_number: reqnum,
-            sender: my_id,
-            update: DirUpdate {
-                function_num: spec.k(),
-                function_bits: spec.function_bits(),
-                bit_array_size: spec.table_bits(),
-                generation: outcome.generation,
-                seq,
-                content,
-            },
-        };
-        if outcome.full_bitmap {
-            vec![mk(outcome.seq, DirContent::Bitmap(bits.as_words().to_vec()))]
-        } else if outcome.flips.is_empty() {
-            // The publish allocated a seq, so something must travel or
-            // the next delta reads as a gap; an empty delta is a legal
-            // no-op.
-            vec![mk(outcome.seq, DirContent::Flips(Vec::new()))]
-        } else {
-            outcome
-                .flips
-                .chunks(FLIPS_PER_DATAGRAM)
-                .enumerate()
-                .map(|(i, chunk)| {
-                    let seq = if i == 0 { outcome.seq } else { summary.advance_seq() };
-                    mk(seq, DirContent::Flips(chunk.to_vec()))
-                })
-                .collect()
-        }
+    fn cached_docs(&self) -> u64 {
+        self.router.cached_docs()
     }
 }
 
@@ -927,6 +365,7 @@ pub fn server_of(url: &str) -> &[u8] {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sc_wire::icp::{DirContent, DirUpdate};
     use summary_cache_core::SummaryKind;
 
     struct NoDocs;

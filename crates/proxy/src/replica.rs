@@ -64,6 +64,11 @@ impl ReplicaSnapshot {
         self.peers.len()
     }
 
+    /// The `(peer, filter)` pairs, in probe order.
+    pub fn peers(&self) -> &[(u32, Arc<BloomFilter>)] {
+        &self.peers
+    }
+
     /// Peers whose replica advertises `url` (byte path; rehashes).
     pub fn candidates(&self, url: &[u8]) -> Vec<u32> {
         self.peers
@@ -99,7 +104,7 @@ thread_local! {
         const { RefCell::new(Vec::new()) };
 }
 
-/// The shared slot a [`crate::machine::Machine`] publishes replica
+/// The shared slot a [`crate::router::Router`] publishes replica
 /// snapshots into, and request threads read candidate sets from.
 pub struct ReplicaCell {
     id: u64,

@@ -1,0 +1,871 @@
+//! The shard router: the control plane of the shard-per-core runtime.
+//!
+//! The router owns everything that must be globally ordered or that
+//! crosses shard boundaries, and routes everything else to the owning
+//! [`Shard`]:
+//!
+//! * **request numbers**: one allocator, so DIRREQ/DIRUPDATE numbering
+//!   is identical at every shard count;
+//! * **peer liveness**: SECHO bookkeeping, the failure sweep, and
+//!   recovery reinitialization (Section VI-B);
+//! * **the publish ledger**: generation, seq, baseline bitmap, and the
+//!   update policy. A publish is the canonical *cross-shard merge
+//!   step*: the shard directory slices are OR-ed word-wise into one
+//!   full-width bitmap, diffed against the baseline, and fanned out as
+//!   delta flips or a full bitmap — exactly the unsharded
+//!   [`ProxySummary::publish`] arithmetic, applied to the merged array;
+//! * **the replica snapshot cell**: whenever any shard reports
+//!   [`ShardOutput::ReplicasChanged`], the router re-merges every
+//!   shard's installed replicas into one immutable
+//!   [`ReplicaSnapshot`] for the lock-free read path.
+//!
+//! Determinism: the router processes one event at a time and drains
+//! each shard's outputs synchronously, so the output stream for a
+//! given event sequence is identical for every shard count — that is
+//! what lets the simnet assert bit-for-bit equal journals for shards
+//! ∈ {1, 2, 4} under the same seed (see DESIGN.md §13 for the full
+//! argument, including the counter-saturation caveat).
+//!
+//! Like the machine it replaces, this module is sans-I/O (sc-check
+//! rule 6 covers it): no sockets, no real clocks, no sleeps.
+
+use crate::machine::{
+    Dest, DirectoryView, Effect, Event, Output, Send, SendKind, VirtualTime,
+    FAILURE_KEEPALIVE_PERIODS, FLIPS_PER_DATAGRAM,
+};
+use crate::replica::{ReplicaCell, ReplicaSnapshot};
+use crate::shard::{owner_of, shard_of, Shard, ShardEvent, ShardOutput};
+use sc_bloom::{BitVec, Flip, HashSpec, UrlKey};
+use sc_util::fxhash::FxHashMap;
+use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
+use std::sync::Arc;
+use std::time::Duration;
+use summary_cache_core::{
+    filter_candidates, wire_cost, ProxySummary, SummarySnapshot, UpdatePolicy,
+};
+
+/// One read-only introspection surface over a directory owner — the
+/// router, the [`crate::machine::Machine`] facade, and the live
+/// [`crate::daemon::Daemon`] all implement it, so tests and admin
+/// endpoints ask one trait instead of reaching through layers.
+pub trait DirectoryInspect {
+    /// Peer ids whose summary replicas are currently installed (i.e.
+    /// synced — a bitmap has arrived and no gap has discarded it).
+    fn replicated_peers(&self) -> Vec<u32>;
+    /// The bit array of the installed replica of `peer`, if synced.
+    fn replica_bits(&self, peer: u32) -> Option<BitVec>;
+    /// This proxy's own *published* summary bit array (SC mode only) —
+    /// what every in-sync peer replica of this proxy must equal.
+    fn published_bits(&self) -> Option<BitVec>;
+    /// Documents currently reflected in the local directory.
+    fn cached_docs(&self) -> u64;
+}
+
+/// Failure-detection state for one peer (Section VI-B: the prototype
+/// "leverages Squid's built-in support to detect failure and recovery
+/// of neighbor proxies, and reinitializes a failed neighbor's bit array
+/// when it recovers").
+struct PeerLiveness {
+    last_heard: VirtualTime,
+    failed: bool,
+}
+
+/// The publish ledger: the control-plane half of summary-cache mode.
+/// The per-URL counters live in the shards; everything here is global —
+/// the published baseline the peers hold, the `(generation, seq)`
+/// lineage, and the policy counters the publish decision reads.
+struct ScControl {
+    spec: HashSpec,
+    /// The published bitmap — what every in-sync peer replica equals.
+    baseline: BitVec,
+    generation: u32,
+    seq: u32,
+    policy: UpdatePolicy,
+    /// Documents currently in the directory (inserts minus removes).
+    docs: u64,
+    /// Inserts since the last publish (Section V-A threshold input).
+    fresh: u64,
+    requests_since_publish: u64,
+    last_publish: VirtualTime,
+}
+
+/// The routed protocol state for one proxy: N shards plus the control
+/// plane. [`Router::new`] with one shard is exactly the old unsharded
+/// machine; the [`crate::machine::Machine`] facade is that special
+/// case.
+pub struct Router {
+    id: u32,
+    peers: Vec<u32>,
+    keepalive_ms: u64,
+    shards: Vec<Shard>,
+    liveness: FxHashMap<u32, PeerLiveness>,
+    sc: Option<ScControl>,
+    /// The lock-free read-path cell: after every replica mutation the
+    /// router merges an immutable snapshot of all shards' replicas
+    /// here, so SC-mode candidate selection never takes the router
+    /// lock.
+    cell: Arc<ReplicaCell>,
+    next_reqnum: u32,
+}
+
+impl Router {
+    /// A router for proxy `id` peering with `peers`, partitioned over
+    /// `shards` lanes (0 is clamped to 1). `sc` carries the summary
+    /// (with its generation already set by the driver — fresh
+    /// randomness is I/O) and publish policy in summary-cache mode;
+    /// the summary's *published* snapshot seeds the ledger, and its
+    /// Bloom spec sizes every shard's directory slice. Non-Bloom
+    /// summaries are not routable (nothing constructs them here; the
+    /// unsharded publish path treated them as unreachable) and
+    /// degrade to no-SC mode. `now` initializes every peer's
+    /// last-heard time.
+    pub fn new(
+        id: u32,
+        peers: Vec<u32>,
+        keepalive_ms: u64,
+        shards: usize,
+        sc: Option<(ProxySummary, UpdatePolicy)>,
+        now: VirtualTime,
+    ) -> Router {
+        let shards = shards.max(1);
+        let liveness = peers
+            .iter()
+            .map(|&p| {
+                (
+                    p,
+                    PeerLiveness {
+                        last_heard: now,
+                        failed: false,
+                    },
+                )
+            })
+            .collect();
+        let sc = sc.and_then(|(summary, policy)| {
+            let SummarySnapshot::Bloom { spec, bits } = summary.snapshot_published() else {
+                return None;
+            };
+            Some(ScControl {
+                spec,
+                baseline: bits,
+                generation: summary.generation(),
+                seq: summary.seq(),
+                policy,
+                docs: summary.docs(),
+                fresh: summary.fresh_docs(),
+                requests_since_publish: 0,
+                last_publish: now,
+            })
+        });
+        let slice_cfg = sc.as_ref().map(|sc| sc_bloom::FilterConfig {
+            bits: sc.spec.table_bits(),
+            hashes: sc.spec.k(),
+            function_bits: sc.spec.function_bits(),
+        });
+        Router {
+            id,
+            peers,
+            keepalive_ms,
+            shards: (0..shards).map(|i| Shard::new(i, slice_cfg)).collect(),
+            liveness,
+            sc,
+            cell: ReplicaCell::new(),
+            next_reqnum: 1,
+        }
+    }
+
+    /// This proxy's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// How many shard lanes this router partitions state over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared replica-snapshot cell. The driver clones this once at
+    /// startup and serves SC-mode candidate selection from it without
+    /// ever locking the router.
+    pub fn replica_cell(&self) -> Arc<ReplicaCell> {
+        self.cell.clone()
+    }
+
+    /// Merge every shard's installed replicas into one immutable
+    /// snapshot (in configured peer order, matching
+    /// [`Router::candidates`]'s probe order) and publish it to the
+    /// cell. Called after any shard reports a replica-set change.
+    fn publish_replicas(&self) {
+        let peers = self
+            .peers
+            .iter()
+            .filter_map(|&p| {
+                self.shards[owner_of(p, self.shards.len())]
+                    .replica_filter(p)
+                    .map(|f| (p, f.clone()))
+            })
+            .collect();
+        self.cell.swap(Arc::new(ReplicaSnapshot::new(peers)));
+    }
+
+    /// Feed one event; returns the sends and effects it decided on, in
+    /// order. Identical output stream at every shard count.
+    pub fn handle(&mut self, now: VirtualTime, event: Event<'_>, dir: &dyn DirectoryView) -> Vec<Output> {
+        let mut out = Vec::new();
+        match event {
+            Event::Datagram { from, data } => self.on_datagram(now, from, data, dir, &mut out),
+            Event::Tick => self.on_tick(now, &mut out),
+            Event::Stored { url, evicted } => {
+                if self.sc.is_some() {
+                    self.route_insert(url);
+                    for victim in evicted {
+                        self.route_remove(victim);
+                    }
+                }
+            }
+            Event::Purged { url } => {
+                if self.sc.is_some() {
+                    self.route_remove(url);
+                }
+            }
+            Event::RequestDone => self.on_request_done(now, &mut out),
+        }
+        out
+    }
+
+    /// Insert `url` into the owning shard's directory slice and bump
+    /// the ledger counters (docs, Section V-A freshness).
+    fn route_insert(&mut self, url: &str) {
+        let key = UrlKey::new(url.as_bytes());
+        let shard = shard_of(&key, self.shards.len());
+        let mut sink = Vec::new();
+        self.shards[shard].handle(ShardEvent::Insert { url: &key }, &mut sink);
+        if let Some(sc) = self.sc.as_mut() {
+            sc.docs += 1;
+            sc.fresh += 1;
+        }
+        debug_assert!(sink.is_empty(), "directory mutations emit no outputs");
+    }
+
+    /// Remove `url` from the owning shard's directory slice.
+    fn route_remove(&mut self, url: &str) {
+        let key = UrlKey::new(url.as_bytes());
+        let shard = shard_of(&key, self.shards.len());
+        let mut sink = Vec::new();
+        self.shards[shard].handle(ShardEvent::Remove { url: &key }, &mut sink);
+        if let Some(sc) = self.sc.as_mut() {
+            sc.docs = sc.docs.saturating_sub(1);
+        }
+        debug_assert!(sink.is_empty(), "directory mutations emit no outputs");
+    }
+
+    /// Materialize a shard's routed outputs: effects pass through,
+    /// resync decisions become DIRREQ sends (request number allocated
+    /// here, so numbering is shard-count independent). Returns whether
+    /// the shard reported a replica-set change.
+    fn drain_shard_outputs(&mut self, souts: Vec<ShardOutput>, out: &mut Vec<Output>) -> bool {
+        let mut replicas_changed = false;
+        for sout in souts {
+            match sout {
+                ShardOutput::Effect(e) => out.push(Output::Effect(e)),
+                ShardOutput::Resync {
+                    peer,
+                    last_generation,
+                } => {
+                    let request_number = self.next_reqnum;
+                    self.next_reqnum = self.next_reqnum.wrapping_add(1);
+                    out.push(Output::Send(Send {
+                        to: Dest::Sender,
+                        msg: IcpMessage::DirReq {
+                            request_number,
+                            sender: self.id,
+                            generation: last_generation,
+                        },
+                        kind: SendKind::Resync {
+                            peer,
+                            last_generation,
+                        },
+                    }));
+                }
+                ShardOutput::ReplicasChanged => replicas_changed = true,
+            }
+        }
+        replicas_changed
+    }
+
+    // -- read-only views the driver needs ---------------------------------
+
+    /// Peers not currently marked failed (what ICP mode queries).
+    pub fn live_peers(&self) -> Vec<u32> {
+        self.peers
+            .iter()
+            .filter(|p| self.liveness.get(p).is_none_or(|l| !l.failed))
+            .copied()
+            .collect()
+    }
+
+    /// Peers whose installed summary replica advertises `url`, probed
+    /// through the shared `SummaryProbe` path (peers without a synced
+    /// replica cannot be candidates).
+    pub fn candidates(&self, url: &[u8]) -> Vec<u32> {
+        filter_candidates(
+            self.peers.iter().filter_map(|&p| {
+                self.shards[owner_of(p, self.shards.len())]
+                    .replica_filter(p)
+                    .map(|f| (p, &**f))
+            }),
+            url,
+            &[],
+        )
+    }
+
+    /// Is a replica of `peer` currently installed?
+    pub fn replica_installed(&self, peer: u32) -> bool {
+        self.shards[owner_of(peer, self.shards.len())].replica_installed(peer)
+    }
+
+    /// The summary's current generation (SC mode only).
+    pub fn generation(&self) -> Option<u32> {
+        self.sc.as_ref().map(|sc| sc.generation)
+    }
+
+    /// Saturated-counter increments summed over every shard's slice —
+    /// the only condition under which the shard OR-merge can diverge
+    /// from an unsharded directory (DESIGN.md §13).
+    pub fn saturations(&self) -> u64 {
+        self.shards.iter().map(Shard::local_saturations).sum()
+    }
+
+    // -- event handlers ---------------------------------------------------
+
+    fn on_datagram(
+        &mut self,
+        now: VirtualTime,
+        from: Option<u32>,
+        data: &[u8],
+        dir: &dyn DirectoryView,
+        out: &mut Vec<Output>,
+    ) {
+        let Ok(msg) = IcpMessage::decode(data) else {
+            return; // malformed datagrams are dropped, as in Squid
+        };
+        if let Some(peer_id) = from {
+            if self.mark_heard(now, peer_id) {
+                // The peer just came back (Section VI-B): reinitialize
+                // both directions through the resync machinery —
+                // restate our bitmap so its replica of us recovers, and
+                // ask for its bitmap to rebuild the one we dropped at
+                // failure time.
+                out.push(Output::Effect(Effect::PeerRecovered { peer: peer_id }));
+                self.send_full_bitmap(Dest::Sender, out);
+                let owner = owner_of(peer_id, self.shards.len());
+                let mut souts = Vec::new();
+                self.shards[owner].handle(
+                    ShardEvent::PeerReturned { now, peer: peer_id },
+                    &mut souts,
+                );
+                if self.drain_shard_outputs(souts, out) {
+                    self.publish_replicas();
+                }
+            }
+        }
+        match msg {
+            IcpMessage::Query {
+                request_number,
+                url,
+                ..
+            } => {
+                out.push(Output::Effect(Effect::QueryServed));
+                let have = dir.contains(&url);
+                let reply = if have {
+                    IcpMessage::Hit {
+                        request_number,
+                        url,
+                    }
+                } else {
+                    IcpMessage::Miss {
+                        request_number,
+                        url,
+                    }
+                };
+                out.push(Output::Send(Send {
+                    to: Dest::Sender,
+                    msg: reply,
+                    kind: SendKind::QueryReply,
+                }));
+            }
+            IcpMessage::Hit { request_number, .. } => {
+                out.push(Output::Effect(Effect::ReplyReceived {
+                    request_number,
+                    hit_from: from,
+                    replier: from,
+                }));
+            }
+            IcpMessage::Miss { request_number, .. }
+            | IcpMessage::MissNoFetch { request_number, .. }
+            | IcpMessage::Denied { request_number, .. }
+            | IcpMessage::Err { request_number, .. } => {
+                out.push(Output::Effect(Effect::ReplyReceived {
+                    request_number,
+                    hit_from: None,
+                    replier: from,
+                }));
+            }
+            IcpMessage::Secho { .. } => {
+                // Keep-alive: nothing beyond the liveness marking above.
+            }
+            IcpMessage::DirUpdate { sender, update, .. } => {
+                self.apply_update(now, sender, update, out);
+            }
+            IcpMessage::DirReq { .. } => {
+                // A peer's replica of us is missing or gapped: restate
+                // the whole published bitmap.
+                if from.is_some() {
+                    self.send_full_bitmap(Dest::Sender, out);
+                }
+            }
+        }
+    }
+
+    /// Validate and account a received directory update, then route it
+    /// to the shard owning the sender's replica.
+    fn apply_update(&mut self, now: VirtualTime, sender: u32, update: DirUpdate, out: &mut Vec<Output>) {
+        let Ok(spec) = HashSpec::new(
+            update.function_num,
+            update.function_bits,
+            update.bit_array_size,
+        ) else {
+            return; // malformed spec: drop, as with any bad datagram
+        };
+        if !self.peers.contains(&sender) {
+            return; // not a configured peer: no replica, no resync
+        }
+        out.push(Output::Effect(Effect::UpdateReceived));
+        let owner = owner_of(sender, self.shards.len());
+        let mut souts = Vec::new();
+        self.shards[owner].handle(
+            ShardEvent::Apply {
+                now,
+                from: sender,
+                spec,
+                update,
+            },
+            &mut souts,
+        );
+        if self.drain_shard_outputs(souts, out) {
+            self.publish_replicas();
+        }
+    }
+
+    /// Our complete current published bitmap, unicast (answering a
+    /// DIRREQ, or reinitializing a recovered peer). No-op outside SC
+    /// mode.
+    ///
+    /// Stamps the *current* sequence number without advancing it: a
+    /// unicast bitmap must not create a seq the other peers never see
+    /// (they would read the skipped number as a gap). The receiver
+    /// resumes expecting `seq + 1`, which is exactly the next delta we
+    /// will broadcast.
+    fn send_full_bitmap(&mut self, to: Dest, out: &mut Vec<Output>) {
+        let request_number = self.next_reqnum;
+        let Some(sc) = self.sc.as_ref() else { return };
+        self.next_reqnum = request_number.wrapping_add(1);
+        out.push(Output::Send(Send {
+            to,
+            msg: IcpMessage::DirUpdate {
+                request_number,
+                sender: self.id,
+                update: DirUpdate {
+                    function_num: sc.spec.k(),
+                    function_bits: sc.spec.function_bits(),
+                    bit_array_size: sc.spec.table_bits(),
+                    generation: sc.generation,
+                    seq: sc.seq,
+                    content: DirContent::Bitmap(sc.baseline.as_words().to_vec()),
+                },
+            },
+            kind: SendKind::UpdateFull,
+        }));
+    }
+
+    /// Mark `peer` as heard-from now. Returns `true` if this is a
+    /// recovery (the peer was marked failed).
+    fn mark_heard(&mut self, now: VirtualTime, peer: u32) -> bool {
+        let Some(l) = self.liveness.get_mut(&peer) else {
+            return false;
+        };
+        l.last_heard = now;
+        std::mem::replace(&mut l.failed, false)
+    }
+
+    fn on_tick(&mut self, now: VirtualTime, out: &mut Vec<Output>) {
+        if !self.peers.is_empty() {
+            out.push(Output::Send(Send {
+                to: Dest::AllPeers,
+                msg: IcpMessage::Secho {
+                    request_number: 0,
+                    url: String::new(),
+                },
+                kind: SendKind::Keepalive,
+            }));
+        }
+        self.sweep_failed_peers(now, out);
+        self.heartbeat(out);
+    }
+
+    /// Drop the summary replicas of peers we have not heard from
+    /// lately. The sweep itself is a control-plane decision; dropping
+    /// each replica routes to the shard that owns it.
+    fn sweep_failed_peers(&mut self, now: VirtualTime, out: &mut Vec<Output>) {
+        if self.keepalive_ms == 0 {
+            return; // no keep-alives, no liveness signal
+        }
+        let timeout = Duration::from_millis(self.keepalive_ms) * FAILURE_KEEPALIVE_PERIODS;
+        let mut newly_failed = Vec::new();
+        for (&id, l) in self.liveness.iter_mut() {
+            if !l.failed && now.saturating_since(l.last_heard) > timeout {
+                l.failed = true;
+                newly_failed.push(id);
+            }
+        }
+        newly_failed.sort_unstable(); // HashMap order must not leak into output order
+        let mut replicas_dropped = false;
+        for id in newly_failed {
+            let owner = owner_of(id, self.shards.len());
+            let mut souts = Vec::new();
+            self.shards[owner].handle(ShardEvent::DropReplica { peer: id }, &mut souts);
+            replicas_dropped |= self.drain_shard_outputs(souts, out);
+            out.push(Output::Effect(Effect::PeerFailed { peer: id }));
+        }
+        if replicas_dropped {
+            self.publish_replicas();
+        }
+    }
+
+    /// SC-mode anti-entropy heartbeat, part of every tick: broadcast an
+    /// empty delta carrying the current `(generation, seq)`. In-sync
+    /// replicas apply it as a no-op; a receiver that lost the tail of
+    /// the update stream (or never got a bitmap) sees the gap and
+    /// resyncs — without this, a lost *last* delta would go undetected
+    /// until the next publish.
+    fn heartbeat(&mut self, out: &mut Vec<Output>) {
+        let request_number = self.next_reqnum;
+        let Some(sc) = self.sc.as_mut() else { return };
+        sc.seq = sc.seq.wrapping_add(1);
+        self.next_reqnum = request_number.wrapping_add(1);
+        out.push(Output::Send(Send {
+            to: Dest::AllPeers,
+            msg: IcpMessage::DirUpdate {
+                request_number,
+                sender: self.id,
+                update: DirUpdate {
+                    function_num: sc.spec.k(),
+                    function_bits: sc.spec.function_bits(),
+                    bit_array_size: sc.spec.table_bits(),
+                    generation: sc.generation,
+                    seq: sc.seq,
+                    content: DirContent::Flips(Vec::new()),
+                },
+            },
+            kind: SendKind::UpdateDelta,
+        }));
+    }
+
+    /// Post-request publish check (SC mode): when the policy says so,
+    /// merge the shard slices and fan the update out. The first
+    /// datagram carries the seq the publish allocated; when the delta
+    /// is split across datagrams, each further chunk allocates the
+    /// next seq so the loss of *any* chunk is a detectable gap.
+    fn on_request_done(&mut self, now: VirtualTime, out: &mut Vec<Output>) {
+        let Some(sc) = self.sc.as_mut() else { return };
+        sc.requests_since_publish += 1;
+        let elapsed_ms = now.saturating_since(sc.last_publish).as_millis() as u64;
+        if !sc
+            .policy
+            .should_publish(sc.fresh, sc.docs, sc.requests_since_publish, elapsed_ms)
+        {
+            return;
+        }
+        self.publish_update(now, out);
+    }
+
+    /// The publish merge step: OR every shard's directory slice into
+    /// one full-width bitmap, diff it against the published baseline,
+    /// and broadcast the cheaper of delta flips or the full bitmap —
+    /// the same Section V-D wire-cost choice as the unsharded
+    /// [`ProxySummary::publish`], applied to the merged array.
+    fn publish_update(&mut self, now: VirtualTime, out: &mut Vec<Output>) {
+        // Merge the slices first (immutable borrow of the shards ends
+        // before the ledger mutates).
+        let merged = {
+            let Some(sc) = self.sc.as_ref() else { return };
+            let bits = sc.baseline.len();
+            let mut words = vec![0u64; bits.div_ceil(64)];
+            for shard in &self.shards {
+                if let Some(slice) = shard.local_bits() {
+                    for (acc, &w) in words.iter_mut().zip(slice.as_words()) {
+                        *acc |= w;
+                    }
+                }
+            }
+            BitVec::from_words(bits, words)
+        };
+        let reqnum = self.next_reqnum;
+        self.next_reqnum = reqnum.wrapping_add(1);
+        let Some(sc) = self.sc.as_mut() else { return };
+        let staleness = UpdatePolicy::staleness(sc.fresh, sc.docs);
+        sc.fresh = 0;
+        sc.requests_since_publish = 0;
+        sc.last_publish = now;
+        sc.seq = sc.seq.wrapping_add(1);
+        let first_seq = sc.seq;
+        let diff = sc.baseline.diff_indices(&merged);
+        let delta_bytes = wire_cost::bloom_delta_bytes(diff.len());
+        let full_bytes = wire_cost::bloom_full_bytes(sc.baseline.len());
+        let full = full_bytes < delta_bytes;
+        let flips: Vec<Flip> = if full {
+            Vec::new()
+        } else {
+            diff.iter()
+                .map(|&i| {
+                    if merged.get(i) {
+                        Flip::set(i as u32)
+                    } else {
+                        Flip::clear(i as u32)
+                    }
+                })
+                .collect()
+        };
+        sc.baseline = merged;
+        // Build the datagram batch under one request number; extra
+        // delta chunks advance the seq so a lost chunk is a gap.
+        let spec = sc.spec;
+        let generation = sc.generation;
+        let my_id = self.id;
+        let mk = |seq: u32, content| IcpMessage::DirUpdate {
+            request_number: reqnum,
+            sender: my_id,
+            update: DirUpdate {
+                function_num: spec.k(),
+                function_bits: spec.function_bits(),
+                bit_array_size: spec.table_bits(),
+                generation,
+                seq,
+                content,
+            },
+        };
+        let messages: Vec<IcpMessage> = if full {
+            vec![mk(
+                first_seq,
+                DirContent::Bitmap(sc.baseline.as_words().to_vec()),
+            )]
+        } else if flips.is_empty() {
+            // The publish allocated a seq, so something must travel or
+            // the next delta reads as a gap; an empty delta is a legal
+            // no-op.
+            vec![mk(first_seq, DirContent::Flips(Vec::new()))]
+        } else {
+            flips
+                .chunks(FLIPS_PER_DATAGRAM)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    let seq = if i == 0 {
+                        first_seq
+                    } else {
+                        sc.seq = sc.seq.wrapping_add(1);
+                        sc.seq
+                    };
+                    mk(seq, DirContent::Flips(chunk.to_vec()))
+                })
+                .collect()
+        };
+        let count = messages.len();
+        let kind = if full {
+            SendKind::UpdateFull
+        } else {
+            SendKind::UpdateDelta
+        };
+        for msg in messages {
+            out.push(Output::Send(Send {
+                to: Dest::AllPeers,
+                msg,
+                kind,
+            }));
+        }
+        out.push(Output::Effect(Effect::Published {
+            full_bitmap: full,
+            staleness,
+            messages: count,
+            seq: first_seq,
+        }));
+    }
+}
+
+impl DirectoryInspect for Router {
+    fn replicated_peers(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|&p| self.shards[owner_of(p, self.shards.len())].replica_installed(p))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn replica_bits(&self, peer: u32) -> Option<BitVec> {
+        self.shards[owner_of(peer, self.shards.len())].replica_bits(peer)
+    }
+
+    fn published_bits(&self) -> Option<BitVec> {
+        self.sc.as_ref().map(|sc| sc.baseline.clone())
+    }
+
+    fn cached_docs(&self) -> u64 {
+        self.sc.as_ref().map_or(0, |sc| sc.docs)
+    }
+}
+
+/// Route one `Stored` URL the way the router would, without a router —
+/// used by drivers that stripe their cache by the same key space.
+pub fn stripe_of(url: &str, stripes: usize) -> usize {
+    if stripes <= 1 {
+        return 0;
+    }
+    shard_of(&UrlKey::new(url.as_bytes()), stripes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summary_cache_core::SummaryKind;
+
+    struct NoDocs;
+    impl DirectoryView for NoDocs {
+        fn contains(&self, _url: &str) -> bool {
+            false
+        }
+    }
+
+    fn sc_router(id: u32, peers: Vec<u32>, generation: u32, shards: usize) -> Router {
+        let kind = SummaryKind::Bloom { load_factor: 8, hashes: 4 };
+        let mut summary = ProxySummary::with_expected_docs(kind, 64);
+        summary.set_generation(generation);
+        Router::new(
+            id,
+            peers,
+            50,
+            shards,
+            Some((summary, UpdatePolicy::Threshold(0.0))),
+            VirtualTime::ZERO,
+        )
+    }
+
+    fn at(ms: u64) -> VirtualTime {
+        VirtualTime::from_micros(ms * 1000)
+    }
+
+    /// Drive the same workload at several shard counts and demand the
+    /// byte-identical output stream — the unit-level version of the
+    /// simnet convergence sweep.
+    #[test]
+    fn output_stream_is_shard_count_invariant() {
+        let encode_all = |outs: &[Output]| -> Vec<Vec<u8>> {
+            outs.iter()
+                .filter_map(|o| match o {
+                    Output::Send(s) => s.msg.encode(99).ok(),
+                    Output::Effect(_) => None,
+                })
+                .collect()
+        };
+        let run = |shards: usize| -> Vec<Vec<u8>> {
+            let mut r = sc_router(1, vec![2, 3], 7, shards);
+            let mut wire = Vec::new();
+            let evicted: Vec<String> = Vec::new();
+            for i in 0..40u32 {
+                let url = format!("http://server-{}.example/{i}", i % 5);
+                wire.extend(encode_all(&r.handle(
+                    at(u64::from(i)),
+                    Event::Stored { url: &url, evicted: &evicted },
+                    &NoDocs,
+                )));
+                wire.extend(encode_all(&r.handle(at(u64::from(i)), Event::RequestDone, &NoDocs)));
+            }
+            let victims = vec!["http://server-1.example/6".to_string()];
+            wire.extend(encode_all(&r.handle(
+                at(50),
+                Event::Stored { url: "http://server-0.example/new", evicted: &victims },
+                &NoDocs,
+            )));
+            wire.extend(encode_all(&r.handle(at(50), Event::RequestDone, &NoDocs)));
+            wire.extend(encode_all(&r.handle(at(60), Event::Tick, &NoDocs)));
+            wire
+        };
+        let baseline = run(1);
+        assert!(!baseline.is_empty(), "the workload must publish something");
+        for shards in [2usize, 4, 8] {
+            assert_eq!(run(shards), baseline, "shards={shards} diverged from 1-shard wire");
+        }
+    }
+
+    #[test]
+    fn publish_merges_slices_into_the_ledger() {
+        let mut r = sc_router(1, vec![2], 3, 4);
+        let evicted: Vec<String> = Vec::new();
+        for i in 0..16u32 {
+            let url = format!("http://s/{i}");
+            r.handle(at(1), Event::Stored { url: &url, evicted: &evicted }, &NoDocs);
+        }
+        assert_eq!(r.cached_docs(), 16);
+        let outs = r.handle(at(2), Event::RequestDone, &NoDocs);
+        let published = outs
+            .iter()
+            .any(|o| matches!(o, Output::Effect(Effect::Published { .. })));
+        assert!(published, "threshold 0 publishes on the first request: {outs:?}");
+        let bits = r.published_bits().expect("SC mode has a ledger");
+        assert!(bits.count_ones() > 0, "the merged baseline holds the inserts");
+    }
+
+    #[test]
+    fn replicas_partition_by_owner_shard() {
+        let mut r = sc_router(1, vec![2, 3, 4, 5], 9, 4);
+        // Install a replica for each peer via full bitmaps.
+        for p in [2u32, 3, 4, 5] {
+            let bitmap = IcpMessage::DirUpdate {
+                request_number: 1,
+                sender: p,
+                update: DirUpdate {
+                    function_num: 4,
+                    function_bits: 32,
+                    bit_array_size: 512,
+                    generation: 100 + p,
+                    seq: 0,
+                    content: DirContent::Bitmap(vec![u64::from(p); 8]),
+                },
+            }
+            .encode(p)
+            .expect("encodes");
+            r.handle(at(1), Event::Datagram { from: Some(p), data: &bitmap }, &NoDocs);
+        }
+        assert_eq!(r.replicated_peers(), vec![2, 3, 4, 5]);
+        for p in [2u32, 3, 4, 5] {
+            let bits = r.replica_bits(p).expect("installed");
+            assert_eq!(bits.as_words()[0], u64::from(p), "replica {p} intact");
+        }
+        // The lock-free snapshot merges across shards in peer order.
+        let snap = r.replica_cell().load();
+        assert_eq!(
+            snap.peers().iter().map(|(p, _)| *p).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn stripe_of_matches_shard_of() {
+        for url in ["http://a/x", "http://b/y", "http://c.example/long/path"] {
+            let key = UrlKey::new(url.as_bytes());
+            for n in [1usize, 2, 4, 8] {
+                assert_eq!(stripe_of(url, n), shard_of(&key, n));
+            }
+        }
+    }
+}

@@ -1,9 +1,11 @@
 //! Deterministic simulation of a summary-cache cluster — FoundationDB
-//! style: N [`crate::machine::Machine`]s, one virtual clock, one event
+//! style: N [`crate::router::Router`]s (each partitioned into
+//! [`SimConfig::shards`] lanes), one virtual clock, one event
 //! priority-queue, and a seeded fault plan. Nothing here touches a
 //! socket or the wall clock (the sc-check `sans_io` rule enforces it),
 //! so a seed *is* a schedule: the same seed always produces the same
-//! event journal, byte-for-byte, and any failure replays exactly.
+//! event journal, byte-for-byte — at *every* shard count, which is the
+//! routed runtime's determinism contract (DESIGN.md §13).
 //!
 //! The fault plan injects, all from one [`sc_util::Rng`]:
 //!
@@ -35,8 +37,9 @@
 //!   it produces none.
 
 use crate::machine::{
-    Dest, DirectoryView, Effect, Event, Machine, Output, SendKind, VirtualTime, RESYNC_BACKOFF,
+    Dest, DirectoryView, Effect, Event, Output, SendKind, VirtualTime, RESYNC_BACKOFF,
 };
+use crate::router::{DirectoryInspect, Router};
 use sc_util::Rng;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 use summary_cache_core::{ProxySummary, SummaryKind, UpdatePolicy};
@@ -79,6 +82,22 @@ pub struct SimConfig {
     /// Settle budget: keep-alive windows to run after the fault window
     /// before declaring the cluster non-convergent.
     pub settle_ticks: usize,
+    /// Shard lanes per simulated proxy. Every count must produce the
+    /// same journal byte-for-byte (the router's determinism contract);
+    /// the default honors the `SC_SIM_SHARDS` override so the whole
+    /// seeded suite can be re-run sharded without code changes.
+    pub shards: usize,
+}
+
+/// The `SC_SIM_SHARDS` override for [`SimConfig::default`]: unset or
+/// unparsable means 1 lane (the historical machine); any positive count
+/// partitions every simulated proxy that many ways.
+fn env_shards() -> usize {
+    std::env::var("SC_SIM_SHARDS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
 }
 
 impl Default for SimConfig {
@@ -98,6 +117,7 @@ impl Default for SimConfig {
             crashes: 2,
             partitions: 2,
             settle_ticks: 400,
+            shards: env_shards(),
         }
     }
 }
@@ -190,7 +210,7 @@ impl DirectoryView for SetView<'_> {
 }
 
 struct Node {
-    machine: Machine,
+    router: Router,
     /// Insertion-ordered model cache (FIFO eviction at `cache_docs`).
     docs: VecDeque<String>,
     /// Membership view of `docs` for query answering.
@@ -250,7 +270,7 @@ impl Sim {
         let n = cfg.proxies;
         let nodes: Vec<Node> = (0..n)
             .map(|i| Node {
-                machine: fresh_machine(&cfg, i, 0),
+                router: fresh_router(&cfg, i, 0),
                 docs: VecDeque::new(),
                 dir: HashSet::new(),
                 up: true,
@@ -369,8 +389,8 @@ impl Sim {
                 || (0..self.nodes.len()).all(|j| {
                     i == j
                         || !self.nodes[j].up
-                        || self.nodes[i].machine.replica_bits(j as u32)
-                            == self.nodes[j].machine.published_bits()
+                        || self.nodes[i].router.replica_bits(j as u32)
+                            == self.nodes[j].router.published_bits()
                 })
         })
     }
@@ -397,7 +417,7 @@ impl Sim {
                 self.journal
                     .push(format!("{}us n{to} <- n{from} {}B", self.now, bytes.len()));
                 let node = &mut self.nodes[to];
-                let outputs = node.machine.handle(
+                let outputs = node.router.handle(
                     VirtualTime::from_micros(self.now),
                     Event::Datagram {
                         from: Some(from as u32),
@@ -414,7 +434,7 @@ impl Sim {
                     return;
                 }
                 let n = &mut self.nodes[node];
-                let outputs = n.machine.handle(
+                let outputs = n.router.handle(
                     VirtualTime::from_micros(self.now),
                     Event::Tick,
                     &SetView(&n.dir),
@@ -445,7 +465,7 @@ impl Sim {
                 ));
                 let now = VirtualTime::from_micros(self.now);
                 let n = &mut self.nodes[node];
-                let stored = n.machine.handle(
+                let stored = n.router.handle(
                     now,
                     Event::Stored {
                         url: &url,
@@ -456,7 +476,7 @@ impl Sim {
                 self.dispatch(node, None, stored);
                 let n = &mut self.nodes[node];
                 let published = n
-                    .machine
+                    .router
                     .handle(now, Event::RequestDone, &SetView(&n.dir));
                 self.dispatch(node, None, published);
             }
@@ -474,7 +494,7 @@ impl Sim {
                 let n = &mut self.nodes[node];
                 n.up = true;
                 n.incarnation = inc;
-                n.machine = fresh_machine(&self.cfg, node, inc);
+                n.router = fresh_router(&self.cfg, node, inc);
                 n.docs.clear();
                 n.dir.clear();
                 // All replica/backoff state died with the process.
@@ -529,7 +549,7 @@ impl Sim {
             match output {
                 Output::Effect(effect) => self.observe_effect(node, effect),
                 Output::Send(send) => {
-                    let node_id = self.nodes[node].machine.id();
+                    let node_id = self.nodes[node].router.id();
                     let Ok(bytes) = send.msg.encode(node_id) else {
                         continue;
                     };
@@ -567,7 +587,7 @@ impl Sim {
             if j == node {
                 continue;
             }
-            let present = self.nodes[node].machine.replica_installed(j as u32);
+            let present = self.nodes[node].router.replica_installed(j as u32);
             assert!(
                 present == self.installed[node][j],
                 "invariant violated at {}us: node {node}'s replica of peer {j} is {} \
@@ -643,7 +663,7 @@ impl Sim {
     }
 }
 
-fn fresh_machine(cfg: &SimConfig, node: usize, incarnation: u32) -> Machine {
+fn fresh_router(cfg: &SimConfig, node: usize, incarnation: u32) -> Router {
     let kind = SummaryKind::Bloom {
         load_factor: cfg.load_factor,
         hashes: cfg.hashes,
@@ -653,10 +673,11 @@ fn fresh_machine(cfg: &SimConfig, node: usize, incarnation: u32) -> Machine {
     let peers: Vec<u32> = (0..cfg.proxies as u32)
         .filter(|&p| p != node as u32)
         .collect();
-    Machine::new(
+    Router::new(
         node as u32,
         peers,
         cfg.keepalive_ms,
+        cfg.shards,
         Some((summary, UpdatePolicy::Threshold(0.0))),
         VirtualTime::ZERO,
     )
@@ -686,6 +707,26 @@ mod tests {
         let report = Sim::new(cfg, 42).run();
         assert!(report.converged, "no faults, no excuses: {report:?}");
         assert!(report.replicas_installed > 0);
+    }
+
+    #[test]
+    fn sharded_runs_reproduce_the_single_shard_journal() {
+        let cfg = |shards: usize| SimConfig {
+            local_ops: 60,
+            horizon_ms: 600,
+            shards,
+            ..SimConfig::default()
+        };
+        let baseline = Sim::new(cfg(1), 1234).run();
+        assert!(baseline.converged, "baseline must converge: {baseline:?}");
+        for shards in [2usize, 4] {
+            let sharded = Sim::new(cfg(shards), 1234).run();
+            assert!(sharded.converged, "shards={shards} must converge");
+            assert_eq!(
+                sharded.journal, baseline.journal,
+                "shards={shards} journal diverged from the 1-shard baseline"
+            );
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@
 # Chains the tier-1 verification (scripts/check.sh, which builds,
 # runs every test suite including sc-check's own, and then the gate)
 # with a short benchmark smoke run (SC_BENCH_MS=25 per case) that
-# proves the hotpath bench harness still runs end-to-end without
-# paying the full measurement budget. Everything is offline.
+# proves the hotpath bench harness — micro rows, the e2e simnet row,
+# and the e2e/mt-throughput shard-scaling rows — still runs end-to-end
+# without paying the full measurement budget. Everything is offline.
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -7,6 +7,7 @@ use std::net::UdpSocket;
 use std::time::{Duration, Instant};
 use summary_cache::cache::DocMeta;
 use summary_cache::proxy::client::ProxyClient;
+use summary_cache::proxy::router::DirectoryInspect;
 use summary_cache::proxy::{Cluster, ClusterConfig, Mode};
 use summary_cache::wire::icp::{DirContent, IcpMessage};
 

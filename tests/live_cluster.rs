@@ -4,6 +4,7 @@
 use std::time::Duration;
 use summary_cache::cache::DocMeta;
 use summary_cache::proxy::client::ProxyClient;
+use summary_cache::proxy::router::DirectoryInspect;
 use summary_cache::proxy::{BenchmarkConfig, Cluster, ClusterConfig, Mode, ReplayMode};
 use summary_cache::trace::{GeneratorConfig, TraceGenerator};
 

@@ -18,6 +18,7 @@
 use summary_cache::proxy::machine::{
     Dest, DirectoryView, Event, Machine, Output, SendKind, VirtualTime,
 };
+use summary_cache::proxy::router::DirectoryInspect;
 use summary_cache::proxy::simnet::{Sim, SimConfig};
 use summary_cache::core::{ProxySummary, SummaryKind, UpdatePolicy};
 use summary_cache::wire::icp::IcpMessage;
@@ -103,6 +104,55 @@ fn different_seeds_produce_different_schedules() {
     let a = Sim::new(SimConfig::default(), 1).run();
     let b = Sim::new(SimConfig::default(), 2).run();
     assert_ne!(a.journal, b.journal);
+}
+
+/// Shard-count invariance over the full default seed set: splitting
+/// every node's directory across 2 or 4 shards must reproduce the
+/// 1-shard journal bit for bit, seed by seed. Honors `SC_SIM_SEED`
+/// (replay one) and `SC_SIM_SEEDS` (sweep size) like `seeded_soak`.
+#[test]
+fn sharded_sweep_matches_single_shard_journals() {
+    let check = |seed: u64| {
+        let run = |shards: usize| {
+            let mut cfg = SimConfig::default();
+            cfg.shards = shards;
+            Sim::new(cfg, seed).run()
+        };
+        let baseline = run(1);
+        assert!(
+            baseline.converged,
+            "seed {seed:#x}: 1-shard baseline did not converge"
+        );
+        for shards in [2usize, 4] {
+            let r = run(shards);
+            assert!(
+                r.converged,
+                "seed {seed:#x}: {shards}-shard run did not converge"
+            );
+            assert_eq!(
+                r.journal, baseline.journal,
+                "seed {seed:#x}: {shards}-shard journal diverged from the \
+                 1-shard baseline; repro: SC_SIM_SEED={seed:#x} cargo test \
+                 --test simnet_properties sharded_sweep -- --nocapture"
+            );
+        }
+    };
+    if let Some(seed) = env_u64("SC_SIM_SEED") {
+        check(seed);
+        return;
+    }
+    let seeds = env_u64("SC_SIM_SEEDS").unwrap_or(DEFAULT_SEEDS);
+    for seed in 0..seeds {
+        let outcome = std::panic::catch_unwind(|| check(seed));
+        if let Err(cause) = outcome {
+            eprintln!(
+                "shard sweep seed {seed:#x} failed; repro: \
+                 SC_SIM_SEED={seed:#x} cargo test --test simnet_properties \
+                 sharded_sweep -- --nocapture"
+            );
+            std::panic::resume_unwind(cause);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
