@@ -145,6 +145,9 @@ pub enum DecompressError {
     Truncated,
     /// A decoded position fell outside the declared length.
     OutOfRange,
+    /// The declared Rice parameter exceeds 63 — shifting a `u64` gap by
+    /// it would be out of range, so such streams are rejected up front.
+    BadRice,
 }
 
 impl std::fmt::Display for DecompressError {
@@ -152,6 +155,7 @@ impl std::fmt::Display for DecompressError {
         match self {
             DecompressError::Truncated => write!(f, "coded bitmap truncated"),
             DecompressError::OutOfRange => write!(f, "coded position out of range"),
+            DecompressError::BadRice => write!(f, "rice parameter exceeds 63"),
         }
     }
 }
@@ -159,19 +163,31 @@ impl std::fmt::Display for DecompressError {
 impl std::error::Error for DecompressError {}
 
 /// Decompress back into a [`BitVec`].
+///
+/// Wire-facing: `c` may come from an untrusted datagram, so every
+/// arithmetic step is checked — a Rice parameter above 63 is rejected
+/// before any shift, and quotients or positions that overflow map to
+/// [`DecompressError::OutOfRange`] instead of wrapping.
 pub fn decompress(c: &CompressedBits) -> Result<BitVec, DecompressError> {
+    if c.rice > 63 {
+        return Err(DecompressError::BadRice);
+    }
     let mut bits = BitVec::new(c.len as usize);
     let mut r = BitReader::new(&c.data);
-    let mut pos: i64 = -1;
+    let mut next: u64 = 0; // position the next gap counts from
     for _ in 0..c.ones {
         let q = r.read_unary().ok_or(DecompressError::Truncated)?;
         let low = r.read_bits(c.rice).ok_or(DecompressError::Truncated)?;
+        if q > u64::MAX >> c.rice {
+            return Err(DecompressError::OutOfRange);
+        }
         let gap = (q << c.rice) | low;
-        pos += gap as i64 + 1;
-        if pos as u64 >= c.len as u64 {
+        let pos = next.checked_add(gap).ok_or(DecompressError::OutOfRange)?;
+        if pos >= c.len as u64 {
             return Err(DecompressError::OutOfRange);
         }
         bits.set(pos as usize, true);
+        next = pos + 1;
     }
     Ok(bits)
 }
@@ -287,14 +303,85 @@ mod tests {
 
     #[test]
     fn prop_decompress_never_panics() {
+        // The full adversarial rice range — 64..=255 must be rejected
+        // cleanly, never shifted.
         check("compress_decompress_never_panics", 512, |rng| {
             let c = CompressedBits {
                 len: rng.gen_range(1u32..4096),
                 ones: rng.gen_range(0u32..500),
-                rice: rng.gen_range(0u8..12),
+                rice: rng.gen_range(0u8..=255),
                 data: vec_of(rng, 0..256, |r| r.gen_range(0u8..=255)),
             };
             let _ = decompress(&c);
         });
+    }
+
+    /// The big-N issue's fill-ratio sweep: empty, nearly-empty,
+    /// incompressible, and fully saturated bitmaps all round-trip.
+    #[test]
+    fn prop_roundtrip_at_extreme_fill_ratios() {
+        check("compress_roundtrip_fill_ratios", 48, |rng| {
+            for fill in [0.0, 1e-4, 0.5, 1.0] {
+                let len = rng.gen_range(1usize..6000);
+                let mut bits = BitVec::new(len);
+                for i in 0..len {
+                    if rng.gen_bool(fill) {
+                        bits.set(i, true);
+                    }
+                }
+                let c = compress(&bits);
+                assert!(c.rice <= 31, "encoder rice stays clamped: {}", c.rice);
+                assert_eq!(decompress(&c).unwrap(), bits, "fill {fill} len {len}");
+            }
+        });
+    }
+
+    #[test]
+    fn rice_parameter_extremes_stay_in_range() {
+        assert_eq!(rice_parameter(0, 0), 0);
+        assert_eq!(rice_parameter(4096, 0), 0, "all-zeros bitmap");
+        assert_eq!(rice_parameter(0, 17), 0, "degenerate length");
+        assert_eq!(rice_parameter(1, 1), 0);
+        assert_eq!(rice_parameter(1 << 20, 1 << 20), 0, "fully saturated");
+        assert!(rice_parameter(u32::MAX as usize, 1) <= 31, "astronomically sparse clamps");
+    }
+
+    #[test]
+    fn decode_rejects_rice_above_63() {
+        let bad = |rice| CompressedBits {
+            len: 128,
+            ones: 1,
+            rice,
+            data: vec![0u8; 16],
+        };
+        assert_eq!(decompress(&bad(64)), Err(DecompressError::BadRice));
+        assert_eq!(decompress(&bad(255)), Err(DecompressError::BadRice));
+        // 63 itself is legal (if absurd) — it must decode or fail
+        // cleanly, never shift out of range.
+        let c = CompressedBits {
+            len: 128,
+            ones: 1,
+            rice: 63,
+            data: vec![0xff; 64],
+        };
+        assert!(matches!(
+            decompress(&c),
+            Err(DecompressError::Truncated) | Err(DecompressError::OutOfRange)
+        ));
+    }
+
+    #[test]
+    fn decode_overflowing_gap_is_out_of_range_not_panic() {
+        // Unary quotient 16 shifted by rice 60 would overflow u64; the
+        // decoder must report OutOfRange instead of wrapping.
+        let mut data = vec![0xffu8, 0xff]; // unary run q = 16
+        data.extend([0u8; 9]); // terminator + 60 zero low bits
+        let c = CompressedBits {
+            len: 1 << 20,
+            ones: 1,
+            rice: 60,
+            data,
+        };
+        assert_eq!(decompress(&c), Err(DecompressError::OutOfRange));
     }
 }

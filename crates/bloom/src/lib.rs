@@ -57,7 +57,7 @@ pub mod key;
 pub mod rabin;
 
 pub use bits::BitVec;
-pub use compress::{compress, decompress, CompressedBits};
+pub use compress::{compress, decompress, rice_parameter, CompressedBits};
 pub use counting::CountingBloomFilter;
 pub use delta::{DeltaLog, Flip};
 pub use filter::{BloomFilter, FilterConfig};

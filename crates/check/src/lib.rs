@@ -25,7 +25,11 @@
 //!    belongs to the daemon shell and the simnet scheduler.
 //! 7. **hash_once** — no direct `md5(` / `md5_repeated(` on the probe
 //!    path; URL digests happen once, at `UrlKey` construction or inside
-//!    `HashSpec`.
+//!    `HashSpec`. In the request-path files (`proxy/src/daemon.rs`,
+//!    `proxy/src/router.rs`) the rule also hunts `UrlKey::new(`: a
+//!    request's URL is keyed exactly once at entry and the key threads
+//!    through everything downstream, so re-keying sites must justify
+//!    themselves with `// sc-check: allow(hash_once)`.
 //! 8. **locks** — in `crates/proxy/src`, no `MutexGuard` live across
 //!    `thread::sleep`, channel send/recv, socket I/O, a re-acquisition
 //!    of the same lock, or an acquisition order inverting one recorded

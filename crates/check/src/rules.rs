@@ -49,15 +49,29 @@ const SANS_IO_SCOPES: [&str; 4] = [
 /// Transport/clock tokens rule 6 forbids in those files.
 const SANS_IO_TOKENS: [&str; 3] = ["std::net", "Instant::now", "thread::sleep"];
 /// Exact files rule 7 applies to: the probe path, where every digest
-/// must come through a `UrlKey` or `HashSpec`.
-const HASH_ONCE_SCOPES: [&str; 3] = [
+/// must come through a `UrlKey` or `HashSpec`, plus the request-path
+/// entry files listed in [`HASH_ONCE_ENTRY_SCOPES`].
+const HASH_ONCE_SCOPES: [&str; 5] = [
     "crates/core/src/probe.rs",
     "crates/bloom/src/filter.rs",
     "crates/bloom/src/counting.rs",
+    "crates/proxy/src/daemon.rs",
+    "crates/proxy/src/router.rs",
 ];
 /// Direct digest calls rule 7 forbids in those files. (`md5(` does not
 /// match `md5_repeated(`, hence both tokens.)
 const HASH_ONCE_TOKENS: [&str; 2] = ["md5(", "md5_repeated("];
+/// Request-path files where rule 7 additionally hunts *re-keying*: the
+/// daemon digests a client URL exactly once at request entry and
+/// threads the resulting `UrlKey` through stripes, events, and the
+/// router. Any other `UrlKey::new(` here digests a URL some caller
+/// already keyed. The sanctioned entry digests (request entry, ICP
+/// query answering, eviction victims) carry
+/// `// sc-check: allow(hash_once)`.
+const HASH_ONCE_ENTRY_SCOPES: [&str; 2] =
+    ["crates/proxy/src/daemon.rs", "crates/proxy/src/router.rs"];
+/// The re-keying token rule 7 hunts in those files.
+const HASH_ONCE_ENTRY_TOKEN: &str = "UrlKey::new(";
 /// Path prefix rule 8 (lock discipline) applies to.
 const LOCKS_SCOPE: &str = "crates/proxy/src";
 /// Calls that may block (or sleep) — forbidden while a `MutexGuard` is
@@ -214,6 +228,17 @@ pub fn check_file(f: &SourceFile, out: &mut Vec<Violation>, cross: &mut CrossFil
                     ),
                 );
             }
+        }
+    }
+    if HASH_ONCE_ENTRY_SCOPES.contains(&unix) {
+        for line in f.token_lines(HASH_ONCE_ENTRY_TOKEN) {
+            sink.emit(
+                "hash_once",
+                line,
+                format!(
+                    "`{HASH_ONCE_ENTRY_TOKEN}…)` downstream of request entry re-digests a URL the request already keyed; thread the entry `UrlKey` through, or mark a sanctioned entry digest with `// sc-check: allow(hash_once)`"
+                ),
+            );
         }
     }
     if unix == SHARDS_FILE {

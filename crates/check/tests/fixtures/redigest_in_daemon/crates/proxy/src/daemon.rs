@@ -1,0 +1,19 @@
+//! Seeded violation: a second `UrlKey::new(` downstream of request
+//! entry. The sanctioned entry digest (suppressed) and the
+//! `#[cfg(test)]` digest must NOT be flagged.
+
+pub fn serve(url: &str) -> u8 {
+    // sc-check: allow(hash_once) — the request's one entry digest.
+    let key = UrlKey::new(url.as_bytes());
+    let rekeyed = UrlKey::new(url.as_bytes()); // line 8: [hash_once]
+    key.byte(0) ^ rekeyed.byte(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        // Test code may key directly to build expectations.
+        let _ = UrlKey::new(b"http://s/a");
+    }
+}

@@ -207,6 +207,25 @@ fn md5_in_probe_flagged_tests_exempt() {
 }
 
 #[test]
+fn redigest_in_daemon_flagged_entry_and_tests_exempt() {
+    let out = run_gate(&fixture("redigest_in_daemon"));
+    assert!(
+        !out.status.success(),
+        "re-keying a URL downstream of request entry must fail the gate"
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("daemon.rs:8: [hash_once]") && text.contains("UrlKey::new("),
+        "the second UrlKey::new flagged at its line:\n{text}"
+    );
+    assert_eq!(
+        text.matches("[hash_once]").count(),
+        1,
+        "the allow-marked entry digest and the cfg(test) digest are exempt:\n{text}"
+    );
+}
+
+#[test]
 fn lock_in_shard_flagged_tests_exempt() {
     let out = run_gate(&fixture("lock_in_shard"));
     assert!(

@@ -150,6 +150,13 @@ impl ProxySummary {
         self.seq = 0;
     }
 
+    /// Pin the update-datagram sequence counter. Test and simulation
+    /// drivers use this to start a run near a wraparound boundary;
+    /// production code only ever advances the counter.
+    pub fn set_seq(&mut self, seq: u32) {
+        self.seq = seq;
+    }
+
     /// Allocate the next update-datagram sequence number. [`publish`]
     /// calls this once for the batch; the transport calls it again for
     /// each additional datagram the batch is split into, and for

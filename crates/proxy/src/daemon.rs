@@ -169,9 +169,11 @@ impl CacheStripes {
         }
     }
 
-    /// The stripe owning `url` (a single stripe skips the key hash).
-    fn stripe(&self, url: &str) -> &Mutex<WebCache<String>> {
-        &self.stripes[crate::router::stripe_of(url, self.stripes.len())]
+    /// The stripe owning the URL whose digest is `key`. Callers digest
+    /// the URL once per request and thread the `UrlKey` through every
+    /// stripe/summary/probe touch — `stripe` never re-hashes.
+    fn stripe(&self, key: &UrlKey) -> &Mutex<WebCache<String>> {
+        &self.stripes[crate::router::stripe_of(key, self.stripes.len())]
     }
 
     /// Documents across all stripes. Stripes are locked one at a time
@@ -187,7 +189,12 @@ struct CacheView<'a>(&'a CacheStripes);
 
 impl DirectoryView for CacheView<'_> {
     fn contains(&self, url: &str) -> bool {
-        lock(self.0.stripe(url)).contains(&url.to_string())
+        // ICP query answering (a *peer's* request, not a proxied client
+        // request): the queried URL arrives as text and is digested
+        // here, once, to find its stripe.
+        // sc-check: allow(hash_once) — this *is* an entry point.
+        let key = UrlKey::new(url.as_bytes());
+        lock(self.0.stripe(&key)).contains(&url.to_string())
     }
 }
 
@@ -244,6 +251,7 @@ impl Daemon {
             peer_ids,
             cfg.keepalive_ms(),
             cfg.shards(),
+            cfg.fanout_slots(),
             sc,
             VirtualTime::ZERO,
         );
@@ -385,7 +393,13 @@ impl Daemon {
             let inner = inner.clone();
             let stop = shutdown.clone();
             std::thread::spawn(move || {
-                let period = Duration::from_millis(inner.cfg.keepalive_ms());
+                // The router spreads its fan-out over `fanout_slots`
+                // slots; tick it `fanout_slots` times per keep-alive
+                // period so every peer is still serviced once per
+                // period and failure-detection timing is unchanged.
+                let slots = inner.cfg.fanout_slots().max(1) as u64;
+                let period =
+                    Duration::from_micros((inner.cfg.keepalive_ms() * 1000 / slots).max(1));
                 loop {
                     // Sleep one period, but notice shutdown within 50 ms.
                     let mut slept = Duration::ZERO;
@@ -621,21 +635,20 @@ fn apply_effect(inner: &Inner, effect: Effect) {
             );
         }
         Effect::Published {
-            full_bitmap,
+            flips,
             staleness,
             messages,
-            seq,
         } => {
+            // Full-versus-delta is now a per-peer-lane decision made at
+            // fan-out service time (the §V-D cost rule per lane), so a
+            // publish journals the batched flips; full restatements
+            // show up as `UpdateFull` sends in the per-peer counters.
             inner.stats.summary_publishes.incr();
             inner.stats.summary_staleness.set(staleness);
             inner.stats.journal().record(
-                if full_bitmap {
-                    EventKind::FullBitmapPublished
-                } else {
-                    EventKind::DeltaPublished
-                },
+                EventKind::DeltaPublished,
                 None,
-                format!("staleness {staleness:.4}, {messages} message(s), seq {seq}"),
+                format!("staleness {staleness:.4}, {flips} flip(s), {messages} message(s)"),
             );
         }
         Effect::ReplyReceived {
@@ -697,7 +710,10 @@ fn serve_peer_fetch(
     stream: &mut TcpStream,
     req: &http::Request,
 ) -> std::io::Result<()> {
-    let cached = lock(inner.cache.stripe(&req.target)).peek(&req.target);
+    // sc-check: allow(hash_once) — entry point: a peer fetch is its own
+    // request, keyed once here.
+    let key = UrlKey::new(req.target.as_bytes());
+    let cached = lock(inner.cache.stripe(&key)).peek(&req.target);
     match cached {
         Some(meta) => {
             let head = http::build_response(
@@ -726,6 +742,11 @@ fn serve_client(
     let t0 = Instant::now();
     inner.stats.http_requests.incr();
     let url = req.target.clone();
+    // THE digest of this request: the URL is hashed exactly once here
+    // and the resulting key threads through stripe selection, summary
+    // probing, the purge/store ledger events, and the shard partition.
+    // sc-check: allow(hash_once) — this is that one sanctioned digest.
+    let ukey = UrlKey::new(url.as_bytes());
     let want = DocMeta {
         size: http::header(&req.headers, "x-doc-size")
             .and_then(|v| v.parse().ok())
@@ -736,7 +757,7 @@ fn serve_client(
     };
 
     // 1. Local cache (the stripe owning this URL).
-    let lookup = lock(inner.cache.stripe(&url)).lookup(&url, want);
+    let lookup = lock(inner.cache.stripe(&ukey)).lookup(&url, want);
     match lookup {
         Lookup::Hit => {
             inner.stats.local_hits.incr();
@@ -748,7 +769,7 @@ fn serve_client(
             // Purged by lookup(); keep the summary in sync.
             let mut router = lock(&inner.router);
             let outputs =
-                router.handle(now(inner), Event::Purged { url: &url }, &CacheView(&inner.cache));
+                router.handle(now(inner), Event::Purged { url: &ukey }, &CacheView(&inner.cache));
             apply_outputs(inner, None, outputs);
         }
         Lookup::Miss => {}
@@ -766,11 +787,10 @@ fn serve_client(
         }
         Mode::SummaryCache { .. } => {
             // Probe every installed peer-summary replica via the
-            // lock-free snapshot cell: the URL is hashed once into a
-            // UrlKey and tested against each replica's memoized index
-            // set, with no router-lock acquisition on this path (peers
-            // without a synced replica cannot be candidates).
-            let ukey = UrlKey::new(url.as_bytes());
+            // lock-free snapshot cell: the request's one UrlKey is
+            // tested against each replica's memoized index set, with no
+            // router-lock acquisition on this path (peers without a
+            // synced replica cannot be candidates).
             let candidates = inner.replicas.load().candidates_key(&ukey);
             if candidates.is_empty() {
                 None
@@ -820,7 +840,7 @@ fn serve_client(
     };
 
     // 4. Store and maintain the summary.
-    store_document(inner, &url, meta);
+    store_document(inner, &url, &ukey, meta);
 
     // 5. Reply.
     reply_doc(inner, stream, meta)?;
@@ -828,17 +848,24 @@ fn serve_client(
     Ok(())
 }
 
-fn store_document(inner: &Inner, url: &str, meta: DocMeta) {
+fn store_document(inner: &Inner, url: &str, key: &UrlKey, meta: DocMeta) {
     // Evictions come out of the same stripe the URL goes into — the
     // stripes partition the same key space the directory shards do.
-    let evicted = lock(inner.cache.stripe(url)).store(url.to_string(), meta);
+    let evicted = lock(inner.cache.stripe(key)).store(url.to_string(), meta);
     if let Some(evicted) = evicted {
+        // Victims are *other* URLs the request never digested; their
+        // keys are computed here (the request's own URL reuses `key`).
+        let victim_keys: Vec<UrlKey> = evicted
+            .iter()
+            // sc-check: allow(hash_once) — first digest of each victim.
+            .map(|v| UrlKey::new(v.as_bytes()))
+            .collect();
         let mut router = lock(&inner.router);
         let outputs = router.handle(
             now(inner),
             Event::Stored {
-                url,
-                evicted: &evicted,
+                url: key,
+                evicted: &victim_keys,
             },
             &CacheView(&inner.cache),
         );
@@ -1121,12 +1148,14 @@ mod tests {
             last_modified: 1,
         };
         for url in &urls {
-            lock(stripes.stripe(url)).store(url.clone(), meta);
+            let key = UrlKey::new(url.as_bytes());
+            lock(stripes.stripe(&key)).store(url.clone(), meta);
         }
         assert_eq!(stripes.len(), urls.len());
         for url in &urls {
+            let key = UrlKey::new(url.as_bytes());
             assert!(
-                lock(stripes.stripe(url)).contains(url),
+                lock(stripes.stripe(&key)).contains(url),
                 "{url} on its stripe"
             );
         }

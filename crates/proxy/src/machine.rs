@@ -34,7 +34,7 @@
 
 use crate::replica::ReplicaCell;
 use crate::router::{DirectoryInspect, Router};
-use sc_bloom::BitVec;
+use sc_bloom::{BitVec, UrlKey};
 use sc_wire::icp::IcpMessage;
 use std::sync::Arc;
 use std::time::Duration;
@@ -44,6 +44,20 @@ use summary_cache_core::{ProxySummary, UpdatePolicy};
 /// as the prototype "sends updates whenever there are enough changes to
 /// fill an IP packet").
 pub const FLIPS_PER_DATAGRAM: usize = 320;
+
+/// Payload budget for one update datagram: comfortably under ICP's
+/// 64 KiB frame limit and what a UDP/IPv4 stack will actually carry.
+/// Full-bitmap restatements whose coded form exceeds it are split into
+/// word-aligned DIRFULL_GR segments.
+pub const UDP_PAYLOAD_BUDGET: usize = 60_000;
+
+/// Bits per DIRFULL_GR segment when a compressed full bitmap must be
+/// split. Golomb–Rice coding of `n` bits is at worst ~2 bits per set
+/// bit plus the quotient stream — bounded by `2n` coded bits — so a
+/// 200k-bit segment never exceeds ~50 KB, inside
+/// [`UDP_PAYLOAD_BUDGET`]. Multiple of 64 keeps every segment boundary
+/// word-aligned, which the receiver's splice path requires.
+pub const GR_SEGMENT_BITS: usize = 200_000;
 
 /// Minimum spacing between DIRREQs to one peer: resyncs are idempotent,
 /// but a burst of gapped deltas must not become a burst of bitmap
@@ -104,16 +118,19 @@ pub enum Event<'a> {
     /// (SC mode) broadcast the anti-entropy heartbeat.
     Tick,
     /// A document was stored in the local cache, evicting `evicted`.
+    /// Keys arrive pre-hashed: the driver digests each URL exactly once
+    /// (at request time) and threads the [`UrlKey`] through — the
+    /// machine never re-digests.
     Stored {
-        /// URL now cached.
-        url: &'a str,
-        /// Victims the store pushed out.
-        evicted: &'a [String],
+        /// Pre-hashed key of the URL now cached.
+        url: &'a UrlKey,
+        /// Pre-hashed keys of the victims the store pushed out.
+        evicted: &'a [UrlKey],
     },
     /// A stale local copy was purged from the cache.
     Purged {
-        /// URL no longer cached.
-        url: &'a str,
+        /// Pre-hashed key of the URL no longer cached.
+        url: &'a UrlKey,
     },
     /// A client request finished (drives the update publish policy).
     RequestDone,
@@ -220,16 +237,18 @@ pub enum Effect {
         /// The returning peer.
         peer: u32,
     },
-    /// The local summary published an update.
+    /// The local summary published an update into the shared flip log.
+    /// Datagrams no longer leave at publish time unless a lane's
+    /// backlog reached a full packet — smaller publishes coalesce and
+    /// ride each peer's staggered fanout tick.
     Published {
-        /// Full bitmap (true) or delta (false).
-        full_bitmap: bool,
+        /// Bit flips this publish appended to the update log.
+        flips: usize,
         /// Staleness at publish time.
         staleness: f64,
-        /// Datagrams the publish was split into.
+        /// Update datagrams flushed immediately (0 = everything is
+        /// riding the fanout ticks).
         messages: usize,
-        /// Seq of the first datagram.
-        seq: u32,
     },
     /// An ICP reply arrived for an outstanding query; the driver owns
     /// the waiting-request table and must dispatch it.
@@ -283,7 +302,7 @@ impl Machine {
         now: VirtualTime,
     ) -> Machine {
         Machine {
-            router: Router::new(id, peers, keepalive_ms, 1, sc, now),
+            router: Router::new(id, peers, keepalive_ms, 1, 1, sc, now),
         }
     }
 
@@ -424,14 +443,17 @@ mod tests {
     fn delta_to_fresh_machine_requests_resync_not_install() {
         let mut publisher = sc_machine(1, vec![2], 7);
         let mut receiver = sc_machine(2, vec![1], 8);
-        // Publisher stores a doc and publishes a delta.
-        let evicted: Vec<String> = Vec::new();
+        // Publisher stores a doc and publishes; the sub-packet batch
+        // coalesces until the fan-out tick carries it out as a delta.
+        let evicted: Vec<UrlKey> = Vec::new();
+        let key = UrlKey::new(b"http://s/a");
         publisher.handle(
             at(1),
-            Event::Stored { url: "http://s/a", evicted: &evicted },
+            Event::Stored { url: &key, evicted: &evicted },
             &NoDocs,
         );
-        let outs = publisher.handle(at(1), Event::RequestDone, &NoDocs);
+        publisher.handle(at(1), Event::RequestDone, &NoDocs);
+        let outs = publisher.handle(at(2), Event::Tick, &NoDocs);
         let update_bytes = sends(&outs)
             .iter()
             .find(|s| s.kind == SendKind::UpdateDelta)
@@ -458,8 +480,9 @@ mod tests {
         let mut receiver = sc_machine(2, vec![1], 8);
         let publisher = {
             let mut m = sc_machine(1, vec![2], 7);
-            let evicted: Vec<String> = Vec::new();
-            m.handle(at(0), Event::Stored { url: "http://s/a", evicted: &evicted }, &NoDocs);
+            let evicted: Vec<UrlKey> = Vec::new();
+            let key = UrlKey::new(b"http://s/a");
+            m.handle(at(0), Event::Stored { url: &key, evicted: &evicted }, &NoDocs);
             m
         };
         let _ = publisher;

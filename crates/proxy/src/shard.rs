@@ -49,13 +49,41 @@ pub fn shard_of(key: &UrlKey, shards: usize) -> usize {
     (u64::from_le_bytes(tail) % shards as u64) as usize
 }
 
-/// The shard that owns `peer`'s summary replica.
+/// The shard that owns `peer`'s summary replica: highest-random-weight
+/// (rendezvous) consistent hashing over `(peer, shard)` pairs.
+///
+/// The old dense `peer % shards` mapping assumed peer ids are a
+/// contiguous 0..N — at big N with sparse or churning id spaces it
+/// piles whole id ranges onto one shard and reshuffles *every* peer
+/// when the shard count changes. Rendezvous hashing keeps the
+/// assignment uniform for arbitrary id sets and moves only the peers
+/// whose winning shard disappeared when the lane count shrinks
+/// (expected `1/shards` of them), so a resharded daemon re-installs
+/// the minimum number of replicas.
 pub fn owner_of(peer: u32, shards: usize) -> usize {
     if shards <= 1 {
-        0
-    } else {
-        peer as usize % shards
+        return 0;
     }
+    let mut best = 0usize;
+    let mut best_weight = 0u64;
+    for shard in 0..shards {
+        let weight = mix64(((peer as u64) << 32) | shard as u64);
+        if shard == 0 || weight > best_weight {
+            best = shard;
+            best_weight = weight;
+        }
+    }
+    best
+}
+
+/// The splitmix64 finalizer — a full-avalanche mix for rendezvous
+/// weights and fanout stagger slots (deterministic, endian-free, no
+/// external state).
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// One routed input to a shard. Events carry the key or peer the router
@@ -145,6 +173,22 @@ struct ReplicaState {
     expected_seq: u32,
     /// When a DIRREQ was last sent, for backoff.
     last_resync_request: Option<VirtualTime>,
+    /// A partially assembled split DIRFULL_GR bitmap. Segments sharing
+    /// one `(generation, seq)` stamp splice in order; the assembly only
+    /// becomes the replica once it covers the whole array, so the
+    /// install-from-full-bitmap-only invariant holds under loss and
+    /// reordering (a broken sequence is simply discarded and the next
+    /// resync retries).
+    staging: Option<GrStaging>,
+}
+
+/// In-flight assembly of a segmented compressed bitmap.
+struct GrStaging {
+    generation: u32,
+    seq: u32,
+    bits: BitVec,
+    /// First bit the next segment must start at.
+    next_bit: u32,
 }
 
 impl Default for ReplicaState {
@@ -154,6 +198,7 @@ impl Default for ReplicaState {
             generation: 0,
             expected_seq: 0,
             last_resync_request: None,
+            staging: None,
         }
     }
 }
@@ -259,6 +304,7 @@ impl Shard {
                 st.generation = update.generation;
                 st.expected_seq = update.seq.wrapping_add(1);
                 st.last_resync_request = None;
+                st.staging = None;
                 replicas_changed = true;
                 out.push(ShardOutput::Effect(Effect::ReplicaInstalled {
                     peer: sender,
@@ -267,6 +313,81 @@ impl Shard {
                     seq: update.seq,
                     bits: spec.table_bits(),
                 }));
+            }
+            DirContent::CompressedBitmap {
+                first_bit,
+                seg_bits,
+                ones,
+                rice,
+                data,
+            } => {
+                let total = spec.table_bits();
+                if update.bit_array_size != total
+                    || first_bit % 64 != 0
+                    || seg_bits == 0
+                    || first_bit as u64 + seg_bits as u64 > total as u64
+                {
+                    return;
+                }
+                let coded = sc_bloom::CompressedBits {
+                    len: seg_bits,
+                    ones,
+                    rice,
+                    data,
+                };
+                let Ok(segment) = sc_bloom::decompress(&coded) else {
+                    // Malformed code stream: drop the datagram (and any
+                    // partial assembly it would have extended).
+                    st.staging = None;
+                    return;
+                };
+                let staged = st.staging.take_if(|s| {
+                    s.generation == update.generation
+                        && s.seq == update.seq
+                        && s.next_bit == first_bit
+                });
+                let mut assembly = match (first_bit, staged) {
+                    (0, _) => {
+                        // A fresh attempt supersedes whatever was staged.
+                        st.staging = None;
+                        GrStaging {
+                            generation: update.generation,
+                            seq: update.seq,
+                            bits: BitVec::new(total as usize),
+                            next_bit: 0,
+                        }
+                    }
+                    (_, Some(staged)) => staged,
+                    (_, None) => {
+                        // Mid-bitmap segment with no matching prefix: an
+                        // earlier segment was lost, reordered, or belongs
+                        // to a superseded attempt. Discard it but KEEP
+                        // any in-progress assembly — a stale straggler
+                        // must not destroy a live one.
+                        return;
+                    }
+                };
+                for i in segment.iter_ones() {
+                    assembly.bits.set(first_bit as usize + i, true);
+                }
+                assembly.next_bit = first_bit + seg_bits;
+                if assembly.next_bit == total {
+                    let first_contact = st.filter.is_none();
+                    st.filter = Some(Arc::new(BloomFilter::from_parts(spec, assembly.bits)));
+                    st.generation = update.generation;
+                    st.expected_seq = update.seq.wrapping_add(1);
+                    st.last_resync_request = None;
+                    replicas_changed = true;
+                    out.push(ShardOutput::Effect(Effect::ReplicaInstalled {
+                        peer: sender,
+                        first_contact,
+                        generation: update.generation,
+                        seq: update.seq,
+                        bits: total,
+                    }));
+                } else {
+                    st.staging = Some(assembly);
+                }
             }
             DirContent::Flips(flips) => {
                 let in_sync = st.generation == update.generation
@@ -389,6 +510,53 @@ mod tests {
     }
 
     #[test]
+    fn owner_of_is_uniform_and_stable_under_resharding() {
+        for shards in [1usize, 2, 4, 8] {
+            let mut seen = vec![0usize; shards];
+            for peer in 0..256u32 {
+                let a = owner_of(peer, shards);
+                assert_eq!(a, owner_of(peer, shards), "deterministic");
+                assert!(a < shards);
+                seen[a] += 1;
+            }
+            if shards > 1 {
+                assert!(
+                    seen.iter().all(|&c| c > 256 / shards / 4),
+                    "every lane owns a fair share at {shards} shards: {seen:?}"
+                );
+            }
+        }
+        // The consistent-hash property the dense peer % shards mapping
+        // lacked: growing 4 -> 8 lanes only moves peers to the *new*
+        // lanes; survivors never trade peers among themselves.
+        let mut moved = 0;
+        for peer in 0..256u32 {
+            let old = owner_of(peer, 4);
+            let new = owner_of(peer, 8);
+            if new != old {
+                assert!(new >= 4, "peer {peer} shuffled between survivors: {old} -> {new}");
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "some peers should adopt the new lanes");
+    }
+
+    #[test]
+    fn owner_of_spreads_sparse_id_strides() {
+        // Under peer % shards, ids with stride 64 all collided onto lane
+        // 0; rendezvous hashing keeps sparse id spaces spread.
+        let shards = 4;
+        let mut seen = vec![0usize; shards];
+        for i in 0..32u32 {
+            seen[owner_of(i * 64, shards)] += 1;
+        }
+        assert!(
+            seen.iter().filter(|&&c| c > 0).count() > 1,
+            "stride-64 ids must not pile onto one lane: {seen:?}"
+        );
+    }
+
+    #[test]
     fn shard_routing_spreads_keys() {
         let n = 4usize;
         let mut seen = vec![0usize; n];
@@ -454,6 +622,124 @@ mod tests {
         );
         assert_eq!(out.len(), 1, "after backoff the retry rides the next delta");
         assert!(!shard.replica_installed(1), "no install from a delta alone");
+    }
+
+    /// Compress the `[start, start + len)` slice of `bits` into the
+    /// wire fields of one DIRFULL_GR segment.
+    fn gr_segment(bits: &BitVec, start: usize, len: usize) -> DirContent {
+        let mut sub = BitVec::new(len);
+        for i in 0..len {
+            if bits.get(start + i) {
+                sub.set(i, true);
+            }
+        }
+        let c = sc_bloom::compress(&sub);
+        DirContent::CompressedBitmap {
+            first_bit: start as u32,
+            seg_bits: len as u32,
+            ones: c.ones,
+            rice: c.rice,
+            data: c.data,
+        }
+    }
+
+    fn gr_update(generation: u32, seq: u32, content: DirContent) -> DirUpdate {
+        DirUpdate {
+            function_num: 4,
+            function_bits: 32,
+            bit_array_size: 512,
+            generation,
+            seq,
+            content,
+        }
+    }
+
+    fn sample_bits() -> BitVec {
+        let mut bits = BitVec::new(512);
+        for i in [0usize, 17, 63, 64, 200, 255, 256, 300, 511] {
+            bits.set(i, true);
+        }
+        bits
+    }
+
+    #[test]
+    fn compressed_bitmap_installs_like_a_raw_one() {
+        let spec = HashSpec::paper_default(4, 512).unwrap();
+        let bits = sample_bits();
+        let mut shard = Shard::new(0, None);
+        let mut out = Vec::new();
+        shard.handle(
+            ShardEvent::Apply {
+                now: VirtualTime::ZERO,
+                from: 2,
+                spec,
+                update: gr_update(5, 9, gr_segment(&bits, 0, 512)),
+            },
+            &mut out,
+        );
+        assert!(shard.replica_installed(2), "single GR segment installs");
+        assert_eq!(shard.replica_bits(2).unwrap(), bits, "bit-for-bit");
+        assert!(
+            out.iter().any(|o| matches!(
+                o,
+                ShardOutput::Effect(Effect::ReplicaInstalled { peer: 2, seq: 9, .. })
+            )),
+            "install effect: {out:?}"
+        );
+        // Sequencing matches the raw-bitmap discipline: the next delta
+        // at seq 10 applies cleanly.
+        out.clear();
+        shard.handle(
+            ShardEvent::Apply {
+                now: VirtualTime::ZERO,
+                from: 2,
+                spec,
+                update: gr_update(5, 10, DirContent::Flips(vec![sc_bloom::Flip::set(7)])),
+            },
+            &mut out,
+        );
+        assert!(shard.replica_bits(2).unwrap().get(7), "delta applied after GR install");
+    }
+
+    #[test]
+    fn split_segments_install_only_when_complete_and_in_order() {
+        let spec = HashSpec::paper_default(4, 512).unwrap();
+        let bits = sample_bits();
+        let apply = |shard: &mut Shard, seq: u32, content: DirContent| {
+            let mut out = Vec::new();
+            shard.handle(
+                ShardEvent::Apply {
+                    now: VirtualTime::ZERO,
+                    from: 3,
+                    spec,
+                    update: gr_update(7, seq, content),
+                },
+                &mut out,
+            );
+            out
+        };
+
+        // In-order halves assemble and install once complete.
+        let mut shard = Shard::new(0, None);
+        apply(&mut shard, 4, gr_segment(&bits, 0, 256));
+        assert!(!shard.replica_installed(3), "half a bitmap never installs");
+        apply(&mut shard, 4, gr_segment(&bits, 256, 256));
+        assert!(shard.replica_installed(3));
+        assert_eq!(shard.replica_bits(3).unwrap(), bits);
+
+        // A lost first segment leaves the tail orphaned: no install.
+        let mut shard = Shard::new(0, None);
+        apply(&mut shard, 4, gr_segment(&bits, 256, 256));
+        assert!(!shard.replica_installed(3), "tail without head is discarded");
+
+        // A fresh attempt (first_bit 0) supersedes stale staging.
+        let mut shard = Shard::new(0, None);
+        apply(&mut shard, 4, gr_segment(&bits, 0, 256));
+        apply(&mut shard, 5, gr_segment(&bits, 0, 256)); // retry at a newer seq
+        apply(&mut shard, 4, gr_segment(&bits, 256, 256)); // stale tail: dropped
+        assert!(!shard.replica_installed(3), "stale tail must not complete the retry");
+        apply(&mut shard, 5, gr_segment(&bits, 256, 256));
+        assert!(shard.replica_installed(3), "matching tail completes the retry");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::machine::{
     Dest, DirectoryView, Effect, Event, Output, SendKind, VirtualTime, RESYNC_BACKOFF,
 };
 use crate::router::{DirectoryInspect, Router};
+use sc_bloom::UrlKey;
 use sc_util::Rng;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 use summary_cache_core::{ProxySummary, SummaryKind, UpdatePolicy};
@@ -87,23 +88,44 @@ pub struct SimConfig {
     /// the default honors the `SC_SIM_SHARDS` override so the whole
     /// seeded suite can be re-run sharded without code changes.
     pub shards: usize,
+    /// Fanout stagger slots per router: peers are serviced in
+    /// `fanout_slots` groups and ticks fire `fanout_slots` times per
+    /// keep-alive period, so each peer keeps its once-per-period
+    /// cadence while per-tick bursts shrink. 1 = the historical
+    /// lock-step fanout.
+    pub fanout_slots: usize,
+    /// Seq every router's publish lanes start from (via
+    /// [`ProxySummary::set_seq`]). Defaults to 0; set near `u32::MAX`
+    /// to drive the sequence-wraparound path under faults.
+    pub initial_seq: u32,
 }
 
 /// The `SC_SIM_SHARDS` override for [`SimConfig::default`]: unset or
 /// unparsable means 1 lane (the historical machine); any positive count
 /// partitions every simulated proxy that many ways.
 fn env_shards() -> usize {
-    std::env::var("SC_SIM_SHARDS")
+    env_knob("SC_SIM_SHARDS", 1)
+}
+
+/// The `SC_SIM_PEERS` override for [`SimConfig::default`]: how many
+/// proxies the default cluster simulates (the big-N scaling knob; CI's
+/// big-N smoke sets 64). Unset or unparsable means the historical 4.
+fn env_peers() -> usize {
+    env_knob("SC_SIM_PEERS", 4)
+}
+
+fn env_knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .filter(|&n| n > 0)
-        .unwrap_or(1)
+        .unwrap_or(default)
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
-            proxies: 4,
+            proxies: env_peers(),
             local_ops: 240,
             horizon_ms: 2_000,
             keepalive_ms: 50,
@@ -118,6 +140,8 @@ impl Default for SimConfig {
             partitions: 2,
             settle_ticks: 400,
             shards: env_shards(),
+            fanout_slots: 1,
+            initial_seq: 0,
         }
     }
 }
@@ -153,6 +177,15 @@ pub struct SimReport {
     pub failures: u64,
     /// Peer-recovery detections across all proxies.
     pub recoveries: u64,
+    /// Encoded bytes of DIRUPDATE traffic (deltas + fulls) put on the
+    /// wire across all proxies, before any fault-plan drops — the
+    /// numerator of the scaleout bench's bytes/proxy/sec curve.
+    pub update_bytes_sent: u64,
+    /// Encoded bytes of everything else (keep-alives, DIRREQs, query
+    /// traffic) across all proxies.
+    pub other_bytes_sent: u64,
+    /// Update datagrams (deltas + fulls) across all proxies.
+    pub update_datagrams_sent: u64,
 }
 
 enum SimEvent {
@@ -249,6 +282,9 @@ pub struct Sim {
     datagrams_duplicated: u64,
     failures: u64,
     recoveries: u64,
+    update_bytes_sent: u64,
+    other_bytes_sent: u64,
+    update_datagrams_sent: u64,
 }
 
 /// Deterministic per-incarnation generation number: what the daemon
@@ -298,13 +334,20 @@ impl Sim {
             datagrams_duplicated: 0,
             failures: 0,
             recoveries: 0,
+            update_bytes_sent: 0,
+            other_bytes_sent: 0,
+            update_datagrams_sent: 0,
             cfg,
         };
         let horizon = sim.cfg.horizon_ms * 1_000;
         let ka = sim.cfg.keepalive_ms * 1_000;
-        // Staggered self-rescheduling ticks.
+        // Staggered self-rescheduling ticks: with fanout slots each
+        // tick fires `fanout_slots` times per keep-alive period (and
+        // services a different slot of peers), keeping every peer's
+        // once-per-period cadence.
+        let tick_every = sim.tick_interval();
         for i in 0..n {
-            let phase = (i as u64 + 1) * ka / (n as u64 + 1);
+            let phase = (i as u64 + 1) * ka / (n as u64 + 1) % tick_every.max(1);
             sim.schedule(phase, SimEvent::Tick { node: i });
         }
         // Local inserts, uniform over the fault window.
@@ -336,16 +379,35 @@ impl Sim {
         sim
     }
 
+    /// Virtual microseconds between Tick events: the keep-alive period
+    /// divided by the fanout slot count (clamped to at least one
+    /// microsecond).
+    fn tick_interval(&self) -> u64 {
+        (self.cfg.keepalive_ms * 1_000 / self.cfg.fanout_slots.max(1) as u64).max(1)
+    }
+
     fn schedule(&mut self, at: u64, ev: SimEvent) {
         let order = self.order;
         self.order += 1;
         self.queue.push(QueueEntry { at, order, ev });
     }
 
+    /// Like [`Sim::run`], but also hands back each node's router for
+    /// post-run inspection (which replica diverged, and by how much).
+    pub fn run_with_state(self) -> (SimReport, Vec<Router>) {
+        let mut sim = self;
+        let report = sim.run_inner();
+        (report, sim.nodes.into_iter().map(|n| n.router).collect())
+    }
+
     /// Run the fault window, then settle; returns the report. Panics
     /// (with the offending virtual time and nodes) if a safety
     /// invariant breaks mid-run.
     pub fn run(mut self) -> SimReport {
+        self.run_inner()
+    }
+
+    fn run_inner(&mut self) -> SimReport {
         let horizon = self.cfg.horizon_ms * 1_000;
         self.advance(horizon);
         // Fault window over: heal everything and let the protocol's own
@@ -358,7 +420,7 @@ impl Sim {
         let ka = self.cfg.keepalive_ms * 1_000;
         let budget = self.cfg.settle_ticks;
         let settle_steps = sc_util::poll::converge(
-            &mut self,
+            &mut *self,
             budget,
             |s| {
                 let t = s.now + ka;
@@ -371,7 +433,7 @@ impl Sim {
             events_processed: self.events_processed,
             converged: settle_steps.is_some(),
             settle_steps,
-            journal: self.journal,
+            journal: std::mem::take(&mut self.journal),
             gaps_seen: self.gaps_seen,
             resyncs_requested: self.resyncs_requested,
             replicas_installed: self.replicas_installed,
@@ -379,6 +441,9 @@ impl Sim {
             datagrams_duplicated: self.datagrams_duplicated,
             failures: self.failures,
             recoveries: self.recoveries,
+            update_bytes_sent: self.update_bytes_sent,
+            other_bytes_sent: self.other_bytes_sent,
+            update_datagrams_sent: self.update_datagrams_sent,
         }
     }
 
@@ -428,8 +493,8 @@ impl Sim {
                 self.dispatch(to, Some(from), outputs);
             }
             SimEvent::Tick { node } => {
-                let ka = self.cfg.keepalive_ms * 1_000;
-                self.schedule(self.now + ka, SimEvent::Tick { node });
+                let tick_every = self.tick_interval();
+                self.schedule(self.now + tick_every, SimEvent::Tick { node });
                 if !self.nodes[node].up {
                     return;
                 }
@@ -464,12 +529,17 @@ impl Sim {
                     evicted.len()
                 ));
                 let now = VirtualTime::from_micros(self.now);
+                // The simulated client digests each URL once, like the
+                // daemon's request path.
+                let key = UrlKey::new(url.as_bytes());
+                let victim_keys: Vec<UrlKey> =
+                    evicted.iter().map(|v| UrlKey::new(v.as_bytes())).collect();
                 let n = &mut self.nodes[node];
                 let stored = n.router.handle(
                     now,
                     Event::Stored {
-                        url: &url,
-                        evicted: &evicted,
+                        url: &key,
+                        evicted: &victim_keys,
                     },
                     &SetView(&n.dir),
                 );
@@ -556,6 +626,12 @@ impl Sim {
                     if let SendKind::Resync { peer, .. } = send.kind {
                         self.last_dirreq[node][peer as usize] = Some(self.now);
                         self.resyncs_requested += 1;
+                    }
+                    if send.kind.is_update() {
+                        self.update_bytes_sent += bytes.len() as u64;
+                        self.update_datagrams_sent += 1;
+                    } else {
+                        self.other_bytes_sent += bytes.len() as u64;
                     }
                     self.journal.push(format!(
                         "{}us n{node} send {:?} -> {:?} {}B",
@@ -670,6 +746,7 @@ fn fresh_router(cfg: &SimConfig, node: usize, incarnation: u32) -> Router {
     };
     let mut summary = ProxySummary::with_expected_docs(kind, cfg.expected_docs);
     summary.set_generation(generation_for(node, incarnation));
+    summary.set_seq(cfg.initial_seq);
     let peers: Vec<u32> = (0..cfg.proxies as u32)
         .filter(|&p| p != node as u32)
         .collect();
@@ -678,6 +755,7 @@ fn fresh_router(cfg: &SimConfig, node: usize, incarnation: u32) -> Router {
         peers,
         cfg.keepalive_ms,
         cfg.shards,
+        cfg.fanout_slots,
         Some((summary, UpdatePolicy::Threshold(0.0))),
         VirtualTime::ZERO,
     )
@@ -742,5 +820,81 @@ mod tests {
         assert!(report.datagrams_duplicated > 0, "duplication plan was exercised");
         assert!(report.gaps_seen > 0, "loss produced detectable gaps");
         assert!(report.resyncs_requested > 0, "gaps produced DIRREQs");
+    }
+
+    /// The big-N acceptance run: 64 proxies under the full fault plan
+    /// (loss, duplication, reorder, crash+restart, partitions) must
+    /// reconverge bit-for-bit, with the one-DIRREQ-per-gap invariant
+    /// asserted continuously inside `dispatch`. CI's smoke sweeps more
+    /// seeds via `SC_SIM_PEERS=64` on the seeded soak.
+    #[test]
+    fn sixty_four_proxies_reconverge_under_the_full_fault_plan() {
+        let cfg = SimConfig {
+            proxies: 64,
+            local_ops: 400,
+            horizon_ms: 600,
+            crashes: 3,
+            partitions: 2,
+            ..SimConfig::default()
+        };
+        let report = Sim::new(cfg, 0xB16).run();
+        assert!(report.converged, "64-proxy cluster must reconverge: {report:?}");
+        assert!(report.failures > 0, "crash plan was exercised");
+        assert!(report.gaps_seen > 0, "fault plan produced gaps");
+        assert!(report.update_bytes_sent > 0, "update traffic accounted");
+        assert!(report.update_datagrams_sent > 0);
+        assert!(report.other_bytes_sent > 0, "keep-alive traffic accounted");
+    }
+
+    /// Publish-seq wraparound: lanes start just below `u32::MAX` and
+    /// cross it mid-run while datagrams are being dropped. The modular
+    /// duplicate/gap comparisons must keep ordering straight across
+    /// the boundary — a naive `seq < expected` would read every
+    /// post-wrap update as ancient and silently freeze the replicas.
+    #[test]
+    fn seq_wraparound_under_loss_reconverges() {
+        let cfg = SimConfig {
+            initial_seq: u32::MAX - 8,
+            local_ops: 240,
+            horizon_ms: 800,
+            crashes: 0,
+            partitions: 1,
+            ..SimConfig::default()
+        };
+        let report = Sim::new(cfg, 0x11A4).run();
+        assert!(
+            report.converged,
+            "wraparound crossing must reconverge: {report:?}"
+        );
+        assert!(report.datagrams_dropped > 0, "loss exercised the boundary");
+        assert!(report.gaps_seen > 0, "dropped updates detected across the wrap");
+    }
+
+    /// Staggered fan-out is behavior-preserving: any slot count
+    /// converges, and in a fault-free run the subdivided tick cadence
+    /// must not produce spurious failure declarations (each peer is
+    /// still pinged and serviced once per keep-alive period).
+    #[test]
+    fn fanout_slots_converge_without_spurious_failures() {
+        for slots in [1usize, 2, 4] {
+            let cfg = SimConfig {
+                proxies: 8,
+                fanout_slots: slots,
+                local_ops: 60,
+                horizon_ms: 600,
+                loss: 0.0,
+                duplicate: 0.0,
+                crashes: 0,
+                partitions: 0,
+                delay_us: (200, 2_000),
+                ..SimConfig::default()
+            };
+            let report = Sim::new(cfg, 99).run();
+            assert!(report.converged, "slots={slots} must converge: {report:?}");
+            assert_eq!(
+                report.failures, 0,
+                "slots={slots}: stagger broke failure-detection timing"
+            );
+        }
     }
 }

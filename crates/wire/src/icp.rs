@@ -33,6 +33,18 @@
 //! the receiver sends `ICP_OP_DIRREQ` — a 4-byte payload carrying the
 //! generation it last saw — and the publisher answers with a DIRFULL
 //! bitmap that restates the whole array.
+//!
+//! Big-N extension: a requester that understands Golomb–Rice-coded
+//! bitmaps sets [`ICP_FLAG_GR_OK`] in its DIRREQ options word, and the
+//! publisher may answer with `ICP_OP_DIRFULL_GR` instead of raw
+//! DIRFULL. Its payload is the same extension header followed by a
+//! segment descriptor — `First_Bit` (u32, word-aligned), `Seg_Bits`
+//! (u32), `Ones` (u32), `Rice` (u8) — and the coded gap stream
+//! (`Number_of_Updates` counts its bytes). A bitmap too large for one
+//! datagram ships as several segments with the same `(generation,
+//! seq)` stamp, `First_Bit` advancing; receivers install only once the
+//! segments cover the whole array. Publishers that never saw the flag
+//! fall back to raw DIRFULL, so legacy peers keep working.
 
 use sc_bloom::Flip;
 
@@ -104,6 +116,16 @@ pub const DIRUPDATE_HEADER_LEN: usize = 20;
 /// Size of the DIRREQ payload: the generation last seen.
 pub const DIRREQ_PAYLOAD_LEN: usize = 4;
 
+/// Size of the DIRFULL_GR segment descriptor that follows the
+/// DIRUPDATE extension header: `First_Bit` + `Seg_Bits` + `Ones`
+/// (u32 each) + `Rice` (u8).
+pub const DIRFULL_GR_SEGMENT_LEN: usize = 13;
+
+/// Options-word flag a DIRREQ sets to advertise that its sender can
+/// decode `ICP_OP_DIRFULL_GR` answers. RFC 2186 reserves the top bits
+/// (HIT_OBJ, SRC_RTT); the summary-cache extension claims bit 0.
+pub const ICP_FLAG_GR_OK: u32 = 0x0000_0001;
+
 /// Wire byte for [`Opcode::Query`] (RFC 2186).
 pub const ICP_OP_QUERY: u8 = 1;
 /// Wire byte for [`Opcode::Hit`] (RFC 2186).
@@ -124,6 +146,9 @@ pub const ICP_OP_DIRUPDATE: u8 = 32;
 pub const ICP_OP_DIRFULL: u8 = 33;
 /// Wire byte for [`Opcode::DirReq`] (summary-cache extension).
 pub const ICP_OP_DIRREQ: u8 = 34;
+/// Wire byte for [`Opcode::DirFullGr`] (summary-cache extension):
+/// a Golomb–Rice-coded full-bitmap segment.
+pub const ICP_OP_DIRFULL_GR: u8 = 35;
 
 /// Message opcodes. 1–22 are RFC 2186; 32–34 are the summary-cache
 /// extension range. The wire bytes live in the `ICP_OP_*` constants,
@@ -154,6 +179,9 @@ pub enum Opcode {
     /// Resync request: "send me your full bitmap" — emitted on first
     /// contact or when a seq gap / generation change is detected.
     DirReq,
+    /// Golomb–Rice-coded full-bitmap segment: the compressed answer to
+    /// a DIRREQ whose sender advertised [`ICP_FLAG_GR_OK`].
+    DirFullGr,
 }
 
 impl Opcode {
@@ -170,6 +198,7 @@ impl Opcode {
             Opcode::DirUpdate => ICP_OP_DIRUPDATE,
             Opcode::DirFull => ICP_OP_DIRFULL,
             Opcode::DirReq => ICP_OP_DIRREQ,
+            Opcode::DirFullGr => ICP_OP_DIRFULL_GR,
         }
     }
 
@@ -186,6 +215,7 @@ impl Opcode {
             ICP_OP_DIRUPDATE => Opcode::DirUpdate,
             ICP_OP_DIRFULL => Opcode::DirFull,
             ICP_OP_DIRREQ => Opcode::DirReq,
+            ICP_OP_DIRFULL_GR => Opcode::DirFullGr,
             _ => return None,
         })
     }
@@ -220,6 +250,24 @@ pub enum DirContent {
     Flips(Vec<Flip>),
     /// The complete bit array, packed little-endian u64 words (DIRFULL).
     Bitmap(Vec<u64>),
+    /// One Golomb–Rice-coded segment of the bit array (DIRFULL_GR).
+    /// `bit_array_size` in the carrying [`DirUpdate`] is the *whole*
+    /// array's length; a single segment spanning it is the common case,
+    /// and oversized bitmaps split into several word-aligned segments
+    /// sharing one `(generation, seq)` stamp.
+    CompressedBitmap {
+        /// First bit this segment covers (multiple of 64).
+        first_bit: u32,
+        /// Bits this segment covers (`first_bit + seg_bits` never
+        /// exceeds `bit_array_size`).
+        seg_bits: u32,
+        /// Set bits coded in the stream.
+        ones: u32,
+        /// Rice parameter (gap low-bits); ≤ 63 by wire contract.
+        rice: u8,
+        /// The coded gap stream.
+        data: Vec<u8>,
+    },
 }
 
 /// A decoded ICP message.
@@ -296,6 +344,10 @@ pub enum IcpMessage {
         /// The generation the requester last saw (0 = none yet); lets
         /// the publisher's logs distinguish bootstrap from loss.
         generation: u32,
+        /// [`ICP_FLAG_GR_OK`] in the options word: the requester can
+        /// decode compressed (DIRFULL_GR) answers. Publishers fall
+        /// back to raw DIRFULL when unset.
+        accepts_gr: bool,
     },
 }
 
@@ -353,6 +405,7 @@ impl IcpMessage {
     /// field for the reply/query opcodes (DirUpdate carries its own).
     pub fn encode(&self, sender: u32) -> Result<Vec<u8>, IcpError> {
         let mut body = Vec::new();
+        let mut options = 0u32;
         let (opcode, request_number, sender_host) = match self {
             IcpMessage::Query {
                 request_number,
@@ -412,6 +465,21 @@ impl IcpMessage {
                         }
                         Opcode::DirFull
                     }
+                    DirContent::CompressedBitmap {
+                        first_bit,
+                        seg_bits,
+                        ones,
+                        rice,
+                        data,
+                    } => {
+                        put_u32(&mut body, data.len() as u32);
+                        put_u32(&mut body, *first_bit);
+                        put_u32(&mut body, *seg_bits);
+                        put_u32(&mut body, *ones);
+                        put_u8(&mut body, *rice);
+                        body.extend_from_slice(data);
+                        Opcode::DirFullGr
+                    }
                 };
                 (opcode, *request_number, *s)
             }
@@ -419,8 +487,12 @@ impl IcpMessage {
                 request_number,
                 sender: s,
                 generation,
+                accepts_gr,
             } => {
                 put_u32(&mut body, *generation);
+                if *accepts_gr {
+                    options |= ICP_FLAG_GR_OK;
+                }
                 (Opcode::DirReq, *request_number, *s)
             }
         };
@@ -433,7 +505,7 @@ impl IcpMessage {
         put_u8(&mut out, ICP_VERSION);
         put_u16(&mut out, total as u16);
         put_u32(&mut out, request_number);
-        put_u32(&mut out, 0); // options
+        put_u32(&mut out, options);
         put_u32(&mut out, 0); // option data
         put_u32(&mut out, sender_host);
         out.extend_from_slice(&body);
@@ -459,7 +531,7 @@ impl IcpMessage {
             });
         }
         let request_number = buf.get_u32()?;
-        let _options = buf.get_u32()?;
+        let options = buf.get_u32()?;
         let _option_data = buf.get_u32()?;
         let sender_host = buf.get_u32()?;
         let opcode = Opcode::from_u8(opcode_byte).ok_or(IcpError::UnknownOpcode(opcode_byte))?;
@@ -497,7 +569,7 @@ impl IcpMessage {
                 request_number,
                 url: take_url(&mut buf)?,
             }),
-            Opcode::DirUpdate | Opcode::DirFull => {
+            Opcode::DirUpdate | Opcode::DirFull | Opcode::DirFullGr => {
                 if buf.remaining() < DIRUPDATE_HEADER_LEN {
                     return Err(IcpError::TruncatedPayload);
                 }
@@ -507,27 +579,63 @@ impl IcpMessage {
                 let generation = buf.get_u32()?;
                 let seq = buf.get_u32()?;
                 let count = buf.get_u32()? as usize;
-                let content = if opcode == Opcode::DirUpdate {
-                    if buf.remaining() != count.saturating_mul(4) {
-                        return Err(IcpError::BadDirUpdate("flip count vs payload size"));
+                let content = match opcode {
+                    Opcode::DirUpdate => {
+                        if buf.remaining() != count.saturating_mul(4) {
+                            return Err(IcpError::BadDirUpdate("flip count vs payload size"));
+                        }
+                        let mut flips = Vec::with_capacity(count);
+                        for _ in 0..count {
+                            flips.push(Flip::from_wire(buf.get_u32()?));
+                        }
+                        DirContent::Flips(flips)
                     }
-                    let mut flips = Vec::with_capacity(count);
-                    for _ in 0..count {
-                        flips.push(Flip::from_wire(buf.get_u32()?));
+                    Opcode::DirFull => {
+                        if buf.remaining() != count.saturating_mul(8) {
+                            return Err(IcpError::BadDirUpdate("word count vs payload size"));
+                        }
+                        if count != (bit_array_size as usize).div_ceil(64) {
+                            return Err(IcpError::BadDirUpdate("bitmap words vs bit array size"));
+                        }
+                        let mut words = Vec::with_capacity(count);
+                        for _ in 0..count {
+                            words.push(buf.get_u64_le()?);
+                        }
+                        DirContent::Bitmap(words)
                     }
-                    DirContent::Flips(flips)
-                } else {
-                    if buf.remaining() != count.saturating_mul(8) {
-                        return Err(IcpError::BadDirUpdate("word count vs payload size"));
+                    _ => {
+                        // DIRFULL_GR: count is the coded-stream byte
+                        // length; a 13-byte segment descriptor precedes
+                        // the stream.
+                        if buf.remaining() != DIRFULL_GR_SEGMENT_LEN.saturating_add(count) {
+                            return Err(IcpError::BadDirUpdate("coded bytes vs payload size"));
+                        }
+                        let first_bit = buf.get_u32()?;
+                        let seg_bits = buf.get_u32()?;
+                        let ones = buf.get_u32()?;
+                        let rice = buf.get_u8()?;
+                        if rice > 63 {
+                            return Err(IcpError::BadDirUpdate("rice parameter above 63"));
+                        }
+                        if first_bit % 64 != 0 {
+                            return Err(IcpError::BadDirUpdate("segment not word aligned"));
+                        }
+                        if seg_bits == 0
+                            || first_bit as u64 + seg_bits as u64 > bit_array_size as u64
+                        {
+                            return Err(IcpError::BadDirUpdate("segment outside bit array"));
+                        }
+                        if ones > seg_bits {
+                            return Err(IcpError::BadDirUpdate("more ones than segment bits"));
+                        }
+                        DirContent::CompressedBitmap {
+                            first_bit,
+                            seg_bits,
+                            ones,
+                            rice,
+                            data: buf.take(count)?.to_vec(),
+                        }
                     }
-                    if count != (bit_array_size as usize).div_ceil(64) {
-                        return Err(IcpError::BadDirUpdate("bitmap words vs bit array size"));
-                    }
-                    let mut words = Vec::with_capacity(count);
-                    for _ in 0..count {
-                        words.push(buf.get_u64_le()?);
-                    }
-                    DirContent::Bitmap(words)
                 };
                 Ok(IcpMessage::DirUpdate {
                     request_number,
@@ -551,6 +659,7 @@ impl IcpMessage {
                     request_number,
                     sender: sender_host,
                     generation,
+                    accepts_gr: options & ICP_FLAG_GR_OK != 0,
                 })
             }
         }
@@ -596,6 +705,7 @@ mod tests {
             (Opcode::DirUpdate, ICP_OP_DIRUPDATE),
             (Opcode::DirFull, ICP_OP_DIRFULL),
             (Opcode::DirReq, ICP_OP_DIRREQ),
+            (Opcode::DirFullGr, ICP_OP_DIRFULL_GR),
         ] {
             assert_eq!(op.to_u8(), byte);
             assert_eq!(Opcode::from_u8(byte), Some(op));
@@ -604,7 +714,8 @@ mod tests {
         // contract, not implementation detail.
         assert_eq!(ICP_OP_QUERY, 1);
         assert_eq!(ICP_OP_DIRUPDATE, 32);
-        for unused in [0u8, 5, 9, 23, 31, 35, 255] {
+        assert_eq!(ICP_OP_DIRFULL_GR, 35);
+        for unused in [0u8, 5, 9, 23, 31, 36, 255] {
             assert_eq!(Opcode::from_u8(unused), None);
         }
     }
@@ -691,13 +802,119 @@ mod tests {
             request_number: 55,
             sender: 3,
             generation: 0xFEEDFACE,
+            accepts_gr: false,
         };
         let bytes = msg.encode(0).unwrap();
         assert_eq!(bytes[0], 34, "ICP_OP_DIRREQ");
         assert_eq!(bytes.len(), HEADER_LEN + DIRREQ_PAYLOAD_LEN);
+        assert_eq!(&bytes[8..12], &0u32.to_be_bytes(), "no options flagged");
         assert_eq!(&bytes[16..20], &3u32.to_be_bytes(), "requester id in sender-host");
         assert_eq!(&bytes[20..24], &0xFEEDFACEu32.to_be_bytes());
         roundtrip(msg);
+    }
+
+    #[test]
+    fn dirreq_gr_capability_rides_the_options_word() {
+        let msg = IcpMessage::DirReq {
+            request_number: 56,
+            sender: 4,
+            generation: 12,
+            accepts_gr: true,
+        };
+        let bytes = msg.encode(0).unwrap();
+        assert_eq!(
+            &bytes[8..12],
+            &ICP_FLAG_GR_OK.to_be_bytes(),
+            "GR capability is options bit 0"
+        );
+        roundtrip(msg);
+        // A legacy requester (flag clear) decodes as accepts_gr = false:
+        // negotiation falls back to raw DIRFULL.
+        let mut legacy = bytes.clone();
+        legacy[8..12].copy_from_slice(&0u32.to_be_bytes());
+        match IcpMessage::decode(&legacy).unwrap() {
+            IcpMessage::DirReq { accepts_gr, .. } => assert!(!accepts_gr),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dirfull_gr_roundtrip_and_layout() {
+        let msg = IcpMessage::DirUpdate {
+            request_number: 11,
+            sender: 2,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 512,
+                generation: 0xA1B2C3D4,
+                seq: 21,
+                content: DirContent::CompressedBitmap {
+                    first_bit: 0,
+                    seg_bits: 512,
+                    ones: 3,
+                    rice: 5,
+                    data: vec![0xAB, 0xCD, 0xEF],
+                },
+            },
+        };
+        let bytes = msg.encode(0).unwrap();
+        assert_eq!(bytes[0], ICP_OP_DIRFULL_GR, "ICP_OP_DIRFULL_GR");
+        assert_eq!(
+            bytes.len(),
+            HEADER_LEN + DIRUPDATE_HEADER_LEN + DIRFULL_GR_SEGMENT_LEN + 3
+        );
+        // Number_of_Updates counts coded bytes; the segment descriptor
+        // follows the extension header.
+        assert_eq!(&bytes[36..40], &3u32.to_be_bytes(), "coded byte count");
+        assert_eq!(&bytes[40..44], &0u32.to_be_bytes(), "first_bit");
+        assert_eq!(&bytes[44..48], &512u32.to_be_bytes(), "seg_bits");
+        assert_eq!(&bytes[48..52], &3u32.to_be_bytes(), "ones");
+        assert_eq!(bytes[52], 5, "rice");
+        roundtrip(msg);
+    }
+
+    #[test]
+    fn dirfull_gr_decode_validations() {
+        let mk = |first_bit, seg_bits, ones, rice| IcpMessage::DirUpdate {
+            request_number: 0,
+            sender: 0,
+            update: DirUpdate {
+                function_num: 4,
+                function_bits: 32,
+                bit_array_size: 512,
+                generation: 1,
+                seq: 0,
+                content: DirContent::CompressedBitmap {
+                    first_bit,
+                    seg_bits,
+                    ones,
+                    rice,
+                    data: vec![0u8; 4],
+                },
+            },
+        };
+        let expect_bad = |msg: IcpMessage, why: &str| {
+            let bytes = msg.encode(0).unwrap();
+            assert!(
+                matches!(IcpMessage::decode(&bytes), Err(IcpError::BadDirUpdate(_))),
+                "{why}"
+            );
+        };
+        expect_bad(mk(0, 512, 0, 64), "rice above 63 must be rejected");
+        expect_bad(mk(7, 64, 0, 3), "unaligned first_bit");
+        expect_bad(mk(0, 0, 0, 3), "zero-length segment");
+        expect_bad(mk(448, 128, 0, 3), "segment past the bit array");
+        expect_bad(mk(0, 64, 65, 3), "more ones than segment bits");
+        // Word-aligned interior segment is legal.
+        roundtrip(mk(64, 128, 7, 3));
+        // Claimed coded length must match the carried bytes exactly.
+        let mut bytes = mk(0, 512, 0, 3).encode(0).unwrap();
+        bytes[36..40].copy_from_slice(&9u32.to_be_bytes());
+        assert_eq!(
+            IcpMessage::decode(&bytes),
+            Err(IcpError::BadDirUpdate("coded bytes vs payload size"))
+        );
     }
 
     #[test]
@@ -706,6 +923,7 @@ mod tests {
             request_number: 1,
             sender: 2,
             generation: 7,
+            accepts_gr: true,
         }
         .encode(0)
         .unwrap();
@@ -853,6 +1071,25 @@ mod tests {
                 request_number: 5,
                 sender: 6,
                 generation: 9,
+                accepts_gr: true,
+            },
+            IcpMessage::DirUpdate {
+                request_number: 3,
+                sender: 4,
+                update: DirUpdate {
+                    function_num: 4,
+                    function_bits: 32,
+                    bit_array_size: 192,
+                    generation: 9,
+                    seq: 44,
+                    content: DirContent::CompressedBitmap {
+                        first_bit: 64,
+                        seg_bits: 128,
+                        ones: 2,
+                        rice: 4,
+                        data: vec![0x11, 0x22, 0x33, 0x44, 0x55],
+                    },
+                },
             },
         ];
         for msg in msgs {

@@ -1,23 +1,31 @@
 #!/bin/sh
-# Hot-path benchmark run: measure the hash-once probe pipeline and
-# refresh the tracked BENCH_hotpath.json at the repo root.
+# Tracked benchmark run: measure the hash-once probe pipeline and the
+# big-N scaleout curves, refreshing BENCH_hotpath.json and
+# BENCH_scaleout.json at the repo root.
 #
 #   scripts/bench.sh                 # default 200 ms window per case
 #   SC_BENCH_MS=1000 scripts/bench.sh  # longer window, steadier numbers
 #
 # Runs offline (the workspace has zero registry dependencies). Plain
 # `cargo test` / `cargo bench` runs never write the JSON — only this
-# script sets SC_BENCH_JSON, so the tracked file changes exactly when a
+# script sets SC_BENCH_JSON, so the tracked files change exactly when a
 # measurement run is intended.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 SC_BENCH_MS="${SC_BENCH_MS:-200}"
-SC_BENCH_JSON="$PWD/BENCH_hotpath.json"
-export SC_BENCH_MS SC_BENCH_JSON
+export SC_BENCH_MS
 
 echo "==> hotpath bench (window ${SC_BENCH_MS} ms/case)"
-cargo bench --offline -p sc-bench --bench hotpath
+SC_BENCH_JSON="$PWD/BENCH_hotpath.json" \
+    cargo bench --offline -p sc-bench --bench hotpath
+echo "==> wrote $PWD/BENCH_hotpath.json"
 
-echo "==> wrote $SC_BENCH_JSON"
+# The scaleout suite is deterministic simulation counting, not timing:
+# it ignores SC_BENCH_MS and always runs the full N ∈ {16, 64, 128}
+# grid (about 15 s).
+echo "==> scaleout bench (GR resync + big-N update curves)"
+SC_BENCH_JSON="$PWD/BENCH_scaleout.json" \
+    cargo bench --offline -p sc-bench --bench scaleout
+echo "==> wrote $PWD/BENCH_scaleout.json"

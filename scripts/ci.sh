@@ -5,15 +5,20 @@
 #
 # Chains the tier-1 verification (scripts/check.sh, which builds,
 # runs every test suite including sc-check's own, and then the gate)
-# with a short benchmark smoke run (SC_BENCH_MS=25 per case) that
-# proves the hotpath bench harness — micro rows, the e2e simnet row,
-# and the e2e/mt-throughput shard-scaling rows — still runs end-to-end
-# without paying the full measurement budget. Everything is offline.
+# with a big-N convergence smoke (the 200-seed soak narrowed to 10
+# seeds at 64 proxies, every fault class on) and a short benchmark
+# smoke run (SC_BENCH_MS=25 per case) that proves the hotpath and
+# scaleout bench harnesses still run end-to-end without paying the
+# full measurement budget. Everything is offline.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 scripts/check.sh
+
+echo "==> big-N smoke (SC_SIM_PEERS=64, ${SC_SIM_SEEDS:-10} seeds)"
+SC_SIM_PEERS=64 SC_SIM_SEEDS="${SC_SIM_SEEDS:-10}" \
+    cargo test -q --offline --test simnet_properties seeded_soak
 
 echo "==> bench smoke (SC_BENCH_MS=${SC_BENCH_MS:-25})"
 SC_BENCH_MS="${SC_BENCH_MS:-25}" scripts/bench.sh

@@ -73,6 +73,26 @@ fn apply(replica: &mut Option<BloomFilter>, datagram: &[u8]) {
         DirContent::Bitmap(words) => {
             f.replace_bits(BitVec::from_words(spec.table_bits() as usize, words));
         }
+        DirContent::CompressedBitmap {
+            first_bit,
+            seg_bits,
+            ones,
+            rice,
+            data,
+        } => {
+            // Mirror of the shard's Golomb–Rice splice: decode the
+            // segment and set its one-bits at the segment offset.
+            let coded = summary_cache::bloom::CompressedBits {
+                len: seg_bits,
+                ones,
+                rice,
+                data,
+            };
+            let seg = summary_cache::bloom::decompress(&coded).expect("valid code stream");
+            for i in seg.iter_ones() {
+                f.apply_flip(first_bit + i as u32, true);
+            }
+        }
     }
 }
 
@@ -237,6 +257,7 @@ fn sequenced_update_and_dirreq_datagrams_roundtrip_and_reject_truncation() {
             request_number: 14,
             sender: 3,
             generation: 0xDEAD_BEEF,
+            accepts_gr: true,
         },
     ];
     for msg in messages {
@@ -291,7 +312,7 @@ fn decode_never_panics_on_arbitrary_bytes() {
             .encode(1)
             .unwrap(),
         IcpMessage::Secho { request_number: 0, url: String::new() }.encode(1).unwrap(),
-        IcpMessage::DirReq { request_number: 3, sender: 1, generation: 77 }
+        IcpMessage::DirReq { request_number: 3, sender: 1, generation: 77, accepts_gr: false }
             .encode(1)
             .unwrap(),
         IcpMessage::DirUpdate {

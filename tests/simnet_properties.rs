@@ -15,8 +15,9 @@
 //! * `SC_SIM_FORCE_FAIL=<seed>` — make that seed fail artificially, to
 //!   demonstrate the printed repro line.
 
+use summary_cache::bloom::UrlKey;
 use summary_cache::proxy::machine::{
-    Dest, DirectoryView, Event, Machine, Output, SendKind, VirtualTime,
+    DirectoryView, Event, Machine, Output, SendKind, VirtualTime,
 };
 use summary_cache::proxy::router::DirectoryInspect;
 use summary_cache::proxy::simnet::{Sim, SimConfig};
@@ -184,15 +185,14 @@ fn at_ms(ms: u64) -> VirtualTime {
     VirtualTime::from_micros(ms * 1_000)
 }
 
-/// Every update datagram (broadcast delta or full bitmap) a machine
-/// emits from one event batch, encoded.
+/// Every update datagram (delta or full bitmap) a machine emits from
+/// one event batch, encoded. Updates ride per-peer fan-out lanes, so
+/// any destination counts (these machines have exactly one peer).
 fn update_datagrams(outputs: &[Output], sender: u32) -> Vec<Vec<u8>> {
     outputs
         .iter()
         .filter_map(|o| match o {
-            Output::Send(s)
-                if s.kind.is_update() && matches!(s.to, Dest::AllPeers) =>
-            {
+            Output::Send(s) if s.kind.is_update() => {
                 Some(s.msg.encode(sender).expect("update datagram encodes"))
             }
             _ => None,
@@ -215,13 +215,16 @@ fn duplicate_and_past_datagrams_are_noops() {
         let inserts = rng.gen_range(2..8u32);
         for i in 0..inserts {
             let url = format!("http://s1.invalid/doc/{i}");
-            let none: Vec<String> = Vec::new();
+            let key = UrlKey::new(url.as_bytes());
+            let none: Vec<UrlKey> = Vec::new();
             publisher.handle(
                 at_ms(i as u64 + 1),
-                Event::Stored { url: &url, evicted: &none },
+                Event::Stored { url: &key, evicted: &none },
                 &dir,
             );
-            let outs = publisher.handle(at_ms(i as u64 + 1), Event::RequestDone, &dir);
+            publisher.handle(at_ms(i as u64 + 1), Event::RequestDone, &dir);
+            // Small publishes coalesce; the fan-out tick carries them.
+            let outs = publisher.handle(at_ms(i as u64 + 1), Event::Tick, &dir);
             stream.extend(update_datagrams(&outs, 1));
         }
         // A tick's heartbeat closes the stream.
@@ -307,21 +310,21 @@ fn deltas_alone_never_install_a_replica() {
         let mut stream: Vec<Vec<u8>> = Vec::new();
         for i in 0..rng.gen_range(1..6u32) {
             let url = format!("http://s1.invalid/doc/{i}");
-            let none: Vec<String> = Vec::new();
+            let key = UrlKey::new(url.as_bytes());
+            let none: Vec<UrlKey> = Vec::new();
             publisher.handle(
                 at_ms(i as u64 + 1),
-                Event::Stored { url: &url, evicted: &none },
+                Event::Stored { url: &key, evicted: &none },
                 &dir,
             );
-            let outs = publisher.handle(at_ms(i as u64 + 1), Event::RequestDone, &dir);
-            // Keep only deltas: drop any full-bitmap publish.
+            publisher.handle(at_ms(i as u64 + 1), Event::RequestDone, &dir);
+            // The fan-out tick flushes the coalesced batch; keep only
+            // deltas: drop any full-bitmap restatement.
+            let outs = publisher.handle(at_ms(i as u64 + 1), Event::Tick, &dir);
             stream.extend(
                 outs.iter()
                     .filter_map(|o| match o {
-                        Output::Send(s)
-                            if s.kind == SendKind::UpdateDelta
-                                && matches!(s.to, Dest::AllPeers) =>
-                        {
+                        Output::Send(s) if s.kind == SendKind::UpdateDelta => {
                             Some(s.msg.encode(1).expect("delta encodes"))
                         }
                         _ => None,
