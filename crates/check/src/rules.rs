@@ -39,12 +39,14 @@ const DETERMINISM_TOKENS: [&str; 5] = [
 ];
 /// Exact files (relative, `/`-separated) rule 6 applies to: the
 /// sans-I/O protocol modules — the machine facade, the shard/router
-/// runtime it wraps, and the deterministic simnet built on them.
-const SANS_IO_SCOPES: [&str; 4] = [
+/// runtime it wraps, the deterministic simnet built on them, and the
+/// scenario generators that feed the simnet its workloads.
+const SANS_IO_SCOPES: [&str; 5] = [
     "crates/proxy/src/machine.rs",
     "crates/proxy/src/simnet.rs",
     "crates/proxy/src/shard.rs",
     "crates/proxy/src/router.rs",
+    "crates/trace/src/scenario.rs",
 ];
 /// Transport/clock tokens rule 6 forbids in those files.
 const SANS_IO_TOKENS: [&str; 3] = ["std::net", "Instant::now", "thread::sleep"];

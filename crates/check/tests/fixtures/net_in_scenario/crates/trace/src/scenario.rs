@@ -1,0 +1,21 @@
+//! Seeded violations: each banned token once in runtime code, plus one
+//! of each inside `#[cfg(test)]` that must NOT be flagged.
+
+use std::net::UdpSocket; // line 4: [sans_io] std::net
+
+pub fn flash_crowd() {
+    let _t = std::time::Instant::now(); // line 7: [sans_io] Instant::now
+    std::thread::sleep(std::time::Duration::from_millis(1)); // line 8: [sans_io] thread::sleep
+    let _s: Option<UdpSocket> = None;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        // Test code may reference std::net, Instant::now, thread::sleep.
+        let _ = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(0));
+        let _b = std::net::UdpSocket::bind("127.0.0.1:0");
+    }
+}

@@ -184,6 +184,33 @@ fn net_in_machine_flagged_tests_exempt() {
 }
 
 #[test]
+fn net_in_scenario_flagged_tests_exempt() {
+    let out = run_gate(&fixture("net_in_scenario"));
+    assert!(
+        !out.status.success(),
+        "transport/clock use in the scenario generators must fail the gate"
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("scenario.rs:4: [sans_io]") && text.contains("std::net"),
+        "std::net import flagged:\n{text}"
+    );
+    assert!(
+        text.contains("scenario.rs:7: [sans_io]") && text.contains("Instant::now"),
+        "wall-clock read flagged:\n{text}"
+    );
+    assert!(
+        text.contains("scenario.rs:8: [sans_io]") && text.contains("thread::sleep"),
+        "sleep flagged:\n{text}"
+    );
+    assert_eq!(
+        text.matches("[sans_io]").count(),
+        3,
+        "the cfg(test) uses are exempt:\n{text}"
+    );
+}
+
+#[test]
 fn md5_in_probe_flagged_tests_exempt() {
     let out = run_gate(&fixture("md5_in_probe"));
     assert!(

@@ -35,14 +35,28 @@
 //! * a detected seq gap produces *exactly one* DIRREQ, unless a DIRREQ
 //!   to that publisher is still inside [`RESYNC_BACKOFF`], in which case
 //!   it produces none.
+//!
+//! The same harness doubles as the **scenario driver**: build with
+//! [`Sim::with_scenario`] (or call [`run_scenario`] / [`run_named`]) to
+//! replay a composable, seeded [`sc_trace::scenario::Scenario`] —
+//! client requests, scripted crashes, evict-everywhere storms — on top
+//! of the random fault plan, and get back a [`ScenarioReport`]: the
+//! per-scenario "good ruler" (hit ratio over time windows, summary
+//! staleness, false-hit rate, per-opcode message distribution, tail
+//! latency in virtual time), projected from an sc-obs snapshot.
 
 use crate::machine::{
     Dest, DirectoryView, Effect, Event, Output, SendKind, VirtualTime, RESYNC_BACKOFF,
 };
 use crate::router::{DirectoryInspect, Router};
 use sc_bloom::UrlKey;
+use sc_obs::Registry;
+use sc_trace::model::render_url;
+use sc_trace::scenario::{Scenario, ScenarioKind};
 use sc_util::Rng;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::rc::Rc;
 use summary_cache_core::{ProxySummary, SummaryKind, UpdatePolicy};
 
 /// Knobs for one simulation run. The defaults describe an aggressive
@@ -203,6 +217,14 @@ enum SimEvent {
     PartitionStart { sides: Vec<bool> },
     /// The partition heals.
     PartitionHeal,
+    /// A scenario client of `node` requests `url` (scenario runs only).
+    Request { node: usize, url: String },
+    /// `url` is evicted from every cache that holds it while the
+    /// summaries keep advertising it — the false-hit-storm trigger
+    /// (scenario runs only).
+    PurgeEverywhere { url: String },
+    /// End-of-window staleness sample point (scenario runs only).
+    WindowMark { idx: usize },
 }
 
 struct QueueEntry {
@@ -285,6 +307,29 @@ pub struct Sim {
     update_bytes_sent: u64,
     other_bytes_sent: u64,
     update_datagrams_sent: u64,
+    /// Scenario bookkeeping; `None` for plain fault-plan runs.
+    scn: Option<ScnState>,
+}
+
+/// Per-run scenario state: the sc-obs registry every request outcome,
+/// window sample, and opcode count is recorded into, plus the latency
+/// model's knobs and the storm probe set.
+struct ScnState {
+    /// All scenario metrics live here; the report is rendered from its
+    /// snapshot after settle.
+    reg: Rc<Registry>,
+    /// Width of one report window in virtual microseconds.
+    window_us: u64,
+    /// Number of report windows over the scenario horizon.
+    windows: usize,
+    /// Virtual round-trip to the origin server, charged on every miss
+    /// and false hit.
+    origin_rtt_us: u64,
+    /// Virtual local service time, charged on every served request.
+    local_service_us: u64,
+    /// URLs hit by [`SimEvent::PurgeEverywhere`] — the set the
+    /// after-settle staleness probe walks.
+    tracked_evicted: Vec<String>,
 }
 
 /// Deterministic per-incarnation generation number: what the daemon
@@ -337,6 +382,7 @@ impl Sim {
             update_bytes_sent: 0,
             other_bytes_sent: 0,
             update_datagrams_sent: 0,
+            scn: None,
             cfg,
         };
         let horizon = sim.cfg.horizon_ms * 1_000;
@@ -512,43 +558,7 @@ impl Sim {
                 }
                 let url = format!("http://server-{node}.sim.invalid/doc/{}", self.next_doc);
                 self.next_doc += 1;
-                let cap = self.cfg.cache_docs;
-                let n = &mut self.nodes[node];
-                n.docs.push_back(url.clone());
-                n.dir.insert(url.clone());
-                let mut evicted = Vec::new();
-                while n.docs.len() > cap {
-                    if let Some(victim) = n.docs.pop_front() {
-                        n.dir.remove(&victim);
-                        evicted.push(victim);
-                    }
-                }
-                self.journal.push(format!(
-                    "{}us n{node} insert {url} (evicting {})",
-                    self.now,
-                    evicted.len()
-                ));
-                let now = VirtualTime::from_micros(self.now);
-                // The simulated client digests each URL once, like the
-                // daemon's request path.
-                let key = UrlKey::new(url.as_bytes());
-                let victim_keys: Vec<UrlKey> =
-                    evicted.iter().map(|v| UrlKey::new(v.as_bytes())).collect();
-                let n = &mut self.nodes[node];
-                let stored = n.router.handle(
-                    now,
-                    Event::Stored {
-                        url: &key,
-                        evicted: &victim_keys,
-                    },
-                    &SetView(&n.dir),
-                );
-                self.dispatch(node, None, stored);
-                let n = &mut self.nodes[node];
-                let published = n
-                    .router
-                    .handle(now, Event::RequestDone, &SetView(&n.dir));
-                self.dispatch(node, None, published);
+                self.store_doc(node, url, "insert");
             }
             SimEvent::Crash { node } => {
                 self.journal.push(format!("{}us n{node} CRASH", self.now));
@@ -583,6 +593,211 @@ impl Sim {
                 self.journal.push(format!("{}us HEAL", self.now));
                 self.partition = None;
             }
+            SimEvent::Request { node, url } => self.serve_request(node, url),
+            SimEvent::PurgeEverywhere { url } => self.purge_everywhere(url),
+            SimEvent::WindowMark { idx } => self.sample_window(idx),
+        }
+    }
+
+    /// Store `url` in `node`'s model cache (FIFO eviction at
+    /// `cache_docs`) and drive the router through Stored +
+    /// RequestDone, publishing the summary flips.
+    fn store_doc(&mut self, node: usize, url: String, verb: &str) {
+        let cap = self.cfg.cache_docs;
+        let n = &mut self.nodes[node];
+        n.docs.push_back(url.clone());
+        n.dir.insert(url.clone());
+        let mut evicted = Vec::new();
+        while n.docs.len() > cap {
+            if let Some(victim) = n.docs.pop_front() {
+                n.dir.remove(&victim);
+                evicted.push(victim);
+            }
+        }
+        self.journal.push(format!(
+            "{}us n{node} {verb} {url} (evicting {})",
+            self.now,
+            evicted.len()
+        ));
+        let now = VirtualTime::from_micros(self.now);
+        // The simulated client digests each URL once, like the
+        // daemon's request path.
+        let key = UrlKey::new(url.as_bytes());
+        let victim_keys: Vec<UrlKey> =
+            evicted.iter().map(|v| UrlKey::new(v.as_bytes())).collect();
+        let n = &mut self.nodes[node];
+        let stored = n.router.handle(
+            now,
+            Event::Stored {
+                url: &key,
+                evicted: &victim_keys,
+            },
+            &SetView(&n.dir),
+        );
+        self.dispatch(node, None, stored);
+        let n = &mut self.nodes[node];
+        let published = n
+            .router
+            .handle(now, Event::RequestDone, &SetView(&n.dir));
+        self.dispatch(node, None, published);
+    }
+
+    /// Serve one scenario client request at `node`: local directory
+    /// hit, else probe the installed peer replicas
+    /// ([`Router::candidates`]), else fetch from the origin. Remote and
+    /// origin fetches both store the document locally (the paper's §II
+    /// sharing model), publishing the new summary bit. Latency is
+    /// virtual: local service time, plus one query RTT whenever peers
+    /// are probed, plus either a peer-fetch RTT or the origin RTT.
+    fn serve_request(&mut self, node: usize, url: String) {
+        let Some(scn) = &self.scn else { return };
+        let reg = Rc::clone(&scn.reg);
+        let origin_rtt = scn.origin_rtt_us;
+        let mut latency = scn.local_service_us;
+        let win = self.window_label();
+        let w = [("window", win.as_str())];
+        let latency_hist = reg.histogram("scn_request_latency_us");
+        reg.counter("scn_requests_total").incr();
+        reg.counter_with("scn_window_requests_total", &w).incr();
+        if !self.nodes[node].up {
+            reg.counter("scn_unserved_total").incr();
+            self.journal
+                .push(format!("{}us n{node} req {url} unserved (down)", self.now));
+            return;
+        }
+        if self.nodes[node].dir.contains(&url) {
+            reg.counter("scn_local_hits_total").incr();
+            reg.counter_with("scn_window_local_hits_total", &w).incr();
+            latency_hist.record(latency);
+            self.journal
+                .push(format!("{}us n{node} req {url} local-hit {latency}us", self.now));
+            return;
+        }
+        let candidates = self.nodes[node].router.candidates(url.as_bytes());
+        let mut outcome = "miss";
+        if !candidates.is_empty() {
+            // One parallel ICP-style round to every advertising peer.
+            reg.counter("scn_queries_sent_total")
+                .add(candidates.len() as u64);
+            latency += self.rtt();
+            let holders = candidates
+                .iter()
+                .filter(|&&c| {
+                    let c = c as usize;
+                    self.nodes[c].up && self.nodes[c].dir.contains(&url)
+                })
+                .count();
+            reg.counter("scn_wasted_queries_total")
+                .add((candidates.len() - holders) as u64);
+            if holders > 0 {
+                reg.counter("scn_remote_hits_total").incr();
+                reg.counter_with("scn_window_remote_hits_total", &w).incr();
+                latency += self.rtt();
+                outcome = "remote-hit";
+            } else {
+                // Every advertising replica lied: the paper's false hit.
+                reg.counter("scn_false_hits_total").incr();
+                reg.counter_with("scn_window_false_hits_total", &w).incr();
+                outcome = "false-hit";
+            }
+        }
+        if outcome != "remote-hit" {
+            reg.counter("scn_origin_fetches_total").incr();
+            latency += origin_rtt;
+        }
+        latency_hist.record(latency);
+        self.journal
+            .push(format!("{}us n{node} req {url} {outcome} {latency}us", self.now));
+        self.store_doc(node, url, "fill");
+    }
+
+    /// Evict `url` from every live cache that holds it, in node order.
+    /// Each holder's summary keeps advertising the document until its
+    /// removal delta lands at the peers — exactly the false-hit window
+    /// the storm scenario measures.
+    fn purge_everywhere(&mut self, url: String) {
+        let key = UrlKey::new(url.as_bytes());
+        let mut holders = 0u64;
+        self.journal.push(format!("{}us purge {url}", self.now));
+        for node in 0..self.nodes.len() {
+            if !self.nodes[node].up || !self.nodes[node].dir.contains(&url) {
+                continue;
+            }
+            holders += 1;
+            let now = VirtualTime::from_micros(self.now);
+            let n = &mut self.nodes[node];
+            n.dir.remove(&url);
+            n.docs.retain(|d| d != &url);
+            let purged = n
+                .router
+                .handle(now, Event::Purged { url: &key }, &SetView(&n.dir));
+            self.dispatch(node, None, purged);
+            let n = &mut self.nodes[node];
+            let published = n
+                .router
+                .handle(now, Event::RequestDone, &SetView(&n.dir));
+            self.dispatch(node, None, published);
+        }
+        if let Some(scn) = &mut self.scn {
+            scn.reg.counter("scn_evictions_total").add(holders);
+            if !scn.tracked_evicted.contains(&url) {
+                scn.tracked_evicted.push(url);
+            }
+        }
+    }
+
+    /// End-of-window staleness sample: how many live (observer,
+    /// publisher) pairs currently disagree with the publisher's filter
+    /// bit-for-bit. Recorded as per-window gauges.
+    fn sample_window(&mut self, idx: usize) {
+        let Some(scn) = &self.scn else { return };
+        let reg = Rc::clone(&scn.reg);
+        let mut stale = 0u64;
+        let mut live = 0u64;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].up {
+                continue;
+            }
+            for j in 0..self.nodes.len() {
+                if i == j || !self.nodes[j].up {
+                    continue;
+                }
+                live += 1;
+                if self.nodes[i].router.replica_bits(j as u32)
+                    != self.nodes[j].router.published_bits()
+                {
+                    stale += 1;
+                }
+            }
+        }
+        let w = idx.to_string();
+        let l = [("window", w.as_str())];
+        reg.gauge_with("scn_window_stale_pairs", &l).set(stale as f64);
+        reg.gauge_with("scn_window_live_pairs", &l).set(live as f64);
+        self.journal.push(format!(
+            "{}us window w{idx}: {stale}/{live} replica pairs stale",
+            self.now
+        ));
+    }
+
+    /// Label of the report window containing the current virtual time;
+    /// requests after the last mark fold into the final window.
+    fn window_label(&self) -> String {
+        match &self.scn {
+            Some(s) => ((self.now / s.window_us).min(s.windows as u64 - 1)).to_string(),
+            None => String::from("0"),
+        }
+    }
+
+    /// One request round-trip on the virtual wire: two one-way delays,
+    /// drawn exactly like [`Sim::transmit`] draws them — random inside
+    /// the fault window, the floor `delay_us.0` outside it.
+    fn rtt(&mut self) -> u64 {
+        let (lo, hi) = self.cfg.delay_us;
+        if self.faults {
+            self.rng.gen_range(lo..hi) + self.rng.gen_range(lo..hi)
+        } else {
+            2 * lo
         }
     }
 
@@ -626,6 +841,11 @@ impl Sim {
                     if let SendKind::Resync { peer, .. } = send.kind {
                         self.last_dirreq[node][peer as usize] = Some(self.now);
                         self.resyncs_requested += 1;
+                    }
+                    if let Some(scn) = &self.scn {
+                        scn.reg
+                            .counter_with("scn_datagrams_total", &[("op", op_name(&send.kind))])
+                            .incr();
                     }
                     if send.kind.is_update() {
                         self.update_bytes_sent += bytes.len() as u64;
@@ -766,6 +986,439 @@ pub fn run_seed(seed: u64) -> SimReport {
     Sim::new(SimConfig::default(), seed).run()
 }
 
+/// The fault-plan datagram opcode label a [`SendKind`] is counted
+/// under in the per-scenario message distribution.
+fn op_name(kind: &SendKind) -> &'static str {
+    match kind {
+        SendKind::QueryReply => "query-reply",
+        SendKind::Keepalive => "keepalive",
+        SendKind::UpdateDelta => "update-delta",
+        SendKind::UpdateFull => "update-full",
+        SendKind::Resync { .. } => "dirreq",
+    }
+}
+
+/// Fixed opcode order of [`ScenarioReport::datagrams_by_op`] — pinned
+/// so regression tests can index rows positionally.
+pub const SCENARIO_OPS: [&str; 5] = [
+    "update-delta",
+    "update-full",
+    "keepalive",
+    "query-reply",
+    "dirreq",
+];
+
+/// Knobs for one scenario run: the underlying fault-plan config plus
+/// the good-ruler report's window count and virtual latency model.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The fault-plan / cluster knobs. `proxies` is overwritten by the
+    /// scenario's node count; `local_ops` defaults to 0 here because
+    /// the scenario, not the fault plan, defines the workload.
+    pub sim: SimConfig,
+    /// Report windows over the scenario horizon (hit ratio and
+    /// staleness are sampled per window).
+    pub windows: usize,
+    /// Virtual round-trip to the origin server (microseconds), charged
+    /// on every miss and false hit.
+    pub origin_rtt_us: u64,
+    /// Virtual local service time (microseconds), charged on every
+    /// served request.
+    pub local_service_us: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            sim: SimConfig {
+                local_ops: 0,
+                ..SimConfig::default()
+            },
+            windows: 8,
+            origin_rtt_us: 120_000,
+            local_service_us: 200,
+        }
+    }
+}
+
+impl Sim {
+    /// Build a simulation that replays `scenario` on top of the seeded
+    /// fault plan: scenario requests, crashes/restarts, and
+    /// evict-everywhere storms are scheduled at their virtual
+    /// timestamps alongside the random loss/dup/reorder/partition
+    /// plan, and every request outcome is recorded into a fresh sc-obs
+    /// registry for the good-ruler report.
+    pub fn with_scenario(cfg: ScenarioConfig, seed: u64, scenario: &Scenario) -> Sim {
+        assert!(cfg.windows > 0, "a report needs at least one window");
+        let mut sim_cfg = cfg.sim;
+        sim_cfg.proxies = scenario.nodes as usize;
+        sim_cfg.crashes = sim_cfg.crashes.min(sim_cfg.proxies - 1);
+        sim_cfg.horizon_ms = sim_cfg.horizon_ms.max(scenario.horizon_us.div_ceil(1_000));
+        let mut sim = Sim::new(sim_cfg, seed);
+        for ev in &scenario.events {
+            let se = match &ev.kind {
+                ScenarioKind::Request { node, url, server } => SimEvent::Request {
+                    node: *node as usize,
+                    url: render_url(*server, *url),
+                },
+                ScenarioKind::Crash { node } => SimEvent::Crash {
+                    node: *node as usize,
+                },
+                ScenarioKind::Restart { node } => SimEvent::Restart {
+                    node: *node as usize,
+                },
+                ScenarioKind::EvictEverywhere { url, server } => SimEvent::PurgeEverywhere {
+                    url: render_url(*server, *url),
+                },
+            };
+            sim.schedule(ev.at_us, se);
+        }
+        let window_us = (scenario.horizon_us / cfg.windows as u64).max(1);
+        for idx in 0..cfg.windows {
+            let at = ((idx as u64 + 1) * window_us).min(scenario.horizon_us);
+            sim.schedule(at, SimEvent::WindowMark { idx });
+        }
+        sim.scn = Some(ScnState {
+            reg: Rc::new(Registry::new()),
+            window_us,
+            windows: cfg.windows,
+            origin_rtt_us: cfg.origin_rtt_us,
+            local_service_us: cfg.local_service_us,
+            tracked_evicted: Vec::new(),
+        });
+        sim
+    }
+}
+
+/// Count (observer, evicted-url) advertisement pairs where a live
+/// observer's installed replica of a live peer still advertises `url`
+/// even though that peer no longer caches it — the residue a
+/// false-hit storm leaves until the removal deltas propagate. Bloom
+/// false positives can inflate this; run quiescence probes at a
+/// generous load factor (16 keeps the pinned tests FP-free).
+pub fn stale_advertised_pairs(
+    routers: &[Router],
+    dirs: &[HashSet<String>],
+    up: &[bool],
+    url: &str,
+) -> u64 {
+    let mut stale = 0;
+    for (i, r) in routers.iter().enumerate() {
+        if !up[i] {
+            continue;
+        }
+        for peer in r.candidates(url.as_bytes()) {
+            let j = peer as usize;
+            if up[j] && !dirs[j].contains(url) {
+                stale += 1;
+            }
+        }
+    }
+    stale
+}
+
+/// Per-window slice of the good-ruler report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Window index (0-based over the scenario horizon).
+    pub idx: usize,
+    /// Requests issued inside the window (including unserved ones).
+    pub requests: u64,
+    /// Local-cache hits inside the window.
+    pub local_hits: u64,
+    /// Remote (peer) hits inside the window.
+    pub remote_hits: u64,
+    /// False hits (every advertising replica lied) inside the window.
+    pub false_hits: u64,
+    /// Live replica pairs diverging from the publisher at window end.
+    pub stale_pairs: u64,
+    /// Live replica pairs sampled at window end.
+    pub live_pairs: u64,
+}
+
+/// The per-scenario "good ruler" report: every dimension the ICN ruler
+/// paper says a cache-network evaluation must publish — hit ratio over
+/// time windows, summary staleness, false-hit rate, per-opcode message
+/// distribution, and virtual-time tail latency — rendered from one
+/// sc-obs snapshot plus the underlying [`SimReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name (e.g. `flash-crowd`).
+    pub name: String,
+    /// The seed the run was built from.
+    pub seed: u64,
+    /// Cluster size.
+    pub proxies: usize,
+    /// Did the cluster reconverge bit-for-bit after settle?
+    pub converged: bool,
+    /// Settle keep-alive windows consumed (`None` = budget ran out).
+    pub settle_steps: Option<usize>,
+    /// Total scenario requests issued.
+    pub requests: u64,
+    /// Requests that arrived while their proxy was down.
+    pub unserved: u64,
+    /// Requests answered from the local cache.
+    pub local_hits: u64,
+    /// Requests answered from a peer cache.
+    pub remote_hits: u64,
+    /// Requests where every advertising replica lied (paper §II).
+    pub false_hits: u64,
+    /// Requests that went to the origin (misses + false hits).
+    pub origin_fetches: u64,
+    /// ICP-style queries sent to advertising peers.
+    pub queries_sent: u64,
+    /// Queries to peers that did not actually hold the document.
+    pub wasted_queries: u64,
+    /// Cache entries removed by evict-everywhere storms.
+    pub evictions: u64,
+    /// Advertisement pairs still claiming a storm-evicted URL after
+    /// settle (0 = the counting-Bloom deltas fully cleared).
+    pub stale_advertised_after_settle: u64,
+    /// Virtual request latency percentiles (bucket floors, µs).
+    pub latency_p50_us: u64,
+    /// 90th percentile virtual latency (µs).
+    pub latency_p90_us: u64,
+    /// 99th percentile virtual latency (µs).
+    pub latency_p99_us: u64,
+    /// Maximum-bucket virtual latency (µs).
+    pub latency_max_us: u64,
+    /// Datagram counts per opcode, in [`SCENARIO_OPS`] order.
+    pub datagrams_by_op: Vec<(String, u64)>,
+    /// Per-window hit/staleness slices.
+    pub windows: Vec<WindowStats>,
+    /// DIRUPDATE bytes on the wire (from the [`SimReport`]).
+    pub update_bytes_sent: u64,
+    /// Non-update bytes on the wire.
+    pub other_bytes_sent: u64,
+    /// Datagrams the fault plan dropped.
+    pub datagrams_dropped: u64,
+    /// DIRREQs sent.
+    pub resyncs_requested: u64,
+    /// Peer-failure declarations.
+    pub failures: u64,
+    /// Peer-recovery detections.
+    pub recoveries: u64,
+}
+
+impl ScenarioReport {
+    /// Project the report out of a scenario run's sc-obs snapshot and
+    /// its fault-plan report.
+    pub fn from_snapshot(
+        snap: &sc_obs::Snapshot,
+        sim: &SimReport,
+        name: &str,
+        proxies: usize,
+        windows: usize,
+    ) -> ScenarioReport {
+        let hist = snap.histogram_value("scn_request_latency_us");
+        let datagrams_by_op = SCENARIO_OPS
+            .iter()
+            .map(|&op| {
+                (
+                    op.to_string(),
+                    snap.counter_value_with("scn_datagrams_total", &[("op", op)]),
+                )
+            })
+            .collect();
+        let windows = (0..windows)
+            .map(|idx| {
+                let w = idx.to_string();
+                let l = [("window", w.as_str())];
+                WindowStats {
+                    idx,
+                    requests: snap.counter_value_with("scn_window_requests_total", &l),
+                    local_hits: snap.counter_value_with("scn_window_local_hits_total", &l),
+                    remote_hits: snap.counter_value_with("scn_window_remote_hits_total", &l),
+                    false_hits: snap.counter_value_with("scn_window_false_hits_total", &l),
+                    stale_pairs: snap
+                        .gauge_value_with("scn_window_stale_pairs", &l)
+                        .map(|v| v as u64)
+                        .unwrap_or(0),
+                    live_pairs: snap
+                        .gauge_value_with("scn_window_live_pairs", &l)
+                        .map(|v| v as u64)
+                        .unwrap_or(0),
+                }
+            })
+            .collect();
+        ScenarioReport {
+            name: name.to_string(),
+            seed: sim.seed,
+            proxies,
+            converged: sim.converged,
+            settle_steps: sim.settle_steps,
+            requests: snap.counter_value("scn_requests_total"),
+            unserved: snap.counter_value("scn_unserved_total"),
+            local_hits: snap.counter_value("scn_local_hits_total"),
+            remote_hits: snap.counter_value("scn_remote_hits_total"),
+            false_hits: snap.counter_value("scn_false_hits_total"),
+            origin_fetches: snap.counter_value("scn_origin_fetches_total"),
+            queries_sent: snap.counter_value("scn_queries_sent_total"),
+            wasted_queries: snap.counter_value("scn_wasted_queries_total"),
+            evictions: snap.counter_value("scn_evictions_total"),
+            stale_advertised_after_settle: snap
+                .counter_value("scn_stale_advertised_after_settle"),
+            latency_p50_us: hist.percentile(0.50),
+            latency_p90_us: hist.percentile(0.90),
+            latency_p99_us: hist.percentile(0.99),
+            latency_max_us: hist.percentile(1.0),
+            datagrams_by_op,
+            windows,
+            update_bytes_sent: sim.update_bytes_sent,
+            other_bytes_sent: sim.other_bytes_sent,
+            datagrams_dropped: sim.datagrams_dropped,
+            resyncs_requested: sim.resyncs_requested,
+            failures: sim.failures,
+            recoveries: sim.recoveries,
+        }
+    }
+
+    /// Served-hit ratio: (local + remote) over all requests.
+    pub fn hit_ratio(&self) -> f64 {
+        (self.local_hits + self.remote_hits) as f64 / self.requests.max(1) as f64
+    }
+
+    /// False hits over all requests (the paper reports this per total
+    /// requests, Table V).
+    pub fn false_hit_ratio(&self) -> f64 {
+        self.false_hits as f64 / self.requests.max(1) as f64
+    }
+
+    /// Wasted queries over all queries sent.
+    pub fn wasted_query_ratio(&self) -> f64 {
+        self.wasted_queries as f64 / self.queries_sent.max(1) as f64
+    }
+
+    /// One-line reproduction command for a failing seeded run.
+    pub fn repro(&self) -> String {
+        format!(
+            "SC_SIM_SEED={:#x} SC_SIM_PEERS={} cargo test --test scenario_properties -- --nocapture",
+            self.seed, self.proxies
+        )
+    }
+
+    /// Render the human-readable good-ruler table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== scenario {} · seed {:#x} · {} proxies · {} ==",
+            self.name,
+            self.seed,
+            self.proxies,
+            if self.converged {
+                "converged"
+            } else {
+                "DID NOT CONVERGE"
+            }
+        );
+        let _ = writeln!(
+            out,
+            "requests {} (unserved {})  hit {:.1}% (local {} remote {})  false-hit {:.2}%  origin {}",
+            self.requests,
+            self.unserved,
+            100.0 * self.hit_ratio(),
+            self.local_hits,
+            self.remote_hits,
+            100.0 * self.false_hit_ratio(),
+            self.origin_fetches
+        );
+        let _ = writeln!(
+            out,
+            "queries {} (wasted {})  latency p50/p90/p99/max {}/{}/{}/{} us",
+            self.queries_sent,
+            self.wasted_queries,
+            self.latency_p50_us,
+            self.latency_p90_us,
+            self.latency_p99_us,
+            self.latency_max_us
+        );
+        let ops: Vec<String> = self
+            .datagrams_by_op
+            .iter()
+            .map(|(op, n)| format!("{op} {n}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "datagrams: {}; dropped {}  update-bytes {}  resyncs {}  stale-after-settle {}",
+            ops.join(", "),
+            self.datagrams_dropped,
+            self.update_bytes_sent,
+            self.resyncs_requested,
+            self.stale_advertised_after_settle
+        );
+        let _ = writeln!(out, "window  reqs  local  remote  false  stale/live");
+        for w in &self.windows {
+            let _ = writeln!(
+                out,
+                "  w{:<4} {:>5} {:>6} {:>7} {:>6}  {}/{}",
+                w.idx, w.requests, w.local_hits, w.remote_hits, w.false_hits, w.stale_pairs, w.live_pairs
+            );
+        }
+        out
+    }
+}
+
+/// Everything a scenario run hands back: the good-ruler report, the
+/// underlying fault-plan report (journal, convergence, byte counts),
+/// and the final cluster state for post-run probes.
+pub struct ScenarioOutcome {
+    /// The rendered-from-snapshot good-ruler report.
+    pub report: ScenarioReport,
+    /// The underlying fault-plan report.
+    pub sim: SimReport,
+    /// Each node's router, for replica probes.
+    pub routers: Vec<Router>,
+    /// Each node's final cache directory.
+    pub dirs: Vec<HashSet<String>>,
+    /// Each node's final liveness.
+    pub up: Vec<bool>,
+}
+
+/// Run `scenario` against a simulated cluster: replay the scenario on
+/// top of the seeded fault plan, settle, probe every storm-evicted URL
+/// for stale advertisements, and project the good-ruler report from
+/// the run's sc-obs snapshot.
+pub fn run_scenario(cfg: ScenarioConfig, seed: u64, scenario: &Scenario) -> ScenarioOutcome {
+    let mut sim = Sim::with_scenario(cfg, seed, scenario);
+    let sim_report = sim.run_inner();
+    let Some(scn) = sim.scn.take() else {
+        unreachable!("with_scenario always installs scenario state");
+    };
+    let up: Vec<bool> = sim.nodes.iter().map(|n| n.up).collect();
+    let nodes = std::mem::take(&mut sim.nodes);
+    let (routers, dirs): (Vec<Router>, Vec<HashSet<String>>) =
+        nodes.into_iter().map(|n| (n.router, n.dir)).unzip();
+    let mut stale = 0;
+    for url in &scn.tracked_evicted {
+        stale += stale_advertised_pairs(&routers, &dirs, &up, url);
+    }
+    scn.reg
+        .counter("scn_stale_advertised_after_settle")
+        .add(stale);
+    let snap = scn.reg.snapshot();
+    let report =
+        ScenarioReport::from_snapshot(&snap, &sim_report, &scenario.name, routers.len(), scn.windows);
+    ScenarioOutcome {
+        report,
+        sim: sim_report,
+        routers,
+        dirs,
+        up,
+    }
+}
+
+/// Build and run the named canned scenario (see
+/// [`sc_trace::scenario::scenario_names`]) at the default config —
+/// `SC_SIM_PEERS` proxies, default fault plan. `None` for an unknown
+/// name.
+pub fn run_named(name: &str, seed: u64) -> Option<ScenarioOutcome> {
+    let cfg = ScenarioConfig::default();
+    let nodes = cfg.sim.proxies as u32;
+    let scenario = sc_trace::scenario::by_name(name, nodes, seed)?;
+    Some(run_scenario(cfg, seed, &scenario))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,6 +1521,78 @@ mod tests {
         );
         assert!(report.datagrams_dropped > 0, "loss exercised the boundary");
         assert!(report.gaps_seen > 0, "dropped updates detected across the wrap");
+    }
+
+    /// A quiet (fault-free) scenario config: the scenario's own events
+    /// are the only perturbation, and load factor 16 keeps the pinned
+    /// staleness probes free of Bloom false positives.
+    fn quiet_scn_cfg() -> ScenarioConfig {
+        ScenarioConfig {
+            sim: SimConfig {
+                loss: 0.0,
+                duplicate: 0.0,
+                crashes: 0,
+                partitions: 0,
+                delay_us: (200, 2_000),
+                local_ops: 0,
+                load_factor: 16,
+                cache_docs: 512,
+                ..SimConfig::default()
+            },
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let scenario = sc_trace::scenario::flash_crowd(4, 0xF1A5);
+        let a = run_scenario(quiet_scn_cfg(), 0xF1A5, &scenario);
+        let b = run_scenario(quiet_scn_cfg(), 0xF1A5, &scenario);
+        assert_eq!(a.sim.journal, b.sim.journal, "journals must be bit-identical");
+        assert_eq!(a.report, b.report, "reports must be bit-identical");
+        assert!(a.report.requests > 0);
+    }
+
+    #[test]
+    fn false_hit_storm_produces_false_hits_then_quiesces_clean() {
+        let scenario = sc_trace::scenario::false_hit_storm(4, 3);
+        let out = run_scenario(quiet_scn_cfg(), 3, &scenario);
+        assert!(out.report.converged, "quiet storm must settle: {}", out.report.render());
+        assert!(out.report.evictions > 0, "the storm evicted nothing:\n{}", out.report.render());
+        assert!(
+            out.report.false_hits > 0,
+            "evict-everywhere must produce false hits:\n{}",
+            out.report.render()
+        );
+        assert_eq!(
+            out.report.stale_advertised_after_settle, 0,
+            "stale advertisements survived settle:\n{}",
+            out.report.render()
+        );
+    }
+
+    #[test]
+    fn windows_account_for_every_request() {
+        let scenario = sc_trace::scenario::diurnal_drift(4, 77);
+        let out = run_scenario(quiet_scn_cfg(), 77, &scenario);
+        let r = &out.report;
+        assert_eq!(r.requests, scenario.requests(), "every scheduled request counted");
+        let by_window: u64 = r.windows.iter().map(|w| w.requests).sum();
+        assert_eq!(by_window, r.requests, "window slices must partition the run");
+        let local: u64 = r.windows.iter().map(|w| w.local_hits).sum();
+        assert_eq!(local, r.local_hits);
+        let remote: u64 = r.windows.iter().map(|w| w.remote_hits).sum();
+        assert_eq!(remote, r.remote_hits);
+        let false_hits: u64 = r.windows.iter().map(|w| w.false_hits).sum();
+        assert_eq!(false_hits, r.false_hits);
+        // Accounting identity: every served request resolves exactly once.
+        assert_eq!(
+            r.local_hits + r.remote_hits + r.origin_fetches + r.unserved,
+            r.requests,
+            "request outcomes must partition:\n{}",
+            r.render()
+        );
+        assert!(r.latency_max_us >= r.latency_p50_us);
     }
 
     /// Staggered fan-out is behavior-preserving: any slot count

@@ -61,6 +61,54 @@ impl HierarchyResult {
     pub fn parent_load(&self) -> f64 {
         self.parent_requests as f64 / self.requests.max(1) as f64
     }
+
+    /// Hit ratio *of the parent cache itself*, over the requests that
+    /// reached it. This is where the filter effect shows: sibling
+    /// sharing strips the popular tail before the parent sees it, so
+    /// the parent serves a flattened, hard-to-cache stream.
+    pub fn parent_hit_ratio(&self) -> f64 {
+        self.parent_hits as f64 / self.parent_requests.max(1) as f64
+    }
+}
+
+/// Run `trace` through the hierarchy under each sibling-sharing scheme
+/// — none, Bloom (the paper's recommended lf 8 / 4 hashes), exact
+/// directory, and server name — and hand back the labeled results.
+/// This is the filter-effect sweep: compare [`HierarchyResult::parent_hit_ratio`]
+/// across rows to see how much each sharing scheme starves the parent.
+pub fn filter_effect(
+    trace: &Trace,
+    child_tier_bytes: u64,
+    parent_bytes: u64,
+) -> Vec<(String, HierarchyResult)> {
+    use summary_cache_core::{SummaryKind, UpdatePolicy};
+    let schemes: [(&str, Option<SummaryKind>); 4] = [
+        ("no-sharing", None),
+        (
+            "bloom",
+            Some(SummaryKind::Bloom {
+                load_factor: 8,
+                hashes: 4,
+            }),
+        ),
+        ("exact-directory", Some(SummaryKind::ExactDirectory)),
+        ("server-name", Some(SummaryKind::ServerName)),
+    ];
+    schemes
+        .into_iter()
+        .map(|(label, kind)| {
+            let cfg = HierarchyConfig {
+                sibling_sharing: kind.map(|kind| SummaryCacheConfig {
+                    kind,
+                    policy: UpdatePolicy::EveryRequests(50),
+                    multicast_updates: false,
+                }),
+                child_tier_bytes,
+                parent_bytes,
+            };
+            (label.to_string(), simulate_hierarchy(trace, &cfg))
+        })
+        .collect()
 }
 
 /// Run the hierarchy over a trace.
@@ -241,5 +289,116 @@ mod tests {
         let r = run(false);
         assert_eq!(r.sibling_queries, 0);
         assert_eq!(r.update_messages, 0);
+    }
+
+    fn cfg_plain(child_tier_bytes: u64, parent_bytes: u64) -> HierarchyConfig {
+        HierarchyConfig {
+            sibling_sharing: None,
+            child_tier_bytes,
+            parent_bytes,
+        }
+    }
+
+    fn one_doc_trace(clients: u32, repeats_per_client: u32) -> sc_trace::Trace {
+        let mut requests = Vec::new();
+        for rep in 0..repeats_per_client {
+            for client in 0..clients {
+                requests.push(sc_trace::Request {
+                    time_ms: (rep * clients + client) as u64,
+                    client,
+                    url: 7,
+                    server: 1,
+                    size: 2048,
+                    last_modified: 0,
+                });
+            }
+        }
+        sc_trace::Trace {
+            name: "one-doc".into(),
+            groups: clients,
+            requests,
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_zero_ratios_not_nan() {
+        let trace = sc_trace::Trace {
+            name: "empty".into(),
+            groups: 3,
+            requests: Vec::new(),
+        };
+        let r = simulate_hierarchy(&trace, &cfg_plain(1 << 20, 1 << 20));
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.hierarchy_hit_ratio(), 0.0);
+        assert_eq!(r.parent_load(), 0.0);
+        assert_eq!(r.parent_hit_ratio(), 0.0);
+    }
+
+    /// Children too small to hold even one document: every request
+    /// falls through, the first one fetches from the origin, and the
+    /// parent serves everything after that.
+    #[test]
+    fn parent_serves_everything_when_children_cannot_cache() {
+        let trace = one_doc_trace(4, 3);
+        // per-child = 0/4 -> clamped to 1 byte, doc is 2 KiB: unstorable.
+        let r = simulate_hierarchy(&trace, &cfg_plain(0, 1 << 20));
+        assert_eq!(r.child_hits, 0, "1-byte children cannot hit");
+        assert_eq!(r.sibling_hits, 0);
+        assert_eq!(r.parent_load(), 1.0, "every request reaches the parent");
+        assert_eq!(r.origin_fetches, 1, "only the cold fetch leaves the hierarchy");
+        assert_eq!(r.parent_hits, r.requests - 1);
+        assert_eq!(r.parent_hit_ratio(), (r.requests - 1) as f64 / r.requests as f64);
+    }
+
+    /// Zero capacity at *both* tiers must degrade to pure origin
+    /// fetching without panicking or corrupting the accounting.
+    #[test]
+    fn zero_capacity_everywhere_degrades_to_origin_only() {
+        let trace = one_doc_trace(2, 5);
+        let r = simulate_hierarchy(&trace, &cfg_plain(0, 0));
+        assert_eq!(r.requests, 10);
+        assert_eq!(r.origin_fetches, r.requests, "nothing can be cached anywhere");
+        assert_eq!(r.hierarchy_hit_ratio(), 0.0);
+        assert_eq!(r.parent_load(), 1.0);
+        assert_eq!(
+            r.child_hits + r.sibling_hits + r.parent_hits + r.origin_fetches,
+            r.requests
+        );
+    }
+
+    /// The filter-effect sweep over the canned two-level scenario:
+    /// every sharing scheme keeps the accounting identity, sharing rows
+    /// actually query siblings, and sibling sharing starves the parent
+    /// (lower parent load than the no-sharing baseline) — the effect
+    /// the selection-policy literature warns hierarchy evaluations
+    /// about.
+    #[test]
+    fn filter_effect_rows_are_consistent_and_starve_the_parent() {
+        let scenario = sc_trace::scenario::two_level_hierarchy(4, 0x2113);
+        let trace = scenario.to_trace();
+        let stats = TraceStats::compute(&trace).infinite_cache_bytes;
+        let rows = filter_effect(&trace, stats / 4, stats / 4);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].0, "no-sharing");
+        let baseline = &rows[0].1;
+        assert_eq!(baseline.sibling_queries, 0);
+        for (label, r) in &rows {
+            assert_eq!(
+                r.child_hits + r.sibling_hits + r.parent_hits + r.origin_fetches,
+                r.requests,
+                "{label}: accounting must add up"
+            );
+            assert_eq!(r.requests, trace.requests.len() as u64, "{label}");
+        }
+        for (label, r) in &rows[1..] {
+            assert!(r.sibling_queries > 0, "{label}: sharing must probe siblings");
+            assert!(r.sibling_hits > 0, "{label}: siblings must serve something");
+            assert!(
+                r.parent_load() < baseline.parent_load(),
+                "{label}: sharing must offload the parent ({} vs {})",
+                r.parent_load(),
+                baseline.parent_load()
+            );
+        }
     }
 }

@@ -24,6 +24,7 @@ pub mod model;
 pub mod partition;
 pub mod profiles;
 pub mod sampler;
+pub mod scenario;
 pub mod squid;
 pub mod stats;
 
@@ -31,4 +32,5 @@ pub use generator::{GeneratorConfig, TraceGenerator};
 pub use model::{Request, Trace, UrlId};
 pub use partition::{group_of_client, split_by_group};
 pub use profiles::{profile, profile_names, TraceProfile};
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioEvent, ScenarioKind};
 pub use stats::TraceStats;

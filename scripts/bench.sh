@@ -1,7 +1,8 @@
 #!/bin/sh
-# Tracked benchmark run: measure the hash-once probe pipeline and the
-# big-N scaleout curves, refreshing BENCH_hotpath.json and
-# BENCH_scaleout.json at the repo root.
+# Tracked benchmark run: measure the hash-once probe pipeline, the
+# big-N scaleout curves, and the adversarial scenario ruler, refreshing
+# BENCH_hotpath.json, BENCH_scaleout.json, and BENCH_scenarios.json at
+# the repo root.
 #
 #   scripts/bench.sh                 # default 200 ms window per case
 #   SC_BENCH_MS=1000 scripts/bench.sh  # longer window, steadier numbers
@@ -29,3 +30,11 @@ echo "==> scaleout bench (GR resync + big-N update curves)"
 SC_BENCH_JSON="$PWD/BENCH_scaleout.json" \
     cargo bench --offline -p sc-bench --bench scaleout
 echo "==> wrote $PWD/BENCH_scaleout.json"
+
+# One seeded run per canned adversarial scenario: wall-clock ns per
+# simulated request plus the deterministic ruler rows (hit ratio,
+# false-hit ratio, virtual p99). Also ignores SC_BENCH_MS.
+echo "==> scenario bench (five canned adversarial workloads)"
+SC_BENCH_JSON="$PWD/BENCH_scenarios.json" \
+    cargo bench --offline -p sc-bench --bench scenarios
+echo "==> wrote $PWD/BENCH_scenarios.json"

@@ -1,24 +1,42 @@
 #!/bin/sh
-# One-command local CI: build → test → gate → bench smoke.
+# One-command local CI: build → test → gate → scenario sweep → bench smoke.
 #
-#   scripts/ci.sh
+#   scripts/ci.sh           # 10-seed smokes (a few minutes)
+#   scripts/ci.sh --soak    # full 200-seed fault sweeps (tens of minutes)
 #
 # Chains the tier-1 verification (scripts/check.sh, which builds,
 # runs every test suite including sc-check's own, and then the gate)
 # with a big-N convergence smoke (the 200-seed soak narrowed to 10
-# seeds at 64 proxies, every fault class on) and a short benchmark
-# smoke run (SC_BENCH_MS=25 per case) that proves the hotpath and
-# scaleout bench harnesses still run end-to-end without paying the
-# full measurement budget. Everything is offline.
+# seeds at 64 proxies, every fault class on), the adversarial scenario
+# suite at the same scale (pinned ruler regressions plus the
+# false-hit-storm / peer-churn fault sweep), and a short benchmark
+# smoke run (SC_BENCH_MS=25 per case) that proves the hotpath,
+# scaleout, and scenario bench harnesses still run end-to-end without
+# paying the full measurement budget. Everything is offline.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+SWEEP_SEEDS="${SC_SIM_SEEDS:-10}"
+for arg in "$@"; do
+    case "$arg" in
+    --soak) SWEEP_SEEDS=200 ;;
+    *)
+        echo "usage: scripts/ci.sh [--soak]" >&2
+        exit 2
+        ;;
+    esac
+done
+
 scripts/check.sh
 
-echo "==> big-N smoke (SC_SIM_PEERS=64, ${SC_SIM_SEEDS:-10} seeds)"
-SC_SIM_PEERS=64 SC_SIM_SEEDS="${SC_SIM_SEEDS:-10}" \
+echo "==> big-N smoke (SC_SIM_PEERS=64, ${SWEEP_SEEDS} seeds)"
+SC_SIM_PEERS=64 SC_SIM_SEEDS="$SWEEP_SEEDS" \
     cargo test -q --offline --test simnet_properties seeded_soak
+
+echo "==> scenario suite (SC_SIM_PEERS=64, ${SWEEP_SEEDS}-seed fault sweep)"
+SC_SIM_PEERS=64 SC_SIM_SEEDS="$SWEEP_SEEDS" \
+    cargo test -q --offline --test scenario_properties
 
 echo "==> bench smoke (SC_BENCH_MS=${SC_BENCH_MS:-25})"
 SC_BENCH_MS="${SC_BENCH_MS:-25}" scripts/bench.sh
