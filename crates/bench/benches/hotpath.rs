@@ -9,11 +9,12 @@
 
 use sc_bloom::{BitVec, FilterConfig, Flip, HashSpec};
 use sc_json::Value;
-use sc_proxy::machine::VirtualTime;
+use sc_proxy::machine::{Event, VirtualTime};
+use sc_proxy::router::Router;
 use sc_proxy::shard::{owner_of, shard_of, Shard, ShardEvent};
 use sc_proxy::simnet::{Sim, SimConfig};
 use sc_util::bench::{black_box, Bench};
-use sc_wire::icp::{DirContent, DirUpdate};
+use sc_wire::icp::{DirContent, DirUpdate, IcpMessage};
 use summary_cache_core::{PeerTable, ProxySummary, SummaryKind, UrlKey};
 use std::time::Instant;
 
@@ -46,6 +47,31 @@ fn bench_md5(b: &mut Bench, results: &mut Vec<(String, Value)>) {
         black_box(sc_md5::md5(black_box(&key)));
     });
     results.push(("md5/url-digest".into(), Value::Float(ns)));
+}
+
+/// Four-URL batch digest: four scalar `md5` calls vs one interleaved
+/// `md5_x4` pass. The speedup row is what the ISSUE acceptance
+/// criterion tracks (≥2.5× on 4-URL batches).
+fn bench_md5_x4(b: &mut Bench, results: &mut Vec<(String, Value)>) {
+    let urls: Vec<Vec<u8>> = (0..4).map(|i| url(9_000 + i)).collect();
+    let x1 = b.bench_min("md5/x1-4urls", 5, || {
+        for u in &urls {
+            black_box(sc_md5::md5(black_box(u)));
+        }
+    });
+    results.push(("md5/x1-4urls".into(), Value::Float(x1)));
+    let x4 = b.bench_min("md5/x4-4urls", 5, || {
+        black_box(sc_md5::md5_x4([
+            black_box(&urls[0]),
+            black_box(&urls[1]),
+            black_box(&urls[2]),
+            black_box(&urls[3]),
+        ]));
+    });
+    results.push(("md5/x4-4urls".into(), Value::Float(x4)));
+    let speedup = x1 / x4;
+    println!("hotpath/md5/x4-vs-x1 speedup: {speedup:.2}x on 4-URL batches");
+    results.push(("md5/x4-vs-x1".into(), Value::Float(speedup)));
 }
 
 fn bench_indices(b: &mut Bench, results: &mut Vec<(String, Value)>) {
@@ -95,11 +121,133 @@ fn bench_probe_all(b: &mut Bench, results: &mut Vec<(String, Value)>) {
     }
 }
 
+/// Per-stage attribution of the request path: where the non-probe
+/// nanoseconds live. Each row isolates one stage against warm state —
+/// digest (key construction, fresh vs reused scratch key), probe
+/// (candidate selection over an 8-peer snapshot), shard-event (the
+/// router's Stored/Purged directory routing), delta-publish (a
+/// threshold-0 publish servicing every peer lane), and encode (one
+/// 320-flip DIRUPDATE datagram). The rows don't sum to
+/// `e2e/ns-per-request` — the simnet run adds scheduling and
+/// decode — but they rank the targets and pin each one's trajectory.
+fn bench_breakdown(b: &mut Bench, results: &mut Vec<(String, Value)>) {
+    struct NoDocs;
+    impl sc_proxy::machine::DirectoryView for NoDocs {
+        fn contains(&self, _url: &str) -> bool {
+            false
+        }
+    }
+
+    let probe_url = url(3_007);
+
+    // digest: what every request pays before it can probe anything.
+    let ns = b.bench("e2e/breakdown/digest-fresh", || {
+        black_box(UrlKey::new(black_box(&probe_url)));
+    });
+    results.push(("e2e/breakdown/digest-fresh".into(), Value::Float(ns)));
+
+    let mut scratch_key = UrlKey::new(&probe_url);
+    let mut flip = 0u32;
+    let ns = b.bench("e2e/breakdown/digest-reuse", || {
+        flip ^= 1;
+        let u = if flip == 0 { url(3_007) } else { url(3_008) };
+        scratch_key.reset(black_box(&u));
+        black_box(scratch_key.digest());
+    });
+    results.push(("e2e/breakdown/digest-reuse".into(), Value::Float(ns)));
+
+    // probe: candidate selection against a published 8-peer snapshot
+    // (the lock-free read path the daemon takes on every SC request).
+    let fcfg = FilterConfig { bits: 1 << 14, hashes: 4, function_bits: 32 };
+    let snapshot = sc_proxy::replica::ReplicaSnapshot::new(
+        (0..8u32)
+            .map(|p| {
+                let mut f = sc_bloom::BloomFilter::new(fcfg);
+                for j in 0..200u32 {
+                    f.insert_key(&UrlKey::new(&url(p * 1_000 + j)));
+                }
+                (p, std::sync::Arc::new(f))
+            })
+            .collect(),
+    );
+    let ukey = UrlKey::new(&probe_url);
+    let mut candidates = Vec::new();
+    let ns = b.bench("e2e/breakdown/probe", || {
+        snapshot.candidates_key_into(black_box(&ukey), &mut candidates);
+        black_box(&candidates);
+    });
+    results.push(("e2e/breakdown/probe".into(), Value::Float(ns)));
+
+    // shard-event: route a Stored/Purged pair through the router's
+    // directory slices (no publish — the ledger policy never fires).
+    let mk_router = |policy| {
+        let mut summary = ProxySummary::with_expected_docs(SummaryKind::recommended(), 256);
+        summary.set_generation(1);
+        summary.publish();
+        Router::new(7, (0..8u32).collect(), 50, 1, 1, Some((summary, policy)), VirtualTime::ZERO)
+    };
+    let mut router = mk_router(summary_cache_core::UpdatePolicy::EveryRequests(u64::MAX));
+    let keys: Vec<UrlKey> = (0..256u32).map(|i| UrlKey::new(&url(i))).collect();
+    let mut i = 0usize;
+    let mut sink = Vec::new();
+    let ns = b.bench("e2e/breakdown/shard-event", || {
+        let key = &keys[i % keys.len()];
+        i += 1;
+        router.handle_into(VirtualTime::ZERO, Event::Stored { url: key, evicted: &[] }, &NoDocs, &mut sink);
+        router.handle_into(VirtualTime::ZERO, Event::Purged { url: key }, &NoDocs, &mut sink);
+        black_box(&sink);
+        sink.clear();
+    });
+    results.push(("e2e/breakdown/shard-event".into(), Value::Float(ns / 2.0)));
+
+    // delta-publish: a threshold-0 ledger publishes on every completed
+    // request, servicing all 8 peer lanes immediately (keepalive 0 =
+    // tickless flush). Cost per publish, flips included.
+    let mut router = mk_router(summary_cache_core::UpdatePolicy::Threshold(0.0));
+    let mut i = 0usize;
+    let ns = b.bench("e2e/breakdown/delta-publish", || {
+        let key = &keys[i % keys.len()];
+        let stale = &keys[(i + 128) % keys.len()];
+        i += 1;
+        router.handle_into(
+            VirtualTime::ZERO,
+            Event::Stored { url: key, evicted: std::slice::from_ref(stale) },
+            &NoDocs,
+            &mut sink,
+        );
+        router.handle_into(VirtualTime::ZERO, Event::RequestDone, &NoDocs, &mut sink);
+        black_box(&sink);
+        sink.clear();
+    });
+    results.push(("e2e/breakdown/delta-publish".into(), Value::Float(ns)));
+
+    // encode: one packet-sized (320-flip) DIRUPDATE datagram.
+    let flips: Vec<Flip> = (0..320u32).map(|i| Flip::set(i * 7 % 4096)).collect();
+    let msg = IcpMessage::DirUpdate {
+        request_number: 1,
+        sender: 7,
+        update: DirUpdate {
+            function_num: 4,
+            function_bits: 32,
+            bit_array_size: 4096,
+            generation: 1,
+            seq: 9,
+            content: DirContent::Flips(flips),
+        },
+    };
+    let mut wire = Vec::new();
+    let ns = b.bench("e2e/breakdown/encode", || {
+        msg.encode_into(black_box(7), &mut wire).expect("encodes");
+        black_box(&wire);
+    });
+    results.push(("e2e/breakdown/encode".into(), Value::Float(ns)));
+}
+
 /// End-to-end: a quiet (fault-free) deterministic simnet run, reported
 /// as ns per client request. Exercises the whole stack — machine event
 /// handling, hash-once summary maintenance, candidate probes, delta
 /// publish fan-out, wire encode/decode.
-fn bench_simnet(b: &mut Bench, results: &mut Vec<(String, Value)>) {
+fn bench_simnet(results: &mut Vec<(String, Value)>) {
     let cfg = SimConfig {
         proxies: 4,
         local_ops: 200,
@@ -113,13 +261,28 @@ fn bench_simnet(b: &mut Bench, results: &mut Vec<(String, Value)>) {
         ..SimConfig::default()
     };
     let local_ops = cfg.local_ops as u64;
+    // Fastest single run in the window: each run is ~1.5 ms of pure
+    // compute, so one scheduler-quiet run measures the true cost,
+    // while a whole-window mean absorbs every preemption on a shared
+    // box. The tracked row gates CI, so it must be the stable
+    // estimator.
+    let budget = u128::from(sc_util::bench::window_ms().max(4));
+    let started = Instant::now();
     let mut seed = 1u64;
-    let ns_per_run = b.bench("e2e/simnet-run", || {
+    let mut best = f64::INFINITY;
+    let mut runs = 0u64;
+    while started.elapsed().as_millis() < budget || runs < 3 {
+        let t = Instant::now();
         let report = Sim::new(cfg.clone(), seed).run();
+        let ns = t.elapsed().as_nanos() as f64;
         assert!(report.converged, "quiet simnet must converge");
         black_box(report.events_processed);
         seed = seed.wrapping_add(1);
-    });
+        best = best.min(ns);
+        runs += 1;
+    }
+    let ns_per_run = best;
+    println!("hotpath/e2e/simnet-run: fastest of {runs} runs: {ns_per_run:.0} ns");
     let ns_per_request = ns_per_run / local_ops as f64;
     println!(
         "hotpath/e2e/simnet ns-per-request: {ns_per_request:.0} ({local_ops} requests/run)"
@@ -326,9 +489,11 @@ fn main() {
     let mut b = Bench::new("hotpath");
     let mut results: Vec<(String, Value)> = Vec::new();
     bench_md5(&mut b, &mut results);
+    bench_md5_x4(&mut b, &mut results);
     bench_indices(&mut b, &mut results);
     bench_probe_all(&mut b, &mut results);
-    bench_simnet(&mut b, &mut results);
+    bench_breakdown(&mut b, &mut results);
+    bench_simnet(&mut results);
     bench_mt_throughput(&mut results);
 
     // Tracked JSON output: only when the driver asks for it

@@ -112,17 +112,28 @@ impl CountingBloomFilter {
     /// [`crate::DeltaLog`] for the next directory-update message.
     pub fn insert(&mut self, key: &[u8]) -> Vec<Flip> {
         let idx = self.spec.indices(key);
-        self.insert_at(&idx)
+        let mut flips = Vec::with_capacity(idx.len());
+        self.insert_at(&idx, &mut flips);
+        flips
     }
 
     /// Insert a pre-hashed key; see [`insert`](Self::insert).
     pub fn insert_key(&mut self, key: &UrlKey) -> Vec<Flip> {
-        let spec = self.spec;
-        key.with_indices(&spec, |idx| self.insert_at(idx))
+        let mut flips = Vec::with_capacity(self.spec.k() as usize);
+        self.insert_key_into(key, &mut flips);
+        flips
     }
 
-    fn insert_at(&mut self, indices: &[u32]) -> Vec<Flip> {
-        let mut flips = Vec::with_capacity(indices.len());
+    /// Insert a pre-hashed key, appending its 0→1 flips to `flips`
+    /// (which is *not* cleared) — the allocation-free twin of
+    /// [`insert_key`](Self::insert_key) for callers holding a warm
+    /// scratch buffer on the steady-state request path.
+    pub fn insert_key_into(&mut self, key: &UrlKey, flips: &mut Vec<Flip>) {
+        let spec = self.spec;
+        key.with_indices(&spec, |idx| self.insert_at(idx, flips));
+    }
+
+    fn insert_at(&mut self, indices: &[u32], flips: &mut Vec<Flip>) {
         for &i in indices {
             let i = i as usize;
             let c = self.count(i);
@@ -137,7 +148,6 @@ impl CountingBloomFilter {
             }
         }
         self.keys += 1;
-        flips
     }
 
     /// Remove `key`, returning the bit positions that flipped 1→0.
@@ -147,17 +157,27 @@ impl CountingBloomFilter {
     /// zero counter) is recorded and skipped rather than wrapping.
     pub fn remove(&mut self, key: &[u8]) -> Vec<Flip> {
         let idx = self.spec.indices(key);
-        self.remove_at(&idx)
+        let mut flips = Vec::with_capacity(idx.len());
+        self.remove_at(&idx, &mut flips);
+        flips
     }
 
     /// Remove a pre-hashed key; see [`remove`](Self::remove).
     pub fn remove_key(&mut self, key: &UrlKey) -> Vec<Flip> {
-        let spec = self.spec;
-        key.with_indices(&spec, |idx| self.remove_at(idx))
+        let mut flips = Vec::with_capacity(self.spec.k() as usize);
+        self.remove_key_into(key, &mut flips);
+        flips
     }
 
-    fn remove_at(&mut self, indices: &[u32]) -> Vec<Flip> {
-        let mut flips = Vec::with_capacity(indices.len());
+    /// Remove a pre-hashed key, appending its 1→0 flips to `flips`
+    /// (which is *not* cleared) — the allocation-free twin of
+    /// [`remove_key`](Self::remove_key).
+    pub fn remove_key_into(&mut self, key: &UrlKey, flips: &mut Vec<Flip>) {
+        let spec = self.spec;
+        key.with_indices(&spec, |idx| self.remove_at(idx, flips));
+    }
+
+    fn remove_at(&mut self, indices: &[u32], flips: &mut Vec<Flip>) {
         for &i in indices {
             let i = i as usize;
             let c = self.count(i);
@@ -172,7 +192,6 @@ impl CountingBloomFilter {
             }
         }
         self.keys = self.keys.saturating_sub(1);
-        flips
     }
 
     /// Membership query against the derived bit vector.

@@ -10,7 +10,7 @@
 //! `DIRUPDATE` and clusters configure it uniformly) costs one MD5 total.
 
 use crate::hashing::HashSpec;
-use sc_md5::{md5, Digest};
+use sc_md5::{md5, md5_x4, Digest};
 use std::cell::RefCell;
 
 /// A key (URL or server name) hashed once, with per-spec memoized
@@ -39,7 +39,18 @@ pub struct UrlKey {
     digest: Digest,
     /// Per-spec memoized index sets; a linear scan, since a request sees
     /// one spec (occasionally two during a reconfiguration) in practice.
-    memo: RefCell<Vec<(HashSpec, Vec<u32>)>>,
+    memo: RefCell<Vec<MemoEntry>>,
+}
+
+/// One memoized index set. `indices` stays allocated across
+/// [`UrlKey::reset`] — a reused scratch key re-derives its indices into
+/// the same buffer, so steady-state probing never allocates.
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    spec: HashSpec,
+    indices: Vec<u32>,
+    /// False after a [`UrlKey::reset`] until the next probe re-derives.
+    valid: bool,
 }
 
 impl UrlKey {
@@ -51,6 +62,47 @@ impl UrlKey {
             // sc-check: allow(alloc) — key construction is the one place
             // the hash-once pipeline pays its setup cost.
             memo: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Hash four keys in one interleaved pass ([`md5_x4`]) — same
+    /// digests as four [`UrlKey::new`] calls at roughly a third of the
+    /// latency. Bulk ingest (trace replay, summary rebuilds, the simnet
+    /// request loop) batches its keys through here.
+    pub fn new_batch(batch: [&[u8]; 4]) -> [UrlKey; 4] {
+        let digests = md5_x4(batch);
+        core::array::from_fn(|l| UrlKey {
+            bytes: batch[l].to_vec(),
+            digest: digests[l],
+            // sc-check: allow(alloc) — batch construction is setup, the
+            // same one-time cost `new` pays.
+            memo: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Digest `keys` into `out`, four lanes at a time (scalar for the
+    /// final partial chunk).
+    pub fn batch_into(keys: &[&[u8]], out: &mut Vec<UrlKey>) {
+        let mut chunks = keys.chunks_exact(4);
+        for c in &mut chunks {
+            out.extend(UrlKey::new_batch([c[0], c[1], c[2], c[3]]));
+        }
+        for k in chunks.remainder() {
+            out.push(UrlKey::new(k));
+        }
+    }
+
+    /// Re-point this key at new bytes, reusing every allocation: the
+    /// byte buffer keeps its capacity and memoized index sets are
+    /// invalidated in place, to be re-derived into the same buffers on
+    /// the next probe. A warm per-thread scratch key reset per request
+    /// makes the steady-state probe path allocation-free.
+    pub fn reset(&mut self, bytes: &[u8]) {
+        self.bytes.clear();
+        self.bytes.extend_from_slice(bytes);
+        self.digest = md5(bytes);
+        for e in self.memo.get_mut() {
+            e.valid = false;
         }
     }
 
@@ -71,16 +123,27 @@ impl UrlKey {
     /// same `UrlKey` re-entrantly.
     pub fn with_indices<R>(&self, spec: &HashSpec, f: impl FnOnce(&[u32]) -> R) -> R {
         let mut memo = self.memo.borrow_mut();
-        if let Some((_, idx)) = memo.iter().find(|(s, _)| s == spec) {
-            return f(idx);
+        if let Some(pos) = memo.iter().position(|e| e.spec == *spec) {
+            let e = &mut memo[pos];
+            if !e.valid {
+                // Invalidated by a reset: re-derive into the retained
+                // buffer — no allocation once its capacity is warm.
+                spec.indices_with_digest(&self.bytes, &self.digest, &mut e.indices);
+                e.valid = true;
+            }
+            return f(&e.indices);
         }
         // sc-check: allow(alloc) — first-use memoization: this runs once
         // per (key, spec), never on the repeated-probe path.
         let mut idx = Vec::new();
         spec.indices_with_digest(&self.bytes, &self.digest, &mut idx);
-        memo.push((*spec, idx));
-        let (_, idx) = &memo[memo.len() - 1];
-        f(idx)
+        memo.push(MemoEntry {
+            spec: *spec,
+            indices: idx,
+            valid: true,
+        });
+        let e = &memo[memo.len() - 1];
+        f(&e.indices)
     }
 
     /// The index set for `spec`, as an owned vector (clones the memo
@@ -128,6 +191,68 @@ mod tests {
             0,
             "construction already paid the digest; probes must be hash-free"
         );
+    }
+
+    #[test]
+    fn batch_keys_equal_scalar_keys() {
+        let urls: [&[u8]; 4] = [
+            b"http://a.example/1",
+            b"http://b.example/22",
+            b"http://c.example/333",
+            b"",
+        ];
+        let spec = HashSpec::paper_default(4, 1 << 12).unwrap();
+        let batch = UrlKey::new_batch(urls);
+        for (l, url) in urls.iter().enumerate() {
+            let scalar = UrlKey::new(url);
+            assert_eq!(batch[l].digest(), scalar.digest(), "lane {l}");
+            assert_eq!(batch[l].bytes(), *url);
+            assert_eq!(batch[l].indices(&spec), scalar.indices(&spec));
+        }
+    }
+
+    #[test]
+    fn batch_into_handles_partial_chunks() {
+        for n in [0usize, 1, 3, 4, 5, 9] {
+            let urls: Vec<Vec<u8>> =
+                (0..n).map(|i| format!("http://s/{i}").into_bytes()).collect();
+            let refs: Vec<&[u8]> = urls.iter().map(|u| u.as_slice()).collect();
+            let mut out = Vec::new();
+            UrlKey::batch_into(&refs, &mut out);
+            assert_eq!(out.len(), n);
+            for (k, u) in out.iter().zip(&urls) {
+                assert_eq!(k.digest(), UrlKey::new(u).digest());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_behaves_like_a_fresh_key() {
+        let spec = HashSpec::paper_default(4, 1 << 12).unwrap();
+        let mut key = UrlKey::new(b"http://example.com/first");
+        key.with_indices(&spec, |idx| assert_eq!(idx.len(), 4));
+        for url in [b"http://example.com/second".as_slice(), b"x", b""] {
+            key.reset(url);
+            let fresh = UrlKey::new(url);
+            assert_eq!(key.digest(), fresh.digest());
+            assert_eq!(key.bytes(), url);
+            assert_eq!(key.indices(&spec), fresh.indices(&spec));
+        }
+    }
+
+    #[test]
+    fn reset_probe_is_hash_free_after_the_reset_digest() {
+        let spec = HashSpec::paper_default(4, 1 << 12).unwrap();
+        let mut key = UrlKey::new(b"http://example.com/warm");
+        key.with_indices(&spec, |_| ());
+        let before = sc_md5::blocks_hashed();
+        key.reset(b"http://example.com/next");
+        assert_eq!(sc_md5::blocks_hashed() - before, 1, "reset digests once");
+        let before = sc_md5::blocks_hashed();
+        for _ in 0..50 {
+            key.with_indices(&spec, |idx| assert_eq!(idx.len(), 4));
+        }
+        assert_eq!(sc_md5::blocks_hashed() - before, 0);
     }
 
     /// Satellite property: precomputed-key probe ≡ byte-slice probe for

@@ -1,0 +1,40 @@
+//! A scratch module that defeats its own purpose: per-request
+//! allocations inside the reuse path.
+
+pub struct RequestScratch {
+    pub candidates: Vec<u32>,
+    pub wire: Vec<u8>,
+}
+
+impl RequestScratch {
+    pub fn new() -> RequestScratch {
+        RequestScratch {
+            // sc-check: allow(alloc) — once-per-thread construction.
+            candidates: Vec::new(),
+            wire: vec![0u8; 64],
+        }
+    }
+
+    pub fn begin_request(&mut self, url: &str) -> String {
+        self.candidates.clear();
+        let owned = url.to_string();
+        self.wire = Vec::new();
+        owned
+    }
+}
+
+impl Default for RequestScratch {
+    fn default() -> RequestScratch {
+        RequestScratch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn harness_only() -> Vec<u8> {
+        // Test context: allocation tokens here are exempt.
+        let mut v = Vec::new();
+        v.push(1);
+        v
+    }
+}

@@ -356,6 +356,28 @@ fn alloc_in_probe_flagged_with_boundary_and_cfg_negatives() {
 }
 
 #[test]
+fn scratch_leak_flagged_with_suppression_and_test_negatives() {
+    let out = run_gate(&fixture("scratch_leak"));
+    assert!(!out.status.success(), "per-request scratch allocations must fail");
+    let text = stdout(&out);
+    for (line, token) in [
+        (14, "vec!["),
+        (20, ".to_string()"),
+        (21, "Vec::new("),
+    ] {
+        assert!(
+            text.contains(&format!("scratch.rs:{line}: [alloc]")) && text.contains(token),
+            "`{token}` flagged at line {line}:\n{text}"
+        );
+    }
+    assert_eq!(
+        text.matches("[alloc]").count(),
+        3,
+        "the allow(alloc) construction line and the test module are clean:\n{text}"
+    );
+}
+
+#[test]
 fn half_wired_opcode_flagged_per_missing_side() {
     let out = run_gate(&fixture("half_wired_opcode"));
     assert!(!out.status.success(), "half-wired opcodes must fail");

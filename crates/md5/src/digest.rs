@@ -1,6 +1,6 @@
 //! One-shot MD5 of an in-memory buffer.
 
-use crate::stream::Md5;
+use crate::stream::{oneshot_short, Md5, ONESHOT_MAX};
 
 /// Length of an MD5 digest in bytes.
 pub const DIGEST_LEN: usize = 16;
@@ -10,10 +10,16 @@ pub type Digest = [u8; DIGEST_LEN];
 
 /// Compute the MD5 digest of `data` in one call.
 ///
+/// Messages short enough to pad into a single block (≤ 55 bytes —
+/// most URLs) skip the streaming context entirely.
+///
 /// ```
 /// assert_eq!(sc_md5::to_hex(&sc_md5::md5(b"")), "d41d8cd98f00b204e9800998ecf8427e");
 /// ```
 pub fn md5(data: &[u8]) -> Digest {
+    if data.len() <= ONESHOT_MAX {
+        return oneshot_short(data);
+    }
     let mut ctx = Md5::new();
     ctx.update(data);
     ctx.finalize()

@@ -22,9 +22,11 @@
 
 mod digest;
 mod stream;
+mod x4;
 
 pub use digest::{md5, Digest, DIGEST_LEN};
 pub use stream::{blocks_hashed, Md5};
+pub use x4::md5_x4;
 
 /// Render a digest (or any byte slice) as lowercase hexadecimal.
 pub fn to_hex(bytes: &[u8]) -> String {
@@ -44,6 +46,17 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// provides (Section V-E); this helper computes MD5(url ‖ url ‖ …)
 /// streaming.
 pub fn md5_repeated(data: &[u8], times: usize) -> Digest {
+    // Small key × few copies still fits one padded block (the common
+    // case for the first extension digest of a short URL id): build the
+    // repetition on the stack and take the single-compression path.
+    let total = data.len().saturating_mul(times);
+    if total <= stream::ONESHOT_MAX {
+        let mut buf = [0u8; stream::ONESHOT_MAX];
+        for t in 0..times {
+            buf[t * data.len()..(t + 1) * data.len()].copy_from_slice(data);
+        }
+        return stream::oneshot_short(&buf[..total]);
+    }
     let mut ctx = Md5::new();
     for _ in 0..times {
         ctx.update(data);

@@ -25,8 +25,23 @@ pub fn blocks_hashed() -> u64 {
     BLOCKS_HASHED.with(|c| c.get())
 }
 
+/// Credit `n` compressed blocks to this thread's counter. The 4-lane
+/// kernel counts only the *real* blocks it absorbed (finished lanes
+/// ride along as dead weight), so the cost accounting stays identical
+/// to four scalar digests.
+pub(crate) fn bump_blocks(n: u64) {
+    BLOCKS_HASHED.with(|c| c.set(c.get() + n));
+}
+
+/// RFC 1321 initial chaining state.
+pub(crate) const INIT: [u32; 4] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476];
+
+/// Longest message whose padded form still fits a single 64-byte
+/// block: 55 bytes of message + 0x80 + the 8-byte length.
+pub(crate) const ONESHOT_MAX: usize = 55;
+
 /// Per-round shift amounts, RFC 1321 section 3.4.
-const S: [u32; 64] = [
+pub(crate) const S: [u32; 64] = [
     7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, // round 1
     5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, // round 2
     4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, // round 3
@@ -34,7 +49,7 @@ const S: [u32; 64] = [
 ];
 
 /// Sine-derived constants K[i] = floor(2^32 * abs(sin(i+1))).
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
     0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
     0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
@@ -74,7 +89,7 @@ impl Md5 {
     /// Fresh context with the RFC 1321 initial state.
     pub fn new() -> Self {
         Md5 {
-            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            state: INIT,
             len: 0,
             buf: [0; BLOCK_LEN],
             buf_len: 0,
@@ -129,35 +144,90 @@ impl Md5 {
 
     /// Core compression function over one 64-byte block.
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
-        BLOCKS_HASHED.with(|c| c.set(c.get() + 1));
-        let mut m = [0u32; 16];
-        for (i, w) in m.iter_mut().enumerate() {
-            *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
-        }
-        let [mut a, mut b, mut c, mut d] = self.state;
-        for i in 0..64 {
-            let (f, g) = match i / 16 {
-                0 => ((b & c) | (!b & d), i),
-                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
-                2 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
-            };
-            let tmp = d;
-            d = c;
-            c = b;
-            b = b.wrapping_add(
-                a.wrapping_add(f)
-                    .wrapping_add(K[i])
-                    .wrapping_add(m[g])
-                    .rotate_left(S[i]),
-            );
-            a = tmp;
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
+        compress_block(&mut self.state, block);
     }
+}
+
+/// One compression round trip: fold a 64-byte block into `state`.
+/// Shared by the streaming context, the short-message one-shot path,
+/// and the 4-lane straggler drain.
+pub(crate) fn compress_block(state: &mut [u32; 4], block: &[u8; BLOCK_LEN]) {
+    BLOCKS_HASHED.with(|c| c.set(c.get() + 1));
+    let mut m = [0u32; 16];
+    for (i, w) in m.iter_mut().enumerate() {
+        *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    let [mut a, mut b, mut c, mut d] = *state;
+    for i in 0..64 {
+        let (f, g) = match i / 16 {
+            0 => ((b & c) | (!b & d), i),
+            1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+            2 => (b ^ c ^ d, (3 * i + 5) % 16),
+            _ => (c ^ (b | !d), (7 * i) % 16),
+        };
+        let tmp = d;
+        d = c;
+        c = b;
+        b = b.wrapping_add(
+            a.wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]),
+        );
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+}
+
+/// Serialize a chaining state into the little-endian digest bytes.
+pub(crate) fn digest_of(state: [u32; 4]) -> Digest {
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// The `i`-th 64-byte block of `data` *after* RFC 1321 padding, where
+/// `total` is the padded block count `(len + 8) / 64 + 1`. Blocks
+/// before the tail are verbatim message bytes; the tail block(s) carry
+/// 0x80, zeros, and the little-endian bit length in the last one.
+pub(crate) fn padded_block(data: &[u8], i: usize, total: usize) -> [u8; BLOCK_LEN] {
+    let mut block = [0u8; BLOCK_LEN];
+    let start = i * BLOCK_LEN;
+    if start + BLOCK_LEN <= data.len() {
+        block.copy_from_slice(&data[start..start + BLOCK_LEN]);
+        return block;
+    }
+    if start <= data.len() {
+        let tail = &data[start..];
+        block[..tail.len()].copy_from_slice(tail);
+        block[tail.len()] = 0x80;
+    }
+    if i + 1 == total {
+        block[56..].copy_from_slice(&(data.len() as u64).wrapping_mul(8).to_le_bytes());
+    }
+    block
+}
+
+/// Padded block count for a message of `len` bytes.
+pub(crate) fn padded_blocks(len: usize) -> usize {
+    (len + 8) / BLOCK_LEN + 1
+}
+
+/// One-shot digest of a message short enough to pad into a single
+/// block (≤ [`ONESHOT_MAX`] bytes): no context setup, no partial-buffer
+/// bookkeeping, no byte-at-a-time padding loop — build the padded
+/// block in place and compress once.
+pub(crate) fn oneshot_short(data: &[u8]) -> Digest {
+    debug_assert!(data.len() <= ONESHOT_MAX);
+    let block = padded_block(data, 0, 1);
+    let mut state = INIT;
+    compress_block(&mut state, &block);
+    digest_of(state)
 }
 
 #[cfg(test)]
@@ -201,6 +271,49 @@ mod tests {
             ctx.update(&data[cut..]);
             assert_eq!(ctx.finalize(), md5(&data));
         });
+    }
+
+    #[test]
+    fn prop_oneshot_fast_path_equals_streaming() {
+        // The ≤55-byte single-block path must agree with the streaming
+        // context bit-for-bit at every length, including the empty
+        // message and both sides of the padding boundary.
+        for len in 0..=ONESHOT_MAX {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i * 37 % 251) as u8).collect();
+            let mut ctx = Md5::new();
+            ctx.update(&data);
+            assert_eq!(oneshot_short(&data), ctx.finalize(), "len {len}");
+        }
+        check("md5_oneshot_equals_streaming", 256, |rng| {
+            let data = vec_of(rng, 0..ONESHOT_MAX + 1, |r| r.gen_range(0u32..=255) as u8);
+            let mut ctx = Md5::new();
+            ctx.update(&data);
+            assert_eq!(oneshot_short(&data), ctx.finalize());
+        });
+    }
+
+    #[test]
+    fn oneshot_costs_exactly_one_block() {
+        let before = blocks_hashed();
+        let _ = oneshot_short(b"http://server-7.example.com/doc/42");
+        assert_eq!(blocks_hashed() - before, 1);
+    }
+
+    #[test]
+    fn padded_block_tiles_match_streaming_buffer() {
+        // Every (length, block index) pair the 4-lane driver can produce
+        // must reproduce what the streaming padder would have fed.
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 119, 120, 128, 200] {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i * 13 % 251) as u8).collect();
+            let total = padded_blocks(len);
+            let mut state = INIT;
+            for i in 0..total {
+                compress_block(&mut state, &padded_block(&data, i, total));
+            }
+            let mut ctx = Md5::new();
+            ctx.update(&data);
+            assert_eq!(digest_of(state), ctx.finalize(), "len {len}");
+        }
     }
 
     #[test]

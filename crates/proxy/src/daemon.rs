@@ -52,6 +52,7 @@ use sc_util::fxhash::FxHashMap;
 use sc_util::Rng;
 use sc_wire::http;
 use sc_wire::icp::IcpMessage;
+use crate::scratch::{with_scratch, RequestScratch};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -368,20 +369,25 @@ impl Daemon {
             let inner = inner.clone();
             let stop = shutdown.clone();
             std::thread::spawn(move || {
+                // Warm protocol-thread scratch: the batch and output
+                // buffers hold their high-water capacity across batches.
+                let mut batch = Vec::new();
+                let mut outputs = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     let first = match ingress_rx.recv_timeout(UDP_POLL) {
                         Ok(d) => d,
                         Err(RecvTimeoutError::Timeout) => continue,
                         Err(RecvTimeoutError::Disconnected) => break,
                     };
-                    let mut batch = vec![first];
+                    batch.clear();
+                    batch.push(first);
                     while batch.len() < INGRESS_BATCH {
                         match ingress_rx.try_recv() {
                             Ok(d) => batch.push(d),
                             Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
                         }
                     }
-                    handle_batch(&inner, batch);
+                    handle_batch(&inner, &mut batch, &mut outputs);
                 }
             });
         }
@@ -400,6 +406,7 @@ impl Daemon {
                 let slots = inner.cfg.fanout_slots().max(1) as u64;
                 let period =
                     Duration::from_micros((inner.cfg.keepalive_ms() * 1000 / slots).max(1));
+                let mut outputs = Vec::new();
                 loop {
                     // Sleep one period, but notice shutdown within 50 ms.
                     let mut slept = Duration::ZERO;
@@ -412,8 +419,14 @@ impl Daemon {
                         slept += step;
                     }
                     let mut router = lock(&inner.router);
-                    let outputs = router.handle(now(&inner), Event::Tick, &CacheView(&inner.cache));
-                    apply_outputs(&inner, None, outputs);
+                    router.handle_into(
+                        now(&inner),
+                        Event::Tick,
+                        &CacheView(&inner.cache),
+                        &mut outputs,
+                    );
+                    apply_outputs(&inner, None, &mut outputs);
+                    router.flush_replicas();
                     drop(router);
                 }
             });
@@ -468,20 +481,25 @@ impl Drop for Daemon {
 
 /// Feed one batch of received datagrams through the router under a
 /// single lock hold, queuing the decided sends for the egress thread.
-fn handle_batch(inner: &Arc<Inner>, batch: Vec<Ingress>) {
+/// Replica-snapshot publication is flushed once per batch (still under
+/// the lock), so N delta datagrams in the batch share one snapshot
+/// merge and at most one copy-on-write per touched filter.
+fn handle_batch(inner: &Arc<Inner>, batch: &mut Vec<Ingress>, outputs: &mut Vec<Output>) {
     let mut router = lock(&inner.router);
-    for item in batch {
+    for item in batch.drain(..) {
         let from_peer = inner.peer_of_addr.get(&item.from).copied();
-        let outputs = router.handle(
+        router.handle_into(
             now(inner),
             Event::Datagram {
                 from: from_peer,
                 data: &item.data,
             },
             &CacheView(&inner.cache),
+            outputs,
         );
         apply_outputs(inner, Some(item.from), outputs);
     }
+    router.flush_replicas();
     drop(router);
 }
 
@@ -495,8 +513,8 @@ fn handle_batch(inner: &Arc<Inner>, batch: Vec<Ingress>) {
 /// receiver sees a phantom gap (the egress queue then preserves that
 /// order on the wire). Queuing parks only when the bounded egress
 /// queue is full — back-pressure from the socket, by design.
-fn apply_outputs(inner: &Inner, sender_addr: Option<SocketAddr>, outputs: Vec<Output>) {
-    for output in outputs {
+fn apply_outputs(inner: &Inner, sender_addr: Option<SocketAddr>, outputs: &mut Vec<Output>) {
+    for output in outputs.drain(..) {
         match output {
             Output::Send(send) => {
                 let Ok(bytes) = send.msg.encode(inner.cfg.id()) else {
@@ -733,20 +751,32 @@ fn serve_peer_fetch(
 }
 
 /// The full client-request path: local cache, then mode-dependent
-/// cooperation, then origin; store; reply.
+/// cooperation, then origin; store; reply. Runs on this thread's warm
+/// [`RequestScratch`]: a steady-state request reuses the key, the
+/// candidate buffer, and the router-output sink instead of allocating.
 fn serve_client(
     inner: &Inner,
     stream: &mut TcpStream,
     req: &http::Request,
 ) -> std::io::Result<()> {
+    with_scratch(|scratch| serve_client_on(inner, stream, req, scratch))
+}
+
+fn serve_client_on(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    req: &http::Request,
+    scratch: &mut RequestScratch,
+) -> std::io::Result<()> {
     let t0 = Instant::now();
     inner.stats.http_requests.incr();
-    let url = req.target.clone();
+    let url = req.target.as_str();
     // THE digest of this request: the URL is hashed exactly once here
-    // and the resulting key threads through stripe selection, summary
-    // probing, the purge/store ledger events, and the shard partition.
-    // sc-check: allow(hash_once) — this is that one sanctioned digest.
-    let ukey = UrlKey::new(url.as_bytes());
+    // (into the warm scratch key) and threads through stripe selection,
+    // summary probing, the purge/store ledger events, and the shard
+    // partition. sc-check: allow(hash_once) — this is that one
+    // sanctioned digest.
+    scratch.key.reset(url.as_bytes());
     let want = DocMeta {
         size: http::header(&req.headers, "x-doc-size")
             .and_then(|v| v.parse().ok())
@@ -757,20 +787,25 @@ fn serve_client(
     };
 
     // 1. Local cache (the stripe owning this URL).
-    let lookup = lock(inner.cache.stripe(&ukey)).lookup(&url, want);
+    let lookup = lock(inner.cache.stripe(&scratch.key)).lookup(&req.target, want);
     match lookup {
         Lookup::Hit => {
             inner.stats.local_hits.incr();
             reply_doc(inner, stream, want)?;
-            finish_request(inner, t0);
+            finish_request(inner, t0, scratch);
             return Ok(());
         }
         Lookup::StaleHit => {
             // Purged by lookup(); keep the summary in sync.
             let mut router = lock(&inner.router);
-            let outputs =
-                router.handle(now(inner), Event::Purged { url: &ukey }, &CacheView(&inner.cache));
-            apply_outputs(inner, None, outputs);
+            router.handle_into(
+                now(inner),
+                Event::Purged { url: &scratch.key },
+                &CacheView(&inner.cache),
+                &mut scratch.outputs,
+            );
+            apply_outputs(inner, None, &mut scratch.outputs);
+            router.flush_replicas();
         }
         Lookup::Miss => {}
     }
@@ -783,23 +818,27 @@ fn serve_client(
             // cannot answer, and every query to it makes an all-miss
             // round wait out the full icp_timeout_ms.
             let live = lock(&inner.router).live_peers();
-            query_then_fetch(inner, &url, want, &live)
+            query_then_fetch(inner, url, want, &live)
         }
         Mode::SummaryCache { .. } => {
             // Probe every installed peer-summary replica via the
             // lock-free snapshot cell: the request's one UrlKey is
             // tested against each replica's memoized index set, with no
-            // router-lock acquisition on this path (peers without a
-            // synced replica cannot be candidates).
-            let candidates = inner.replicas.load().candidates_key(&ukey);
+            // router-lock acquisition (and no allocation — the warm
+            // candidate buffer is refilled in place) on this path.
+            inner
+                .replicas
+                .load()
+                .candidates_key_into(&scratch.key, &mut scratch.candidates);
+            let candidates = &scratch.candidates;
             if candidates.is_empty() {
                 None
             } else {
-                let got = query_then_fetch(inner, &url, want, &candidates);
+                let got = query_then_fetch(inner, url, want, candidates);
                 if got.is_none() {
                     // Summary pointed somewhere, nobody had a usable copy.
                     inner.stats.false_hits.incr();
-                    for id in &candidates {
+                    for id in candidates {
                         if let Some(p) = inner.stats.peer(*id) {
                             p.false_hits.incr();
                             p.update_staleness();
@@ -826,50 +865,54 @@ fn serve_client(
             inner
                 .stats
                 .journal()
-                .record(EventKind::RemoteHit, Some(peer), url.clone());
+                .record(EventKind::RemoteHit, Some(peer), url.to_string());
             meta
         }
-        None => match fetch_http(inner, inner.cfg.origin(), &url, want, false) {
+        None => match fetch_http(inner, inner.cfg.origin(), url, want, false) {
             Ok(Some(meta)) => meta,
             _ => {
                 respond_empty(inner, stream, 504, "Gateway Timeout")?;
-                finish_request(inner, t0);
+                finish_request(inner, t0, scratch);
                 return Ok(());
             }
         },
     };
 
     // 4. Store and maintain the summary.
-    store_document(inner, &url, &ukey, meta);
+    store_document(inner, url, meta, scratch);
 
     // 5. Reply.
     reply_doc(inner, stream, meta)?;
-    finish_request(inner, t0);
+    finish_request(inner, t0, scratch);
     Ok(())
 }
 
-fn store_document(inner: &Inner, url: &str, key: &UrlKey, meta: DocMeta) {
+fn store_document(inner: &Inner, url: &str, meta: DocMeta, scratch: &mut RequestScratch) {
     // Evictions come out of the same stripe the URL goes into — the
     // stripes partition the same key space the directory shards do.
-    let evicted = lock(inner.cache.stripe(key)).store(url.to_string(), meta);
+    let evicted = lock(inner.cache.stripe(&scratch.key)).store(url.to_string(), meta);
     if let Some(evicted) = evicted {
         // Victims are *other* URLs the request never digested; their
-        // keys are computed here (the request's own URL reuses `key`).
+        // keys are computed here (the request's own URL reuses the
+        // scratch key). Evictions are the cold tail of a store, so the
+        // victim keys are the one allocation the path keeps.
         let victim_keys: Vec<UrlKey> = evicted
             .iter()
             // sc-check: allow(hash_once) — first digest of each victim.
             .map(|v| UrlKey::new(v.as_bytes()))
             .collect();
         let mut router = lock(&inner.router);
-        let outputs = router.handle(
+        router.handle_into(
             now(inner),
             Event::Stored {
-                url: key,
+                url: &scratch.key,
                 evicted: &victim_keys,
             },
             &CacheView(&inner.cache),
+            &mut scratch.outputs,
         );
-        apply_outputs(inner, None, outputs);
+        apply_outputs(inner, None, &mut scratch.outputs);
+        router.flush_replicas();
     }
 }
 
@@ -890,11 +933,17 @@ fn reply_doc(inner: &Inner, stream: &mut TcpStream, meta: DocMeta) -> std::io::R
 /// Post-request bookkeeping: latency and (SC mode) update publishing.
 /// The router lock is held across the whole publish fan-out so
 /// sequence allocation and egress-queue order agree.
-fn finish_request(inner: &Inner, t0: Instant) {
+fn finish_request(inner: &Inner, t0: Instant, scratch: &mut RequestScratch) {
     inner.stats.latency(t0.elapsed().as_micros() as u64);
     let mut router = lock(&inner.router);
-    let outputs = router.handle(now(inner), Event::RequestDone, &CacheView(&inner.cache));
-    apply_outputs(inner, None, outputs);
+    router.handle_into(
+        now(inner),
+        Event::RequestDone,
+        &CacheView(&inner.cache),
+        &mut scratch.outputs,
+    );
+    apply_outputs(inner, None, &mut scratch.outputs);
+    router.flush_replicas();
     drop(router);
 }
 

@@ -65,6 +65,7 @@ pub mod machine;
 pub mod origin;
 pub mod replica;
 pub mod router;
+pub mod scratch;
 pub mod shard;
 pub mod simnet;
 pub mod stats;

@@ -82,11 +82,23 @@ impl ReplicaSnapshot {
     /// hash-once probe: the key's memoized index set is computed once
     /// and tested against every filter sharing the spec.
     pub fn candidates_key(&self, url: &UrlKey) -> Vec<u32> {
-        self.peers
-            .iter()
-            .filter(|(_, f)| f.contains_key(url))
-            .map(|(id, _)| *id)
-            .collect()
+        // sc-check: allow(alloc) — convenience wrapper; the steady-state
+        // request path probes through `candidates_key_into` instead.
+        let mut out = Vec::new();
+        self.candidates_key_into(url, &mut out);
+        out
+    }
+
+    /// [`candidates_key`](Self::candidates_key) into a caller-owned
+    /// buffer: the zero-alloc probe a warm request scratch uses. `out`
+    /// is cleared first; its capacity is reused.
+    pub fn candidates_key_into(&self, url: &UrlKey, out: &mut Vec<u32>) {
+        out.clear();
+        for (id, f) in &self.peers {
+            if f.contains_key(url) {
+                out.push(*id);
+            }
+        }
     }
 }
 

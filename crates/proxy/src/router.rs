@@ -155,11 +155,17 @@ pub struct Router {
     /// Ticks seen so far; `tick_no % fanout_slots` is the slot a tick
     /// services.
     tick_no: u64,
-    /// The lock-free read-path cell: after every replica mutation the
-    /// router merges an immutable snapshot of all shards' replicas
-    /// here, so SC-mode candidate selection never takes the router
-    /// lock.
+    /// The lock-free read-path cell: after replica mutations the router
+    /// merges an immutable snapshot of all shards' replicas here, so
+    /// SC-mode candidate selection never takes the router lock.
     cell: Arc<ReplicaCell>,
+    /// Set when a shard reported a replica-set change that has not yet
+    /// been merged into the cell. Deferring the merge to
+    /// [`Router::flush_replicas`] is what lets a batch of delta
+    /// datagrams share one copy-on-write of each touched filter: an
+    /// eager per-datagram publish would re-`Arc` every filter, so every
+    /// following `Arc::make_mut` would deep-copy again.
+    replicas_dirty: bool,
     next_reqnum: u32,
 }
 
@@ -249,6 +255,7 @@ impl Router {
             fanout_slots,
             tick_no: 0,
             cell: ReplicaCell::new(),
+            replicas_dirty: false,
             next_reqnum: 1,
         }
     }
@@ -278,10 +285,23 @@ impl Router {
         self.cell.clone()
     }
 
+    /// Publish pending replica changes to the read-path cell, if any
+    /// shard reported one since the last flush. Batch drivers call this
+    /// once per event batch (and [`Router::handle`] calls it per event
+    /// for single-event callers), so N delta datagrams in one batch
+    /// cost one snapshot merge and at most one copy-on-write per
+    /// touched filter instead of N.
+    pub fn flush_replicas(&mut self) {
+        if self.replicas_dirty {
+            self.replicas_dirty = false;
+            self.publish_replicas();
+        }
+    }
+
     /// Merge every shard's installed replicas into one immutable
     /// snapshot (in configured peer order, matching
     /// [`Router::candidates`]'s probe order) and publish it to the
-    /// cell. Called after any shard reports a replica-set change.
+    /// cell.
     fn publish_replicas(&self) {
         let peers = self
             .peers
@@ -299,9 +319,32 @@ impl Router {
     /// order. Identical output stream at every shard count.
     pub fn handle(&mut self, now: VirtualTime, event: Event<'_>, dir: &dyn DirectoryView) -> Vec<Output> {
         let mut out = Vec::new();
+        self.handle_into(now, event, dir, &mut out);
+        self.flush_replicas();
+        out
+    }
+
+    /// [`handle`](Self::handle) into a caller-owned output buffer: `out`
+    /// is cleared first and its capacity reused, so a warm driver loop
+    /// feeds the steady request stream (store / purge / request-done
+    /// with nothing to publish) without a single heap allocation.
+    ///
+    /// Unlike [`handle`](Self::handle), publication of replica changes
+    /// to the read-path cell is *deferred*: a batch driver feeds a whole
+    /// batch through here and then calls [`Router::flush_replicas`]
+    /// once, so N delta datagrams in the batch share one snapshot merge
+    /// and at most one copy-on-write per touched filter.
+    pub fn handle_into(
+        &mut self,
+        now: VirtualTime,
+        event: Event<'_>,
+        dir: &dyn DirectoryView,
+        out: &mut Vec<Output>,
+    ) {
+        out.clear();
         match event {
-            Event::Datagram { from, data } => self.on_datagram(now, from, data, dir, &mut out),
-            Event::Tick => self.on_tick(now, &mut out),
+            Event::Datagram { from, data } => self.on_datagram(now, from, data, dir, out),
+            Event::Tick => self.on_tick(now, out),
             Event::Stored { url, evicted } => {
                 if self.sc.is_some() {
                     self.route_insert(url);
@@ -315,9 +358,8 @@ impl Router {
                     self.route_remove(url);
                 }
             }
-            Event::RequestDone => self.on_request_done(now, &mut out),
+            Event::RequestDone => self.on_request_done(now, out),
         }
-        out
     }
 
     /// Insert the document keyed by `key` into the owning shard's
@@ -409,6 +451,23 @@ impl Router {
         )
     }
 
+    /// [`candidates`](Self::candidates) through the hash-once key path,
+    /// into a caller-owned buffer (cleared first; capacity reused): the
+    /// key's memoized index set is derived once and tested against
+    /// every installed replica, where the byte path would re-hash the
+    /// URL per peer. Same probe order, same result set.
+    pub fn candidates_key_into(&self, url: &UrlKey, out: &mut Vec<u32>) {
+        out.clear();
+        for &p in &self.peers {
+            if self.shards[owner_of(p, self.shards.len())]
+                .replica_filter(p)
+                .is_some_and(|f| f.contains_key(url))
+            {
+                out.push(p);
+            }
+        }
+    }
+
     /// Is a replica of `peer` currently installed?
     pub fn replica_installed(&self, peer: u32) -> bool {
         self.shards[owner_of(peer, self.shards.len())].replica_installed(peer)
@@ -455,7 +514,7 @@ impl Router {
                     &mut souts,
                 );
                 if self.drain_shard_outputs(souts, out) {
-                    self.publish_replicas();
+                    self.replicas_dirty = true;
                 }
             }
         }
@@ -548,7 +607,7 @@ impl Router {
             &mut souts,
         );
         if self.drain_shard_outputs(souts, out) {
-            self.publish_replicas();
+            self.replicas_dirty = true;
         }
     }
 
@@ -770,7 +829,7 @@ impl Router {
             out.push(Output::Effect(Effect::PeerFailed { peer: id }));
         }
         if replicas_dropped {
-            self.publish_replicas();
+            self.replicas_dirty = true;
         }
     }
 

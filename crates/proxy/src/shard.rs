@@ -28,10 +28,27 @@
 //! an explicit merge step in the router, never shared state.
 
 use crate::machine::{Effect, VirtualTime, RESYNC_BACKOFF};
-use sc_bloom::{BitVec, BloomFilter, CountingBloomFilter, FilterConfig, HashSpec, UrlKey};
+use sc_bloom::{BitVec, BloomFilter, CountingBloomFilter, FilterConfig, Flip, HashSpec, UrlKey};
 use sc_util::fxhash::FxHashMap;
 use sc_wire::icp::{DirContent, DirUpdate};
+use std::cell::Cell;
 use std::sync::Arc;
+
+thread_local! {
+    /// Copy-on-write deep copies taken when applying delta flips (a
+    /// `make_mut` that found the filter still shared with a published
+    /// snapshot). The batched flip-apply design pins this: with replica
+    /// publication deferred to batch boundaries, a batch of N delta
+    /// datagrams costs at most one copy per touched filter, not N.
+    static COW_COPIES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of replica-filter deep copies this thread's delta
+/// applications have taken so far (monotonic; diff around a workload
+/// to count its copies — same pattern as [`sc_md5::blocks_hashed`]).
+pub fn cow_copies() -> u64 {
+    COW_COPIES.with(|c| c.get())
+}
 
 /// The shard that owns `key`'s directory entry: the low 64 bits of the
 /// key's (already computed) MD5 digest, reduced mod `shards`.
@@ -212,6 +229,11 @@ pub struct Shard {
     filter: Option<CountingBloomFilter>,
     /// Replicas of the peers owned by this shard ([`owner_of`]).
     replicas: FxHashMap<u32, ReplicaState>,
+    /// Warm flip buffer for directory mutations: the router publishes
+    /// by diffing merged slices against the baseline, so per-insert
+    /// flips are discarded here — collected into this scratch instead
+    /// of a fresh `Vec` so the steady-state store path never allocates.
+    flip_scratch: Vec<Flip>,
 }
 
 impl Shard {
@@ -222,6 +244,7 @@ impl Shard {
             index,
             filter: filter.map(CountingBloomFilter::new),
             replicas: FxHashMap::default(),
+            flip_scratch: Vec::new(),
         }
     }
 
@@ -235,12 +258,14 @@ impl Shard {
         match event {
             ShardEvent::Insert { url } => {
                 if let Some(filter) = self.filter.as_mut() {
-                    filter.insert_key(url);
+                    self.flip_scratch.clear();
+                    filter.insert_key_into(url, &mut self.flip_scratch);
                 }
             }
             ShardEvent::Remove { url } => {
                 if let Some(filter) = self.filter.as_mut() {
-                    filter.remove_key(url);
+                    self.flip_scratch.clear();
+                    filter.remove_key_into(url, &mut self.flip_scratch);
                 }
             }
             ShardEvent::Apply {
@@ -398,6 +423,9 @@ impl Shard {
                         if !flips.is_empty() {
                             // Copy-on-write: clones the filter only if a
                             // reader still holds an older snapshot.
+                            if Arc::strong_count(filter) > 1 {
+                                COW_COPIES.with(|c| c.set(c.get() + 1));
+                            }
                             let filter = Arc::make_mut(filter);
                             for f in flips {
                                 if f.index() < spec.table_bits() {

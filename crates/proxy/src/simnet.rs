@@ -307,6 +307,14 @@ pub struct Sim {
     update_bytes_sent: u64,
     other_bytes_sent: u64,
     update_datagrams_sent: u64,
+    /// Reusable router-output sink: every event drives the router
+    /// through this one warm buffer ([`Sim::drive`]).
+    out_scratch: Vec<Output>,
+    /// Reusable candidate buffer for the request loop's replica probe.
+    cand_scratch: Vec<u32>,
+    /// Pooled request keys: [`Sim::store_doc`] re-digests them in place
+    /// (`UrlKey::reset`) instead of allocating per stored document.
+    key_scratch: Vec<UrlKey>,
     /// Scenario bookkeeping; `None` for plain fault-plan runs.
     scn: Option<ScnState>,
 }
@@ -376,6 +384,9 @@ impl Sim {
             resyncs_requested: 0,
             replicas_installed: 0,
             datagrams_dropped: 0,
+            out_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            key_scratch: Vec::new(),
             datagrams_duplicated: 0,
             failures: 0,
             recoveries: 0,
@@ -518,6 +529,25 @@ impl Sim {
         self.now = self.now.max(until);
     }
 
+    /// Feed one event to `node`'s router through the reusable output
+    /// scratch and dispatch the results. Replica-cell publication is
+    /// never flushed here: the simnet probes candidates through the
+    /// shards directly, so deferring the snapshot merge forever keeps
+    /// every delta apply copy-free (`Arc::make_mut` always sees a
+    /// uniquely owned filter) without changing a single output.
+    fn drive(&mut self, node: usize, sender: Option<usize>, ev: Event<'_>) {
+        let mut outputs = std::mem::take(&mut self.out_scratch);
+        let n = &mut self.nodes[node];
+        n.router.handle_into(
+            VirtualTime::from_micros(self.now),
+            ev,
+            &SetView(&n.dir),
+            &mut outputs,
+        );
+        self.dispatch(node, sender, &mut outputs);
+        self.out_scratch = outputs;
+    }
+
     fn process(&mut self, ev: SimEvent) {
         match ev {
             SimEvent::Deliver { to, from, bytes } => {
@@ -527,16 +557,14 @@ impl Sim {
                 }
                 self.journal
                     .push(format!("{}us n{to} <- n{from} {}B", self.now, bytes.len()));
-                let node = &mut self.nodes[to];
-                let outputs = node.router.handle(
-                    VirtualTime::from_micros(self.now),
+                self.drive(
+                    to,
+                    Some(from),
                     Event::Datagram {
                         from: Some(from as u32),
                         data: &bytes,
                     },
-                    &SetView(&node.dir),
                 );
-                self.dispatch(to, Some(from), outputs);
             }
             SimEvent::Tick { node } => {
                 let tick_every = self.tick_interval();
@@ -544,13 +572,7 @@ impl Sim {
                 if !self.nodes[node].up {
                     return;
                 }
-                let n = &mut self.nodes[node];
-                let outputs = n.router.handle(
-                    VirtualTime::from_micros(self.now),
-                    Event::Tick,
-                    &SetView(&n.dir),
-                );
-                self.dispatch(node, None, outputs);
+                self.drive(node, None, Event::Tick);
             }
             SimEvent::Insert { node } => {
                 if !self.nodes[node].up {
@@ -603,6 +625,13 @@ impl Sim {
     /// `cache_docs`) and drive the router through Stored +
     /// RequestDone, publishing the summary flips.
     fn store_doc(&mut self, node: usize, url: String, verb: &str) {
+        self.store_doc_keyed(node, url, verb, None)
+    }
+
+    /// [`Sim::store_doc`] with an optionally pre-digested request key
+    /// (the request loop digests the URL once for the candidate probe
+    /// and hands the key down, like the daemon's scratch key).
+    fn store_doc_keyed(&mut self, node: usize, url: String, verb: &str, key: Option<UrlKey>) {
         let cap = self.cfg.cache_docs;
         let n = &mut self.nodes[node];
         n.docs.push_back(url.clone());
@@ -619,27 +648,36 @@ impl Sim {
             self.now,
             evicted.len()
         ));
-        let now = VirtualTime::from_micros(self.now);
-        // The simulated client digests each URL once, like the
-        // daemon's request path.
-        let key = UrlKey::new(url.as_bytes());
-        let victim_keys: Vec<UrlKey> =
-            evicted.iter().map(|v| UrlKey::new(v.as_bytes())).collect();
-        let n = &mut self.nodes[node];
-        let stored = n.router.handle(
-            now,
+        // The simulated client digests each URL once, like the daemon's
+        // request path: the request key arrives pre-digested when the
+        // request loop already probed with it, and victim keys are
+        // re-digested in place over the warm key pool.
+        let total = 1 + evicted.len();
+        let mut keys = std::mem::take(&mut self.key_scratch);
+        while keys.len() < total {
+            keys.push(UrlKey::new(b""));
+        }
+        match key {
+            Some(k) => keys[0] = k,
+            None => keys[0].reset(url.as_bytes()),
+        }
+        for (slot, victim) in keys[1..total].iter_mut().zip(&evicted) {
+            slot.reset(victim.as_bytes());
+        }
+        // total >= 1, so the slice always has the stored key up front.
+        let Some((key, victim_keys)) = keys[..total].split_first() else {
+            return;
+        };
+        self.drive(
+            node,
+            None,
             Event::Stored {
-                url: &key,
-                evicted: &victim_keys,
+                url: key,
+                evicted: victim_keys,
             },
-            &SetView(&n.dir),
         );
-        self.dispatch(node, None, stored);
-        let n = &mut self.nodes[node];
-        let published = n
-            .router
-            .handle(now, Event::RequestDone, &SetView(&n.dir));
-        self.dispatch(node, None, published);
+        self.key_scratch = keys;
+        self.drive(node, None, Event::RequestDone);
     }
 
     /// Serve one scenario client request at `node`: local directory
@@ -673,7 +711,14 @@ impl Sim {
                 .push(format!("{}us n{node} req {url} local-hit {latency}us", self.now));
             return;
         }
-        let candidates = self.nodes[node].router.candidates(url.as_bytes());
+        // Digest once; probe the installed replicas through the
+        // memoized key path (the byte path would re-hash per peer) into
+        // the warm candidate buffer.
+        let key = UrlKey::new(url.as_bytes());
+        let mut candidates = std::mem::take(&mut self.cand_scratch);
+        self.nodes[node]
+            .router
+            .candidates_key_into(&key, &mut candidates);
         let mut outcome = "miss";
         if !candidates.is_empty() {
             // One parallel ICP-style round to every advertising peer.
@@ -705,10 +750,11 @@ impl Sim {
             reg.counter("scn_origin_fetches_total").incr();
             latency += origin_rtt;
         }
+        self.cand_scratch = candidates;
         latency_hist.record(latency);
         self.journal
             .push(format!("{}us n{node} req {url} {outcome} {latency}us", self.now));
-        self.store_doc(node, url, "fill");
+        self.store_doc_keyed(node, url, "fill", Some(key));
     }
 
     /// Evict `url` from every live cache that holds it, in node order.
@@ -724,19 +770,11 @@ impl Sim {
                 continue;
             }
             holders += 1;
-            let now = VirtualTime::from_micros(self.now);
             let n = &mut self.nodes[node];
             n.dir.remove(&url);
             n.docs.retain(|d| d != &url);
-            let purged = n
-                .router
-                .handle(now, Event::Purged { url: &key }, &SetView(&n.dir));
-            self.dispatch(node, None, purged);
-            let n = &mut self.nodes[node];
-            let published = n
-                .router
-                .handle(now, Event::RequestDone, &SetView(&n.dir));
-            self.dispatch(node, None, published);
+            self.drive(node, None, Event::Purged { url: &key });
+            self.drive(node, None, Event::RequestDone);
         }
         if let Some(scn) = &mut self.scn {
             scn.reg.counter("scn_evictions_total").add(holders);
@@ -803,10 +841,10 @@ impl Sim {
 
     /// Carry out a batch of machine outputs from `node`, checking the
     /// batch-level invariants first.
-    fn dispatch(&mut self, node: usize, sender: Option<usize>, outputs: Vec<Output>) {
+    fn dispatch(&mut self, node: usize, sender: Option<usize>, outputs: &mut Vec<Output>) {
         // Invariant: a detected gap yields exactly one DIRREQ, or zero
         // when a DIRREQ to that publisher is still inside the backoff.
-        for output in &outputs {
+        for output in outputs.iter() {
             let Output::Effect(Effect::UpdateGap { peer, .. }) = output else {
                 continue;
             };
@@ -830,7 +868,7 @@ impl Sim {
                 if within_backoff { "active" } else { "clear" },
             );
         }
-        for output in outputs {
+        for output in outputs.drain(..) {
             match output {
                 Output::Effect(effect) => self.observe_effect(node, effect),
                 Output::Send(send) => {

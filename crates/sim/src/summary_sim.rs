@@ -112,96 +112,46 @@ pub fn simulate_summary_cache(
     let mut m = Metrics::default();
     let mut icp_queries = 0u64;
 
-    for r in &trace.requests {
-        m.requests += 1;
-        m.requested_bytes += r.size;
-        server_of.entry(r.url).or_insert(r.server);
-        let home = group_of_client(r.client, trace.groups) as usize;
-        // Hash-once pipeline: one UrlKey per request; every peer probe,
-        // the stale purge and the store below reuse its digest/indices.
+    // Bulk trace ingest: each request needs a URL key and a server key,
+    // so a pair of consecutive requests fills all four lanes of one
+    // interleaved MD5 pass ([`UrlKey::new_batch`]). The keys are pure
+    // functions of the trace record, so deriving them a pair ahead
+    // changes nothing downstream.
+    let mut pairs = trace.requests.chunks_exact(2);
+    for pair in pairs.by_ref() {
+        let (a, b) = (&pair[0], &pair[1]);
+        let (ua, sa) = (url_key(a.url), server_key(a.server));
+        let (ub, sb) = (url_key(b.url), server_key(b.server));
+        let [ukey_a, skey_a, ukey_b, skey_b] = UrlKey::new_batch([&ua, &sa, &ub, &sb]);
+        for (r, ukey, skey) in [(a, ukey_a, skey_a), (b, ukey_b, skey_b)] {
+            step_request(
+                r,
+                &ukey,
+                &skey,
+                &mut proxies,
+                &mut server_of,
+                &mut m,
+                &mut icp_queries,
+                config,
+                trace,
+            );
+        }
+    }
+    for r in pairs.remainder() {
+        // Odd trailing request: scalar keys, same hash-once pipeline.
         let ukey = UrlKey::new(&url_key(r.url));
         let skey = UrlKey::new(&server_key(r.server));
-
-        let mut local_stale = false;
-        match proxies[home].cache.lookup(&r.url, meta(r)) {
-            Lookup::Hit => {
-                m.local_hits += 1;
-                m.hit_bytes += r.size;
-                after_request(&mut proxies[home], &mut m, r.time_ms, config, groups);
-                continue;
-            }
-            Lookup::StaleHit => {
-                m.local_stale_hits += 1;
-                local_stale = true;
-            }
-            Lookup::Miss => {}
-        }
-        if local_stale {
-            // lookup() purged the stale copy; keep the summary in sync.
-            proxies[home].summary.remove_key(&ukey, &skey);
-        }
-
-        // Local miss: ICP would query every neighbour now.
-        icp_queries += (groups - 1) as u64;
-
-        // Summary cache probes the published peer summaries instead —
-        // the same candidate selection the proxy daemon runs.
-        let candidates: Vec<usize> = filter_candidates_key(
-            proxies
-                .iter()
-                .enumerate()
-                .filter(|&(g, _)| g != home)
-                .map(|(g, p)| (g, p.summary.published())),
+        step_request(
+            r,
             &ukey,
             &skey,
+            &mut proxies,
+            &mut server_of,
+            &mut m,
+            &mut icp_queries,
+            config,
+            trace,
         );
-
-        // Send queries to the candidates; learn what they actually hold.
-        let mut fresh_at_candidate = false;
-        let mut stale_at_candidate = false;
-        for &g in &candidates {
-            m.queries_sent += 1;
-            m.query_bytes += wire_cost::QUERY_BYTES as u64;
-            match proxies[g].cache.peek(&r.url) {
-                Some(have) if have == meta(r) => fresh_at_candidate = true,
-                Some(_) => stale_at_candidate = true,
-                None => m.wasted_queries += 1,
-            }
-        }
-
-        // Ground truth over all neighbours, for false-miss accounting.
-        let fresh_somewhere = (0..groups).any(|g| {
-            g != home && proxies[g].cache.peek(&r.url) == Some(meta(r))
-        });
-
-        if fresh_at_candidate {
-            m.remote_hits += 1;
-            m.hit_bytes += r.size;
-        } else {
-            if stale_at_candidate {
-                m.remote_stale_hits += 1;
-            } else if !candidates.is_empty() {
-                m.false_hits += 1;
-            }
-            if fresh_somewhere {
-                m.false_misses += 1;
-            }
-        }
-
-        // Either way the document ends up cached at the home proxy
-        // (fetched from the peer on a remote hit, from the server
-        // otherwise) — ICP-style simple sharing.
-        if let Some(evicted) = proxies[home].cache.store(r.url, meta(r)) {
-            proxies[home].summary.insert_key(&ukey, &skey);
-            for victim in evicted {
-                let vs = server_key(*server_of.get(&victim).expect("victim was inserted"));
-                proxies[home]
-                    .summary
-                    .remove_key(&UrlKey::new(&url_key(victim)), &UrlKey::new(&vs));
-            }
-        }
-
-        after_request(&mut proxies[home], &mut m, r.time_ms, config, groups);
     }
 
     let peer_bytes: Vec<u64> = {
@@ -248,6 +198,110 @@ fn expected_docs_for(trace: &Trace, cache_bytes: u64) -> u64 {
     }
     let mean = (total / count).max(1);
     (cache_bytes / mean).max(1)
+}
+
+/// One trace request through the protocol: local lookup, peer-summary
+/// probe, query/error accounting, store, and the post-request publish
+/// check. The request's two keys arrive pre-digested (hash-once: every
+/// peer probe, the stale purge, and the store reuse their indices).
+#[allow(clippy::too_many_arguments)]
+fn step_request(
+    r: &sc_trace::Request,
+    ukey: &UrlKey,
+    skey: &UrlKey,
+    proxies: &mut [ProxyState],
+    server_of: &mut HashMap<u64, u32>,
+    m: &mut Metrics,
+    icp_queries: &mut u64,
+    config: &SummaryCacheConfig,
+    trace: &Trace,
+) {
+    let groups = trace.groups as usize;
+    m.requests += 1;
+    m.requested_bytes += r.size;
+    server_of.entry(r.url).or_insert(r.server);
+    let home = group_of_client(r.client, trace.groups) as usize;
+
+    let mut local_stale = false;
+    match proxies[home].cache.lookup(&r.url, meta(r)) {
+        Lookup::Hit => {
+            m.local_hits += 1;
+            m.hit_bytes += r.size;
+            after_request(&mut proxies[home], m, r.time_ms, config, groups);
+            return;
+        }
+        Lookup::StaleHit => {
+            m.local_stale_hits += 1;
+            local_stale = true;
+        }
+        Lookup::Miss => {}
+    }
+    if local_stale {
+        // lookup() purged the stale copy; keep the summary in sync.
+        proxies[home].summary.remove_key(ukey, skey);
+    }
+
+    // Local miss: ICP would query every neighbour now.
+    *icp_queries += (groups - 1) as u64;
+
+    // Summary cache probes the published peer summaries instead —
+    // the same candidate selection the proxy daemon runs.
+    let candidates: Vec<usize> = filter_candidates_key(
+        proxies
+            .iter()
+            .enumerate()
+            .filter(|&(g, _)| g != home)
+            .map(|(g, p)| (g, p.summary.published())),
+        ukey,
+        skey,
+    );
+
+    // Send queries to the candidates; learn what they actually hold.
+    let mut fresh_at_candidate = false;
+    let mut stale_at_candidate = false;
+    for &g in &candidates {
+        m.queries_sent += 1;
+        m.query_bytes += wire_cost::QUERY_BYTES as u64;
+        match proxies[g].cache.peek(&r.url) {
+            Some(have) if have == meta(r) => fresh_at_candidate = true,
+            Some(_) => stale_at_candidate = true,
+            None => m.wasted_queries += 1,
+        }
+    }
+
+    // Ground truth over all neighbours, for false-miss accounting.
+    let fresh_somewhere = (0..groups).any(|g| {
+        g != home && proxies[g].cache.peek(&r.url) == Some(meta(r))
+    });
+
+    if fresh_at_candidate {
+        m.remote_hits += 1;
+        m.hit_bytes += r.size;
+    } else {
+        if stale_at_candidate {
+            m.remote_stale_hits += 1;
+        } else if !candidates.is_empty() {
+            m.false_hits += 1;
+        }
+        if fresh_somewhere {
+            m.false_misses += 1;
+        }
+    }
+
+    // Either way the document ends up cached at the home proxy
+    // (fetched from the peer on a remote hit, from the server
+    // otherwise) — ICP-style simple sharing.
+    if let Some(evicted) = proxies[home].cache.store(r.url, meta(r)) {
+        proxies[home].summary.insert_key(ukey, skey);
+        for victim in evicted {
+            let vs = server_key(*server_of.get(&victim).expect("victim was inserted"));
+            proxies[home]
+                .summary
+                .remove_key(&UrlKey::new(&url_key(victim)), &UrlKey::new(&vs));
+        }
+    }
+
+    after_request(&mut proxies[home], m, r.time_ms, config, groups);
 }
 
 fn after_request(

@@ -404,7 +404,20 @@ impl IcpMessage {
     /// Encode to a datagram. `sender` fills the RFC header's sender-host
     /// field for the reply/query opcodes (DirUpdate carries its own).
     pub fn encode(&self, sender: u32) -> Result<Vec<u8>, IcpError> {
-        let mut body = Vec::new();
+        let mut out = Vec::new();
+        self.encode_into(sender, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`encode`](Self::encode) into a caller-owned buffer: `out` is
+    /// cleared first and its capacity reused, so a warm send scratch
+    /// encodes a steady stream of datagrams without heap traffic. The
+    /// body is written in place behind a zeroed header which is patched
+    /// once the total length is known.
+    pub fn encode_into(&self, sender: u32, out: &mut Vec<u8>) -> Result<(), IcpError> {
+        out.clear();
+        out.resize(HEADER_LEN, 0);
+        let mut body = out;
         let mut options = 0u32;
         let (opcode, request_number, sender_host) = match self {
             IcpMessage::Query {
@@ -496,20 +509,19 @@ impl IcpMessage {
                 (Opcode::DirReq, *request_number, *s)
             }
         };
-        let total = HEADER_LEN + body.len();
+        let total = body.len();
         if total > u16::MAX as usize {
+            body.clear();
             return Err(IcpError::TooLarge(total));
         }
-        let mut out = Vec::with_capacity(total);
-        put_u8(&mut out, opcode.to_u8());
-        put_u8(&mut out, ICP_VERSION);
-        put_u16(&mut out, total as u16);
-        put_u32(&mut out, request_number);
-        put_u32(&mut out, options);
-        put_u32(&mut out, 0); // option data
-        put_u32(&mut out, sender_host);
-        out.extend_from_slice(&body);
-        Ok(out)
+        body[0] = opcode.to_u8();
+        body[1] = ICP_VERSION;
+        body[2..4].copy_from_slice(&(total as u16).to_be_bytes());
+        body[4..8].copy_from_slice(&request_number.to_be_bytes());
+        body[8..12].copy_from_slice(&options.to_be_bytes());
+        body[12..16].copy_from_slice(&0u32.to_be_bytes()); // option data
+        body[16..20].copy_from_slice(&sender_host.to_be_bytes());
+        Ok(())
     }
 
     /// Decode one datagram.

@@ -18,23 +18,28 @@ cd "$(dirname "$0")/.."
 SC_BENCH_MS="${SC_BENCH_MS:-200}"
 export SC_BENCH_MS
 
+# Where the JSON lands. The default refreshes the tracked files at the
+# repo root; scripts/ci.sh points this at a scratch dir so its short
+# smoke run never clobbers the committed measurement rows.
+OUT="${SC_BENCH_OUT:-$PWD}"
+
 echo "==> hotpath bench (window ${SC_BENCH_MS} ms/case)"
-SC_BENCH_JSON="$PWD/BENCH_hotpath.json" \
+SC_BENCH_JSON="$OUT/BENCH_hotpath.json" \
     cargo bench --offline -p sc-bench --bench hotpath
-echo "==> wrote $PWD/BENCH_hotpath.json"
+echo "==> wrote $OUT/BENCH_hotpath.json"
 
 # The scaleout suite is deterministic simulation counting, not timing:
 # it ignores SC_BENCH_MS and always runs the full N ∈ {16, 64, 128}
 # grid (about 15 s).
 echo "==> scaleout bench (GR resync + big-N update curves)"
-SC_BENCH_JSON="$PWD/BENCH_scaleout.json" \
+SC_BENCH_JSON="$OUT/BENCH_scaleout.json" \
     cargo bench --offline -p sc-bench --bench scaleout
-echo "==> wrote $PWD/BENCH_scaleout.json"
+echo "==> wrote $OUT/BENCH_scaleout.json"
 
 # One seeded run per canned adversarial scenario: wall-clock ns per
 # simulated request plus the deterministic ruler rows (hit ratio,
 # false-hit ratio, virtual p99). Also ignores SC_BENCH_MS.
 echo "==> scenario bench (five canned adversarial workloads)"
-SC_BENCH_JSON="$PWD/BENCH_scenarios.json" \
+SC_BENCH_JSON="$OUT/BENCH_scenarios.json" \
     cargo bench --offline -p sc-bench --bench scenarios
-echo "==> wrote $PWD/BENCH_scenarios.json"
+echo "==> wrote $OUT/BENCH_scenarios.json"
